@@ -1,0 +1,86 @@
+//! Ablation A1: the literal Figure-5 engine (rational timestamps, set-based
+//! states) versus the fast engine (dense ranks, canonicalising states).
+//!
+//! Both engines execute the same deterministic transition script; the fast
+//! engine additionally pays for canonicalisation, which is what makes
+//! state-space deduplication possible at all (the literal engine's rational
+//! timestamps make every interleaving representationally distinct).
+//! Expected shape: the fast engine wins by an order of magnitude on raw
+//! transitions, and only it supports visited-set dedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rc11_core::lit::{step as lit_step, LitCombined};
+use rc11_core::{Combined, Comp, InitLoc, Loc, Tid, Val};
+
+const N_STEPS: usize = 60;
+
+fn fast_script() -> Combined {
+    let mut s = Combined::new(
+        &[InitLoc::Var(Val::Int(0)), InitLoc::Var(Val::Int(0))],
+        &[InitLoc::Var(Val::Int(0))],
+        2,
+    );
+    for i in 0..N_STEPS {
+        let t = Tid((i % 2) as u8);
+        let u = Tid(((i + 1) % 2) as u8);
+        let (comp, x) = match i % 3 {
+            0 => (Comp::Client, Loc(0)),
+            1 => (Comp::Client, Loc(1)),
+            _ => (Comp::Lib, Loc(0)),
+        };
+        let w = *s.write_preds(comp, t, x).last().unwrap();
+        s = s.apply_write(comp, t, x, Val::Int(i as i64), i % 2 == 0, w);
+        let c = s.read_choices(comp, u, x).last().unwrap().from;
+        s = s.apply_read(comp, u, x, true, c);
+    }
+    s
+}
+
+fn lit_script() -> LitCombined {
+    let mut s = LitCombined::new(
+        &[InitLoc::Var(Val::Int(0)), InitLoc::Var(Val::Int(0))],
+        &[InitLoc::Var(Val::Int(0))],
+        2,
+    );
+    for i in 0..N_STEPS {
+        let t = Tid((i % 2) as u8);
+        let u = Tid(((i + 1) % 2) as u8);
+        let (comp, x) = match i % 3 {
+            0 => (Comp::Client, Loc(0)),
+            1 => (Comp::Client, Loc(1)),
+            _ => (Comp::Lib, Loc(0)),
+        };
+        let w = *lit_step::write_choices(&s, comp, t, x).last().unwrap();
+        s = lit_step::apply_write(&s, comp, t, x, Val::Int(i as i64), i % 2 == 0, w);
+        let c = *lit_step::read_choices(&s, comp, u, x).last().unwrap();
+        s = lit_step::apply_read(&s, comp, u, x, true, c);
+    }
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    // Cross-validate before timing: same observable value sequence.
+    let f = fast_script();
+    let l = lit_script();
+    for loc in [Loc(0), Loc(1)] {
+        let fv: Vec<Val> =
+            f.client().mo(loc).iter().map(|&w| f.client().op(w).act.wrval()).collect();
+        let mut lops: Vec<_> =
+            l.client.ops.iter().filter(|(a, _)| a.loc() == loc).copied().collect();
+        lops.sort_by(|a, b| a.1.cmp(&b.1));
+        let lv: Vec<Val> = lops.iter().map(|w| w.0.wrval()).collect();
+        assert_eq!(fv, lv, "engines diverged on the ablation script");
+    }
+    eprintln!("[ablate_engine] engines agree on the {N_STEPS}-step script ✓");
+
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("fast_script", |b| b.iter(fast_script));
+    g.bench_function("literal_script", |b| b.iter(lit_script));
+    g.bench_function("fast_script_plus_canonicalise", |b| {
+        b.iter(|| fast_script().canonical())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

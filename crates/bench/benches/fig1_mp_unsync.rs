@@ -1,0 +1,45 @@
+//! Experiment E1 (Figure 1): unsynchronised message passing via a stack.
+//!
+//! Regenerates the figure's claim — `r2 ∈ {0, 5}` with the weak outcome
+//! genuinely reachable — and times (a) exhaustive verification and (b)
+//! random-walk outcome sampling. Expected shape: both outcomes present;
+//! stale-read frequency well away from 0% under uniform scheduling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rc11::figures;
+use rc11::prelude::*;
+
+fn verify_fig1() -> (usize, usize, usize) {
+    let f = figures::fig1();
+    let prog = compile(&f.prog);
+    let report = Explorer::new(&prog, &AbstractObjects)
+        .with_options(ExploreOptions { record_traces: false, ..Default::default() })
+        .explore();
+    assert!(report.ok());
+    let stale = report.terminated.iter().filter(|c| c.reg(1, f.r2) == Val::Int(0)).count();
+    let fresh = report.terminated.iter().filter(|c| c.reg(1, f.r2) == Val::Int(5)).count();
+    assert!(stale > 0 && fresh > 0, "Figure 1: both outcomes must be reachable");
+    (report.states, stale, fresh)
+}
+
+fn bench(c: &mut Criterion) {
+    let (states, stale, fresh) = verify_fig1();
+    eprintln!("[fig1] states={states} stale-terminals={stale} fresh-terminals={fresh}");
+
+    let f = figures::fig1();
+    let prog = compile(&f.prog);
+    let samples = sample_terminals(&prog, &AbstractObjects, 2000, 5_000, 7);
+    let pct =
+        samples.iter().filter(|cfg| cfg.reg(1, f.r2) == Val::Int(0)).count() as f64 / 20.0;
+    eprintln!("[fig1] sampled stale-read frequency: {pct:.1}% (paper: weak outcome observable)");
+
+    let mut g = c.benchmark_group("fig1");
+    g.bench_function("exhaustive_verify", |b| b.iter(verify_fig1));
+    g.bench_function("sample_100_walks", |b| {
+        b.iter(|| sample_terminals(&prog, &AbstractObjects, 100, 5_000, 7))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Experiment E2 (Figure 2): publication via a synchronising stack.
+//!
+//! Regenerates the figure's claim — `r2 = 5` in **all** executions — and
+//! times the exhaustive proof. Expected shape: zero stale terminals.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rc11::figures;
+use rc11::prelude::*;
+
+fn verify_fig2() -> usize {
+    let f = figures::fig2();
+    let prog = compile(&f.prog);
+    let report = Explorer::new(&prog, &AbstractObjects)
+        .with_options(ExploreOptions { record_traces: false, ..Default::default() })
+        .explore();
+    assert!(report.ok());
+    assert!(!report.terminated.is_empty());
+    assert!(
+        report.terminated.iter().all(|c| c.reg(1, f.r2) == Val::Int(5)),
+        "Figure 2: r2 = 5 must hold in every execution"
+    );
+    report.states
+}
+
+fn bench(c: &mut Criterion) {
+    let states = verify_fig2();
+    eprintln!("[fig2] states={states} — r2 = 5 in all executions ✓ (paper: {{r2 = 5}})");
+
+    let mut g = c.benchmark_group("fig2");
+    g.bench_function("exhaustive_verify", |b| b.iter(verify_fig2));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Experiment E3 (Figure 3): the message-passing proof outline.
+//!
+//! Regenerates "the proof outline in Figure 3 is valid" by checking every
+//! annotation at every reachable configuration, and times the check.
+//! Expected shape: valid on Figure 2's program, violated on Figure 1's.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rc11::figures;
+use rc11::prelude::*;
+
+fn check_fig3() -> (usize, usize) {
+    let f = figures::fig2();
+    let outline = figures::fig3_outline(&f);
+    let prog = compile(&f.prog);
+    let report = check_outline(&prog, &AbstractObjects, &outline, ExploreOptions::default());
+    assert!(report.valid(), "Figure 3 outline must be valid");
+    (report.states, report.checks)
+}
+
+fn bench(c: &mut Criterion) {
+    let (states, checks) = check_fig3();
+    eprintln!("[fig3] outline VALID: {checks} assertion checks over {states} states");
+
+    // Negative control timing: the same outline on the relaxed program.
+    let f1 = figures::fig1();
+    let o1 = figures::fig3_outline(&f1);
+    let p1 = compile(&f1.prog);
+    let bad = check_outline(&p1, &AbstractObjects, &o1, ExploreOptions::default());
+    assert!(!bad.violations.is_empty());
+    eprintln!("[fig3] negative control (Figure 1 program): {} violations", bad.violations.len());
+
+    let mut g = c.benchmark_group("fig3");
+    g.bench_function("check_outline_valid", |b| b.iter(check_fig3));
+    g.bench_function("check_outline_invalid", |b| {
+        b.iter(|| check_outline(&p1, &AbstractObjects, &o1, ExploreOptions::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

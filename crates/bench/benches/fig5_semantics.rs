@@ -1,0 +1,59 @@
+//! Experiment E5 (Figures 4–5): the program/memory semantics, pinned by the
+//! litmus gallery, plus a transition-throughput microbench of the memory
+//! rules themselves.
+//!
+//! Expected shape: every litmus verdict exact (soundness *and*
+//! completeness against RC11 RAR); individual transitions in the
+//! microsecond range.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rc11_core::{Combined, Comp, InitLoc, Loc, Tid, Val};
+
+fn run_gallery() -> usize {
+    let mut states = 0;
+    for l in rc11_litmus::all() {
+        let res = rc11_litmus::run(&l);
+        assert!(res.pass, "{}: verdict mismatch", l.name);
+        states += res.states;
+    }
+    states
+}
+
+fn transition_microbench(n: usize) -> Combined {
+    // A write/read churn over two variables and two threads.
+    let mut s = Combined::new(
+        &[InitLoc::Var(Val::Int(0)), InitLoc::Var(Val::Int(0))],
+        &[],
+        2,
+    );
+    for i in 0..n {
+        let t = Tid((i % 2) as u8);
+        let u = Tid(((i + 1) % 2) as u8);
+        let x = Loc((i % 2) as u16);
+        let w = *s.write_preds(Comp::Client, t, x).last().unwrap();
+        s = s.apply_write(Comp::Client, t, x, Val::Int(i as i64), i % 3 == 0, w);
+        let c = s.read_choices(Comp::Client, u, x).last().unwrap().from;
+        s = s.apply_read(Comp::Client, u, x, i % 2 == 0, c);
+    }
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    let total = run_gallery();
+    eprintln!(
+        "[fig5] all {} litmus verdicts exact over {total} total states",
+        rc11_litmus::all().len()
+    );
+
+    let mut g = c.benchmark_group("fig5");
+    g.bench_function("litmus_gallery_exhaustive", |b| b.iter(run_gallery));
+    g.bench_function("memory_transitions_x100", |b| b.iter(|| transition_microbench(100)));
+    g.bench_function("canonicalise_after_40_ops", |b| {
+        let s = transition_microbench(20);
+        b.iter(|| s.canonical())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

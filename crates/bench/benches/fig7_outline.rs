@@ -1,0 +1,42 @@
+//! Experiment E7 (Figure 7 + Lemma 4): the lock-synchronisation proof
+//! outline.
+//!
+//! Regenerates Lemma 4 — the full 11-annotation outline is valid over the
+//! whole state space — and times the check against plain exploration (the
+//! annotation-checking overhead). Expected shape: valid; overhead a small
+//! constant factor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rc11::figures;
+use rc11::prelude::*;
+
+fn check_fig7() -> (usize, usize) {
+    let f = figures::fig7();
+    let outline = figures::fig7_outline(&f);
+    let prog = compile(&f.prog);
+    let report = check_outline(&prog, &AbstractObjects, &outline, ExploreOptions::default());
+    assert!(report.valid(), "Lemma 4: the Figure-7 outline must be valid");
+    (report.states, report.checks)
+}
+
+fn bench(c: &mut Criterion) {
+    let (states, checks) = check_fig7();
+    eprintln!("[fig7] Lemma 4 outline VALID: {checks} checks over {states} states");
+
+    let f = figures::fig7();
+    let prog = compile(&f.prog);
+
+    let mut g = c.benchmark_group("fig7");
+    g.bench_function("check_outline", |b| b.iter(check_fig7));
+    g.bench_function("explore_only", |b| {
+        b.iter(|| {
+            Explorer::new(&prog, &AbstractObjects)
+                .with_options(ExploreOptions { record_traces: false, ..Default::default() })
+                .explore()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

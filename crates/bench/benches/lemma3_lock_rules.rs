@@ -1,0 +1,51 @@
+//! Experiment E6 (Figure 6 + Lemma 3): the abstract-lock proof rules.
+//!
+//! Regenerates Lemma 3 by checking all six rules over every reachable
+//! configuration of the standard harnesses, and times the abstract lock's
+//! own transitions. Expected shape: thousands of non-vacuous rule
+//! instances, zero violations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rc11::lemma3::{check_all_rules, standard_harnesses};
+use rc11_core::{Combined, InitLoc, Loc, Tid};
+use rc11_objects::lock;
+
+fn bench(c: &mut Criterion) {
+    let harnesses = standard_harnesses(3);
+    for h in &harnesses {
+        let stats = check_all_rules(h);
+        eprintln!(
+            "[lemma3] {}: {} configs, instances r1..r6 = {}/{}/{}/{}/{}/{} (total {})",
+            h.prog.source.name,
+            h.configs.len(),
+            stats.r1,
+            stats.r2,
+            stats.r3,
+            stats.r4,
+            stats.r5,
+            stats.r6,
+            stats.total()
+        );
+    }
+
+    let mut g = c.benchmark_group("lemma3");
+    g.bench_function("check_all_rules_fig7_harness", |b| {
+        b.iter(|| check_all_rules(&harnesses[0]))
+    });
+    g.bench_function("check_all_rules_3thread_harness", |b| {
+        b.iter(|| check_all_rules(&harnesses[1]))
+    });
+    // Figure 6 transition microbench: a full acquire/release round-trip.
+    g.bench_function("lock_acquire_release_roundtrip", |b| {
+        let s = Combined::new(&[], &[InitLoc::Obj], 2);
+        b.iter(|| {
+            let (_, s1) = lock::acquire_steps(&s, Tid(0), Loc(0)).pop().unwrap();
+            let (_, s2) = lock::release_steps(&s1, Tid(0), Loc(0)).pop().unwrap();
+            s2
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation A3: parallel exploration scaling.
+//!
+//! Explores a four-thread ticket-lock client (the largest state space in
+//! the suite: ~3.7k canonical states, ~15k transitions) with 1, 2, 4 and 8
+//! workers, asserting that every worker count visits the identical state
+//! count. Expected shape: speedup rising with workers until the frontier
+//! is too shallow to feed them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rc11::prelude::*;
+use rc11_refine::harness;
+
+fn build_prog() -> CfgProgram {
+    let (client, l) = harness::counter_client(4);
+    let conc = instantiate(&client, l, &rc11_locks::ticket());
+    compile(&conc)
+}
+
+fn bench(c: &mut Criterion) {
+    let prog = build_prog();
+    let opts = ExploreOptions { record_traces: false, ..Default::default() };
+
+    let seq = Explorer::new(&prog, &NoObjects).with_options(opts).explore();
+    eprintln!(
+        "[parallel] {}: {} states, {} transitions (sequential reference)",
+        prog.source.name, seq.states, seq.transitions
+    );
+
+    let mut g = c.benchmark_group("parallel_scaling");
+    g.throughput(Throughput::Elements(seq.states as u64));
+    g.sample_size(10);
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            let r = Explorer::new(&prog, &NoObjects).with_options(opts).explore();
+            assert_eq!(r.states, seq.states);
+        })
+    });
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            b.iter(|| {
+                let r = par_explore(&prog, &NoObjects, opts, w, |_| Vec::new());
+                assert_eq!(r.states, seq.states, "worker count must not change the state count");
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Experiment E9 (Proposition 10): the ticket lock forward-simulates the
+//! abstract lock.
+//!
+//! Same harness as prop9; the interesting comparison is the relative cost
+//! (the ticket lock's FAI yields a smaller concrete space than the
+//! seqlock's CAS retry loop). Includes the extension locks (TAS/TTAS) and
+//! the broken locks as timed refutations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rc11::prelude::*;
+use rc11_refine::{check_forward_simulation, harness, ClientShape, SimOptions};
+
+fn simulate(client: &Program, l: ObjRef, imp: &rc11_lang::ObjectImpl) -> rc11_refine::SimReport {
+    let shape = ClientShape::of(client);
+    let conc = instantiate(client, l, imp);
+    check_forward_simulation(
+        &compile(client),
+        &AbstractObjects,
+        &compile(&conc),
+        &NoObjects,
+        &shape,
+        SimOptions::default(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let (client, l) = harness::fig7_client();
+
+    let mut g = c.benchmark_group("prop10_ticket");
+    for imp in [rc11_locks::ticket(), rc11_locks::tas(), rc11_locks::ttas()] {
+        let report = simulate(&client, l, &imp);
+        assert!(report.holds, "{} must simulate the abstract lock", imp.name);
+        eprintln!(
+            "[prop10] {}: HOLDS — {} concrete × {} abstract states",
+            imp.name, report.concrete_states, report.abstract_states
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(imp.name), &imp, |b, imp| {
+            b.iter(|| {
+                let r = simulate(&client, l, imp);
+                assert!(r.holds);
+                r.concrete_states
+            })
+        });
+    }
+    // Refutation cost (negative controls).
+    for imp in [rc11_locks::broken_relaxed_seqlock(), rc11_locks::broken_noop_lock()] {
+        let report = simulate(&client, l, &imp);
+        assert!(!report.holds, "{} must be refuted", imp.name);
+        eprintln!(
+            "[prop10] {}: REFUTED with a {}-point counterexample",
+            imp.name,
+            report.counterexample.as_ref().map_or(0, |c| c.len())
+        );
+        g.bench_with_input(
+            BenchmarkId::new("refute", imp.name),
+            &imp,
+            |b, imp| {
+                b.iter(|| {
+                    let r = simulate(&client, l, imp);
+                    assert!(!r.holds);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Experiment E8 (Proposition 9): the sequence lock forward-simulates the
+//! abstract lock.
+//!
+//! Regenerates the proposition on three clients of growing size and times
+//! the simulation search. Expected shape: holds on every client; cost
+//! grows with the concrete state count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rc11::prelude::*;
+use rc11_refine::{check_forward_simulation, harness, ClientShape, SimOptions};
+
+fn simulate(client: &Program, l: ObjRef) -> rc11_refine::SimReport {
+    let shape = ClientShape::of(client);
+    let conc = instantiate(client, l, &rc11_locks::seqlock());
+    check_forward_simulation(
+        &compile(client),
+        &AbstractObjects,
+        &compile(&conc),
+        &NoObjects,
+        &shape,
+        SimOptions::default(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let clients: Vec<(&str, Program, ObjRef)> = vec![
+        ("handoff", harness::handoff_client().0, harness::handoff_client().1),
+        ("fig7", harness::fig7_client().0, harness::fig7_client().1),
+        ("rounds2", harness::rounds_client(2).0, harness::rounds_client(2).1),
+    ];
+    let mut g = c.benchmark_group("prop9_seqlock");
+    for (name, client, l) in &clients {
+        let report = simulate(client, *l);
+        assert!(report.holds, "Proposition 9 must hold on {name}");
+        eprintln!(
+            "[prop9] {name}: HOLDS — {} concrete × {} abstract states, product {}",
+            report.concrete_states, report.abstract_states, report.product_size
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(client, *l), |b, (cl, l)| {
+            b.iter(|| {
+                let r = simulate(cl, *l);
+                assert!(r.holds);
+                r.concrete_states
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Experiment E10 / ablation A2 (Theorem 8.1): forward simulation versus
+//! the literal trace-inclusion baseline.
+//!
+//! Both checkers decide the same question (`C[AO] ⊑ C[CO]`); the
+//! simulation checker scales with the product of *state* spaces while the
+//! baseline enumerates stutter-free *traces*. Expected shape: agreement on
+//! every verdict; the baseline's cost grows much faster with client size
+//! (the crossover is the practical content of Definition 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rc11::prelude::*;
+use rc11_refine::{
+    check_forward_simulation, check_trace_inclusion, harness, ClientShape, SimOptions,
+    TraceOptions,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm81");
+    for rounds in [1usize, 2] {
+        let (client, l) = harness::rounds_client(rounds);
+        let shape = ClientShape::of(&client);
+        let abs_cfg = compile(&client);
+        let conc = instantiate(&client, l, &rc11_locks::seqlock());
+        let conc_cfg = compile(&conc);
+
+        let sim = check_forward_simulation(
+            &abs_cfg,
+            &AbstractObjects,
+            &conc_cfg,
+            &NoObjects,
+            &shape,
+            SimOptions::default(),
+        );
+        let incl = check_trace_inclusion(
+            &abs_cfg,
+            &AbstractObjects,
+            &conc_cfg,
+            &NoObjects,
+            &shape,
+            TraceOptions::default(),
+        );
+        assert!(sim.holds && incl.holds, "rounds({rounds}): both checkers must agree (hold)");
+        eprintln!(
+            "[thm81] rounds({rounds}): sim states={} vs baseline traces={} (abs traces={})",
+            sim.concrete_states, incl.concrete_traces, incl.abstract_traces
+        );
+
+        g.bench_with_input(BenchmarkId::new("simulation", rounds), &rounds, |b, _| {
+            b.iter(|| {
+                check_forward_simulation(
+                    &abs_cfg,
+                    &AbstractObjects,
+                    &conc_cfg,
+                    &NoObjects,
+                    &shape,
+                    SimOptions::default(),
+                )
+                .holds
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("trace_baseline", rounds), &rounds, |b, _| {
+            b.iter(|| {
+                check_trace_inclusion(
+                    &abs_cfg,
+                    &AbstractObjects,
+                    &conc_cfg,
+                    &NoObjects,
+                    &shape,
+                    TraceOptions::default(),
+                )
+                .holds
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Constructor shorthands for writing proof outlines the way the paper
+//! writes them.
+//!
+//! Thread indices are plain `usize` here (converted to [`Tid`]) so outlines
+//! read like the figures: `dobs(1, d1, 5)` is `[d1 = 5]₂` for thread index 1
+//! (the paper's thread 2).
+
+use crate::pred::{OpPat, Pred};
+use rc11_core::{Tid, Val};
+use rc11_lang::{ObjRef, Reg, VarRef};
+
+/// `⊤`.
+pub fn tt() -> Pred {
+    Pred::True
+}
+
+/// `¬p`.
+pub fn pnot(p: Pred) -> Pred {
+    Pred::Not(Box::new(p))
+}
+
+/// `p1 ∧ … ∧ pn`.
+pub fn pand(ps: impl IntoIterator<Item = Pred>) -> Pred {
+    Pred::And(ps.into_iter().collect())
+}
+
+/// `p1 ∨ … ∨ pn`.
+pub fn por(ps: impl IntoIterator<Item = Pred>) -> Pred {
+    Pred::Or(ps.into_iter().collect())
+}
+
+/// `p ⇒ q`.
+pub fn imp(p: Pred, q: Pred) -> Pred {
+    Pred::Implies(Box::new(p), Box::new(q))
+}
+
+/// `r = n` (integer shorthand).
+pub fn reg_eq(tid: usize, reg: Reg, n: i64) -> Pred {
+    Pred::RegEq { tid: Tid(tid as u8), reg, val: Val::Int(n) }
+}
+
+/// `r = v` (any value).
+pub fn reg_is(tid: usize, reg: Reg, val: Val) -> Pred {
+    Pred::RegEq { tid: Tid(tid as u8), reg, val }
+}
+
+/// `r ∈ {n1, …}`.
+pub fn reg_in(tid: usize, reg: Reg, ns: impl IntoIterator<Item = i64>) -> Pred {
+    Pred::RegIn {
+        tid: Tid(tid as u8),
+        reg,
+        vals: ns.into_iter().map(Val::Int).collect(),
+    }
+}
+
+/// `pc_t ∈ {labels}`.
+pub fn at(tid: usize, labels: impl IntoIterator<Item = u32>) -> Pred {
+    Pred::AtLabel { tid: Tid(tid as u8), labels: labels.into_iter().collect() }
+}
+
+/// Thread `tid` has terminated.
+pub fn terminated(tid: usize) -> Pred {
+    Pred::Terminated { tid: Tid(tid as u8) }
+}
+
+/// `⟨x = n⟩t` — possible observation.
+pub fn pobs(tid: usize, var: VarRef, n: i64) -> Pred {
+    Pred::PossibleObs { tid: Tid(tid as u8), var, val: Val::Int(n) }
+}
+
+/// `[x = n]t` — definite observation.
+pub fn dobs(tid: usize, var: VarRef, n: i64) -> Pred {
+    Pred::DefiniteObs { tid: Tid(tid as u8), var, val: Val::Int(n) }
+}
+
+/// `⟨x = u⟩[y = v]t` — conditional observation.
+pub fn cond_obs(tid: usize, x: VarRef, u: i64, y: VarRef, v: i64) -> Pred {
+    Pred::CondObs {
+        tid: Tid(tid as u8),
+        xvar: x,
+        xval: Val::Int(u),
+        yvar: y,
+        yval: Val::Int(v),
+    }
+}
+
+/// `C^u_x` — covered.
+pub fn covered(var: VarRef, u: i64) -> Pred {
+    Pred::Covered { var, val: Val::Int(u) }
+}
+
+/// `⟨o.m⟩t` — possible observation of a method operation.
+pub fn pobs_op(tid: usize, obj: ObjRef, pat: OpPat) -> Pred {
+    Pred::PossibleObsOp { tid: Tid(tid as u8), obj, pat }
+}
+
+/// `[o.m]t` — definite observation of a method operation.
+pub fn dobs_op(tid: usize, obj: ObjRef, pat: OpPat) -> Pred {
+    Pred::DefiniteObsOp { tid: Tid(tid as u8), obj, pat }
+}
+
+/// `H o.m` — hidden.
+pub fn hidden(obj: ObjRef, pat: OpPat) -> Pred {
+    Pred::Hidden { obj, pat }
+}
+
+/// `C o.m` — covered (only the maximal, `pat`-matching op is uncovered).
+pub fn covered_op(obj: ObjRef, pat: OpPat) -> Pred {
+    Pred::CoveredOp { obj, pat }
+}
+
+/// `r = ⊥` — an unset register (used where the paper leaves locals
+/// uninitialised).
+pub fn reg_unset(tid: usize, reg: Reg) -> Pred {
+    Pred::RegEq { tid: Tid(tid as u8), reg, val: Val::Bot }
+}
+
+/// `⟨o.m⟩L[y = v]C_t` — cross-component conditional observation.
+pub fn cond_obs_op(tid: usize, obj: ObjRef, pat: OpPat, y: VarRef, v: i64) -> Pred {
+    Pred::CondObsOp { tid: Tid(tid as u8), obj, pat, yvar: y, yval: Val::Int(v) }
+}
+
+/// `[s.pop emp]t`.
+pub fn pop_empty(tid: usize, obj: ObjRef) -> Pred {
+    Pred::PopEmpty { tid: Tid(tid as u8), obj }
+}
+
+/// `⟨s.pop v⟩t`.
+pub fn can_pop(tid: usize, obj: ObjRef, v: i64) -> Pred {
+    Pred::CanPop { tid: Tid(tid as u8), obj, val: Val::Int(v) }
+}
+
+/// `⟨s.pop v⟩[y = n]t`.
+pub fn cond_pop(tid: usize, obj: ObjRef, v: i64, y: VarRef, n: i64) -> Pred {
+    Pred::CondPop { tid: Tid(tid as u8), obj, val: Val::Int(v), yvar: y, yval: Val::Int(n) }
+}
+
+/// Thread `tid` holds lock `obj`.
+pub fn holds_lock(tid: usize, obj: ObjRef) -> Pred {
+    Pred::HoldsLock { tid: Tid(tid as u8), obj }
+}

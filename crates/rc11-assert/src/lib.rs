@@ -1,0 +1,17 @@
+//! # rc11-assert — the observability assertion language (Section 5.1)
+//!
+//! Possible (`⟨x = u⟩t`), definite (`[x = u]t`) and conditional
+//! (`⟨x = u⟩[y = v]t`) observation assertions over client–library state
+//! pairs, their object-level variants (`⟨o.m⟩t`, `[o.m]t`, hidden `H`,
+//! covered `C`), and stack/lock-derived forms used by the paper's example
+//! proofs — plus [`outline::ProofOutline`], the label-indexed proof-outline
+//! structure of Figures 3 and 7. Checking lives in rc11-check.
+
+#![warn(missing_docs)]
+
+pub mod dsl;
+pub mod outline;
+pub mod pred;
+
+pub use outline::ProofOutline;
+pub use pred::{EvalCtx, OpPat, Pred};

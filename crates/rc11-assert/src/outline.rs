@@ -1,0 +1,66 @@
+//! Proof outlines: label-indexed assertions in the style of Figures 3 and 7.
+//!
+//! An outline attaches to each labelled statement of each thread a
+//! *precondition* that must hold whenever control of that thread is at the
+//! statement's first instruction, plus a global invariant (checked at every
+//! reachable configuration) and a postcondition (checked at full
+//! termination). Semantic validity of such an outline — checked by
+//! exhaustive exploration in rc11-check — subsumes Owicki–Gries local
+//! correctness *and* interference freedom: an assertion violated by another
+//! thread's step would be violated at some reachable configuration with the
+//! owning thread sitting at the labelled point.
+
+use crate::pred::Pred;
+use std::collections::BTreeMap;
+
+/// A proof outline for a compiled program.
+#[derive(Debug, Clone)]
+pub struct ProofOutline {
+    /// Human-readable name (reports).
+    pub name: String,
+    /// Global invariant (`Inv` in Figure 7), checked at every reachable
+    /// configuration.
+    pub invariant: Pred,
+    /// Per thread: statement label → precondition. The precondition must
+    /// hold in every reachable configuration where the thread's pc is at
+    /// the *first instruction* of that label's region.
+    pub pre: Vec<BTreeMap<u32, Pred>>,
+    /// Postcondition, checked when every thread has terminated.
+    pub post: Pred,
+}
+
+impl ProofOutline {
+    /// An outline with no annotations for `n_threads` threads (add to it).
+    pub fn new(name: impl Into<String>, n_threads: usize) -> ProofOutline {
+        ProofOutline {
+            name: name.into(),
+            invariant: Pred::True,
+            pre: vec![BTreeMap::new(); n_threads],
+            post: Pred::True,
+        }
+    }
+
+    /// Set the global invariant.
+    pub fn invariant(mut self, p: Pred) -> Self {
+        self.invariant = p;
+        self
+    }
+
+    /// Attach the precondition of statement `label` in thread `tid`.
+    pub fn pre(mut self, tid: usize, label: u32, p: Pred) -> Self {
+        let prev = self.pre[tid].insert(label, p);
+        assert!(prev.is_none(), "duplicate annotation for thread {tid} label {label}");
+        self
+    }
+
+    /// Set the postcondition.
+    pub fn post(mut self, p: Pred) -> Self {
+        self.post = p;
+        self
+    }
+
+    /// Total number of attached assertions (for reports).
+    pub fn n_assertions(&self) -> usize {
+        2 + self.pre.iter().map(|m| m.len()).sum::<usize>()
+    }
+}

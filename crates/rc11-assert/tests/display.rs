@@ -1,0 +1,52 @@
+//! Rendering tests for the assertion language (reports must read like the
+//! paper's notation).
+
+use rc11_assert::dsl::*;
+use rc11_assert::OpPat;
+use rc11_core::{Comp, Loc};
+use rc11_lang::{ObjRef, Reg, VarRef};
+
+fn d() -> VarRef {
+    VarRef { comp: Comp::Client, loc: Loc(0) }
+}
+
+fn l() -> ObjRef {
+    ObjRef { loc: Loc(0) }
+}
+
+#[test]
+fn observation_atoms_render_like_the_paper() {
+    assert_eq!(dobs(1, d(), 5).to_string(), "[Loc(0) = 5]2");
+    assert_eq!(pobs(0, d(), 0).to_string(), "⟨Loc(0) = 0⟩1");
+    assert!(cond_obs(1, d(), 1, d(), 5).to_string().contains("⟩["));
+}
+
+#[test]
+fn object_atoms_render() {
+    assert_eq!(hidden(l(), OpPat::Init).to_string(), "H Loc(0).init_0");
+    assert!(dobs_op(0, l(), OpPat::Release(2)).to_string().contains("release_2"));
+    assert!(covered_op(l(), OpPat::Acquire(1)).to_string().starts_with("C "));
+    assert!(pop_empty(0, l()).to_string().contains("pop emp"));
+}
+
+#[test]
+fn connectives_render() {
+    let p = pand([tt(), pnot(pobs(0, d(), 9))]);
+    let s = p.to_string();
+    assert!(s.contains('∧') && s.contains('¬'), "{s}");
+    let q = imp(at(0, [2, 3, 4]), reg_eq(1, Reg(0), 1));
+    let s = q.to_string();
+    assert!(s.contains("pc1 ∈ {2,3,4}") && s.contains('⇒'), "{s}");
+}
+
+#[test]
+fn fig7_invariant_renders_readably() {
+    let inv = pand([
+        pnot(pand([at(0, [2, 3, 4]), at(1, [2, 3, 4])])),
+        reg_in(1, Reg(0), [1, 3]),
+    ]);
+    let s = inv.to_string();
+    assert!(s.contains("pc1"), "{s}");
+    assert!(s.contains("pc2"), "{s}");
+    assert!(s.contains("∈ {1,3}"), "{s}");
+}

@@ -1,0 +1,311 @@
+//! The sequential state-space explorer.
+//!
+//! Exhaustive breadth-first exploration of all reachable configurations of
+//! a compiled program under the RC11 RAR semantics, deduplicating on
+//! canonical forms (rc11-core's canonicalisation makes interleavings that
+//! produce the same state collide). This is the executable counterpart of
+//! the paper's "for all executions" quantifier: every lemma is checked at
+//! every reachable configuration.
+
+use crate::fxhash::FxHashMap;
+use rc11_core::Tid;
+use rc11_lang::cfg::CfgProgram;
+use rc11_lang::machine::{successors, Config, ObjectSemantics, StepOptions};
+
+/// Exploration limits and knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreOptions {
+    /// Step-generation options (local fusion).
+    pub step: StepOptions,
+    /// Hard cap on visited states (guards against state explosion; the
+    /// report marks truncation).
+    pub max_states: usize,
+    /// Record parent pointers so violations carry counterexample traces.
+    pub record_traces: bool,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            step: StepOptions::default(),
+            max_states: 5_000_000,
+            record_traces: true,
+        }
+    }
+}
+
+/// A violation discovered during exploration.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// What was violated (human-readable).
+    pub what: String,
+    /// The offending configuration.
+    pub config: Config,
+    /// The step sequence from the initial configuration, if traces were
+    /// recorded: `(moving thread, resulting configuration)` pairs.
+    pub trace: Option<Vec<(Tid, Config)>>,
+}
+
+/// Exploration statistics and results.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Distinct canonical configurations visited.
+    pub states: usize,
+    /// Transitions generated.
+    pub transitions: usize,
+    /// Terminal configurations where every thread halted.
+    pub terminated: Vec<Config>,
+    /// Terminal configurations with at least one non-halted (blocked)
+    /// thread — deadlocks under the abstract semantics.
+    pub deadlocked: Vec<Config>,
+    /// Violations reported by the check callback.
+    pub violations: Vec<Violation>,
+    /// True iff `max_states` was hit (results are a lower bound).
+    pub truncated: bool,
+}
+
+impl Report {
+    /// No violations and exploration completed.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty() && !self.truncated
+    }
+}
+
+struct Node {
+    cfg: Config,
+    parent: Option<(u32, Tid)>,
+}
+
+/// The explorer.
+pub struct Explorer<'a> {
+    prog: &'a CfgProgram,
+    objs: &'a dyn ObjectSemantics,
+    opts: ExploreOptions,
+}
+
+impl<'a> Explorer<'a> {
+    /// A new explorer over `prog` with object semantics `objs`.
+    pub fn new(prog: &'a CfgProgram, objs: &'a dyn ObjectSemantics) -> Explorer<'a> {
+        Explorer { prog, objs, opts: ExploreOptions::default() }
+    }
+
+    /// Replace the options.
+    pub fn with_options(mut self, opts: ExploreOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Exhaustive reachability with a per-configuration check callback.
+    /// The callback returns a description for every property the
+    /// configuration violates.
+    pub fn explore_with(
+        &self,
+        mut check: impl FnMut(&Config) -> Vec<String>,
+    ) -> Report {
+        let mut report = Report::default();
+        let mut visited: FxHashMap<Config, u32> = FxHashMap::default();
+        let mut nodes: Vec<Node> = Vec::new();
+
+        let init = Config::initial(self.prog).canonical();
+        visited.insert(init.clone(), 0);
+        nodes.push(Node { cfg: init.clone(), parent: None });
+        for what in check(&init) {
+            report.violations.push(Violation {
+                what,
+                config: init.clone(),
+                trace: self.opts.record_traces.then(Vec::new),
+            });
+        }
+
+        let mut frontier: Vec<u32> = vec![0];
+        while let Some(id) = frontier.pop() {
+            let cfg = nodes[id as usize].cfg.clone();
+            let succs = successors(self.prog, self.objs, &cfg, self.opts.step);
+            report.transitions += succs.len();
+            if succs.is_empty() {
+                if cfg.terminated(self.prog) {
+                    report.terminated.push(cfg);
+                } else {
+                    report.deadlocked.push(cfg);
+                }
+                continue;
+            }
+            for (tid, succ) in succs {
+                let canon = succ.canonical();
+                if visited.contains_key(&canon) {
+                    continue;
+                }
+                if visited.len() >= self.opts.max_states {
+                    report.truncated = true;
+                    continue;
+                }
+                let new_id = nodes.len() as u32;
+                visited.insert(canon.clone(), new_id);
+                for what in check(&canon) {
+                    report.violations.push(Violation {
+                        what,
+                        config: canon.clone(),
+                        trace: self
+                            .opts
+                            .record_traces
+                            .then(|| reconstruct_trace(&nodes, id, tid, &canon)),
+                    });
+                }
+                nodes.push(Node { cfg: canon, parent: Some((id, tid)) });
+                frontier.push(new_id);
+            }
+        }
+        report.states = visited.len();
+        report
+    }
+
+    /// Plain reachability (no property).
+    pub fn explore(&self) -> Report {
+        self.explore_with(|_| Vec::new())
+    }
+
+    /// Check a predicate as a global invariant.
+    pub fn check_invariant(&self, pred: &rc11_assert::Pred) -> Report {
+        self.explore_with(|cfg| {
+            let ctx = rc11_assert::EvalCtx { prog: self.prog, cfg };
+            if pred.eval(ctx) {
+                Vec::new()
+            } else {
+                vec!["invariant violated".to_string()]
+            }
+        })
+    }
+
+    /// All values of thread `t`'s register `r` over *terminated* executions
+    /// — the "possible final outcomes" question the litmus figures ask.
+    pub fn terminal_reg_values(&self, t: usize, r: rc11_lang::Reg) -> Vec<rc11_core::Val> {
+        let report = self.explore();
+        assert!(!report.truncated, "exploration truncated");
+        let mut vals: Vec<rc11_core::Val> =
+            report.terminated.iter().map(|c| c.reg(t, r)).collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+}
+
+fn reconstruct_trace(nodes: &[Node], parent: u32, tid: Tid, last: &Config) -> Vec<(Tid, Config)> {
+    let mut rev = vec![(tid, last.clone())];
+    let mut cur = parent;
+    while let Some((p, t)) = nodes[cur as usize].parent {
+        rev.push((t, nodes[cur as usize].cfg.clone()));
+        cur = p;
+    }
+    rev.reverse();
+    rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc11_lang::builder::*;
+    use rc11_lang::machine::NoObjects;
+    use rc11_lang::{compile, Reg};
+    use rc11_objects::AbstractObjects;
+    use rc11_core::Val;
+
+    /// Figure 1 at the variable level: relaxed message passing leaves both
+    /// outcomes reachable.
+    fn mp_prog(rel_acq: bool) -> rc11_lang::CfgProgram {
+        let mut p = ProgramBuilder::new("mp");
+        let d = p.client_var("d", 0);
+        let f = p.client_var("f", 0);
+        let t1 = ThreadBuilder::new();
+        p.add_thread(
+            t1,
+            seq([wr(d, 5), if rel_acq { wr_rel(f, 1) } else { wr(f, 1) }]),
+        );
+        let mut t2 = ThreadBuilder::new();
+        let r1 = t2.reg("r1");
+        let r2 = t2.reg("r2");
+        p.add_thread(
+            t2,
+            seq([
+                do_until(if rel_acq { rd_acq(r1, f) } else { rd(r1, f) }, eq(r1, 1)),
+                rd(r2, d),
+            ]),
+        );
+        compile(&p.build())
+    }
+
+    #[test]
+    fn relaxed_mp_has_weak_outcome() {
+        let prog = mp_prog(false);
+        let ex = Explorer::new(&prog, &NoObjects);
+        let vals = ex.terminal_reg_values(1, Reg(1));
+        assert_eq!(vals, vec![Val::Int(0), Val::Int(5)], "r2 ∈ {{0, 5}}");
+    }
+
+    #[test]
+    fn release_acquire_mp_is_exact() {
+        let prog = mp_prog(true);
+        let ex = Explorer::new(&prog, &NoObjects);
+        let vals = ex.terminal_reg_values(1, Reg(1));
+        assert_eq!(vals, vec![Val::Int(5)], "r2 = 5 in all executions");
+    }
+
+    #[test]
+    fn lock_program_explores_and_terminates() {
+        let mut p = ProgramBuilder::new("lock2");
+        let x = p.client_var("x", 0);
+        let l = p.lock("l");
+        for _ in 0..2 {
+            let mut tb = ThreadBuilder::new();
+            let r = tb.reg("r");
+            p.add_thread(tb, seq([acquire(l), rd(r, x), wr(x, add(r, 1)), release(l)]));
+        }
+        let prog = compile(&p.build());
+        let report = Explorer::new(&prog, &AbstractObjects).explore();
+        assert!(report.ok());
+        assert!(report.deadlocked.is_empty(), "the lock must never deadlock");
+        // Mutual exclusion ⇒ both increments land: x = 2 in all terminals.
+        for term in &report.terminated {
+            let st = term.mem.client();
+            let max = st.max_op(rc11_core::Loc(0));
+            assert_eq!(st.op(max).act.wrval(), Val::Int(2));
+        }
+    }
+
+    #[test]
+    fn invariant_violations_carry_traces() {
+        let mut p = ProgramBuilder::new("bad");
+        let x = p.client_var("x", 0);
+        let t1 = ThreadBuilder::new();
+        p.add_thread(t1, seq([wr(x, 1), wr(x, 2)]));
+        let prog = compile(&p.build());
+        // "x never holds 2" is violated after the second write.
+        let pred = rc11_assert::dsl::pnot(rc11_assert::dsl::pobs(0, x, 2));
+        let report = Explorer::new(&prog, &NoObjects).check_invariant(&pred);
+        assert!(!report.violations.is_empty());
+        let v = &report.violations[0];
+        let trace = v.trace.as_ref().expect("traces recorded by default");
+        assert!(!trace.is_empty(), "violation reached after at least one step");
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let prog = mp_prog(false);
+        let opts = ExploreOptions { max_states: 3, ..Default::default() };
+        let report = Explorer::new(&prog, &NoObjects).with_options(opts).explore();
+        assert!(report.truncated);
+        assert!(!report.ok());
+    }
+
+    #[test]
+    fn blocked_threads_report_deadlock() {
+        // One thread acquires twice: the second acquire blocks forever.
+        let mut p = ProgramBuilder::new("deadlock");
+        let l = p.lock("l");
+        let tb = ThreadBuilder::new();
+        p.add_thread(tb, seq([acquire(l), acquire(l)]));
+        let prog = compile(&p.build());
+        let report = Explorer::new(&prog, &AbstractObjects).explore();
+        assert_eq!(report.terminated.len(), 0);
+        assert_eq!(report.deadlocked.len(), 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! # rc11-check — exhaustive verification over the RC11 RAR semantics
+//!
+//! The model-checking counterpart of the paper's Isabelle/HOL mechanisation
+//! (see DESIGN.md): where the paper proves lemmas deductively over the
+//! operational semantics, this crate decides them for the paper's (finite-
+//! state) programs by exhaustive exploration:
+//!
+//! * [`explore::Explorer`] — sequential BFS over canonical configurations
+//!   with invariant checking, terminal-outcome collection and counterexample
+//!   traces;
+//! * [`outline_check`] — proof-outline validity (Figures 3, 7; Lemma 4)
+//!   with Owicki–Gries violation classification (local vs interference);
+//! * [`parallel`] — work-stealing parallel exploration over a sharded
+//!   visited set (ablation A3);
+//! * [`random`] — reproducible random-walk sampling for outcome frequency;
+//! * [`fxhash`] — the integer-friendly hasher behind all the maps.
+
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod fxhash;
+pub mod outline_check;
+pub mod parallel;
+pub mod pretty;
+pub mod random;
+
+pub use explore::{ExploreOptions, Explorer, Report, Violation};
+pub use outline_check::{check_outline, OgClass, OutlineKind, OutlineReport, OutlineViolation};
+pub use parallel::{par_explore, ShardedSet};
+pub use random::{random_walk, sample_terminals};

@@ -1,0 +1,94 @@
+//! Randomised execution sampling.
+//!
+//! Complements exhaustive exploration: uniform random walks over the
+//! transition relation, used by the benches to report *outcome frequency*
+//! (e.g. how often Figure 1's stale read actually shows up) and by the
+//! fuzz-style differential tests. Sampling is reproducible via the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rc11_lang::cfg::CfgProgram;
+use rc11_lang::machine::{successors, Config, ObjectSemantics, StepOptions};
+
+/// One random walk: uniformly choose a successor until termination,
+/// deadlock, or `max_steps`. Returns the final configuration and whether it
+/// is terminal.
+pub fn random_walk(
+    prog: &CfgProgram,
+    objs: &dyn ObjectSemantics,
+    rng: &mut StdRng,
+    max_steps: usize,
+    step: StepOptions,
+) -> (Config, bool) {
+    let mut cfg = Config::initial(prog);
+    for _ in 0..max_steps {
+        let succs = successors(prog, objs, &cfg, step);
+        if succs.is_empty() {
+            return (cfg, true);
+        }
+        let k = rng.gen_range(0..succs.len());
+        cfg = succs.into_iter().nth(k).unwrap().1;
+    }
+    (cfg, false)
+}
+
+/// Sample `n_walks` terminal configurations (walks that hit `max_steps`
+/// without terminating are discarded and retried once; persistent
+/// non-termination is reported as a panic to keep benches honest).
+pub fn sample_terminals(
+    prog: &CfgProgram,
+    objs: &dyn ObjectSemantics,
+    n_walks: usize,
+    max_steps: usize,
+    seed: u64,
+) -> Vec<Config> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n_walks);
+    let mut failures = 0usize;
+    while out.len() < n_walks {
+        let (cfg, terminal) = random_walk(prog, objs, &mut rng, max_steps, StepOptions::default());
+        if terminal {
+            out.push(cfg);
+        } else {
+            failures += 1;
+            assert!(
+                failures < n_walks * 10 + 100,
+                "program rarely terminates within {max_steps} steps"
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc11_lang::builder::*;
+    use rc11_lang::compile;
+    use rc11_lang::machine::NoObjects;
+    use rc11_core::Val;
+
+    #[test]
+    fn sampling_is_reproducible() {
+        let mut p = ProgramBuilder::new("mp");
+        let d = p.client_var("d", 0);
+        let f = p.client_var("f", 0);
+        let t1 = ThreadBuilder::new();
+        p.add_thread(t1, seq([wr(d, 5), wr(f, 1)]));
+        let mut t2 = ThreadBuilder::new();
+        let r1 = t2.reg("r1");
+        let r2 = t2.reg("r2");
+        p.add_thread(t2, seq([do_until(rd(r1, f), eq(r1, 1)), rd(r2, d)]));
+        let prog = compile(&p.build());
+
+        let a = sample_terminals(&prog, &NoObjects, 50, 500, 7);
+        let b = sample_terminals(&prog, &NoObjects, 50, 500, 7);
+        let regs = |v: &Vec<Config>| -> Vec<Val> { v.iter().map(|c| c.reg(1, Reg(1))).collect() };
+        use rc11_lang::Reg;
+        assert_eq!(regs(&a), regs(&b));
+        // Both outcomes should appear in 50 relaxed-MP samples.
+        let vals = regs(&a);
+        assert!(vals.contains(&Val::Int(5)));
+        assert!(vals.contains(&Val::Int(0)), "stale read should show up when sampling");
+    }
+}

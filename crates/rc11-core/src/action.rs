@@ -1,0 +1,260 @@
+//! The operation alphabet stored in component histories.
+//!
+//! Figure 5 records *modifying* operations (`wr`, `wr^R`, `upd^RA`) in the
+//! state component `ops`; Section 4 extends `ops` with abstract method-call
+//! operations such as `l.acquire_n(t)`. Reads are never recorded.
+
+use crate::ids::Tid;
+use crate::val::Val;
+use std::fmt;
+
+/// An abstract method-call operation, as recorded in a component's `ops`.
+///
+/// This is the object "action alphabet" of Section 4. The paper works the
+/// lock out in full (Figure 6); the stack is used illustratively in Figures
+/// 1–3 and its semantics here follows the same design (see DESIGN.md §3).
+/// Extension objects (atomic register, counter) reuse the same shapes.
+///
+/// The subscript `n` on lock operations is the paper's method-call index:
+/// the number of lock operations executed so far, used in proofs to name
+/// lock *versions* (`l.Acquire(v)` in Figure 7 binds `v = n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MethodOp {
+    /// `o.init_0` — object initialisation, timestamp 0.
+    Init,
+    /// `l.acquire_n(t)` — lock acquire number `n` by thread `t`.
+    LockAcquire {
+        /// Lock-operation index.
+        n: u32,
+        /// Acquiring thread (the lock owner while held).
+        tid: Tid,
+    },
+    /// `l.release_n` — lock release number `n`.
+    LockRelease {
+        /// Lock-operation index.
+        n: u32,
+    },
+    /// `s.push(v)` — stack push; `rel` marks the releasing variant `push^R`.
+    Push {
+        /// Pushed value.
+        v: Val,
+        /// Releasing annotation.
+        rel: bool,
+    },
+    /// `s.pop(v)` — a pop that removed value `v`; `acq` marks `pop^A`.
+    Pop {
+        /// Popped value.
+        v: Val,
+        /// Acquiring annotation.
+        acq: bool,
+    },
+    /// `reg.write(v)` — abstract atomic register write (extension object).
+    RegWrite {
+        /// Written value.
+        v: Val,
+        /// Releasing annotation.
+        rel: bool,
+    },
+    /// `ctr.inc() = v` — abstract fetch-and-increment returning `v`
+    /// (extension object).
+    CtrInc {
+        /// The pre-increment value returned.
+        v: Val,
+    },
+    /// `q.enq(v)` — FIFO queue enqueue; `rel` marks `enq^R` (extension
+    /// object, the paper's future-work direction).
+    Enq {
+        /// Enqueued value.
+        v: Val,
+        /// Releasing annotation.
+        rel: bool,
+    },
+    /// `q.deq(v)` — a dequeue that removed value `v`; `acq` marks `deq^A`.
+    Deq {
+        /// Dequeued value.
+        v: Val,
+        /// Acquiring annotation.
+        acq: bool,
+    },
+}
+
+impl MethodOp {
+    /// Whether a synchronising (acquiring) observation of this operation
+    /// transfers the operation's recorded viewfront, release/acquire style.
+    pub fn is_releasing(self) -> bool {
+        match self {
+            MethodOp::Init => false,
+            MethodOp::LockAcquire { .. } => true,
+            MethodOp::LockRelease { .. } => true,
+            MethodOp::Push { rel, .. } => rel,
+            MethodOp::Pop { acq, .. } => acq,
+            MethodOp::RegWrite { rel, .. } => rel,
+            MethodOp::CtrInc { .. } => true,
+            MethodOp::Enq { rel, .. } => rel,
+            MethodOp::Deq { acq, .. } => acq,
+        }
+    }
+
+    /// The value this operation "wrote", where meaningful (`Push`/`RegWrite`
+    /// carry a payload; lock operations carry none).
+    pub fn written_val(self) -> Val {
+        match self {
+            MethodOp::Push { v, .. } | MethodOp::RegWrite { v, .. } => v,
+            MethodOp::CtrInc { v } => v,
+            MethodOp::Enq { v, .. } => v,
+            _ => Val::Bot,
+        }
+    }
+
+    /// The lock-operation index `n`, if this is a lock operation
+    /// (`init` has index 0).
+    pub fn lock_index(self) -> Option<u32> {
+        match self {
+            MethodOp::Init => Some(0),
+            MethodOp::LockAcquire { n, .. } | MethodOp::LockRelease { n } => Some(n),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MethodOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MethodOp::Init => write!(f, "init_0"),
+            MethodOp::LockAcquire { n, tid } => write!(f, "acquire_{n}({tid})"),
+            MethodOp::LockRelease { n } => write!(f, "release_{n}"),
+            MethodOp::Push { v, rel } => {
+                write!(f, "push{}({v})", if *rel { "^R" } else { "" })
+            }
+            MethodOp::Pop { v, acq } => {
+                write!(f, "pop{}({v})", if *acq { "^A" } else { "" })
+            }
+            MethodOp::RegWrite { v, rel } => {
+                write!(f, "regwrite{}({v})", if *rel { "^R" } else { "" })
+            }
+            MethodOp::CtrInc { v } => write!(f, "inc()={v}"),
+            MethodOp::Enq { v, rel } => {
+                write!(f, "enq{}({v})", if *rel { "^R" } else { "" })
+            }
+            MethodOp::Deq { v, acq } => {
+                write!(f, "deq{}({v})", if *acq { "^A" } else { "" })
+            }
+        }
+    }
+}
+
+/// A modifying operation, as stored in `ops` (Figure 5 and Section 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpAction {
+    /// `wr(x, v)` / `wr^R(x, v)` — a plain or releasing write.
+    Write {
+        /// The written value.
+        v: Val,
+        /// True for the releasing variant `wr^R`.
+        rel: bool,
+    },
+    /// `upd^RA(x, v_read, v)` — an atomic update (CAS success / FAI); always
+    /// both acquiring and releasing.
+    Update {
+        /// The value read by the update (equals `wrval` of the covered op).
+        v_read: Val,
+        /// The value written.
+        v: Val,
+    },
+    /// An abstract method-call operation (Section 4).
+    Method(MethodOp),
+}
+
+impl OpAction {
+    /// `wrval(w)` — the value a read of this operation returns (Figure 5).
+    #[inline]
+    pub fn wrval(self) -> Val {
+        match self {
+            OpAction::Write { v, .. } => v,
+            OpAction::Update { v, .. } => v,
+            OpAction::Method(m) => m.written_val(),
+        }
+    }
+
+    /// Membership in `W^R` — the releasing writes. A synchronising read
+    /// (`rd^A` / `upd^RA`) of a releasing operation transfers its `mview`.
+    #[inline]
+    pub fn is_releasing(self) -> bool {
+        match self {
+            OpAction::Write { rel, .. } => rel,
+            OpAction::Update { .. } => true,
+            OpAction::Method(m) => m.is_releasing(),
+        }
+    }
+
+    /// True iff this is an update (`upd^RA`).
+    #[inline]
+    pub fn is_update(self) -> bool {
+        matches!(self, OpAction::Update { .. })
+    }
+
+    /// The method payload, if this is a method operation.
+    #[inline]
+    pub fn method(self) -> Option<MethodOp> {
+        match self {
+            OpAction::Method(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for OpAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpAction::Write { v, rel } => {
+                write!(f, "wr{}({v})", if *rel { "^R" } else { "" })
+            }
+            OpAction::Update { v_read, v } => write!(f, "upd^RA({v_read}→{v})"),
+            OpAction::Method(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrval_of_write_and_update() {
+        assert_eq!(OpAction::Write { v: Val::Int(5), rel: false }.wrval(), Val::Int(5));
+        assert_eq!(
+            OpAction::Update { v_read: Val::Int(1), v: Val::Int(2) }.wrval(),
+            Val::Int(2)
+        );
+    }
+
+    #[test]
+    fn releasing_membership() {
+        assert!(!OpAction::Write { v: Val::Int(0), rel: false }.is_releasing());
+        assert!(OpAction::Write { v: Val::Int(0), rel: true }.is_releasing());
+        assert!(OpAction::Update { v_read: Val::Bot, v: Val::Bot }.is_releasing());
+    }
+
+    #[test]
+    fn method_ops_release_per_annotation() {
+        assert!(OpAction::Method(MethodOp::Push { v: Val::Int(1), rel: true }).is_releasing());
+        assert!(!OpAction::Method(MethodOp::Push { v: Val::Int(1), rel: false }).is_releasing());
+        assert!(OpAction::Method(MethodOp::LockRelease { n: 2 }).is_releasing());
+        assert!(!OpAction::Method(MethodOp::Init).is_releasing());
+    }
+
+    #[test]
+    fn lock_indices() {
+        assert_eq!(MethodOp::Init.lock_index(), Some(0));
+        assert_eq!(MethodOp::LockAcquire { n: 3, tid: Tid(0) }.lock_index(), Some(3));
+        assert_eq!(MethodOp::Push { v: Val::Int(1), rel: false }.lock_index(), None);
+    }
+
+    #[test]
+    fn push_wrval_is_payload() {
+        assert_eq!(
+            OpAction::Method(MethodOp::Push { v: Val::Int(7), rel: true }).wrval(),
+            Val::Int(7)
+        );
+    }
+}

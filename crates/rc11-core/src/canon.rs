@@ -1,0 +1,170 @@
+//! Canonical renumbering of operation ids.
+//!
+//! Operation ids are assigned in *insertion* order, so two interleavings
+//! that produce the same memory state (same per-location histories, views
+//! and covers) can still differ in raw ids. Canonicalisation renumbers ops
+//! of both components by `(location, modification-order position)` — the
+//! only ordering that is part of the state's meaning — so structurally equal
+//! states become representationally equal. The explorer dedups visited
+//! states on canonical forms; without this, every interleaving would look
+//! fresh and exploration would never converge (ablation A1 in DESIGN.md).
+
+use crate::combined::Combined;
+use crate::ids::{Loc, OpId};
+use crate::state::CState;
+use crate::view::View;
+
+/// Build the canonical permutation for one component: `perm[old] = new`,
+/// numbering ops by location then modification-order position.
+fn perm_of(st: &CState) -> Vec<OpId> {
+    let mut perm = vec![OpId(0); st.n_ops()];
+    let mut next = 0u32;
+    for li in 0..st.n_locs() {
+        for &w in st.mo(Loc(li as u16)) {
+            perm[w.idx()] = OpId(next);
+            next += 1;
+        }
+    }
+    debug_assert_eq!(next as usize, st.n_ops());
+    perm
+}
+
+/// Rebuild a component state with ids renumbered by `perm` (own ids) and
+/// `perm_other` (ids appearing in cross-component view halves).
+fn renumber(st: &CState, perm: &[OpId], perm_other: &[OpId]) -> CState {
+    let (ops, mo, tview, mview_own, mview_other, cvd) = st.raw_parts();
+    let n = ops.len();
+
+    let mut new_ops = ops.to_vec();
+    let mut new_cvd = vec![false; n];
+    let mut new_mview_own: Vec<Option<View>> = vec![None; n];
+    let mut new_mview_other: Vec<Option<View>> = vec![None; n];
+    for old in 0..n {
+        let new = perm[old].idx();
+        new_ops[new] = ops[old];
+        new_cvd[new] = cvd[old];
+        let mut own = mview_own[old].clone();
+        own.remap(perm);
+        new_mview_own[new] = Some(own);
+        let mut other = mview_other[old].clone();
+        other.remap(perm_other);
+        new_mview_other[new] = Some(other);
+    }
+
+    let new_mo: Vec<Vec<OpId>> = mo
+        .iter()
+        .map(|locs| locs.iter().map(|w| perm[w.idx()]).collect())
+        .collect();
+
+    let new_tview: Vec<View> = tview
+        .iter()
+        .map(|v| {
+            let mut v = v.clone();
+            v.remap(perm);
+            v
+        })
+        .collect();
+
+    CState::from_raw_parts(
+        st.comp,
+        new_ops,
+        new_mo,
+        new_tview,
+        new_mview_own.into_iter().map(|v| v.unwrap()).collect(),
+        new_mview_other.into_iter().map(|v| v.unwrap()).collect(),
+        new_cvd,
+    )
+}
+
+impl Combined {
+    /// The canonical representative of this state: ids renumbered by
+    /// `(location, mo-position)` in both components, cross-references
+    /// remapped consistently. Idempotent; structurally-equal states have
+    /// equal canonical forms (tested by property tests).
+    #[must_use]
+    pub fn canonical(&self) -> Combined {
+        let pc = perm_of(self.client());
+        let pl = perm_of(self.lib());
+        let client = renumber(self.client(), &pc, &pl);
+        let lib = renumber(self.lib(), &pl, &pc);
+        Combined::from_parts(client, lib)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Comp, Tid};
+    use crate::state::InitLoc;
+    use crate::val::Val;
+
+    const X: Loc = Loc(0);
+    const Y: Loc = Loc(1);
+
+    fn base() -> Combined {
+        Combined::new(&[InitLoc::Var(Val::Int(0)), InitLoc::Var(Val::Int(0))], &[], 2)
+    }
+
+    /// Independent writes to different variables commute up to ids; the
+    /// canonical forms must coincide.
+    #[test]
+    fn interleaving_order_is_cancelled() {
+        let s = base();
+        let a = s
+            .apply_write(Comp::Client, Tid(0), X, Val::Int(1), false, OpId(0))
+            .apply_write(Comp::Client, Tid(1), Y, Val::Int(2), false, OpId(1));
+        let b = s
+            .apply_write(Comp::Client, Tid(1), Y, Val::Int(2), false, OpId(1))
+            .apply_write(Comp::Client, Tid(0), X, Val::Int(1), false, OpId(0));
+        assert_ne!(a, b, "raw ids differ between interleavings");
+        assert_eq!(a.canonical(), b.canonical(), "canonical forms coincide");
+    }
+
+    #[test]
+    fn canonical_is_idempotent() {
+        let s = base()
+            .apply_write(Comp::Client, Tid(0), X, Val::Int(1), true, OpId(0))
+            .apply_update(Comp::Client, Tid(1), X, Val::Int(2), OpId(0));
+        let c1 = s.canonical();
+        let c2 = c1.canonical();
+        assert_eq!(c1, c2);
+        c1.check_invariants();
+    }
+
+    #[test]
+    fn canonical_preserves_observable_structure() {
+        let s = base().apply_write(Comp::Client, Tid(0), X, Val::Int(7), true, OpId(0));
+        let c = s.canonical();
+        // Same number of ops per location, same values in mo order.
+        let vals = |st: &Combined| -> Vec<Val> {
+            st.client().mo(X).iter().map(|&w| st.client().op(w).act.wrval()).collect()
+        };
+        assert_eq!(vals(&s), vals(&c));
+        // Same observable values for each thread.
+        for t in [Tid(0), Tid(1)] {
+            let obs = |st: &Combined| -> Vec<Val> {
+                st.read_choices(Comp::Client, t, X).iter().map(|c| c.val).collect()
+            };
+            assert_eq!(obs(&s), obs(&c));
+        }
+    }
+
+    /// Differing *orders on the same variable* must NOT be identified.
+    #[test]
+    fn same_var_orders_stay_distinct() {
+        let s = base();
+        // T0 writes 1 then T1 writes 2 after it vs. the coherence-reversed
+        // placement (T1's write placed before T0's).
+        let a = {
+            let s = s.apply_write(Comp::Client, Tid(0), X, Val::Int(1), false, OpId(0));
+            let w1 = *s.client().mo(X).last().unwrap();
+            s.apply_write(Comp::Client, Tid(1), X, Val::Int(2), false, w1)
+        };
+        let b = {
+            let s = s.apply_write(Comp::Client, Tid(0), X, Val::Int(1), false, OpId(0));
+            // T1 places its write directly after the initialisation.
+            s.apply_write(Comp::Client, Tid(1), X, Val::Int(2), false, OpId(0))
+        };
+        assert_ne!(a.canonical(), b.canonical());
+    }
+}

@@ -1,0 +1,15 @@
+//! The **literal engine**: a line-by-line transcription of the paper's
+//! memory semantics (Figure 5) with exact rational timestamps.
+//!
+//! Everything here favours one-to-one correspondence with the paper over
+//! speed: `ops` is a set of `(action, timestamp)` pairs, views are maps from
+//! locations to such pairs, and the transition functions quote the premises
+//! of Figure 5 clause by clause. The fast engine ([`crate::state`],
+//! [`crate::combined`]) implements the same relation with dense ranks; the
+//! two are cross-validated by differential tests and compared in the
+//! engine-ablation bench (A1 in DESIGN.md).
+
+pub mod state;
+pub mod step;
+
+pub use state::{LitAction, LitCState, LitCombined, LitCrossView, LitOp};

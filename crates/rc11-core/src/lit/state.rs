@@ -1,0 +1,283 @@
+//! Literal component states: sets of `(action, timestamp)` pairs and
+//! map-based views, exactly as written in Section 3.3.
+
+use crate::action::MethodOp;
+use crate::ids::{Comp, Loc, Tid};
+use crate::state::InitLoc;
+use crate::ts::Ts;
+use crate::val::Val;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An action, as it appears inside `ops` (modifying actions only — reads are
+/// never recorded, per Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LitAction {
+    /// `wr(x, v)` / `wr^R(x, v)` by thread `tid`.
+    Wr {
+        /// Written location.
+        loc: Loc,
+        /// Written value.
+        v: Val,
+        /// Releasing annotation.
+        rel: bool,
+        /// Writing thread.
+        tid: Tid,
+    },
+    /// `upd^RA(x, v_read, v)` by thread `tid`.
+    Upd {
+        /// Updated location.
+        loc: Loc,
+        /// Value read (wrval of the covered operation).
+        v_read: Val,
+        /// Value written.
+        v: Val,
+        /// Updating thread.
+        tid: Tid,
+    },
+    /// An abstract method operation `o.m` (Section 4).
+    Method {
+        /// The object's location.
+        loc: Loc,
+        /// The method operation.
+        m: MethodOp,
+        /// Executing thread.
+        tid: Tid,
+    },
+}
+
+impl LitAction {
+    /// `var(a)` — the location an action is on.
+    pub fn loc(self) -> Loc {
+        match self {
+            LitAction::Wr { loc, .. }
+            | LitAction::Upd { loc, .. }
+            | LitAction::Method { loc, .. } => loc,
+        }
+    }
+
+    /// `wrval(a)` — the value a read of this action returns.
+    pub fn wrval(self) -> Val {
+        match self {
+            LitAction::Wr { v, .. } => v,
+            LitAction::Upd { v, .. } => v,
+            LitAction::Method { m, .. } => m.written_val(),
+        }
+    }
+
+    /// Membership in `W^R` (releasing writes; updates always release).
+    pub fn is_releasing(self) -> bool {
+        match self {
+            LitAction::Wr { rel, .. } => rel,
+            LitAction::Upd { .. } => true,
+            LitAction::Method { m, .. } => m.is_releasing(),
+        }
+    }
+}
+
+impl fmt::Display for LitAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LitAction::Wr { loc, v, rel, tid } => {
+                write!(f, "wr{}({loc},{v})@{tid}", if *rel { "^R" } else { "" })
+            }
+            LitAction::Upd { loc, v_read, v, tid } => {
+                write!(f, "upd^RA({loc},{v_read},{v})@{tid}")
+            }
+            LitAction::Method { loc, m, tid } => write!(f, "{loc}.{m}@{tid}"),
+        }
+    }
+}
+
+/// An operation: an action paired with its timestamp — the elements of
+/// `ops ⊆ Act × Q`.
+pub type LitOp = (LitAction, Ts);
+
+/// A viewfront over one component's locations: `Loc ↦ (action, timestamp)`.
+pub type LitView = BTreeMap<Loc, LitOp>;
+
+/// A modification view spanning both components (Section 3.3: "the
+/// modification view function may map to operations across the system").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LitCrossView {
+    /// Viewfront over the executing component's locations.
+    pub own: LitView,
+    /// Viewfront over the context component's locations.
+    pub other: LitView,
+}
+
+/// A literal component state — exactly the tuple of Section 3.3:
+/// `(ops, tview, mview, cvd)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LitCState {
+    /// Which component this is.
+    pub comp: Comp,
+    /// The modifying operations executed so far.
+    pub ops: BTreeSet<LitOp>,
+    /// Per-thread viewfronts.
+    pub tview: BTreeMap<Tid, LitView>,
+    /// Per-operation modification views.
+    pub mview: BTreeMap<LitOp, LitCrossView>,
+    /// Covered operations.
+    pub cvd: BTreeSet<LitOp>,
+}
+
+impl LitCState {
+    /// `tst(tview_t(x))` and the observable-set `Obs(t, x)` of Section 3.3.
+    pub fn obs(&self, t: Tid, x: Loc) -> Vec<LitOp> {
+        let front_ts = self.tview[&t][&x].1;
+        let mut v: Vec<LitOp> = self
+            .ops
+            .iter()
+            .filter(|(a, q)| a.loc() == x && front_ts <= *q)
+            .copied()
+            .collect();
+        // Present choices in timestamp order so the fast and literal engines
+        // enumerate corresponding choices at the same indices.
+        v.sort_by_key(|op| op.1);
+        v
+    }
+
+    /// The maximal timestamp on location `x` — `maxTS(x, σ)` of Figure 6.
+    pub fn max_ts(&self, x: Loc) -> Ts {
+        self.ops
+            .iter()
+            .filter(|(a, _)| a.loc() == x)
+            .map(|(_, q)| *q)
+            .max()
+            .expect("location is initialised")
+    }
+
+    /// The operation holding the maximal timestamp on `x`.
+    pub fn max_op(&self, x: Loc) -> LitOp {
+        *self
+            .ops
+            .iter()
+            .filter(|(a, _)| a.loc() == x)
+            .max_by_key(|(_, q)| *q)
+            .expect("location is initialised")
+    }
+
+    /// `fresh_γ(q, q')` witness: the canonical fresh timestamp strictly
+    /// after `q` and before every existing timestamp greater than `q`
+    /// (quantified over **all** ops, per the paper's definition).
+    pub fn fresh_after(&self, q: Ts) -> Ts {
+        match self.ops.iter().map(|(_, t)| *t).filter(|t| *t > q).min() {
+            Some(next) => q.midpoint(next),
+            None => q.succ(),
+        }
+    }
+
+    /// `V1 ⊗ V2` — keep, per location, the later entry (Section 3.3).
+    pub fn join_views(v1: &LitView, v2: &LitView) -> LitView {
+        let mut out = v1.clone();
+        for (x, w2) in v2 {
+            match out.get(x) {
+                Some(w1) if w2.1 <= w1.1 => {}
+                _ => {
+                    out.insert(*x, *w2);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The combined literal state: client `γ` and library `β`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LitCombined {
+    /// The client component state.
+    pub client: LitCState,
+    /// The library component state.
+    pub lib: LitCState,
+}
+
+impl LitCombined {
+    /// Initialisation per Section 3.3: one timestamp-0 operation per
+    /// location; all thread views at the initial operations; every initial
+    /// operation's modification view spans both components.
+    pub fn new(client_inits: &[InitLoc], lib_inits: &[InitLoc], n_threads: usize) -> LitCombined {
+        let mk = |comp: Comp, inits: &[InitLoc]| -> LitCState {
+            let mut ops = BTreeSet::new();
+            let mut view = LitView::new();
+            for (i, init) in inits.iter().enumerate() {
+                let loc = Loc(i as u16);
+                let act = match *init {
+                    InitLoc::Var(v) => LitAction::Wr { loc, v, rel: false, tid: Tid(0) },
+                    InitLoc::Obj => LitAction::Method { loc, m: MethodOp::Init, tid: Tid(0) },
+                };
+                ops.insert((act, Ts::ZERO));
+                view.insert(loc, (act, Ts::ZERO));
+            }
+            let tview: BTreeMap<Tid, LitView> =
+                (0..n_threads).map(|t| (Tid(t as u8), view.clone())).collect();
+            LitCState { comp, ops, tview, mview: BTreeMap::new(), cvd: BTreeSet::new() }
+        };
+        let mut client = mk(Comp::Client, client_inits);
+        let mut lib = mk(Comp::Lib, lib_inits);
+        let cv = client.tview[&Tid(0)].clone();
+        let lv = lib.tview[&Tid(0)].clone();
+        for op in client.ops.clone() {
+            client.mview.insert(op, LitCrossView { own: cv.clone(), other: lv.clone() });
+        }
+        for op in lib.ops.clone() {
+            lib.mview.insert(op, LitCrossView { own: lv.clone(), other: cv.clone() });
+        }
+        LitCombined { client, lib }
+    }
+
+    /// The state of component `c`.
+    pub fn comp(&self, c: Comp) -> &LitCState {
+        match c {
+            Comp::Client => &self.client,
+            Comp::Lib => &self.lib,
+        }
+    }
+
+    /// Split-borrow `(executing, context)` for a step in component `c`.
+    pub fn exec_ctx_mut(&mut self, c: Comp) -> (&mut LitCState, &mut LitCState) {
+        match c {
+            Comp::Client => (&mut self.client, &mut self.lib),
+            Comp::Lib => (&mut self.lib, &mut self.client),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_is_well_formed() {
+        let s = LitCombined::new(&[InitLoc::Var(Val::Int(0))], &[InitLoc::Obj], 2);
+        assert_eq!(s.client.ops.len(), 1);
+        assert_eq!(s.lib.ops.len(), 1);
+        assert_eq!(s.client.max_ts(Loc(0)), Ts::ZERO);
+        assert_eq!(s.client.tview[&Tid(1)][&Loc(0)].1, Ts::ZERO);
+        // Initial mviews span both components.
+        let init_op = *s.client.ops.iter().next().unwrap();
+        let mv = &s.client.mview[&init_op];
+        assert_eq!(mv.own.len(), 1);
+        assert_eq!(mv.other.len(), 1);
+    }
+
+    #[test]
+    fn fresh_after_bisects_or_extends() {
+        let s = LitCombined::new(&[InitLoc::Var(Val::Int(0))], &[], 1);
+        let q = s.client.fresh_after(Ts::ZERO);
+        assert!(q > Ts::ZERO);
+        assert_eq!(q, Ts::int(1), "no later op: succ");
+    }
+
+    #[test]
+    fn join_views_keeps_later() {
+        let a = LitAction::Wr { loc: Loc(0), v: Val::Int(1), rel: false, tid: Tid(0) };
+        let b = LitAction::Wr { loc: Loc(0), v: Val::Int(2), rel: false, tid: Tid(1) };
+        let v1: LitView = [(Loc(0), (a, Ts::int(1)))].into_iter().collect();
+        let v2: LitView = [(Loc(0), (b, Ts::int(2)))].into_iter().collect();
+        let j = LitCState::join_views(&v1, &v2);
+        assert_eq!(j[&Loc(0)].0, b);
+        let j2 = LitCState::join_views(&v2, &v1);
+        assert_eq!(j, j2);
+    }
+}

@@ -1,0 +1,206 @@
+//! The Figure-5 transition rules, transcribed clause by clause over the
+//! literal state representation.
+//!
+//! Each rule is split into a *choices* function enumerating the
+//! existentially-quantified premise (`(w, q) ∈ Obs(t, x) …`) and an *apply*
+//! function computing the unique conclusion state for one witness. Choices
+//! are returned in timestamp order so the fast engine's enumeration (which
+//! walks modification order) corresponds index by index — the differential
+//! tests rely on this alignment.
+
+use crate::ids::{Comp, Loc, Tid};
+use crate::lit::state::{LitAction, LitCState, LitCombined, LitCrossView, LitOp};
+use crate::val::Val;
+
+/// Read premise: all `(w, q) ∈ Obs(t, x)`.
+pub fn read_choices(s: &LitCombined, c: Comp, t: Tid, x: Loc) -> Vec<LitOp> {
+    s.comp(c).obs(t, x)
+}
+
+/// Figure 5 `Read`:
+///
+/// ```text
+/// a ∈ {rd(x,n), rd^A(x,n)}   (w,q) ∈ γ.Obs(t,x)   wrval(w) = n
+/// tview'  = γ.tview_t ⊗ γ.mview_(w,q)   if (w,a) ∈ W^R × R^A
+///           γ.tview_t[x := (w,q)]       otherwise
+/// ctview' = β.tview_t ⊗ γ.mview_(w,q)   if (w,a) ∈ W^R × R^A
+///           β.tview_t                   otherwise
+/// ```
+pub fn apply_read(s: &LitCombined, c: Comp, t: Tid, x: Loc, acq: bool, w: LitOp) -> LitCombined {
+    let mut next = s.clone();
+    let (exec, ctx) = next.exec_ctx_mut(c);
+    let sync = acq && w.0.is_releasing();
+    if sync {
+        let mv = exec.mview[&w].clone();
+        let tv = exec.tview.get_mut(&t).unwrap();
+        *tv = LitCState::join_views(tv, &mv.own);
+        let ctv = ctx.tview.get_mut(&t).unwrap();
+        *ctv = LitCState::join_views(ctv, &mv.other);
+    } else {
+        exec.tview.get_mut(&t).unwrap().insert(x, w);
+    }
+    next
+}
+
+/// Write premise: all `(w, q) ∈ Obs(t, x) \ cvd`.
+pub fn write_choices(s: &LitCombined, c: Comp, t: Tid, x: Loc) -> Vec<LitOp> {
+    s.comp(c).obs(t, x).into_iter().filter(|w| !s.comp(c).cvd.contains(w)).collect()
+}
+
+/// Figure 5 `Write`:
+///
+/// ```text
+/// a ∈ {wr(x,n), wr^R(x,n)}   (w,q) ∈ γ.Obs(t,x) \ γ.cvd   fresh_γ(q,q')
+/// ops'   = γ.ops ∪ {(a,q')}
+/// tview' = γ.tview_t[x := (a,q')]
+/// mview' = tview' ∪ β.tview_t
+/// ```
+pub fn apply_write(
+    s: &LitCombined,
+    c: Comp,
+    t: Tid,
+    x: Loc,
+    v: Val,
+    rel: bool,
+    w: LitOp,
+) -> LitCombined {
+    let mut next = s.clone();
+    let (exec, ctx) = next.exec_ctx_mut(c);
+    let a = LitAction::Wr { loc: x, v, rel, tid: t };
+    let q2 = exec.fresh_after(w.1);
+    let new: LitOp = (a, q2);
+    exec.ops.insert(new);
+    let tv = exec.tview.get_mut(&t).unwrap();
+    tv.insert(x, new);
+    let mview = LitCrossView { own: tv.clone(), other: ctx.tview[&t].clone() };
+    exec.mview.insert(new, mview);
+    next
+}
+
+/// Update premise: all `(w, q) ∈ Obs(t, x) \ cvd` with `wrval(w) = m` when a
+/// CAS expects `m`.
+pub fn update_choices(
+    s: &LitCombined,
+    c: Comp,
+    t: Tid,
+    x: Loc,
+    expect: Option<Val>,
+) -> Vec<LitOp> {
+    write_choices(s, c, t, x)
+        .into_iter()
+        .filter(|w| expect.is_none_or(|m| w.0.wrval() == m))
+        .collect()
+}
+
+/// Figure 5 `Update`:
+///
+/// ```text
+/// a = upd^RA(x,m,n)   (w,q) ∈ γ.Obs(t,x) \ γ.cvd   wrval(w) = m   fresh_γ(q,q')
+/// ops'  = γ.ops ∪ {(a,q')}       cvd' = γ.cvd ∪ {(w,q)}
+/// tview'  = γ.tview_t[x := (a,q')] ⊗ γ.mview_(w,q)   if w ∈ W^R
+///           γ.tview_t[x := (a,q')]                   otherwise
+/// ctview' = β.tview_t ⊗ γ.mview_(w,q)                if w ∈ W^R
+///           β.tview_t                                otherwise
+/// mview' = tview' ∪ ctview'
+/// ```
+pub fn apply_update(s: &LitCombined, c: Comp, t: Tid, x: Loc, v: Val, w: LitOp) -> LitCombined {
+    let mut next = s.clone();
+    let (exec, ctx) = next.exec_ctx_mut(c);
+    let a = LitAction::Upd { loc: x, v_read: w.0.wrval(), v, tid: t };
+    let q2 = exec.fresh_after(w.1);
+    let new: LitOp = (a, q2);
+    exec.ops.insert(new);
+    exec.cvd.insert(w);
+    let sync = w.0.is_releasing();
+    let mv = exec.mview.get(&w).cloned();
+    {
+        let tv = exec.tview.get_mut(&t).unwrap();
+        tv.insert(x, new);
+        if sync {
+            let mv = mv.as_ref().expect("every op has an mview");
+            *tv = LitCState::join_views(tv, &mv.own);
+        }
+    }
+    if sync {
+        let mv = mv.as_ref().expect("every op has an mview");
+        let ctv = ctx.tview.get_mut(&t).unwrap();
+        *ctv = LitCState::join_views(ctv, &mv.other);
+    }
+    let mview =
+        LitCrossView { own: exec.tview[&t].clone(), other: ctx.tview[&t].clone() };
+    exec.mview.insert(new, mview);
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::InitLoc;
+
+    const D: Loc = Loc(0);
+    const F: Loc = Loc(1);
+    const T1: Tid = Tid(0);
+    const T2: Tid = Tid(1);
+
+    fn mp() -> LitCombined {
+        LitCombined::new(&[InitLoc::Var(Val::Int(0)), InitLoc::Var(Val::Int(0))], &[], 2)
+    }
+
+    #[test]
+    fn literal_mp_relaxed_allows_stale() {
+        let s = mp();
+        let w0 = s.client.obs(T1, D)[0];
+        let s = apply_write(&s, Comp::Client, T1, D, Val::Int(5), false, w0);
+        let f0 = s.client.obs(T1, F)[0];
+        let s = apply_write(&s, Comp::Client, T1, F, Val::Int(1), false, f0);
+        let f1 = *s.client.obs(T2, F).last().unwrap();
+        assert_eq!(f1.0.wrval(), Val::Int(1));
+        let s = apply_read(&s, Comp::Client, T2, F, false, f1);
+        let vals: Vec<Val> =
+            read_choices(&s, Comp::Client, T2, D).iter().map(|w| w.0.wrval()).collect();
+        assert!(vals.contains(&Val::Int(0)));
+        assert!(vals.contains(&Val::Int(5)));
+    }
+
+    #[test]
+    fn literal_mp_release_acquire_synchronises() {
+        let s = mp();
+        let w0 = s.client.obs(T1, D)[0];
+        let s = apply_write(&s, Comp::Client, T1, D, Val::Int(5), false, w0);
+        let f0 = s.client.obs(T1, F)[0];
+        let s = apply_write(&s, Comp::Client, T1, F, Val::Int(1), true, f0);
+        let f1 = *s.client.obs(T2, F).last().unwrap();
+        let s = apply_read(&s, Comp::Client, T2, F, true, f1);
+        let vals: Vec<Val> =
+            read_choices(&s, Comp::Client, T2, D).iter().map(|w| w.0.wrval()).collect();
+        assert_eq!(vals, vec![Val::Int(5)]);
+    }
+
+    #[test]
+    fn literal_update_covers_and_blocks() {
+        let s = mp();
+        let w0 = s.client.obs(T1, D)[0];
+        let s = apply_update(&s, Comp::Client, T1, D, Val::Int(1), w0);
+        assert!(s.client.cvd.contains(&w0));
+        // T2 cannot update the covered op.
+        assert!(update_choices(&s, Comp::Client, T2, D, Some(Val::Int(0))).is_empty());
+        // But can update the update itself.
+        assert_eq!(update_choices(&s, Comp::Client, T2, D, Some(Val::Int(1))).len(), 1);
+    }
+
+    #[test]
+    fn fresh_timestamps_interleave() {
+        // Writing twice after the same predecessor nests timestamps between
+        // the predecessor and the previously-inserted write.
+        let s = mp();
+        let w0 = s.client.obs(T1, D)[0];
+        let s1 = apply_write(&s, Comp::Client, T1, D, Val::Int(1), false, w0);
+        let s2 = apply_write(&s1, Comp::Client, T2, D, Val::Int(2), false, w0);
+        let mut ops: Vec<LitOp> =
+            s2.client.ops.iter().filter(|(a, _)| a.loc() == D).copied().collect();
+        ops.sort_by(|a, b| a.1.cmp(&b.1));
+        // Timestamp order: init(0) < wr(2) < wr(1) — the second write bisects.
+        let vals: Vec<Val> = ops.iter().map(|w| w.0.wrval()).collect();
+        assert_eq!(vals, vec![Val::Int(0), Val::Int(2), Val::Int(1)]);
+    }
+}

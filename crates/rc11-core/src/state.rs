@@ -1,0 +1,425 @@
+//! Fast component states: the C11 state of Section 3.3 with dense
+//! per-location timestamp *ranks* instead of rationals.
+//!
+//! A component state holds exactly the four pieces of Figure 5's state:
+//!
+//! * `ops` — the modifying operations executed so far (writes, updates,
+//!   abstract method calls);
+//! * `tview_t` — per-thread viewfronts over this component's locations;
+//! * `mview_w` — per-operation viewfronts spanning **both** components (the
+//!   paper: "the modification view function may map to operations across the
+//!   system");
+//! * `cvd` — the covered operations (those immediately before an update in
+//!   modification order, which later writes must not intervene after).
+//!
+//! Timestamps: each location carries a modification-order vector `mo`; the
+//! timestamp of an operation is its position (*rank*) in its location's
+//! vector. Fresh-timestamp insertion "immediately after `(w, q)`" (Figure 5's
+//! `fresh`) becomes vector insertion at `rank(w) + 1`. The `lit` module
+//! implements the same rules with literal rational timestamps; the two are
+//! cross-validated in tests and benchmarked against each other.
+
+use crate::action::{MethodOp, OpAction};
+use crate::ids::{Comp, Loc, OpId, Tid};
+use crate::val::Val;
+use crate::view::View;
+
+/// One recorded operation: which location, which thread, what action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpRecord {
+    /// Location (variable or object) the operation modifies.
+    pub loc: Loc,
+    /// The executing thread.
+    pub tid: Tid,
+    /// The action payload.
+    pub act: OpAction,
+}
+
+/// How to initialise one location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitLoc {
+    /// A shared variable with initial value `v` (an initialising write of
+    /// timestamp 0, per Section 3.3's `Initialisation`).
+    Var(Val),
+    /// An abstract object (an `init_0` operation of timestamp 0, Section 4).
+    Obj,
+}
+
+/// A component state (`γ` or `β`) of the fast engine.
+///
+/// Invariants (checked by [`CState::check_invariants`] in tests):
+/// * `ops`, `rank`, `cvd`, `mview_own`, `mview_other` are parallel vectors;
+/// * every location's `mo` vector permutes exactly the ops on that location,
+///   and `rank[w]` is `w`'s position in it;
+/// * every view entry for location `x` is an operation on `x`;
+/// * thread views only move forward over time (monotonicity — enforced by
+///   the transition rules, asserted in property tests).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CState {
+    /// Which component this is (`γ` = client, `β` = library).
+    pub comp: Comp,
+    ops: Vec<OpRecord>,
+    /// Per-location modification order (timestamp order), oldest first.
+    mo: Vec<Vec<OpId>>,
+    /// Per-op position in its location's `mo` vector.
+    rank: Vec<u32>,
+    /// Per-thread viewfront over this component's locations.
+    tview: Vec<View>,
+    /// Per-op viewfront over *this* component's locations.
+    mview_own: Vec<View>,
+    /// Per-op viewfront over the *other* component's locations (entries are
+    /// op ids in the other component's state).
+    mview_other: Vec<View>,
+    /// Per-op covered flag (`cvd`).
+    cvd: Vec<bool>,
+}
+
+impl CState {
+    /// Initialise a component: one operation of timestamp 0 per location
+    /// (Section 3.3 `Initialisation`). The cross-component halves of the
+    /// initial `mview`s are installed by [`crate::combined::Combined::new`],
+    /// which sees both components.
+    pub fn init(comp: Comp, inits: &[InitLoc], n_threads: usize) -> CState {
+        let n_locs = inits.len();
+        let mut ops = Vec::with_capacity(n_locs);
+        let mut mo = Vec::with_capacity(n_locs);
+        let mut rank = Vec::with_capacity(n_locs);
+        for (i, init) in inits.iter().enumerate() {
+            let loc = Loc(i as u16);
+            let id = OpId(i as u32);
+            let act = match *init {
+                InitLoc::Var(v) => OpAction::Write { v, rel: false },
+                InitLoc::Obj => OpAction::Method(MethodOp::Init),
+            };
+            // Initialising writes belong to no particular thread; use T0.
+            ops.push(OpRecord { loc, tid: Tid(0), act });
+            mo.push(vec![id]);
+            rank.push(0);
+        }
+        let init_view = View::from_entries((0..n_locs as u32).map(OpId).collect());
+        let tview = vec![init_view.clone(); n_threads];
+        let mview_own = vec![init_view; n_locs];
+        // Placeholder: fixed up by Combined::new once the other component
+        // exists. Empty views are never read before that.
+        let mview_other = vec![View::from_entries(Vec::new()); n_locs];
+        CState {
+            comp,
+            ops,
+            mo,
+            rank,
+            tview,
+            mview_own,
+            mview_other,
+            cvd: vec![false; n_locs],
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Number of recorded operations.
+    #[inline]
+    pub fn n_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of locations.
+    #[inline]
+    pub fn n_locs(&self) -> usize {
+        self.mo.len()
+    }
+
+    /// Number of threads.
+    #[inline]
+    pub fn n_threads(&self) -> usize {
+        self.tview.len()
+    }
+
+    /// The record of operation `w`.
+    #[inline]
+    pub fn op(&self, w: OpId) -> &OpRecord {
+        &self.ops[w.idx()]
+    }
+
+    /// The timestamp rank of `w` within its location's modification order.
+    #[inline]
+    pub fn rank_of(&self, w: OpId) -> u32 {
+        self.rank[w.idx()]
+    }
+
+    /// `cvd` membership: is `w` covered?
+    #[inline]
+    pub fn is_covered(&self, w: OpId) -> bool {
+        self.cvd[w.idx()]
+    }
+
+    /// Mark `w` covered (used by updates and by object semantics such as the
+    /// Figure-6 `Acquire`, which covers the release it observed).
+    #[inline]
+    pub fn cover(&mut self, w: OpId) {
+        self.cvd[w.idx()] = true;
+    }
+
+    /// The modification order of `loc`, oldest first.
+    #[inline]
+    pub fn mo(&self, loc: Loc) -> &[OpId] {
+        &self.mo[loc.idx()]
+    }
+
+    /// The operation with the maximal timestamp on `loc` — the paper's
+    /// `maxTS(o, σ)` witness (Figure 6 requires lock operations to observe
+    /// it).
+    #[inline]
+    pub fn max_op(&self, loc: Loc) -> OpId {
+        *self.mo[loc.idx()].last().expect("every location is initialised")
+    }
+
+    /// Thread `t`'s viewfront.
+    #[inline]
+    pub fn tview(&self, t: Tid) -> &View {
+        &self.tview[t.idx()]
+    }
+
+    /// Mutable thread viewfront (object semantics update it directly).
+    #[inline]
+    pub fn tview_mut(&mut self, t: Tid) -> &mut View {
+        &mut self.tview[t.idx()]
+    }
+
+    /// The own-component half of `w`'s modification view.
+    #[inline]
+    pub fn mview_own(&self, w: OpId) -> &View {
+        &self.mview_own[w.idx()]
+    }
+
+    /// The cross-component half of `w`'s modification view (entries refer to
+    /// the *other* component's operations).
+    #[inline]
+    pub fn mview_other(&self, w: OpId) -> &View {
+        &self.mview_other[w.idx()]
+    }
+
+    /// Overwrite both halves of `w`'s modification view.
+    pub fn set_mview(&mut self, w: OpId, own: View, other: View) {
+        self.mview_own[w.idx()] = own;
+        self.mview_other[w.idx()] = other;
+    }
+
+    /// A rank-lookup closure for [`View::join_in_place`].
+    #[inline]
+    pub fn ranker(&self) -> impl Fn(OpId) -> u32 + '_ {
+        move |w| self.rank[w.idx()]
+    }
+
+    /// `tview_t := tview_t ⊗ v` — join a view into thread `t`'s viewfront
+    /// using this component's timestamp ranks.
+    #[inline]
+    pub fn join_tview_with(&mut self, t: Tid, v: &View) {
+        let rank = &self.rank;
+        self.tview[t.idx()].join_in_place(v, |w| rank[w.idx()]);
+    }
+
+    // ------------------------------------------------------------------
+    // Observability (Section 3.3)
+    // ------------------------------------------------------------------
+
+    /// `Obs(t, x)` — the operations on `x` observable to `t`: those whose
+    /// timestamp is at least the timestamp of `tview_t(x)`.
+    pub fn obs(&self, t: Tid, loc: Loc) -> &[OpId] {
+        let front = self.tview[t.idx()].get(loc);
+        let from = self.rank[front.idx()] as usize;
+        &self.mo[loc.idx()][from..]
+    }
+
+    /// `Obs(t, x) \ cvd` — observable and not covered: the legal predecessors
+    /// for a new write or update by `t` (Figure 5 Write/Update premises).
+    pub fn obs_uncovered<'a>(&'a self, t: Tid, loc: Loc) -> impl Iterator<Item = OpId> + 'a {
+        self.obs(t, loc).iter().copied().filter(move |w| !self.cvd[w.idx()])
+    }
+
+    // ------------------------------------------------------------------
+    // History mutation (used by the transition rules and object semantics)
+    // ------------------------------------------------------------------
+
+    /// Append a new operation *immediately after* `after` in its location's
+    /// modification order — the fast-engine realisation of Figure 5's
+    /// `fresh(q, q')`. Returns the new id.
+    ///
+    /// The new operation's `mview` halves are installed as placeholders
+    /// (copies of the executing thread's current views are expected to be
+    /// set immediately afterwards via [`CState::set_mview`]).
+    pub fn insert_after(&mut self, after: OpId, rec: OpRecord) -> OpId {
+        debug_assert_eq!(self.op(after).loc, rec.loc, "predecessor on a different location");
+        let id = OpId(self.ops.len() as u32);
+        let loc = rec.loc;
+        let pos = self.rank[after.idx()] as usize + 1;
+        self.ops.push(rec);
+        self.cvd.push(false);
+        self.rank.push(pos as u32);
+        let mo = &mut self.mo[loc.idx()];
+        mo.insert(pos, id);
+        for &w in &mo[pos + 1..] {
+            self.rank[w.idx()] += 1;
+        }
+        // Placeholder views; callers overwrite via set_mview.
+        self.mview_own.push(View::from_entries(Vec::new()));
+        self.mview_other.push(View::from_entries(Vec::new()));
+        id
+    }
+
+    /// Append a new operation with the *maximal* timestamp on its location —
+    /// the Figure-6 discipline for lock operations ("each new lock operation
+    /// must have a larger timestamp than all existing operations").
+    pub fn insert_at_max(&mut self, rec: OpRecord) -> OpId {
+        let last = self.max_op(rec.loc);
+        self.insert_after(last, rec)
+    }
+
+    /// Internal consistency check, used by tests and `debug_assert`s.
+    pub fn check_invariants(&self) {
+        let n = self.ops.len();
+        assert_eq!(self.rank.len(), n);
+        assert_eq!(self.cvd.len(), n);
+        assert_eq!(self.mview_own.len(), n);
+        assert_eq!(self.mview_other.len(), n);
+        let mut seen = vec![false; n];
+        for (li, mo) in self.mo.iter().enumerate() {
+            for (pos, &w) in mo.iter().enumerate() {
+                assert!(!seen[w.idx()], "op {w} appears twice in mo");
+                seen[w.idx()] = true;
+                assert_eq!(self.ops[w.idx()].loc.idx(), li, "op {w} in wrong mo vector");
+                assert_eq!(self.rank[w.idx()] as usize, pos, "rank out of sync for {w}");
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "op missing from its mo vector");
+        for tv in &self.tview {
+            assert_eq!(tv.len(), self.mo.len());
+            for (li, w) in tv.iter() {
+                assert_eq!(self.ops[w.idx()].loc.idx(), li, "tview entry on wrong location");
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Canonicalisation support (see `canon` module)
+    // ------------------------------------------------------------------
+
+    /// Destructure into raw parts for canonical renumbering.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn raw_parts(
+        &self,
+    ) -> (&[OpRecord], &[Vec<OpId>], &[View], &[View], &[View], &[bool]) {
+        (&self.ops, &self.mo, &self.tview, &self.mview_own, &self.mview_other, &self.cvd)
+    }
+
+    /// Rebuild from canonically-renumbered parts. `rank` is recomputed.
+    pub(crate) fn from_raw_parts(
+        comp: Comp,
+        ops: Vec<OpRecord>,
+        mo: Vec<Vec<OpId>>,
+        tview: Vec<View>,
+        mview_own: Vec<View>,
+        mview_other: Vec<View>,
+        cvd: Vec<bool>,
+    ) -> CState {
+        let mut rank = vec![0u32; ops.len()];
+        for locs in &mo {
+            for (pos, &w) in locs.iter().enumerate() {
+                rank[w.idx()] = pos as u32;
+            }
+        }
+        CState { comp, ops, mo, rank, tview, mview_own, mview_other, cvd }
+    }
+
+    /// All operations on `loc` whose recorded action is a method operation,
+    /// in timestamp order — used by object semantics and object assertions.
+    pub fn method_ops<'a>(&'a self, loc: Loc) -> impl Iterator<Item = (OpId, MethodOp)> + 'a {
+        self.mo(loc).iter().filter_map(move |&w| self.op(w).act.method().map(|m| (w, m)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_var_state() -> CState {
+        CState::init(Comp::Client, &[InitLoc::Var(Val::Int(0)), InitLoc::Var(Val::Int(0))], 2)
+    }
+
+    #[test]
+    fn init_shape() {
+        let st = two_var_state();
+        st.check_invariants();
+        assert_eq!(st.n_ops(), 2);
+        assert_eq!(st.n_locs(), 2);
+        assert_eq!(st.max_op(Loc(0)), OpId(0));
+        assert_eq!(st.max_op(Loc(1)), OpId(1));
+        assert_eq!(st.tview(Tid(0)).get(Loc(0)), OpId(0));
+        assert!(!st.is_covered(OpId(0)));
+    }
+
+    #[test]
+    fn obs_initially_sees_init_only() {
+        let st = two_var_state();
+        assert_eq!(st.obs(Tid(0), Loc(0)), &[OpId(0)]);
+        assert_eq!(st.obs(Tid(1), Loc(1)), &[OpId(1)]);
+    }
+
+    #[test]
+    fn insert_after_places_immediately_after() {
+        let mut st = two_var_state();
+        let w1 = st.insert_after(
+            OpId(0),
+            OpRecord { loc: Loc(0), tid: Tid(0), act: OpAction::Write { v: Val::Int(1), rel: false } },
+        );
+        let w2 = st.insert_after(
+            OpId(0),
+            OpRecord { loc: Loc(0), tid: Tid(1), act: OpAction::Write { v: Val::Int(2), rel: false } },
+        );
+        // w2 inserted after init but before w1: mo = [init, w2, w1].
+        assert_eq!(st.mo(Loc(0)), &[OpId(0), w2, w1]);
+        assert_eq!(st.rank_of(w2), 1);
+        assert_eq!(st.rank_of(w1), 2);
+        st.check_invariants();
+    }
+
+    #[test]
+    fn insert_at_max_goes_last() {
+        let mut st = two_var_state();
+        let a = st.insert_at_max(OpRecord {
+            loc: Loc(1),
+            tid: Tid(0),
+            act: OpAction::Write { v: Val::Int(1), rel: true },
+        });
+        let b = st.insert_at_max(OpRecord {
+            loc: Loc(1),
+            tid: Tid(1),
+            act: OpAction::Write { v: Val::Int(2), rel: true },
+        });
+        assert_eq!(st.mo(Loc(1)), &[OpId(1), a, b]);
+        assert_eq!(st.max_op(Loc(1)), b);
+    }
+
+    #[test]
+    fn obs_respects_tview_front() {
+        let mut st = two_var_state();
+        let w1 = st.insert_at_max(OpRecord {
+            loc: Loc(0),
+            tid: Tid(0),
+            act: OpAction::Write { v: Val::Int(1), rel: false },
+        });
+        // T0 moves its view to w1; T1 still sees both.
+        st.tview_mut(Tid(0)).set(Loc(0), w1);
+        assert_eq!(st.obs(Tid(0), Loc(0)), &[w1]);
+        assert_eq!(st.obs(Tid(1), Loc(0)), &[OpId(0), w1]);
+    }
+
+    #[test]
+    fn covered_ops_are_skipped_for_writes() {
+        let mut st = two_var_state();
+        st.cover(OpId(0));
+        let preds: Vec<_> = st.obs_uncovered(Tid(0), Loc(0)).collect();
+        assert!(preds.is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Exact rational timestamps for the *literal* engine.
+//!
+//! Figure 5 draws timestamps from `Q`: a fresh write receives a timestamp
+//! `q'` with `fresh(q, q') = q < q' ∧ ∀w' ∈ ops. q < tst(w') ⇒ q' < tst(w')`,
+//! i.e. strictly between its predecessor and the next existing timestamp.
+//! The literal engine realises this with normalised `i64/u64` rationals and
+//! midpoint insertion; the fast engine (`state` module) replaces rationals
+//! with dense per-location ranks and is cross-validated against this one.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact rational timestamp, kept normalised (`gcd(|num|, den) = 1`,
+/// `den > 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ts {
+    num: i64,
+    den: u64,
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Ts {
+    /// The initial timestamp `0` given to initialising writes.
+    pub const ZERO: Ts = Ts { num: 0, den: 1 };
+
+    /// An integer timestamp.
+    pub fn int(n: i64) -> Ts {
+        Ts { num: n, den: 1 }
+    }
+
+    /// A normalised rational `num/den`. Panics if `den == 0`.
+    pub fn new(num: i64, den: u64) -> Ts {
+        assert!(den != 0, "timestamp denominator must be nonzero");
+        let g = gcd(num.unsigned_abs(), den);
+        if g <= 1 {
+            return Ts { num, den };
+        }
+        Ts { num: num / g as i64, den: den / g }
+    }
+
+    /// The midpoint `(self + other) / 2` — the canonical fresh timestamp
+    /// strictly between two distinct timestamps.
+    pub fn midpoint(self, other: Ts) -> Ts {
+        // (a/b + c/d) / 2 = (a*d + c*b) / (2*b*d)
+        let num = self.num as i128 * other.den as i128 + other.num as i128 * self.den as i128;
+        let den = 2i128 * self.den as i128 * other.den as i128;
+        debug_assert!(num.abs() < i64::MAX as i128 && den < u64::MAX as i128,
+            "timestamp arithmetic overflow; histories this deep should use the fast engine");
+        Ts::new(num as i64, den as u64)
+    }
+
+    /// `self + 1` — the canonical fresh timestamp after a maximal one.
+    pub fn succ(self) -> Ts {
+        Ts { num: self.num + self.den as i64, den: self.den }
+    }
+
+    /// Numerator (normalised).
+    pub fn num(self) -> i64 {
+        self.num
+    }
+
+    /// Denominator (normalised, positive).
+    pub fn den(self) -> u64 {
+        self.den
+    }
+}
+
+impl PartialOrd for Ts {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ts {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b <=> c/d  ⟺  a*d <=> c*b   (b, d > 0)
+        let lhs = self.num as i128 * other.den as i128;
+        let rhs = other.num as i128 * self.den as i128;
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for Ts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(Ts::new(2, 4), Ts::new(1, 2));
+        assert_eq!(Ts::new(-2, 4), Ts::new(-1, 2));
+        assert_eq!(Ts::new(0, 7), Ts::ZERO);
+    }
+
+    #[test]
+    fn ordering_cross_multiplies() {
+        assert!(Ts::new(1, 3) < Ts::new(1, 2));
+        assert!(Ts::new(-1, 2) < Ts::ZERO);
+        assert!(Ts::int(2) > Ts::new(3, 2));
+    }
+
+    #[test]
+    fn midpoint_is_strictly_between() {
+        let a = Ts::int(0);
+        let b = Ts::int(1);
+        let m = a.midpoint(b);
+        assert!(a < m && m < b);
+        let m2 = a.midpoint(m);
+        assert!(a < m2 && m2 < m);
+    }
+
+    #[test]
+    fn succ_is_strictly_larger() {
+        let a = Ts::new(5, 3);
+        assert!(a < a.succ());
+        assert_eq!(Ts::int(1).succ(), Ts::int(2));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ts::int(3).to_string(), "3");
+        assert_eq!(Ts::new(1, 2).to_string(), "1/2");
+    }
+}

@@ -1,0 +1,126 @@
+//! Runtime values.
+//!
+//! The paper's value domain `Val` is left abstract; programs in the paper use
+//! integers, booleans (CAS results, lock-acquire results) and the null value
+//! `⊥` (the result of statements and value-less method calls, written
+//! [`Val::Bot`] here).
+
+use std::fmt;
+
+/// A runtime value: an integer, a boolean, or the null value `⊥`.
+///
+/// `⊥` is *not* a member of the paper's `Val`; it is the distinguished result
+/// of completed statements and of method calls that return nothing (e.g.
+/// `Release`). Keeping it in the same enum keeps local-state updates uniform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Val {
+    /// An integer value.
+    Int(i64),
+    /// A boolean value (e.g. the result of a `CAS`).
+    Bool(bool),
+    /// The `Empty` result of popping an empty stack (Figures 1–2 use
+    /// `s.pop() = Empty` as the retry condition; `[s.pop emp]_t` asserts it
+    /// is the only possible result).
+    Empty,
+    /// The null value `⊥` — the "result" of a completed statement.
+    Bot,
+}
+
+impl Val {
+    /// The integer payload, or `None` for booleans and `⊥`.
+    #[inline]
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Val::Int(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload. Integers are *not* coerced: the paper's
+    /// expression language keeps booleans and integers distinct.
+    #[inline]
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Val::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// True iff this is the null value `⊥`.
+    #[inline]
+    pub fn is_bot(self) -> bool {
+        matches!(self, Val::Bot)
+    }
+
+    /// Truthiness used by `if`/`while` guards: `Bool(b)` is `b`; any other
+    /// value is a guard-evaluation error surfaced by the interpreter.
+    #[inline]
+    pub fn truthy(self) -> Option<bool> {
+        self.as_bool()
+    }
+}
+
+impl From<i64> for Val {
+    #[inline]
+    fn from(n: i64) -> Self {
+        Val::Int(n)
+    }
+}
+
+impl From<bool> for Val {
+    #[inline]
+    fn from(b: bool) -> Self {
+        Val::Bool(b)
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Int(n) => write!(f, "{n}"),
+            Val::Bool(b) => write!(f, "{b}"),
+            Val::Empty => write!(f, "Empty"),
+            Val::Bot => write!(f, "⊥"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_round_trip() {
+        let v = Val::from(42);
+        assert_eq!(v.as_int(), Some(42));
+        assert_eq!(v.as_bool(), None);
+        assert!(!v.is_bot());
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        let v = Val::from(true);
+        assert_eq!(v.as_bool(), Some(true));
+        assert_eq!(v.as_int(), None);
+    }
+
+    #[test]
+    fn bot_is_distinct() {
+        assert!(Val::Bot.is_bot());
+        assert_ne!(Val::Bot, Val::Int(0));
+        assert_ne!(Val::Bot, Val::Bool(false));
+    }
+
+    #[test]
+    fn no_int_bool_coercion() {
+        assert_eq!(Val::Int(1).truthy(), None);
+        assert_eq!(Val::Bool(true).truthy(), Some(true));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Val::Int(-3).to_string(), "-3");
+        assert_eq!(Val::Bool(false).to_string(), "false");
+        assert_eq!(Val::Bot.to_string(), "⊥");
+    }
+}

@@ -1,0 +1,133 @@
+//! Viewfronts for the fast engine.
+//!
+//! A *view* maps every location of one component to an operation on that
+//! location (Section 3.3). Views here are total — initialisation writes every
+//! location exactly once, and every rule only ever moves views forward — so a
+//! view is a dense vector with one [`OpId`] per location.
+//!
+//! The join `V1 ⊗ V2` keeps, per location, the later (higher-timestamp)
+//! entry. Timestamps in the fast engine are per-location *ranks*, supplied by
+//! the owning [`crate::state::CState`] via a rank lookup.
+
+use crate::ids::{Loc, OpId};
+
+/// A total viewfront: one operation per location of one component.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct View(Box<[OpId]>);
+
+impl View {
+    /// A view with every location at `op0` — only used transiently during
+    /// initialisation before real entries are filled in.
+    pub fn filled(n_locs: usize, op0: OpId) -> View {
+        View(vec![op0; n_locs].into_boxed_slice())
+    }
+
+    /// Build a view from per-location entries.
+    pub fn from_entries(entries: Vec<OpId>) -> View {
+        View(entries.into_boxed_slice())
+    }
+
+    /// Number of locations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff the component has no locations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The view's entry for `loc` — the paper's `view(x)`.
+    #[inline]
+    pub fn get(&self, loc: Loc) -> OpId {
+        self.0[loc.idx()]
+    }
+
+    /// Replace the entry for `loc` — the paper's `view[x := w]`.
+    #[inline]
+    pub fn set(&mut self, loc: Loc, op: OpId) {
+        self.0[loc.idx()] = op;
+    }
+
+    /// Iterate `(loc index, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, OpId)> + '_ {
+        self.0.iter().copied().enumerate()
+    }
+
+    /// `self ⊗ other` in place: per location keep the entry whose timestamp
+    /// (rank) is larger. `rank` must order operations *on the same location*;
+    /// entries at the same location always satisfy this.
+    ///
+    /// This is the view-combination operator of Section 3.3:
+    /// `V1 ⊗ V2 = λx. if tst(V2(x)) ≤ tst(V1(x)) then V1(x) else V2(x)`.
+    #[inline]
+    pub fn join_in_place(&mut self, other: &View, rank: impl Fn(OpId) -> u32) {
+        debug_assert_eq!(self.0.len(), other.0.len(), "views over different components");
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            if rank(*theirs) > rank(*mine) {
+                *mine = *theirs;
+            }
+        }
+    }
+
+    /// Remap every entry through an id permutation (canonicalisation).
+    pub fn remap(&mut self, perm: &[OpId]) {
+        for e in self.0.iter_mut() {
+            *e = perm[e.idx()];
+        }
+    }
+
+    /// Raw slice access (read-only), for hashing and debugging.
+    #[inline]
+    pub fn as_slice(&self) -> &[OpId] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut v = View::filled(3, OpId(0));
+        v.set(Loc(1), OpId(5));
+        assert_eq!(v.get(Loc(1)), OpId(5));
+        assert_eq!(v.get(Loc(0)), OpId(0));
+    }
+
+    #[test]
+    fn join_keeps_later_entries() {
+        // rank = op id itself for this test.
+        let rank = |op: OpId| op.0;
+        let mut a = View::from_entries(vec![OpId(3), OpId(1)]);
+        let b = View::from_entries(vec![OpId(2), OpId(4)]);
+        a.join_in_place(&b, rank);
+        assert_eq!(a.as_slice(), &[OpId(3), OpId(4)]);
+    }
+
+    #[test]
+    fn join_is_idempotent_and_commutative_pointwise() {
+        let rank = |op: OpId| op.0;
+        let a = View::from_entries(vec![OpId(3), OpId(1), OpId(7)]);
+        let b = View::from_entries(vec![OpId(2), OpId(4), OpId(7)]);
+        let mut ab = a.clone();
+        ab.join_in_place(&b, rank);
+        let mut ba = b.clone();
+        ba.join_in_place(&a, rank);
+        assert_eq!(ab, ba);
+        let mut aa = a.clone();
+        aa.join_in_place(&a, rank);
+        assert_eq!(aa, a);
+    }
+
+    #[test]
+    fn remap_applies_permutation() {
+        let mut v = View::from_entries(vec![OpId(0), OpId(2)]);
+        let perm = [OpId(1), OpId(0), OpId(2)];
+        v.remap(&perm);
+        assert_eq!(v.as_slice(), &[OpId(1), OpId(2)]);
+    }
+}

@@ -1,0 +1,276 @@
+//! Differential validation of the two semantics engines.
+//!
+//! The fast engine (dense ranks, `rc11_core::Combined`) and the literal
+//! engine (rational timestamps, `rc11_core::lit`) are driven with the same
+//! randomly generated instruction scripts; at every step both engines must
+//! enumerate the *same* choice lists (values in timestamp order), and after
+//! applying the same choice they must agree on every observable: the
+//! per-thread observable value sequences, modification orders, and covered
+//! flags, for every location of both components. Written values are drawn
+//! from a counter so every operation is uniquely identified by its value —
+//! agreement on values is agreement on operations.
+
+use proptest::prelude::*;
+use rc11_core::lit::{step as lit_step, LitCombined};
+use rc11_core::{Combined, Comp, InitLoc, Loc, Tid, Val};
+
+const N_THREADS: usize = 3;
+const CLIENT_LOCS: usize = 2;
+const LIB_LOCS: usize = 2;
+
+fn inits(n: usize) -> Vec<InitLoc> {
+    (0..n).map(|_| InitLoc::Var(Val::Int(0))).collect()
+}
+
+/// One decoded script instruction.
+#[derive(Debug, Clone, Copy)]
+struct Instr {
+    kind: u8, // 0 rd, 1 rdA, 2 wr, 3 wrR, 4 cas, 5 fai
+    comp: Comp,
+    tid: Tid,
+    loc: Loc,
+    sel: u8,
+}
+
+fn decode(raw: (u8, u8, u8, u8, u8)) -> Instr {
+    let comp = if raw.1 % 2 == 0 { Comp::Client } else { Comp::Lib };
+    let n_locs = if comp == Comp::Client { CLIENT_LOCS } else { LIB_LOCS };
+    Instr {
+        kind: raw.0 % 6,
+        comp,
+        tid: Tid(raw.2 % N_THREADS as u8),
+        loc: Loc((raw.3 as usize % n_locs) as u16),
+        sel: raw.4,
+    }
+}
+
+/// Observable summary of one engine state, for comparison.
+#[derive(Debug, PartialEq, Eq)]
+struct Summary {
+    /// (comp, tid, loc) -> observable values in timestamp order.
+    obs: Vec<Vec<Val>>,
+    /// (comp, loc) -> (value, covered) in timestamp order.
+    history: Vec<Vec<(Val, bool)>>,
+}
+
+fn summarize_fast(s: &Combined) -> Summary {
+    let mut obs = Vec::new();
+    let mut history = Vec::new();
+    for comp in [Comp::Client, Comp::Lib] {
+        let st = s.comp(comp);
+        for t in 0..N_THREADS {
+            for l in 0..st.n_locs() {
+                obs.push(
+                    st.obs(Tid(t as u8), Loc(l as u16))
+                        .iter()
+                        .map(|&w| st.op(w).act.wrval())
+                        .collect(),
+                );
+            }
+        }
+        for l in 0..st.n_locs() {
+            history.push(
+                st.mo(Loc(l as u16))
+                    .iter()
+                    .map(|&w| (st.op(w).act.wrval(), st.is_covered(w)))
+                    .collect(),
+            );
+        }
+    }
+    Summary { obs, history }
+}
+
+fn summarize_lit(s: &LitCombined) -> Summary {
+    let mut obs = Vec::new();
+    let mut history = Vec::new();
+    for comp in [Comp::Client, Comp::Lib] {
+        let st = s.comp(comp);
+        let n_locs = if comp == Comp::Client { CLIENT_LOCS } else { LIB_LOCS };
+        for t in 0..N_THREADS {
+            for l in 0..n_locs {
+                obs.push(
+                    st.obs(Tid(t as u8), Loc(l as u16))
+                        .iter()
+                        .map(|w| w.0.wrval())
+                        .collect(),
+                );
+            }
+        }
+        for l in 0..n_locs {
+            let mut ops: Vec<_> =
+                st.ops.iter().filter(|(a, _)| a.loc() == Loc(l as u16)).copied().collect();
+            ops.sort_by(|a, b| a.1.cmp(&b.1));
+            history.push(
+                ops.iter().map(|w| (w.0.wrval(), st.cvd.contains(w))).collect(),
+            );
+        }
+    }
+    Summary { obs, history }
+}
+
+/// Run one script through both engines in lock-step; panics on divergence.
+fn run_script(script: &[(u8, u8, u8, u8, u8)]) {
+    let mut fast = Combined::new(&inits(CLIENT_LOCS), &inits(LIB_LOCS), N_THREADS);
+    let mut lit = LitCombined::new(&inits(CLIENT_LOCS), &inits(LIB_LOCS), N_THREADS);
+    let mut counter = 100i64;
+
+    for (step_no, &raw) in script.iter().enumerate() {
+        let i = decode(raw);
+        let (c, t, l) = (i.comp, i.tid, i.loc);
+        match i.kind {
+            0 | 1 => {
+                let acq = i.kind == 1;
+                let fc = fast.read_choices(c, t, l);
+                let lc = lit_step::read_choices(&lit, c, t, l);
+                assert_eq!(
+                    fc.iter().map(|r| r.val).collect::<Vec<_>>(),
+                    lc.iter().map(|w| w.0.wrval()).collect::<Vec<_>>(),
+                    "read choice lists diverge at step {step_no}"
+                );
+                let k = i.sel as usize % fc.len();
+                fast = fast.apply_read(c, t, l, acq, fc[k].from);
+                lit = lit_step::apply_read(&lit, c, t, l, acq, lc[k]);
+            }
+            2 | 3 => {
+                let rel = i.kind == 3;
+                let fp = fast.write_preds(c, t, l);
+                let lp = lit_step::write_choices(&lit, c, t, l);
+                assert_eq!(
+                    fp.iter().map(|&w| fast.wrval_of(c, w)).collect::<Vec<_>>(),
+                    lp.iter().map(|w| w.0.wrval()).collect::<Vec<_>>(),
+                    "write predecessor lists diverge at step {step_no}"
+                );
+                if fp.is_empty() {
+                    continue; // everything covered: write disabled
+                }
+                counter += 1;
+                let v = Val::Int(counter);
+                let k = i.sel as usize % fp.len();
+                fast = fast.apply_write(c, t, l, v, rel, fp[k]);
+                lit = lit_step::apply_write(&lit, c, t, l, v, rel, lp[k]);
+            }
+            4 | 5 => {
+                // CAS expects the current max value half the time; FAI takes
+                // any uncovered predecessor.
+                let expect = if i.kind == 4 {
+                    let st = fast.comp(c);
+                    Some(st.op(st.max_op(l)).act.wrval())
+                } else {
+                    None
+                };
+                let fp = fast.update_preds(c, t, l, expect);
+                let lp = lit_step::update_choices(&lit, c, t, l, expect);
+                assert_eq!(
+                    fp.iter().map(|&w| fast.wrval_of(c, w)).collect::<Vec<_>>(),
+                    lp.iter().map(|w| w.0.wrval()).collect::<Vec<_>>(),
+                    "update predecessor lists diverge at step {step_no}"
+                );
+                if fp.is_empty() {
+                    continue;
+                }
+                counter += 1;
+                let v = Val::Int(counter);
+                let k = i.sel as usize % fp.len();
+                fast = fast.apply_update(c, t, l, v, fp[k]);
+                lit = lit_step::apply_update(&lit, c, t, l, v, lp[k]);
+            }
+            _ => unreachable!(),
+        }
+        fast.check_invariants();
+        assert_eq!(
+            summarize_fast(&fast),
+            summarize_lit(&lit),
+            "observable summaries diverge after step {step_no} ({i:?})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The two engines agree on every observable along random executions.
+    #[test]
+    fn engines_agree_on_random_scripts(
+        script in prop::collection::vec(
+            (0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255), 0..48)
+    ) {
+        run_script(&script);
+    }
+
+    /// Canonicalisation never changes the observable summary.
+    #[test]
+    fn canonicalisation_preserves_observables(
+        script in prop::collection::vec(
+            (0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255), 0..32)
+    ) {
+        let mut fast = Combined::new(&inits(CLIENT_LOCS), &inits(LIB_LOCS), N_THREADS);
+        let mut counter = 0i64;
+        for &raw in &script {
+            let i = decode(raw);
+            let (c, t, l) = (i.comp, i.tid, i.loc);
+            match i.kind {
+                0 | 1 => {
+                    let fc = fast.read_choices(c, t, l);
+                    let k = i.sel as usize % fc.len();
+                    fast = fast.apply_read(c, t, l, i.kind == 1, fc[k].from);
+                }
+                2 | 3 => {
+                    let fp = fast.write_preds(c, t, l);
+                    if fp.is_empty() { continue; }
+                    counter += 1;
+                    let k = i.sel as usize % fp.len();
+                    fast = fast.apply_write(c, t, l, Val::Int(counter), i.kind == 3, fp[k]);
+                }
+                4 | 5 => {
+                    let fp = fast.update_preds(c, t, l, None);
+                    if fp.is_empty() { continue; }
+                    counter += 1;
+                    let k = i.sel as usize % fp.len();
+                    fast = fast.apply_update(c, t, l, Val::Int(counter), fp[k]);
+                }
+                _ => unreachable!(),
+            }
+        }
+        let canon = fast.canonical();
+        canon.check_invariants();
+        prop_assert_eq!(summarize_fast(&fast), summarize_fast(&canon));
+        // Idempotence.
+        prop_assert_eq!(canon.canonical(), canon);
+    }
+}
+
+/// A deterministic regression script exercising cross-component
+/// synchronisation (library release observed by client-side reader).
+#[test]
+fn cross_component_sync_regression() {
+    // T0 writes client d=5 (relaxed), then lib flag=1 (releasing);
+    // T1 acquires lib flag; must now definitely see d=5.
+    let mut fast = Combined::new(&inits(CLIENT_LOCS), &inits(LIB_LOCS), N_THREADS);
+    let mut lit = LitCombined::new(&inits(CLIENT_LOCS), &inits(LIB_LOCS), N_THREADS);
+    let (d, f) = (Loc(0), Loc(0));
+    let t0 = Tid(0);
+    let t1 = Tid(1);
+
+    let wp = fast.write_preds(Comp::Client, t0, d);
+    let lp = lit_step::write_choices(&lit, Comp::Client, t0, d);
+    fast = fast.apply_write(Comp::Client, t0, d, Val::Int(5), false, wp[0]);
+    lit = lit_step::apply_write(&lit, Comp::Client, t0, d, Val::Int(5), false, lp[0]);
+
+    let wp = fast.write_preds(Comp::Lib, t0, f);
+    let lp = lit_step::write_choices(&lit, Comp::Lib, t0, f);
+    fast = fast.apply_write(Comp::Lib, t0, f, Val::Int(1), true, wp[0]);
+    lit = lit_step::apply_write(&lit, Comp::Lib, t0, f, Val::Int(1), true, lp[0]);
+
+    // T1 acquiring-reads the library flag's new write (last choice).
+    let rc = fast.read_choices(Comp::Lib, t1, f);
+    let lc = lit_step::read_choices(&lit, Comp::Lib, t1, f);
+    let k = rc.len() - 1;
+    assert_eq!(rc[k].val, Val::Int(1));
+    fast = fast.apply_read(Comp::Lib, t1, f, true, rc[k].from);
+    lit = lit_step::apply_read(&lit, Comp::Lib, t1, f, true, lc[k]);
+
+    // The *client* view of T1 must have synchronised: only d=5 observable.
+    let vals: Vec<Val> = fast.read_choices(Comp::Client, t1, d).iter().map(|c| c.val).collect();
+    assert_eq!(vals, vec![Val::Int(5)], "library release-acquire must publish client writes");
+    assert_eq!(summarize_fast(&fast), summarize_lit(&lit));
+}

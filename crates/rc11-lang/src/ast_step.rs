@@ -1,0 +1,347 @@
+//! The *literal* program semantics: Figure 4's small-step rules over the
+//! `Com` AST.
+//!
+//! This engine exists for fidelity and cross-validation: the CFG machine
+//! ([`crate::machine`]) is what the model checker runs, and the agreement
+//! test (`tests/semantics_agreement.rs`, experiment E4) checks that both
+//! engines produce the same terminal local-state and memory outcomes on the
+//! same programs. Silent (`ε`) steps — sequencing, branch resolution, loop
+//! unfolding — are real steps here, exactly as in Figure 4.
+
+use crate::ast::Com;
+use crate::machine::ObjectSemantics;
+use crate::program::Program;
+use rc11_core::{Combined, Tid, Val};
+
+/// A configuration of the AST engine: per-thread residual commands, local
+/// states and the combined memory.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AstConfig {
+    /// Per-thread residual command (`Skip` = terminated, the paper's `⊥`).
+    pub coms: Vec<Com>,
+    /// Per-thread register files.
+    pub locals: Vec<Vec<Val>>,
+    /// Combined memory state.
+    pub mem: Combined,
+}
+
+impl AstConfig {
+    /// The initial configuration of a program.
+    pub fn initial(prog: &Program) -> AstConfig {
+        AstConfig {
+            coms: prog.threads.iter().map(|t| t.body.clone()).collect(),
+            locals: prog.initial_locals(),
+            mem: Combined::new(&prog.client_inits, &prog.lib_inits, prog.n_threads()),
+        }
+    }
+
+    /// Canonical form (memory canonicalised) for visited-set dedup.
+    #[must_use]
+    pub fn canonical(&self) -> AstConfig {
+        AstConfig {
+            coms: self.coms.clone(),
+            locals: self.locals.clone(),
+            mem: self.mem.canonical(),
+        }
+    }
+
+    /// All threads terminated?
+    pub fn terminated(&self) -> bool {
+        self.coms.iter().all(|c| matches!(c, Com::Skip))
+    }
+}
+
+/// All steps of one command: `(C, ls) —a→ (C', ls')` combined with the
+/// memory constraint `γ, β ⟿ₜᵃ γ', β'`. Returns `(C', ls', mem')` triples.
+fn com_steps(
+    prog: &Program,
+    objs: &dyn ObjectSemantics,
+    com: &Com,
+    t: Tid,
+    ls: &[Val],
+    mem: &Combined,
+) -> Vec<(Com, Vec<Val>, Combined)> {
+    match com {
+        Com::Skip => Vec::new(),
+
+        // (r := E, ls) —ε→ (⊥, ls[r := v])
+        Com::Assign(r, e) => {
+            let v = e.eval(ls).expect("well-typed program");
+            let mut ls2 = ls.to_vec();
+            ls2[r.idx()] = v;
+            vec![(Com::Skip, ls2, mem.clone())]
+        }
+
+        // (x :=[R] E, ls) —wr[R](x,v)→ (⊥, ls)
+        Com::Write { var, exp, rel } => {
+            let v = exp.eval(ls).expect("well-typed program");
+            mem.write_preds(var.comp, t, var.loc)
+                .into_iter()
+                .map(|w| {
+                    (Com::Skip, ls.to_vec(), mem.apply_write(var.comp, t, var.loc, v, *rel, w))
+                })
+                .collect()
+        }
+
+        // (r ←[A] x, ls) —rd[A](x,v)→ (⊥, ls[r := v])
+        Com::Read { reg, var, acq } => mem
+            .read_choices(var.comp, t, var.loc)
+            .into_iter()
+            .map(|choice| {
+                let mut ls2 = ls.to_vec();
+                ls2[reg.idx()] = choice.val;
+                (
+                    Com::Skip,
+                    ls2,
+                    mem.apply_read(var.comp, t, var.loc, *acq, choice.from),
+                )
+            })
+            .collect(),
+
+        // CAS: failure rule (plain read of v' ≠ u, r := false) and success
+        // rule (upd^RA, r := true).
+        Com::Cas { reg, var, expect, new } => {
+            let u = expect.eval(ls).expect("well-typed program");
+            let v = new.eval(ls).expect("well-typed program");
+            let mut out = Vec::new();
+            for choice in mem.read_choices(var.comp, t, var.loc) {
+                if choice.val == u {
+                    continue;
+                }
+                let mut ls2 = ls.to_vec();
+                ls2[reg.idx()] = Val::Bool(false);
+                out.push((
+                    Com::Skip,
+                    ls2,
+                    mem.apply_read(var.comp, t, var.loc, false, choice.from),
+                ));
+            }
+            for w in mem.update_preds(var.comp, t, var.loc, Some(u)) {
+                let mut ls2 = ls.to_vec();
+                ls2[reg.idx()] = Val::Bool(true);
+                out.push((Com::Skip, ls2, mem.apply_update(var.comp, t, var.loc, v, w)));
+            }
+            out
+        }
+
+        // (r ← FAI(x), ls) —upd^RA(x,u,u+1)→ (⊥, ls[r := u])
+        Com::Fai { reg, var } => mem
+            .update_preds(var.comp, t, var.loc, None)
+            .into_iter()
+            .map(|w| {
+                let old = mem.wrval_of(var.comp, w);
+                let n = old.as_int().expect("FAI over integer variable");
+                let mut ls2 = ls.to_vec();
+                ls2[reg.idx()] = old;
+                (
+                    Com::Skip,
+                    ls2,
+                    mem.apply_update(var.comp, t, var.loc, Val::Int(n + 1), w),
+                )
+            })
+            .collect(),
+
+        Com::MethodCall { reg, obj, method, arg, sync } => {
+            let kind = prog.obj_kind(obj.loc).expect("method call on non-object");
+            let argv = arg.as_ref().map(|e| e.eval(ls).expect("well-typed program"));
+            objs.method_steps(mem, t, obj.loc, kind, *method, argv, *sync)
+                .into_iter()
+                .map(|(ret, mem2)| {
+                    let mut ls2 = ls.to_vec();
+                    if let Some(r) = reg {
+                        ls2[r.idx()] = ret;
+                    }
+                    (Com::Skip, ls2, mem2)
+                })
+                .collect()
+        }
+
+        // Sequencing: (v; C2) —ε→ C2 and the congruence rule.
+        Com::Seq(a, b) => {
+            if matches!(**a, Com::Skip) {
+                vec![((**b).clone(), ls.to_vec(), mem.clone())]
+            } else {
+                com_steps(prog, objs, a, t, ls, mem)
+                    .into_iter()
+                    .map(|(a2, ls2, mem2)| (a2.then((**b).clone()), ls2, mem2))
+                    .collect()
+            }
+        }
+
+        // (IF, ls) —ε→ (C1, ls) / (C2, ls)
+        Com::If { cond, then_, else_ } => {
+            let btrue = cond
+                .eval(ls)
+                .expect("well-typed program")
+                .truthy()
+                .expect("boolean guard");
+            let next = if btrue { (**then_).clone() } else { (**else_).clone() };
+            vec![(next, ls.to_vec(), mem.clone())]
+        }
+
+        // (WHILE, ls) —ε→ (C; WHILE, ls) / (⊥, ls)
+        Com::While { cond, body } => {
+            let btrue = cond
+                .eval(ls)
+                .expect("well-typed program")
+                .truthy()
+                .expect("boolean guard");
+            if btrue {
+                vec![((**body).clone().then(com.clone()), ls.to_vec(), mem.clone())]
+            } else {
+                vec![(Com::Skip, ls.to_vec(), mem.clone())]
+            }
+        }
+
+        // do C until B —ε→ C; if B then ⊥ else (do C until B)
+        Com::DoUntil { body, cond } => {
+            let unfolded = (**body).clone().then(Com::If {
+                cond: cond.clone(),
+                then_: Box::new(Com::Skip),
+                else_: Box::new(com.clone()),
+            });
+            vec![(unfolded, ls.to_vec(), mem.clone())]
+        }
+
+        // Labels have no runtime meaning in the AST engine.
+        Com::Labeled(_, inner) => com_steps(prog, objs, inner, t, ls, mem),
+    }
+}
+
+/// All successors of an AST configuration.
+pub fn ast_successors(
+    prog: &Program,
+    objs: &dyn ObjectSemantics,
+    cfg: &AstConfig,
+) -> Vec<(Tid, AstConfig)> {
+    let mut out = Vec::new();
+    for (ti, com) in cfg.coms.iter().enumerate() {
+        let t = Tid(ti as u8);
+        for (c2, ls2, mem2) in com_steps(prog, objs, com, t, &cfg.locals[ti], &cfg.mem) {
+            let mut coms = cfg.coms.clone();
+            coms[ti] = c2;
+            let mut locals = cfg.locals.clone();
+            locals[ti] = ls2;
+            out.push((t, AstConfig { coms, locals, mem: mem2 }));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Exp, Reg, VarRef};
+    use crate::machine::NoObjects;
+    use crate::program::ThreadDef;
+    use rc11_core::{Comp, InitLoc, Loc, LocKind, LocTable};
+    use std::collections::HashSet;
+
+    fn x() -> VarRef {
+        VarRef { comp: Comp::Client, loc: Loc(0) }
+    }
+
+    fn mk_prog(threads: Vec<(Com, u16)>) -> Program {
+        let mut locs = LocTable::new();
+        locs.add("x", LocKind::Var);
+        let prog = Program {
+            name: "t".into(),
+            client_locs: locs,
+            client_inits: vec![InitLoc::Var(Val::Int(0))],
+            lib_locs: LocTable::new(),
+            lib_inits: vec![],
+            objects: vec![],
+            threads: threads
+                .into_iter()
+                .map(|(body, n_regs)| ThreadDef {
+                    body,
+                    n_regs,
+                    reg_names: (0..n_regs).map(|i| format!("r{i}")).collect(),
+                    reg_inits: vec![Val::Bot; n_regs as usize],
+                })
+                .collect(),
+        };
+        prog.validate().unwrap();
+        prog
+    }
+
+    fn terminal_locals(prog: &Program) -> HashSet<Vec<Vec<Val>>> {
+        let mut seen = HashSet::new();
+        let mut frontier = vec![AstConfig::initial(prog)];
+        seen.insert(frontier[0].canonical());
+        let mut terms = HashSet::new();
+        while let Some(c) = frontier.pop() {
+            let succ = ast_successors(prog, &NoObjects, &c);
+            if succ.is_empty() {
+                assert!(c.terminated());
+                terms.insert(c.locals.clone());
+                continue;
+            }
+            for (_, s) in succ {
+                if seen.insert(s.canonical()) {
+                    frontier.push(s);
+                }
+            }
+        }
+        terms
+    }
+
+    #[test]
+    fn sequencing_and_assignment() {
+        let body = Com::Assign(Reg(0), Exp::Val(Val::Int(1)))
+            .then(Com::Assign(Reg(1), Exp::Bin(
+                BinOp::Add,
+                Box::new(Exp::Reg(Reg(0))),
+                Box::new(Exp::Val(Val::Int(1))),
+            )));
+        let prog = mk_prog(vec![(body, 2)]);
+        let terms = terminal_locals(&prog);
+        assert_eq!(terms.len(), 1);
+        assert!(terms.contains(&vec![vec![Val::Int(1), Val::Int(2)]]));
+    }
+
+    #[test]
+    fn store_buffering_weak_outcome_reachable() {
+        // SB: T1: x:=1; r1←y.  T2: y:=1; r2←x.  Under RA both r1=r2=0 is allowed.
+        let mut locs = LocTable::new();
+        locs.add("x", LocKind::Var);
+        locs.add("y", LocKind::Var);
+        let xv = VarRef { comp: Comp::Client, loc: Loc(0) };
+        let yv = VarRef { comp: Comp::Client, loc: Loc(1) };
+        let t1 = Com::Write { var: xv, exp: Exp::Val(Val::Int(1)), rel: true }
+            .then(Com::Read { reg: Reg(0), var: yv, acq: true });
+        let t2 = Com::Write { var: yv, exp: Exp::Val(Val::Int(1)), rel: true }
+            .then(Com::Read { reg: Reg(0), var: xv, acq: true });
+        let prog = Program {
+            name: "sb".into(),
+            client_locs: locs,
+            client_inits: vec![InitLoc::Var(Val::Int(0)), InitLoc::Var(Val::Int(0))],
+            lib_locs: LocTable::new(),
+            lib_inits: vec![],
+            objects: vec![],
+            threads: vec![
+                ThreadDef { body: t1, n_regs: 1, reg_names: vec!["r1".into()], reg_inits: vec![Val::Bot] },
+                ThreadDef { body: t2, n_regs: 1, reg_names: vec!["r2".into()], reg_inits: vec![Val::Bot] },
+            ],
+        };
+        let terms = terminal_locals(&prog);
+        let outcomes: HashSet<(Val, Val)> =
+            terms.iter().map(|ls| (ls[0][0], ls[1][0])).collect();
+        assert!(outcomes.contains(&(Val::Int(0), Val::Int(0))), "SB weak outcome allowed in RA");
+        assert!(outcomes.contains(&(Val::Int(1), Val::Int(1))));
+        // Coherence: (0,0),(0,1),(1,0),(1,1) all allowed under RA: 4 outcomes.
+        assert_eq!(outcomes.len(), 4);
+    }
+
+    #[test]
+    fn do_until_unfolds_and_terminates() {
+        let body = Com::DoUntil {
+            body: Box::new(Com::Fai { reg: Reg(0), var: x() }),
+            cond: Exp::Bin(BinOp::Eq, Box::new(Exp::Reg(Reg(0))), Box::new(Exp::Val(Val::Int(2)))),
+        };
+        let prog = mk_prog(vec![(body, 1)]);
+        let terms = terminal_locals(&prog);
+        assert_eq!(terms.len(), 1);
+        assert!(terms.contains(&vec![vec![Val::Int(2)]]), "FAI counts 0,1,2 then exits");
+    }
+}

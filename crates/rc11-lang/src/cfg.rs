@@ -1,0 +1,381 @@
+//! Compilation of `Com` to a flat control-flow graph.
+//!
+//! The paper's proof outlines are indexed by statement numbers (`pc1`, `pc2`
+//! appear *inside* the assertions of Figure 7), so the checker needs the
+//! program counter as an honest state component. Compiling the Figure-4
+//! grammar to a vector of instructions with explicit jumps gives
+//! configurations the shape `(pc⃗, ρ, γ, β)` and makes the paper's
+//! `pc_t ∈ {…}` assertions directly evaluable.
+//!
+//! Labels (`Com::Labeled`) mark the paper's statement numbers. A label's
+//! *region* is the instruction range from its first instruction up to the
+//! next label; "thread t is at statement k" means t's pc lies in k's region.
+
+use crate::ast::{Com, Exp, Method, ObjRef, Reg, VarRef};
+use crate::program::Program;
+use std::collections::BTreeMap;
+
+/// One CFG instruction. `Assign`, `Jmp`, `JmpUnless` and `Halt` are *local*
+/// (no shared-memory interaction); the rest touch the combined state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `r := E`.
+    Assign(Reg, Exp),
+    /// `x :=[R] E`.
+    Write {
+        /// Target variable.
+        var: VarRef,
+        /// Value expression.
+        exp: Exp,
+        /// Release annotation.
+        rel: bool,
+    },
+    /// `r ←[A] x`.
+    Read {
+        /// Destination register.
+        reg: Reg,
+        /// Source variable.
+        var: VarRef,
+        /// Acquire annotation.
+        acq: bool,
+    },
+    /// `r ← CAS(x, u, v)^RA`.
+    Cas {
+        /// Success-flag register.
+        reg: Reg,
+        /// Target variable.
+        var: VarRef,
+        /// Expected-value expression.
+        expect: Exp,
+        /// New-value expression.
+        new: Exp,
+    },
+    /// `r ← FAI(x)^RA`.
+    Fai {
+        /// Old-value register.
+        reg: Reg,
+        /// Target variable.
+        var: VarRef,
+    },
+    /// A method-call hole (abstract execution).
+    Method {
+        /// Optional destination register.
+        reg: Option<Reg>,
+        /// Target object.
+        obj: ObjRef,
+        /// Method.
+        method: Method,
+        /// Optional argument.
+        arg: Option<Exp>,
+        /// Synchronising-variant annotation.
+        sync: bool,
+    },
+    /// Unconditional jump.
+    Jmp(u32),
+    /// Jump to `target` when `cond` is **false**; fall through when true.
+    JmpUnless {
+        /// Guard expression.
+        cond: Exp,
+        /// Jump target when the guard is false.
+        target: u32,
+    },
+    /// Thread termination.
+    Halt,
+}
+
+impl Instr {
+    /// True iff the instruction never touches shared state.
+    pub fn is_local(&self) -> bool {
+        matches!(self, Instr::Assign(..) | Instr::Jmp(_) | Instr::JmpUnless { .. } | Instr::Halt)
+    }
+}
+
+/// One thread's compiled code.
+#[derive(Debug, Clone)]
+pub struct ThreadCfg {
+    /// The instruction vector; `pcs` index into it.
+    pub instrs: Vec<Instr>,
+    /// Label → first instruction of its region, in label order.
+    pub labels: BTreeMap<u32, u32>,
+    /// Per-pc label region (`region[pc]` = label covering `pc`, if any).
+    pub region: Vec<Option<u32>>,
+}
+
+impl ThreadCfg {
+    /// The label whose region contains `pc` (the paper's `pc_t = k`).
+    pub fn label_at(&self, pc: u32) -> Option<u32> {
+        self.region.get(pc as usize).copied().flatten()
+    }
+
+    /// The pc of the `Halt` instruction (the post-state of the thread).
+    pub fn halt_pc(&self) -> u32 {
+        (self.instrs.len() - 1) as u32
+    }
+
+    /// First instruction pc of label `k`.
+    pub fn label_pc(&self, k: u32) -> Option<u32> {
+        self.labels.get(&k).copied()
+    }
+}
+
+/// A compiled program: per-thread CFGs plus the source program (layout,
+/// initialisation, object table).
+#[derive(Debug, Clone)]
+pub struct CfgProgram {
+    /// Per-thread code.
+    pub threads: Vec<ThreadCfg>,
+    /// The source program (locations, inits, objects, names).
+    pub source: Program,
+}
+
+impl CfgProgram {
+    /// Number of threads.
+    pub fn n_threads(&self) -> usize {
+        self.threads.len()
+    }
+}
+
+struct Compiler {
+    instrs: Vec<Instr>,
+    labels: BTreeMap<u32, u32>,
+}
+
+impl Compiler {
+    fn emit(&mut self, i: Instr) -> u32 {
+        let pc = self.instrs.len() as u32;
+        self.instrs.push(i);
+        pc
+    }
+
+    fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    fn compile(&mut self, c: &Com) {
+        match c {
+            Com::Skip => {}
+            Com::Assign(r, e) => {
+                self.emit(Instr::Assign(*r, e.clone()));
+            }
+            Com::Write { var, exp, rel } => {
+                self.emit(Instr::Write { var: *var, exp: exp.clone(), rel: *rel });
+            }
+            Com::Read { reg, var, acq } => {
+                self.emit(Instr::Read { reg: *reg, var: *var, acq: *acq });
+            }
+            Com::Cas { reg, var, expect, new } => {
+                self.emit(Instr::Cas {
+                    reg: *reg,
+                    var: *var,
+                    expect: expect.clone(),
+                    new: new.clone(),
+                });
+            }
+            Com::Fai { reg, var } => {
+                self.emit(Instr::Fai { reg: *reg, var: *var });
+            }
+            Com::MethodCall { reg, obj, method, arg, sync } => {
+                self.emit(Instr::Method {
+                    reg: *reg,
+                    obj: *obj,
+                    method: *method,
+                    arg: arg.clone(),
+                    sync: *sync,
+                });
+            }
+            Com::Seq(a, b) => {
+                self.compile(a);
+                self.compile(b);
+            }
+            Com::If { cond, then_, else_ } => {
+                let jmp_else = self.emit(Instr::JmpUnless { cond: cond.clone(), target: 0 });
+                self.compile(then_);
+                if matches!(**else_, Com::Skip) {
+                    let end = self.here();
+                    self.patch(jmp_else, end);
+                } else {
+                    let jmp_end = self.emit(Instr::Jmp(0));
+                    let else_start = self.here();
+                    self.patch(jmp_else, else_start);
+                    self.compile(else_);
+                    let end = self.here();
+                    self.patch(jmp_end, end);
+                }
+            }
+            Com::While { cond, body } => {
+                let top = self.here();
+                let jmp_end = self.emit(Instr::JmpUnless { cond: cond.clone(), target: 0 });
+                self.compile(body);
+                self.emit(Instr::Jmp(top));
+                let end = self.here();
+                self.patch(jmp_end, end);
+            }
+            Com::DoUntil { body, cond } => {
+                let top = self.here();
+                self.compile(body);
+                self.emit(Instr::JmpUnless { cond: cond.clone(), target: top });
+            }
+            Com::Labeled(k, inner) => {
+                let pc = self.here();
+                let prev = self.labels.insert(*k, pc);
+                assert!(prev.is_none(), "duplicate label {k}");
+                self.compile(inner);
+            }
+        }
+    }
+
+    fn patch(&mut self, at: u32, target: u32) {
+        match &mut self.instrs[at as usize] {
+            Instr::Jmp(t) => *t = target,
+            Instr::JmpUnless { target: t, .. } => *t = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+}
+
+/// Compile every thread of `prog`. Panics on invalid programs (call
+/// [`Program::validate`] first for a graceful error).
+pub fn compile(prog: &Program) -> CfgProgram {
+    let threads = prog
+        .threads
+        .iter()
+        .map(|t| {
+            let mut c = Compiler { instrs: Vec::new(), labels: BTreeMap::new() };
+            c.compile(&t.body);
+            c.emit(Instr::Halt);
+            // Region map: label pcs partition [first-label, end).
+            let mut region = vec![None; c.instrs.len()];
+            let mut bounds: Vec<(u32, u32)> = c.labels.iter().map(|(&k, &pc)| (pc, k)).collect();
+            bounds.sort_unstable();
+            for (i, &(start, k)) in bounds.iter().enumerate() {
+                let end = bounds.get(i + 1).map_or(c.instrs.len() as u32, |&(s, _)| s);
+                for pc in start..end {
+                    region[pc as usize] = Some(k);
+                }
+            }
+            ThreadCfg { instrs: c.instrs, labels: c.labels, region }
+        })
+        .collect();
+    CfgProgram { threads, source: prog.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BinOp;
+    use rc11_core::{Comp, Loc, Val};
+
+    fn var(loc: u16) -> VarRef {
+        VarRef { comp: Comp::Client, loc: Loc(loc) }
+    }
+
+    fn exp_true() -> Exp {
+        Exp::Val(Val::Bool(true))
+    }
+
+    fn prog_of(body: Com, n_regs: u16) -> Program {
+        use crate::program::ThreadDef;
+        use rc11_core::{InitLoc, LocKind, LocTable};
+        let mut locs = LocTable::new();
+        locs.add("x", LocKind::Var);
+        Program {
+            name: "t".into(),
+            client_locs: locs,
+            client_inits: vec![InitLoc::Var(Val::Int(0))],
+            lib_locs: LocTable::new(),
+            lib_inits: vec![],
+            objects: vec![],
+            threads: vec![ThreadDef {
+                body,
+                n_regs,
+                reg_names: (0..n_regs).map(|i| format!("r{i}")).collect(),
+                reg_inits: vec![Val::Bot; n_regs as usize],
+            }],
+        }
+    }
+
+    #[test]
+    fn straight_line_compiles_in_order() {
+        let body = Com::Write { var: var(0), exp: Exp::Val(Val::Int(1)), rel: false }
+            .then(Com::Read { reg: Reg(0), var: var(0), acq: false });
+        let cfg = compile(&prog_of(body, 1));
+        let t = &cfg.threads[0];
+        assert_eq!(t.instrs.len(), 3); // write, read, halt
+        assert!(matches!(t.instrs[0], Instr::Write { .. }));
+        assert!(matches!(t.instrs[1], Instr::Read { .. }));
+        assert!(matches!(t.instrs[2], Instr::Halt));
+    }
+
+    #[test]
+    fn do_until_jumps_back_when_false() {
+        let body = Com::DoUntil {
+            body: Box::new(Com::Read { reg: Reg(0), var: var(0), acq: false }),
+            cond: Exp::Bin(
+                BinOp::Eq,
+                Box::new(Exp::Reg(Reg(0))),
+                Box::new(Exp::Val(Val::Int(1))),
+            ),
+        };
+        let cfg = compile(&prog_of(body, 1));
+        let t = &cfg.threads[0];
+        assert!(matches!(t.instrs[1], Instr::JmpUnless { target: 0, .. }));
+    }
+
+    #[test]
+    fn if_without_else_skips_over() {
+        let body = Com::If {
+            cond: exp_true(),
+            then_: Box::new(Com::Write { var: var(0), exp: Exp::Val(Val::Int(1)), rel: false }),
+            else_: Box::new(Com::Skip),
+        };
+        let cfg = compile(&prog_of(body, 0));
+        let t = &cfg.threads[0];
+        assert!(matches!(t.instrs[0], Instr::JmpUnless { target: 2, .. }));
+    }
+
+    #[test]
+    fn while_loop_shape() {
+        let body = Com::While {
+            cond: exp_true(),
+            body: Box::new(Com::Write { var: var(0), exp: Exp::Val(Val::Int(1)), rel: false }),
+        };
+        let cfg = compile(&prog_of(body, 0));
+        let t = &cfg.threads[0];
+        // JmpUnless(end), Write, Jmp(0), Halt
+        assert!(matches!(t.instrs[0], Instr::JmpUnless { target: 3, .. }));
+        assert!(matches!(t.instrs[2], Instr::Jmp(0)));
+    }
+
+    #[test]
+    fn labels_and_regions() {
+        let body = Com::Labeled(
+            1,
+            Box::new(Com::Write { var: var(0), exp: Exp::Val(Val::Int(5)), rel: false }),
+        )
+        .then(Com::Labeled(
+            2,
+            Box::new(Com::DoUntil {
+                body: Box::new(Com::Read { reg: Reg(0), var: var(0), acq: false }),
+                cond: exp_true(),
+            }),
+        ));
+        let cfg = compile(&prog_of(body, 1));
+        let t = &cfg.threads[0];
+        assert_eq!(t.label_pc(1), Some(0));
+        assert_eq!(t.label_pc(2), Some(1));
+        assert_eq!(t.label_at(0), Some(1));
+        assert_eq!(t.label_at(1), Some(2));
+        assert_eq!(t.label_at(2), Some(2)); // the loop's JmpUnless
+        assert_eq!(t.label_at(t.halt_pc()), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_labels_rejected() {
+        let body = Com::Labeled(1, Box::new(Com::Skip)).then(Com::Labeled(
+            1,
+            Box::new(Com::Write { var: var(0), exp: Exp::Val(Val::Int(1)), rel: false }),
+        ));
+        compile(&prog_of(body, 0));
+    }
+}

@@ -1,0 +1,182 @@
+//! Hole filling: turning `C[AO]` into `C[CO]`.
+//!
+//! The paper's contextual-refinement statement (Definition 7) compares a
+//! client running an *abstract* object against the same client with the
+//! object's method-call holes filled by a concrete *implementation* whose
+//! body is ordinary `Com` code over library variables. [`instantiate`]
+//! performs that filling: it adds the implementation's library variables,
+//! gives every thread a private copy of the implementation's registers
+//! (method-local state persists across calls, which the sequence lock and
+//! ticket lock both rely on — their `Release` bodies reuse values read
+//! during `Acquire`), and splices method bodies over every call site.
+
+use crate::ast::{Com, Exp, Method, ObjRef, Reg, VarRef};
+use crate::program::Program;
+use rc11_core::{InitLoc, LocKind, Val};
+
+/// A method-call site being replaced.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The called method.
+    pub method: Method,
+    /// Destination register for the return value, if any.
+    pub ret: Option<Reg>,
+    /// Argument expression, if any.
+    pub arg: Option<Exp>,
+    /// The call-site synchronisation annotation.
+    pub sync: bool,
+}
+
+/// A concrete object implementation: the library variables it owns, the
+/// per-thread private registers its bodies use, and a body constructor.
+pub struct ObjectImpl {
+    /// Implementation name (e.g. `"seqlock"`).
+    pub name: &'static str,
+    /// Library variables `(name, initial value)` the implementation needs.
+    pub lib_vars: &'static [(&'static str, i64)],
+    /// Names of the implementation-private registers each thread gets.
+    pub regs: &'static [&'static str],
+    /// Build the body replacing one call site. `regs` are the thread's
+    /// private implementation registers (in `Self::regs` order), `vars` the
+    /// resolved library variables (in `Self::lib_vars` order).
+    pub build: fn(call: &CallSite, regs: &[Reg], vars: &[VarRef]) -> Com,
+}
+
+fn replace_calls(com: &Com, obj: ObjRef, imp: &ObjectImpl, regs: &[Reg], vars: &[VarRef]) -> Com {
+    match com {
+        Com::MethodCall { reg, obj: o, method, arg, sync } if *o == obj => {
+            let call =
+                CallSite { method: *method, ret: *reg, arg: arg.clone(), sync: *sync };
+            (imp.build)(&call, regs, vars)
+        }
+        Com::Seq(a, b) => Com::Seq(
+            Box::new(replace_calls(a, obj, imp, regs, vars)),
+            Box::new(replace_calls(b, obj, imp, regs, vars)),
+        ),
+        Com::If { cond, then_, else_ } => Com::If {
+            cond: cond.clone(),
+            then_: Box::new(replace_calls(then_, obj, imp, regs, vars)),
+            else_: Box::new(replace_calls(else_, obj, imp, regs, vars)),
+        },
+        Com::While { cond, body } => Com::While {
+            cond: cond.clone(),
+            body: Box::new(replace_calls(body, obj, imp, regs, vars)),
+        },
+        Com::DoUntil { body, cond } => Com::DoUntil {
+            body: Box::new(replace_calls(body, obj, imp, regs, vars)),
+            cond: cond.clone(),
+        },
+        Com::Labeled(k, c) => Com::Labeled(*k, Box::new(replace_calls(c, obj, imp, regs, vars))),
+        other => other.clone(),
+    }
+}
+
+/// Fill every `obj` method-call hole in `prog` with `imp`'s bodies,
+/// producing the concrete program `C[CO]`.
+///
+/// The abstract object's location remains in the library layout (unused —
+/// no abstract step will ever touch it), so client locations are unchanged:
+/// the refinement checker compares client states position by position.
+pub fn instantiate(prog: &Program, obj: ObjRef, imp: &ObjectImpl) -> Program {
+    let mut out = prog.clone();
+    out.name = format!("{}[{}]", prog.name, imp.name);
+
+    // The object is no longer abstract.
+    out.objects.retain(|(l, _)| *l != obj.loc);
+
+    // Add the implementation's library variables.
+    let vars: Vec<VarRef> = imp
+        .lib_vars
+        .iter()
+        .map(|(name, init)| {
+            let loc = out.lib_locs.add(format!("{}.{}", imp.name, name), LocKind::Var);
+            out.lib_inits.push(InitLoc::Var(Val::Int(*init)));
+            VarRef { comp: rc11_core::Comp::Lib, loc }
+        })
+        .collect();
+
+    // Per thread: private registers + body splicing.
+    for th in &mut out.threads {
+        let base = th.n_regs;
+        let regs: Vec<Reg> = (0..imp.regs.len()).map(|i| Reg(base + i as u16)).collect();
+        for (i, name) in imp.regs.iter().enumerate() {
+            th.reg_names.push(format!("{}.{}", imp.name, name));
+            th.reg_inits.push(Val::Bot);
+            let _ = i;
+        }
+        th.n_regs += imp.regs.len() as u16;
+        th.body = replace_calls(&th.body, obj, imp, &regs, &vars);
+    }
+
+    if let Err(e) = out.validate() {
+        panic!("instantiate({}) produced an invalid program: {e}", imp.name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::program::ObjKind;
+
+    /// A toy "implementation" of a lock by a single library flag CASed
+    /// 0→1 on acquire and written 0 on release (a test-and-set lock).
+    fn tas_impl() -> ObjectImpl {
+        fn build(call: &CallSite, regs: &[Reg], vars: &[VarRef]) -> Com {
+            let flag = vars[0];
+            let ok = regs[0];
+            match call.method {
+                Method::Acquire => seq([
+                    do_until(cas(ok, flag, 0, 1), Exp::Reg(ok)),
+                    match call.ret {
+                        Some(r) => assign(r, true),
+                        None => Com::Skip,
+                    },
+                ]),
+                Method::Release => wr_rel(flag, 0),
+                _ => panic!("lock has no such method"),
+            }
+        }
+        ObjectImpl { name: "tas", lib_vars: &[("flag", 0)], regs: &["ok"], build }
+    }
+
+    #[test]
+    fn instantiate_replaces_calls_and_extends_layout() {
+        let mut p = ProgramBuilder::new("client");
+        let l = p.lock("l");
+        let d = p.client_var("d", 0);
+        let tb = ThreadBuilder::new();
+        p.add_thread(tb, seq([lab(1, acquire(l)), lab(2, wr(d, 1)), lab(3, release(l))]));
+        let abs = p.build();
+        let conc = instantiate(&abs, l, &tas_impl());
+
+        assert_eq!(conc.name, "client[tas]");
+        assert!(conc.objects.is_empty(), "no abstract objects remain");
+        assert_eq!(conc.lib_locs.len(), abs.lib_locs.len() + 1, "flag variable added");
+        assert_eq!(conc.threads[0].n_regs, abs.threads[0].n_regs + 1);
+        // No method calls remain.
+        let mut found_call = false;
+        conc.threads[0].body.visit(&mut |c| {
+            if matches!(c, Com::MethodCall { .. }) {
+                found_call = true;
+            }
+        });
+        assert!(!found_call);
+        // Client layout unchanged.
+        assert_eq!(conc.client_locs.len(), abs.client_locs.len());
+    }
+
+    #[test]
+    fn labels_survive_inlining() {
+        let mut p = ProgramBuilder::new("client");
+        let l = p.object("l", ObjKind::Lock);
+        let tb = ThreadBuilder::new();
+        p.add_thread(tb, seq([lab(1, acquire(l)), lab(2, release(l))]));
+        let conc = instantiate(&p.build(), l, &tas_impl());
+        let cfg = crate::cfg::compile(&conc);
+        assert!(cfg.threads[0].label_pc(1).is_some());
+        assert!(cfg.threads[0].label_pc(2).is_some());
+        assert!(cfg.threads[0].label_pc(1) < cfg.threads[0].label_pc(2));
+    }
+}

@@ -1,0 +1,27 @@
+//! # rc11-objects — abstract object semantics (Section 4)
+//!
+//! Abstract objects are view-tracked library locations whose histories
+//! record *method operations* instead of writes. This crate implements
+//! their transition rules over the rc11-core combined state:
+//!
+//! * [`lock`] — the paper's abstract lock, Figure 6 (plus [`lit_lock`], the
+//!   same rules over the literal engine, cross-validated in tests);
+//! * [`stack`] — the abstract stack used by the message-passing Figures
+//!   1–3 (semantics fixed in DESIGN.md, design choice 3);
+//! * [`register`], [`counter`], [`queue`] — extension objects demonstrating the
+//!   framework's generality (weakly-ordered and totally-ordered
+//!   respectively);
+//! * [`registry::AbstractObjects`] — the [`rc11_lang::ObjectSemantics`]
+//!   dispatcher plugging all of the above into the program machine.
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod lit_lock;
+pub mod lock;
+pub mod queue;
+pub mod register;
+pub mod registry;
+pub mod stack;
+
+pub use registry::AbstractObjects;

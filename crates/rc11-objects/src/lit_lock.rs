@@ -1,0 +1,128 @@
+//! Figure 6 transcribed over the **literal** engine (rational timestamps),
+//! used to cross-validate the fast lock semantics in `lock.rs`.
+
+use rc11_core::lit::{LitAction, LitCState, LitCombined, LitCrossView, LitOp};
+use rc11_core::{Comp, Loc, MethodOp, Tid};
+
+fn max_lock_op(st: &LitCState, l: Loc) -> LitOp {
+    st.max_op(l)
+}
+
+/// Figure 6 `Acquire` (literal): enabled iff the maximal operation on `l` is
+/// `init_0` or `release_{n-1}`; returns the new version and state.
+pub fn acquire_steps(s: &LitCombined, t: Tid, l: Loc) -> Vec<(u32, LitCombined)> {
+    let (w_act, q) = max_lock_op(&s.lib, l);
+    let n_prev = match w_act {
+        LitAction::Method { m: MethodOp::Init, .. } => 0,
+        LitAction::Method { m: MethodOp::LockRelease { n }, .. } => n,
+        _ => return Vec::new(),
+    };
+    let n = n_prev + 1;
+    let w: LitOp = (w_act, q);
+
+    let mut next = s.clone();
+    let (exec, ctx) = next.exec_ctx_mut(Comp::Lib);
+    let b = LitAction::Method { loc: l, m: MethodOp::LockAcquire { n, tid: t }, tid: t };
+    let q2 = exec.fresh_after(q);
+    let new: LitOp = (b, q2);
+    exec.ops.insert(new);
+    exec.cvd.insert(w);
+    let mv = exec.mview[&w].clone();
+    {
+        let tv = exec.tview.get_mut(&t).unwrap();
+        tv.insert(l, new);
+        *tv = LitCState::join_views(tv, &mv.own);
+    }
+    {
+        let ctv = ctx.tview.get_mut(&t).unwrap();
+        *ctv = LitCState::join_views(ctv, &mv.other);
+    }
+    let mview = LitCrossView { own: exec.tview[&t].clone(), other: ctx.tview[&t].clone() };
+    exec.mview.insert(new, mview);
+    vec![(n, next)]
+}
+
+/// Figure 6 `Release` (literal): enabled iff the maximal operation is
+/// `acquire_{n-1}(t)` by the calling thread.
+pub fn release_steps(s: &LitCombined, t: Tid, l: Loc) -> Vec<(u32, LitCombined)> {
+    let (w_act, q) = max_lock_op(&s.lib, l);
+    let n = match w_act {
+        LitAction::Method { m: MethodOp::LockAcquire { n, tid }, .. } if tid == t => n + 1,
+        _ => return Vec::new(),
+    };
+
+    let mut next = s.clone();
+    let (exec, ctx) = next.exec_ctx_mut(Comp::Lib);
+    let a = LitAction::Method { loc: l, m: MethodOp::LockRelease { n }, tid: t };
+    let q2 = exec.fresh_after(q);
+    let new: LitOp = (a, q2);
+    exec.ops.insert(new);
+    exec.tview.get_mut(&t).unwrap().insert(l, new);
+    let mview = LitCrossView { own: exec.tview[&t].clone(), other: ctx.tview[&t].clone() };
+    exec.mview.insert(new, mview);
+    vec![(n, next)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lock;
+    use rc11_core::{Combined, InitLoc, Val};
+
+    const L: Loc = Loc(0);
+    const D: Loc = Loc(0);
+    const T1: Tid = Tid(0);
+    const T2: Tid = Tid(1);
+
+    /// Drive the fast and literal lock semantics through the same script and
+    /// compare enabledness, versions and client observability throughout.
+    #[test]
+    fn fast_and_literal_locks_agree() {
+        let mut fast = Combined::new(&[InitLoc::Var(Val::Int(0))], &[InitLoc::Obj], 2);
+        let mut lit = LitCombined::new(&[InitLoc::Var(Val::Int(0))], &[InitLoc::Obj], 2);
+
+        // Script: T1 acquire; T1 write d=5; T1 release; T2 acquire (blocked
+        // checks in between); T2's client observability must match.
+        assert_eq!(
+            lock::acquire_steps(&fast, T1, L).len(),
+            acquire_steps(&lit, T1, L).len()
+        );
+        let (nf, f2) = lock::acquire_steps(&fast, T1, L).pop().unwrap();
+        let (nl, l2) = acquire_steps(&lit, T1, L).pop().unwrap();
+        assert_eq!(nf, nl);
+        fast = f2;
+        lit = l2;
+
+        // Both block T2 while held.
+        assert!(lock::acquire_steps(&fast, T2, L).is_empty());
+        assert!(acquire_steps(&lit, T2, L).is_empty());
+        // Both refuse release by non-owner.
+        assert!(lock::release_steps(&fast, T2, L).is_empty());
+        assert!(release_steps(&lit, T2, L).is_empty());
+
+        // T1 writes d := 5 (client, relaxed) in both engines.
+        let wp = fast.write_preds(Comp::Client, T1, D);
+        fast = fast.apply_write(Comp::Client, T1, D, Val::Int(5), false, wp[0]);
+        let lp = rc11_core::lit::step::write_choices(&lit, Comp::Client, T1, D);
+        lit = rc11_core::lit::step::apply_write(&lit, Comp::Client, T1, D, Val::Int(5), false, lp[0]);
+
+        let (nf, f2) = lock::release_steps(&fast, T1, L).pop().unwrap();
+        let (nl, l2) = release_steps(&lit, T1, L).pop().unwrap();
+        assert_eq!(nf, nl);
+        fast = f2;
+        lit = l2;
+
+        let (nf, f2) = lock::acquire_steps(&fast, T2, L).pop().unwrap();
+        let (nl, l2) = acquire_steps(&lit, T2, L).pop().unwrap();
+        assert_eq!((nf, nl), (3, 3));
+        fast = f2;
+        lit = l2;
+
+        // Client observability of T2 agrees: only d = 5.
+        let fv: Vec<Val> = fast.read_choices(Comp::Client, T2, D).iter().map(|c| c.val).collect();
+        let lv: Vec<Val> =
+            lit.client.obs(T2, D).iter().map(|w| w.0.wrval()).collect();
+        assert_eq!(fv, lv);
+        assert_eq!(fv, vec![Val::Int(5)]);
+    }
+}

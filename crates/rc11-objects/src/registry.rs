@@ -1,0 +1,121 @@
+//! The [`ObjectSemantics`] implementation wiring the Section-4 objects into
+//! the program machine.
+
+use crate::{counter, lock, queue, register, stack};
+use rc11_lang::machine::ObjectSemantics;
+use rc11_lang::program::ObjKind;
+use rc11_lang::Method;
+use rc11_core::{Combined, Loc, Tid, Val};
+
+/// Abstract execution of every shipped object kind. Stateless: all object
+/// state lives in the library component's operation history.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AbstractObjects;
+
+impl ObjectSemantics for AbstractObjects {
+    fn method_steps(
+        &self,
+        mem: &Combined,
+        tid: Tid,
+        obj: Loc,
+        kind: ObjKind,
+        method: Method,
+        arg: Option<Val>,
+        sync: bool,
+    ) -> Vec<(Val, Combined)> {
+        match (kind, method) {
+            // Example 1: Acquire's rval is `true`; Release's is `⊥`.
+            (ObjKind::Lock, Method::Acquire) => lock::acquire_steps(mem, tid, obj)
+                .into_iter()
+                .map(|(_, m)| (Val::Bool(true), m))
+                .collect(),
+            // Figure 7's proof device: bind the lock version.
+            (ObjKind::Lock, Method::AcquireV) => lock::acquire_steps(mem, tid, obj)
+                .into_iter()
+                .map(|(n, m)| (Val::Int(n as i64), m))
+                .collect(),
+            (ObjKind::Lock, Method::Release) => lock::release_steps(mem, tid, obj)
+                .into_iter()
+                .map(|(_, m)| (Val::Bot, m))
+                .collect(),
+            (ObjKind::Stack, Method::Push) => {
+                let v = arg.expect("push requires an argument");
+                stack::push_steps(mem, tid, obj, v, sync)
+                    .into_iter()
+                    .map(|m| (Val::Bot, m))
+                    .collect()
+            }
+            (ObjKind::Stack, Method::Pop) => stack::pop_steps(mem, tid, obj, sync),
+            (ObjKind::Register, Method::RegWrite) => {
+                let v = arg.expect("register write requires an argument");
+                register::write_steps(mem, tid, obj, v, sync)
+                    .into_iter()
+                    .map(|m| (Val::Bot, m))
+                    .collect()
+            }
+            (ObjKind::Register, Method::RegRead) => register::read_steps(mem, tid, obj, sync),
+            (ObjKind::Counter, Method::Inc) => counter::inc_steps(mem, tid, obj),
+            (ObjKind::Queue, Method::Enq) => {
+                let v = arg.expect("enq requires an argument");
+                queue::enq_steps(mem, tid, obj, v, sync)
+                    .into_iter()
+                    .map(|m| (Val::Bot, m))
+                    .collect()
+            }
+            (ObjKind::Queue, Method::Deq) => queue::deq_steps(mem, tid, obj, sync),
+            (k, m) => panic!("object kind {k:?} has no method {m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc11_core::InitLoc;
+
+    #[test]
+    fn dispatch_lock_acquire_returns_true() {
+        let mem = Combined::new(&[], &[InitLoc::Obj], 1);
+        let steps = AbstractObjects.method_steps(
+            &mem,
+            Tid(0),
+            Loc(0),
+            ObjKind::Lock,
+            Method::Acquire,
+            None,
+            true,
+        );
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].0, Val::Bool(true));
+    }
+
+    #[test]
+    fn dispatch_acquirev_returns_version() {
+        let mem = Combined::new(&[], &[InitLoc::Obj], 1);
+        let steps = AbstractObjects.method_steps(
+            &mem,
+            Tid(0),
+            Loc(0),
+            ObjKind::Lock,
+            Method::AcquireV,
+            None,
+            true,
+        );
+        assert_eq!(steps[0].0, Val::Int(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no method")]
+    fn dispatch_rejects_kind_mismatch() {
+        let mem = Combined::new(&[], &[InitLoc::Obj], 1);
+        AbstractObjects.method_steps(
+            &mem,
+            Tid(0),
+            Loc(0),
+            ObjKind::Lock,
+            Method::Push,
+            Some(Val::Int(1)),
+            false,
+        );
+    }
+}

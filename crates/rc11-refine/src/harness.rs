@@ -1,0 +1,95 @@
+//! Standard synchronisation-free clients for refinement checking.
+//!
+//! Definition 8 applies to clients that synchronise only through the object
+//! under test; these harness clients use relaxed client accesses and
+//! lock-protected critical sections, and never bind lock-method return
+//! values (so `rval` agreement is by construction — see the module docs of
+//! [`crate::sim`]).
+
+use rc11_lang::builder::*;
+use rc11_lang::{ObjRef, Program};
+
+/// The publication hand-off client: T1 writes `d := 5` inside its critical
+/// section; T2 reads `d` inside its own. The paper's Figure-7 pattern with
+/// one data variable — the canonical test that a lock implementation
+/// transfers views on hand-off.
+pub fn handoff_client() -> (Program, ObjRef) {
+    let mut p = ProgramBuilder::new("handoff");
+    let d = p.client_var("d", 0);
+    let l = p.lock("l");
+    let t1 = ThreadBuilder::new();
+    p.add_thread(t1, seq([acquire(l), wr(d, 5), release(l)]));
+    let mut t2 = ThreadBuilder::new();
+    let r = t2.reg("r");
+    p.add_thread(t2, seq([acquire(l), rd(r, d), release(l)]));
+    (p.build(), l)
+}
+
+/// The full Figure-7 client (unlabelled, for refinement): two data
+/// variables written in one critical section and read in another.
+pub fn fig7_client() -> (Program, ObjRef) {
+    let mut p = ProgramBuilder::new("fig7");
+    let d1 = p.client_var("d1", 0);
+    let d2 = p.client_var("d2", 0);
+    let l = p.lock("l");
+    let t1 = ThreadBuilder::new();
+    p.add_thread(t1, seq([acquire(l), wr(d1, 5), wr(d2, 5), release(l)]));
+    let mut t2 = ThreadBuilder::new();
+    let r1 = t2.reg("r1");
+    let r2 = t2.reg("r2");
+    p.add_thread(t2, seq([acquire(l), rd(r1, d1), rd(r2, d2), release(l)]));
+    (p.build(), l)
+}
+
+/// A lock-protected counter client with `n_threads` incrementing threads —
+/// scales the state space for the benches.
+pub fn counter_client(n_threads: usize) -> (Program, ObjRef) {
+    let mut p = ProgramBuilder::new(format!("counter{n_threads}"));
+    let x = p.client_var("x", 0);
+    let l = p.lock("l");
+    for _ in 0..n_threads {
+        let mut tb = ThreadBuilder::new();
+        let r = tb.reg("r");
+        p.add_thread(tb, seq([acquire(l), rd(r, x), wr(x, add(r, 1)), release(l)]));
+    }
+    (p.build(), l)
+}
+
+/// A client where each thread performs `rounds` acquire/write/release
+/// rounds — scales trace length rather than width.
+pub fn rounds_client(rounds: usize) -> (Program, ObjRef) {
+    let mut p = ProgramBuilder::new(format!("rounds{rounds}"));
+    let d = p.client_var("d", 0);
+    let l = p.lock("l");
+    let t1 = ThreadBuilder::new();
+    let mut body1 = Vec::new();
+    for i in 0..rounds {
+        body1.extend([acquire(l), wr(d, (i + 1) as i64), release(l)]);
+    }
+    p.add_thread(t1, seq(body1));
+    let mut t2 = ThreadBuilder::new();
+    let r = t2.reg("r");
+    let mut body2 = Vec::new();
+    for _ in 0..rounds {
+        body2.extend([acquire(l), rd(r, d), release(l)]);
+    }
+    p.add_thread(t2, seq(body2));
+    (p.build(), l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_clients_validate() {
+        let (p, _) = handoff_client();
+        assert_eq!(p.n_threads(), 2);
+        let (p, _) = fig7_client();
+        assert_eq!(p.client_locs.len(), 2);
+        let (p, _) = counter_client(3);
+        assert_eq!(p.n_threads(), 3);
+        let (p, _) = rounds_client(2);
+        assert_eq!(p.n_threads(), 2);
+    }
+}

@@ -1,0 +1,48 @@
+//! # rc11-refine — contextual refinement (Section 6)
+//!
+//! What it means for a concrete library to implement an abstract one in
+//! RC11 RAR, checked two independent ways:
+//!
+//! * [`sim`] — the forward-simulation rule of Definition 8, searched over
+//!   the maximal candidate relation (sound and, over finite spaces with the
+//!   fixed Definition-8 relation, complete — refutations carry traces);
+//! * [`traces`] — Definitions 5–7 read literally: enumerate the stutter-free
+//!   client traces of `C[AO]` and `C[CO]` and check pointwise inclusion.
+//!   Exponential; kept as the Theorem-8.1 cross-check and bench baseline.
+//!
+//! [`proj`] defines the client-state projection and Definition 5's
+//! refinement order; [`harness`] the synchronisation-free clients.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod proj;
+pub mod sim;
+pub mod traces;
+
+pub use proj::{ClientProj, ClientShape};
+pub use sim::{check_forward_simulation, SimOptions, SimReport};
+pub use traces::{
+    check_trace_inclusion, stutter_free_traces, InclusionReport, TraceOptions, TraceSet,
+};
+
+use rc11_lang::inline::ObjectImpl;
+use rc11_lang::machine::NoObjects;
+use rc11_lang::{compile, ObjRef, Program};
+use rc11_objects::AbstractObjects;
+
+/// One-call convenience: check that `imp` contextually refines the abstract
+/// lock for the given client (the client must use exactly one abstract
+/// object, `obj`). Returns the simulation report.
+pub fn check_lock_refinement(client: &Program, obj: ObjRef, imp: &ObjectImpl) -> SimReport {
+    let shape = ClientShape::of(client);
+    let conc = rc11_lang::inline::instantiate(client, obj, imp);
+    check_forward_simulation(
+        &compile(client),
+        &AbstractObjects,
+        &compile(&conc),
+        &NoObjects,
+        &shape,
+        SimOptions::default(),
+    )
+}

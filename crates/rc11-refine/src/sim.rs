@@ -1,0 +1,335 @@
+//! The forward-simulation checker (Definition 8, Theorem 8.1).
+//!
+//! Searches for a forward simulation between `C[AO]` (abstract program) and
+//! `C[CO]` (concrete program, produced by `instantiate`) for
+//! synchronisation-free clients, using the *maximal* candidate relation:
+//! each concrete configuration is paired with the set of all abstract
+//! configurations satisfying Definition 8's condition 1
+//! (`als|C = cls|C`, equal client histories/covers, observability
+//! inclusion). A concrete step that leaves the client projection unchanged
+//! is matched by abstract *stuttering* (condition 3's stuttering case,
+//! realised as the closure over client-invisible abstract steps); a
+//! client-visible concrete step is matched by stuttering followed by
+//! exactly one client-visible abstract step. The closure is essential for
+//! repeated-handoff clients: e.g. the seqlock's spin read may transfer the
+//! previous critical section's views to a waiting thread *before* its
+//! acquire completes, which the abstract lock can only match by running
+//! the other thread's (client-invisible) release first.
+//!
+//! Because the candidate sets are maximal, an empty match set is a genuine
+//! refutation of stuttering forward simulation with the Definition-8
+//! relation, and the offending concrete trace is reported. (As usual,
+//! forward simulation is sound but not complete for trace inclusion; the
+//! independent Definitions-5–7 baseline in [`crate::traces`] closes the
+//! loop on Theorem 8.1 empirically.)
+//!
+//! Harness requirements (checked where possible): clients synchronise only
+//! through the object (no release/acquire client accesses), do not bind
+//! lock-method return values, and are unlabelled (labels introduce fusion
+//! barriers that break the one-shared-access-per-step alignment).
+
+use crate::proj::{ClientProj, ClientShape};
+use rc11_check::fxhash::FxHashMap;
+use rc11_core::Tid;
+use rc11_lang::cfg::CfgProgram;
+use rc11_lang::machine::{successors, Config, ObjectSemantics, StepOptions};
+use std::collections::BTreeSet;
+
+/// Options for the simulation search.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Step generation (fusion must stay on for step alignment).
+    pub step: StepOptions,
+    /// Cap on distinct concrete configurations.
+    pub max_states: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions { step: StepOptions { fuse_local: true }, max_states: 2_000_000 }
+    }
+}
+
+/// Result of a simulation check.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Whether a forward simulation exists (the check succeeded).
+    pub holds: bool,
+    /// Distinct concrete configurations visited.
+    pub concrete_states: usize,
+    /// Distinct abstract configurations materialised.
+    pub abstract_states: usize,
+    /// Total size of all candidate sets (product measure).
+    pub product_size: usize,
+    /// Transitions examined.
+    pub transitions: usize,
+    /// On failure: the client-visible trace of the refuting concrete run.
+    pub counterexample: Option<Vec<ClientProj>>,
+    /// True iff the state cap was hit (result not conclusive).
+    pub truncated: bool,
+}
+
+/// Interned abstract configurations with memoised successors and
+/// stutter-closures.
+struct AbsSpace<'a> {
+    prog: &'a CfgProgram,
+    objs: &'a dyn ObjectSemantics,
+    step: StepOptions,
+    configs: Vec<Config>,
+    ids: FxHashMap<Config, u32>,
+    succs: Vec<Option<Vec<(Tid, u32)>>>,
+    projs: Vec<ClientProj>,
+    closures: Vec<Option<std::rc::Rc<BTreeSet<u32>>>>,
+    shape: &'a ClientShape,
+}
+
+impl<'a> AbsSpace<'a> {
+    fn intern(&mut self, cfg: Config) -> u32 {
+        if let Some(&id) = self.ids.get(&cfg) {
+            return id;
+        }
+        let id = self.configs.len() as u32;
+        self.projs.push(ClientProj::of(&cfg, self.shape));
+        self.ids.insert(cfg.clone(), id);
+        self.configs.push(cfg);
+        self.succs.push(None);
+        self.closures.push(None);
+        id
+    }
+
+    fn successors_of(&mut self, id: u32) -> Vec<(Tid, u32)> {
+        if let Some(s) = &self.succs[id as usize] {
+            return s.clone();
+        }
+        let cfg = self.configs[id as usize].clone();
+        let succ = successors(self.prog, self.objs, &cfg, self.step)
+            .into_iter()
+            .map(|(t, c)| (t, self.intern(c.canonical())))
+            .collect::<Vec<_>>();
+        self.succs[id as usize] = Some(succ.clone());
+        succ
+    }
+
+    /// All abstract configurations reachable from `id` via client-invisible
+    /// steps (projection unchanged), `id` included.
+    fn closure_of(&mut self, id: u32) -> std::rc::Rc<BTreeSet<u32>> {
+        if let Some(c) = &self.closures[id as usize] {
+            return c.clone();
+        }
+        let base = self.projs[id as usize].clone();
+        let mut set: BTreeSet<u32> = [id].into_iter().collect();
+        let mut work = vec![id];
+        while let Some(x) = work.pop() {
+            for (_, y) in self.successors_of(x) {
+                if self.projs[y as usize] == base && set.insert(y) {
+                    work.push(y);
+                }
+            }
+        }
+        let rc = std::rc::Rc::new(set);
+        self.closures[id as usize] = Some(rc.clone());
+        rc
+    }
+}
+
+/// Check `C[AO] ⊑ C[CO]` by forward simulation. `abs`/`conc` are the
+/// compiled abstract and concrete programs (same client, holes abstract vs
+/// inlined); `abs_objs`/`conc_objs` their object semantics (the concrete
+/// program usually has none).
+pub fn check_forward_simulation(
+    abs: &CfgProgram,
+    abs_objs: &dyn ObjectSemantics,
+    conc: &CfgProgram,
+    conc_objs: &dyn ObjectSemantics,
+    shape: &ClientShape,
+    opts: SimOptions,
+) -> SimReport {
+    assert_eq!(abs.n_threads(), conc.n_threads(), "client thread counts differ");
+    let mut aspace = AbsSpace {
+        prog: abs,
+        objs: abs_objs,
+        step: opts.step,
+        configs: Vec::new(),
+        ids: FxHashMap::default(),
+        succs: Vec::new(),
+        projs: Vec::new(),
+        closures: Vec::new(),
+        shape,
+    };
+
+    let mut report = SimReport {
+        holds: true,
+        concrete_states: 0,
+        abstract_states: 0,
+        product_size: 0,
+        transitions: 0,
+        counterexample: None,
+        truncated: false,
+    };
+
+    // Concrete side: interned configs with candidate abstract sets and
+    // parent pointers for counterexample reconstruction.
+    let mut cids: FxHashMap<Config, u32> = FxHashMap::default();
+    let mut cconfigs: Vec<Config> = Vec::new();
+    let mut cprojs: Vec<ClientProj> = Vec::new();
+    let mut candidates: Vec<BTreeSet<u32>> = Vec::new();
+    let mut parents: Vec<Option<u32>> = Vec::new();
+
+    let c0 = Config::initial(conc).canonical();
+    let a0 = aspace.intern(Config::initial(abs).canonical());
+    cids.insert(c0.clone(), 0);
+    cprojs.push(ClientProj::of(&c0, shape));
+    cconfigs.push(c0);
+    parents.push(None);
+    // Initial candidate: the abstract initial state, which must be related.
+    if !cprojs[0].refines(&aspace.projs[a0 as usize]) {
+        return SimReport {
+            holds: false,
+            counterexample: Some(vec![cprojs[0].clone()]),
+            ..report
+        };
+    }
+    candidates.push([a0].into_iter().collect());
+
+    let mut work: Vec<u32> = vec![0];
+    'outer: while let Some(cid) = work.pop() {
+        let ccfg = cconfigs[cid as usize].clone();
+        let cands = candidates[cid as usize].clone();
+        let csuccs = successors(conc, conc_objs, &ccfg, opts.step);
+        report.transitions += csuccs.len();
+        for (_t, csucc) in csuccs {
+            let canon = csucc.canonical();
+            let sproj = ClientProj::of(&canon, shape);
+            let stutter = sproj == cprojs[cid as usize];
+
+            // Compute the matched abstract set for this edge, per
+            // Definition 8: the abstract side may stutter (remain at any
+            // closure member that is still R-related — inclusion lets a
+            // concrete view-only advance be absorbed without abstract
+            // movement), and on a client-visible concrete step it may
+            // additionally take exactly one client-visible step.
+            let mut matched: BTreeSet<u32> = BTreeSet::new();
+            for &a in &cands {
+                let closure = aspace.closure_of(a);
+                // All closure members share a projection: one R check.
+                if sproj.refines(&aspace.projs[a as usize]) {
+                    matched.extend(closure.iter().copied());
+                }
+                if !stutter {
+                    for &b in closure.iter() {
+                        for (_t2, a2) in aspace.successors_of(b) {
+                            if aspace.projs[a2 as usize] != aspace.projs[b as usize]
+                                && sproj.refines(&aspace.projs[a2 as usize])
+                            {
+                                matched.insert(a2);
+                            }
+                        }
+                    }
+                }
+            }
+            if matched.is_empty() {
+                // Refutation: reconstruct the concrete client trace.
+                let mut rev = vec![sproj];
+                let mut cur = Some(cid);
+                while let Some(i) = cur {
+                    rev.push(cprojs[i as usize].clone());
+                    cur = parents[i as usize];
+                }
+                rev.reverse();
+                rev.dedup();
+                report.holds = false;
+                report.counterexample = Some(rev);
+                break 'outer;
+            }
+
+            // Merge into the successor's candidate set.
+            match cids.get(&canon) {
+                Some(&sid) => {
+                    let set = &mut candidates[sid as usize];
+                    let before = set.len();
+                    set.extend(matched.iter().copied());
+                    if set.len() > before {
+                        work.push(sid);
+                    }
+                }
+                None => {
+                    if cconfigs.len() >= opts.max_states {
+                        report.truncated = true;
+                        continue;
+                    }
+                    let sid = cconfigs.len() as u32;
+                    cids.insert(canon.clone(), sid);
+                    cprojs.push(sproj);
+                    cconfigs.push(canon);
+                    candidates.push(matched);
+                    parents.push(Some(cid));
+                    work.push(sid);
+                }
+            }
+        }
+    }
+
+    report.concrete_states = cconfigs.len();
+    report.abstract_states = aspace.configs.len();
+    report.product_size = candidates.iter().map(|s| s.len()).sum();
+    if report.truncated {
+        report.holds = false;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness;
+    use rc11_lang::compile;
+    use rc11_lang::inline::instantiate;
+    use rc11_lang::machine::NoObjects;
+    use rc11_objects::AbstractObjects;
+
+    fn check(imp: rc11_lang::ObjectImpl) -> SimReport {
+        let (abs_prog, l) = harness::handoff_client();
+        let shape = ClientShape::of(&abs_prog);
+        let conc_prog = instantiate(&abs_prog, l, &imp);
+        check_forward_simulation(
+            &compile(&abs_prog),
+            &AbstractObjects,
+            &compile(&conc_prog),
+            &NoObjects,
+            &shape,
+            SimOptions::default(),
+        )
+    }
+
+    #[test]
+    fn seqlock_simulates_abstract_lock() {
+        let report = check(rc11_locks::seqlock());
+        assert!(report.holds, "Proposition 9 (seqlock) failed: {report:?}");
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn ticket_simulates_abstract_lock() {
+        let report = check(rc11_locks::ticket());
+        assert!(report.holds, "Proposition 10 (ticket) failed");
+    }
+
+    #[test]
+    fn tas_simulates_abstract_lock() {
+        assert!(check(rc11_locks::tas()).holds);
+    }
+
+    #[test]
+    fn relaxed_seqlock_is_refuted() {
+        let report = check(rc11_locks::broken_relaxed_seqlock());
+        assert!(!report.holds, "the relaxed-release seqlock must NOT simulate");
+        let cex = report.counterexample.expect("refutations carry a trace");
+        assert!(cex.len() >= 2, "non-trivial counterexample");
+    }
+
+    #[test]
+    fn noop_lock_is_refuted() {
+        let report = check(rc11_locks::broken_noop_lock());
+        assert!(!report.holds);
+    }
+}

@@ -1,0 +1,322 @@
+//! The brute-force baseline: stutter-free client-trace enumeration and
+//! direct trace-inclusion checking (Definitions 5–7).
+//!
+//! `TrSF(P)` is materialised explicitly: every stutter-free client trace of
+//! every execution, with client projections hash-consed so a trace is a
+//! `Vec<u32>`. Inclusion `C[AO] ⊑ C[CO]` is then checked directly: for
+//! every concrete trace there must exist an abstract trace it refines
+//! under a *monotone* matching — a non-decreasing surjection `f` from
+//! concrete onto abstract indices with `ct_i ⊑ at_{f(i)}` throughout.
+//! Monotonicity (rather than strict pointwise equality of positions) is
+//! forced by weak memory: a concrete implementation step may advance a
+//! thread's viewfront without any abstract counterpart (e.g. a seqlock
+//! spin read synchronising with the previous critical section), and
+//! Definition 5's observability *inclusion* is exactly what lets the same
+//! abstract state absorb such refinement-only changes.
+//!
+//! This is intentionally the naive algorithm — the paper's Definition 6/7
+//! read as stated — and serves two purposes: it cross-checks Theorem 8.1
+//! (simulation verdicts must imply trace-inclusion verdicts) on small
+//! clients, and it is the baseline the simulation checker is benchmarked
+//! against (ablation A2). Trace counts explode combinatorially; caps are
+//! reported honestly.
+
+use crate::proj::{ClientProj, ClientShape};
+use rc11_check::fxhash::FxHashMap;
+use rc11_lang::cfg::CfgProgram;
+use rc11_lang::machine::{successors, Config, ObjectSemantics, StepOptions};
+use std::collections::BTreeSet;
+
+/// Hash-consed projections + the set of stutter-free traces.
+#[derive(Debug, Default)]
+pub struct TraceSet {
+    /// Distinct projections, indexed by trace entries.
+    pub projs: Vec<ClientProj>,
+    /// The stutter-free traces (projection indices).
+    pub traces: BTreeSet<Vec<u32>>,
+    /// True iff the enumeration cap was hit.
+    pub truncated: bool,
+}
+
+/// Enumeration caps.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceOptions {
+    /// Step generation.
+    pub step: StepOptions,
+    /// Cap on the number of distinct traces.
+    pub max_traces: usize,
+    /// Cap on visited (configuration, trace-point) pairs.
+    pub max_expansions: usize,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            step: StepOptions { fuse_local: true },
+            max_traces: 2_000_000,
+            max_expansions: 20_000_000,
+        }
+    }
+}
+
+/// Enumerate `TrSF(prog)` — the stutter-free client traces of all
+/// executions of `prog`.
+pub fn stutter_free_traces(
+    prog: &CfgProgram,
+    objs: &dyn ObjectSemantics,
+    shape: &ClientShape,
+    opts: TraceOptions,
+) -> TraceSet {
+    let mut out = TraceSet::default();
+    let mut intern: FxHashMap<ClientProj, u32> = FxHashMap::default();
+    let mut intern_proj = |p: ClientProj, projs: &mut Vec<ClientProj>| -> u32 {
+        if let Some(&i) = intern.get(&p) {
+            return i;
+        }
+        let i = projs.len() as u32;
+        intern.insert(p.clone(), i);
+        projs.push(p);
+        i
+    };
+
+    // DFS over (config, current trace); cycles only stutter (spin loops do
+    // not change the client projection), so visited (config, trace-last)
+    // pairs can be pruned: continuing from the same configuration with the
+    // same trace suffix head yields the same trace completions.
+    // Memoisation maps configuration → set of trace *completions*.
+    let mut memo: FxHashMap<Config, BTreeSet<Vec<u32>>> = FxHashMap::default();
+    let mut on_stack: FxHashMap<Config, ()> = FxHashMap::default();
+    let mut expansions = 0usize;
+
+    #[allow(clippy::too_many_arguments)]
+    fn completions(
+        prog: &CfgProgram,
+        objs: &dyn ObjectSemantics,
+        shape: &ClientShape,
+        opts: &TraceOptions,
+        cfg: &Config,
+        cur_proj: u32,
+        memo: &mut FxHashMap<Config, BTreeSet<Vec<u32>>>,
+        on_stack: &mut FxHashMap<Config, ()>,
+        intern: &mut dyn FnMut(ClientProj) -> u32,
+        expansions: &mut usize,
+        truncated: &mut bool,
+    ) -> BTreeSet<Vec<u32>> {
+        if let Some(c) = memo.get(cfg) {
+            return c.clone();
+        }
+        if on_stack.contains_key(cfg) {
+            // Cycle: stuttering loop — contributes no completions beyond
+            // its exits, which are explored by the callers on the stack.
+            return BTreeSet::new();
+        }
+        *expansions += 1;
+        if *expansions > opts.max_expansions {
+            *truncated = true;
+            return BTreeSet::new();
+        }
+        on_stack.insert(cfg.clone(), ());
+        let succs = successors(prog, objs, cfg, opts.step);
+        let mut out: BTreeSet<Vec<u32>> = BTreeSet::new();
+        if succs.is_empty() {
+            out.insert(Vec::new()); // the empty completion: trace ends here
+        }
+        for (_, succ) in succs {
+            let canon = succ.canonical();
+            let p = intern(ClientProj::of(&canon, shape));
+            let subs = completions(
+                prog, objs, shape, opts, &canon, p, memo, on_stack, intern, expansions, truncated,
+            );
+            if p == cur_proj {
+                // Stutter: completions pass through unchanged.
+                out.extend(subs);
+            } else {
+                for mut s in subs {
+                    s.insert(0, p);
+                    out.insert(s);
+                }
+            }
+            if out.len() > opts.max_traces {
+                *truncated = true;
+                break;
+            }
+        }
+        on_stack.remove(cfg);
+        memo.insert(cfg.clone(), out.clone());
+        out
+    }
+
+    let init = Config::initial(prog).canonical();
+    let p0 = intern_proj(ClientProj::of(&init, shape), &mut out.projs);
+    let mut intern_fn = |p: ClientProj| intern_proj(p, &mut out.projs);
+    let mut truncated = false;
+    let comps = completions(
+        prog,
+        objs,
+        shape,
+        &opts,
+        &init,
+        p0,
+        &mut memo,
+        &mut on_stack,
+        &mut intern_fn,
+        &mut expansions,
+        &mut truncated,
+    );
+    out.truncated = truncated;
+    for mut t in comps {
+        t.insert(0, p0);
+        out.traces.insert(t);
+    }
+    out
+}
+
+/// Result of the direct inclusion check.
+#[derive(Debug, Clone)]
+pub struct InclusionReport {
+    /// Whether every concrete trace refines some abstract trace.
+    pub holds: bool,
+    /// Number of concrete traces enumerated.
+    pub concrete_traces: usize,
+    /// Number of abstract traces enumerated.
+    pub abstract_traces: usize,
+    /// A concrete trace with no abstract match, if any (projection
+    /// sequences).
+    pub counterexample: Option<Vec<ClientProj>>,
+    /// True iff any enumeration cap was hit.
+    pub truncated: bool,
+}
+
+/// Does concrete trace `ct` refine abstract trace `at` under a monotone
+/// surjective matching? Dynamic programming over positions: `cur[j]` marks
+/// "ct[..=i] matchable with f(i) = j"; surjectivity requires finishing at
+/// the last abstract index.
+fn monotone_match(
+    ct: &[u32],
+    at: &[u32],
+    refines: &mut impl FnMut(u32, u32) -> bool,
+) -> bool {
+    if ct.is_empty() || at.is_empty() {
+        return ct.is_empty() && at.is_empty();
+    }
+    let mut cur = vec![false; at.len()];
+    cur[0] = refines(ct[0], at[0]);
+    for &c in &ct[1..] {
+        let mut next = vec![false; at.len()];
+        let mut any = false;
+        for j in 0..at.len() {
+            if !cur[j] {
+                continue;
+            }
+            if refines(c, at[j]) {
+                next[j] = true;
+                any = true;
+            }
+            if j + 1 < at.len() && refines(c, at[j + 1]) {
+                next[j + 1] = true;
+                any = true;
+            }
+        }
+        if !any {
+            return false;
+        }
+        cur = next;
+    }
+    cur[at.len() - 1]
+}
+
+/// Definition 6/7 checked literally: `C[AO] ⊑ C[CO]` iff every stutter-free
+/// concrete trace monotonically refines some stutter-free abstract trace.
+pub fn check_trace_inclusion(
+    abs: &CfgProgram,
+    abs_objs: &dyn ObjectSemantics,
+    conc: &CfgProgram,
+    conc_objs: &dyn ObjectSemantics,
+    shape: &ClientShape,
+    opts: TraceOptions,
+) -> InclusionReport {
+    let aset = stutter_free_traces(abs, abs_objs, shape, opts);
+    let cset = stutter_free_traces(conc, conc_objs, shape, opts);
+
+    // Cache pointwise refinement verdicts between projection ids.
+    let mut cache: FxHashMap<(u32, u32), bool> = FxHashMap::default();
+    let mut refines = |c: u32, a: u32| -> bool {
+        *cache
+            .entry((c, a))
+            .or_insert_with(|| cset.projs[c as usize].refines(&aset.projs[a as usize]))
+    };
+
+    let mut counterexample = None;
+    let mut holds = true;
+    for ct in &cset.traces {
+        let matched = aset.traces.iter().any(|at| monotone_match(ct, at, &mut refines));
+        if !matched {
+            holds = false;
+            counterexample =
+                Some(ct.iter().map(|&i| cset.projs[i as usize].clone()).collect());
+            break;
+        }
+    }
+    InclusionReport {
+        holds,
+        concrete_traces: cset.traces.len(),
+        abstract_traces: aset.traces.len(),
+        counterexample,
+        truncated: aset.truncated || cset.truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness;
+    use rc11_lang::compile;
+    use rc11_lang::inline::instantiate;
+    use rc11_lang::machine::NoObjects;
+    use rc11_objects::AbstractObjects;
+
+    fn inclusion(imp: rc11_lang::ObjectImpl) -> InclusionReport {
+        let (abs_prog, l) = harness::handoff_client();
+        let shape = ClientShape::of(&abs_prog);
+        let conc_prog = instantiate(&abs_prog, l, &imp);
+        check_trace_inclusion(
+            &compile(&abs_prog),
+            &AbstractObjects,
+            &compile(&conc_prog),
+            &NoObjects,
+            &shape,
+            TraceOptions::default(),
+        )
+    }
+
+    #[test]
+    fn abstract_traces_are_self_included() {
+        let (abs_prog, _) = harness::handoff_client();
+        let shape = ClientShape::of(&abs_prog);
+        let cfg = compile(&abs_prog);
+        let report = check_trace_inclusion(
+            &cfg,
+            &AbstractObjects,
+            &cfg,
+            &AbstractObjects,
+            &shape,
+            TraceOptions::default(),
+        );
+        assert!(report.holds, "reflexivity");
+        assert!(report.abstract_traces > 0);
+    }
+
+    #[test]
+    fn seqlock_trace_inclusion_holds() {
+        let report = inclusion(rc11_locks::seqlock());
+        assert!(report.holds, "{report:?}");
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn noop_lock_trace_inclusion_fails() {
+        let report = inclusion(rc11_locks::broken_noop_lock());
+        assert!(!report.holds);
+        assert!(report.counterexample.is_some());
+    }
+}

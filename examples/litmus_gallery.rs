@@ -1,0 +1,35 @@
+//! The litmus gallery: every test explored exhaustively, verdicts against
+//! the expected RC11 RAR outcome sets.
+//!
+//! Run with `cargo run --example litmus_gallery`.
+
+use std::io::Write;
+
+fn main() {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(out, "{:<10} {:>7} {:>9} {:>9}  {}", "name", "states", "observed", "expected", "about")
+        .unwrap();
+    let mut all_pass = true;
+    for l in rc11_litmus::all() {
+        let res = rc11_litmus::run(&l);
+        all_pass &= res.pass;
+        writeln!(
+            out,
+            "{:<10} {:>7} {:>9} {:>9}  {} — {}",
+            l.name,
+            res.states,
+            res.observed.len(),
+            res.expected.len(),
+            if res.pass { "exact ✓" } else { "MISMATCH ✗" },
+            l.about,
+        )
+        .unwrap();
+        if !res.pass {
+            writeln!(out, "    observed: {:?}", res.observed).unwrap();
+            writeln!(out, "    expected: {:?}", res.expected).unwrap();
+        }
+    }
+    assert!(all_pass, "litmus verdict mismatch");
+    writeln!(out, "all verdicts exact ✓").unwrap();
+}

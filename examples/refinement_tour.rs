@@ -1,0 +1,72 @@
+//! A tour of the two refinement checkers: forward simulation (Definition
+//! 8) versus literal stutter-free trace inclusion (Definitions 5–7), on
+//! growing clients — the ablation behind DESIGN.md's A2.
+//!
+//! Run with `cargo run --release --example refinement_tour`.
+
+use rc11::prelude::*;
+use rc11_refine::harness;
+use rc11_refine::{
+    check_forward_simulation, check_trace_inclusion, ClientShape, SimOptions, TraceOptions,
+};
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(
+        out,
+        "{:<14} {:<10} {:>9} {:>9} {:>11} {:>11}",
+        "client", "impl", "sim(ms)", "incl(ms)", "conc-states", "traces"
+    )
+    .unwrap();
+
+    let clients: Vec<(String, Program, ObjRef)> = vec![
+        ("handoff".into(), harness::handoff_client().0, harness::handoff_client().1),
+        ("fig7".into(), harness::fig7_client().0, harness::fig7_client().1),
+        ("rounds(2)".into(), harness::rounds_client(2).0, harness::rounds_client(2).1),
+    ];
+
+    for (name, client, l) in &clients {
+        let shape = ClientShape::of(client);
+        let abs_cfg = compile(client);
+        for imp in [rc11_locks::seqlock(), rc11_locks::ticket()] {
+            let conc = instantiate(client, *l, &imp);
+            let conc_cfg = compile(&conc);
+
+            let t0 = Instant::now();
+            let sim = check_forward_simulation(
+                &abs_cfg,
+                &AbstractObjects,
+                &conc_cfg,
+                &NoObjects,
+                &shape,
+                SimOptions::default(),
+            );
+            let sim_ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert!(sim.holds);
+
+            let t0 = Instant::now();
+            let incl = check_trace_inclusion(
+                &abs_cfg,
+                &AbstractObjects,
+                &conc_cfg,
+                &NoObjects,
+                &shape,
+                TraceOptions::default(),
+            );
+            let incl_ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert!(incl.holds);
+
+            writeln!(
+                out,
+                "{:<14} {:<10} {:>9.2} {:>9.2} {:>11} {:>11}",
+                name, imp.name, sim_ms, incl_ms, sim.concrete_states, incl.concrete_traces
+            )
+            .unwrap();
+        }
+    }
+    writeln!(out, "\nsimulation scales with states; the baseline with traces —").unwrap();
+    writeln!(out, "the gap is the point of Definition 8 (see bench thm81_baseline).").unwrap();
+}

@@ -1,0 +1,245 @@
+//! The paper's figures as reusable artifacts: programs, proof outlines and
+//! expected verdicts, shared by the examples, integration tests and
+//! benches.
+//!
+//! * [`fig1`] / [`fig2`] — the message-passing programs of Figures 1–2
+//!   (relaxed vs synchronising stack);
+//! * [`fig3`] — the Figure-3 proof outline for Figure 2's program;
+//! * [`fig7`] — the lock-synchronisation client of Figure 7 with its full
+//!   Owicki–Gries outline (Lemma 4).
+
+use rc11_assert::dsl::*;
+use rc11_assert::{OpPat, Pred, ProofOutline};
+use rc11_core::Val;
+use rc11_lang::builder::*;
+use rc11_lang::{ObjRef, Program, Reg, VarRef};
+
+/// A figure artifact: the program plus handles to its named entities.
+pub struct MpFigure {
+    /// The program.
+    pub prog: Program,
+    /// Client data variable `d`.
+    pub d: VarRef,
+    /// The stack `s`.
+    pub s: ObjRef,
+    /// Thread 2's `r1` (pop result).
+    pub r1: Reg,
+    /// Thread 2's `r2` (data read).
+    pub r2: Reg,
+}
+
+fn mp_figure(name: &str, sync: bool) -> MpFigure {
+    let mut p = ProgramBuilder::new(name);
+    let d = p.client_var("d", 0);
+    let s = p.stack("s");
+    let t1 = ThreadBuilder::new();
+    p.add_thread(
+        t1,
+        seq([
+            lab(1, wr(d, 5)),
+            lab(2, if sync { push_rel(s, 1) } else { push(s, 1) }),
+        ]),
+    );
+    let mut t2 = ThreadBuilder::new();
+    let r1 = t2.reg("r1");
+    let r2 = t2.reg("r2");
+    p.add_thread(
+        t2,
+        seq([
+            lab(3, do_until(if sync { pop_acq(s, r1) } else { pop(s, r1) }, eq(r1, 1))),
+            lab(4, rd(r2, d)),
+            lab(5, Com::Skip),
+        ]),
+    );
+    use rc11_lang::Com;
+    MpFigure { prog: p.build(), d, s, r1, r2 }
+}
+
+/// Figure 1: unsynchronised message passing via a stack.
+/// Postcondition: `r2 = 0 ∨ r2 = 5` (the weak outcome is reachable).
+pub fn fig1() -> MpFigure {
+    mp_figure("fig1-mp-unsync", false)
+}
+
+/// Figure 2: publication via a synchronising stack (`push^R` / `pop^A`).
+/// Postcondition: `r2 = 5`.
+pub fn fig2() -> MpFigure {
+    mp_figure("fig2-mp-sync", true)
+}
+
+/// The Figure-3 proof outline for Figure 2's program.
+///
+/// Thread 1 (labels 1–2) and thread 2 (labels 3–5, where 5 is the final
+/// point), transcribing the figure:
+///
+/// ```text
+/// {[d = 0]1 ∧ [d = 0]2 ∧ [s.pop emp]1 ∧ [s.pop emp]2}           (initial)
+/// T1 1: {¬⟨s.pop 1⟩2 ∧ [d = 0]1}        d := 5
+///    2: {¬⟨s.pop 1⟩2 ∧ [d = 5]1}        s.push^R(1)
+/// T2 3: {⟨s.pop 1⟩[d = 5]2}             do r1 := s.pop^A() until r1 = 1
+///    4: {[d = 5]2}                      r2 ← d
+///    5: {r2 = 5}
+/// ```
+pub fn fig3_outline(f: &MpFigure) -> ProofOutline {
+    ProofOutline::new("figure-3", 2)
+        .pre(0, 1, pand([pnot(can_pop(1, f.s, 1)), dobs(0, f.d, 0)]))
+        .pre(0, 2, pand([pnot(can_pop(1, f.s, 1)), dobs(0, f.d, 5)]))
+        .pre(1, 3, cond_pop(1, f.s, 1, f.d, 5))
+        .pre(1, 4, dobs(1, f.d, 5))
+        .pre(1, 5, reg_eq(1, f.r2, 5))
+        .post(reg_eq(1, f.r2, 5))
+}
+
+/// The Figure-7 artifact.
+pub struct Fig7 {
+    /// The program.
+    pub prog: Program,
+    /// Client variables `d1`, `d2`.
+    pub d1: VarRef,
+    /// Second data variable.
+    pub d2: VarRef,
+    /// The lock `l`.
+    pub l: ObjRef,
+    /// Thread 2's lock-version register `rl`.
+    pub rl: Reg,
+    /// Thread 2's data registers.
+    pub r1: Reg,
+    /// Second data register.
+    pub r2: Reg,
+}
+
+/// Figure 7's program: two lock-protected critical sections over `d1`/`d2`.
+///
+/// `l.Acquire(rl)` in thread 2 binds the lock *version* (the paper's proof
+/// device); thread 1's acquire discards it. Labels 1–4 are the paper's
+/// statement numbers; label 5 is the termination point (`pc_t = 5`).
+pub fn fig7() -> Fig7 {
+    use rc11_lang::Com;
+    let mut p = ProgramBuilder::new("fig7-lock-client");
+    let d1 = p.client_var("d1", 0);
+    let d2 = p.client_var("d2", 0);
+    let l = p.lock("l");
+
+    let t1 = ThreadBuilder::new();
+    p.add_thread(
+        t1,
+        seq([
+            lab(1, acquire(l)),
+            lab(2, wr(d1, 5)),
+            lab(3, wr(d2, 5)),
+            lab(4, release(l)),
+            lab(5, Com::Skip),
+        ]),
+    );
+
+    let mut t2 = ThreadBuilder::new();
+    let rl = t2.reg("rl");
+    let r1 = t2.reg("r1");
+    let r2 = t2.reg("r2");
+    p.add_thread(
+        t2,
+        seq([
+            lab(1, acquire_into(l, rl)),
+            lab(2, rd(r1, d1)),
+            lab(3, rd(r2, d2)),
+            lab(4, release(l)),
+            lab(5, Com::Skip),
+        ]),
+    );
+    Fig7 { prog: p.build(), d1, d2, l, rl, r1, r2 }
+}
+
+/// The full Figure-7 proof outline (Lemma 4), transcribed annotation by
+/// annotation. Threads are 0-indexed (`tid 0` is the paper's thread 1).
+///
+/// One benign adaptation: the paper's invariant conjunct `rl ∈ {1, 3}` is
+/// written `rl ∈ {⊥, 1, 3}` because `rl` is unset until thread 2's acquire
+/// executes (the paper's Isabelle model quantifies over initialised local
+/// stores).
+pub fn fig7_outline(f: &Fig7) -> ProofOutline {
+    let in_cs = |tid: usize| at(tid, [2, 3, 4]);
+
+    // Inv ≡ ¬(pc1 ∈ {2,3,4} ∧ pc2 ∈ {2,3,4}) ∧ rl ∈ {⊥, 1, 3}
+    let inv = pand([
+        pnot(pand([in_cs(0), in_cs(1)])),
+        Pred::RegIn {
+            tid: rc11_core::Tid(1),
+            reg: f.rl,
+            vals: vec![Val::Bot, Val::Int(1), Val::Int(3)],
+        },
+    ]);
+
+    // P_po ≡ (pc2 = 1 ⇒ ¬⟨l.release_2⟩2) ∧ H l.init_0
+    let p_po = pand([
+        imp(at(1, [1]), pnot(pobs_op(1, f.l, OpPat::Release(2)))),
+        hidden(f.l, OpPat::Init),
+    ]);
+
+    // P1 ≡ [d1 = 0]1 ∧ [d2 = 0]1 ∧ (pc2 = 1 ⇒ [l.init_0]1 ∧ [l.init_0]2)
+    //      ∧ (pc2 ∈ {2,3,4} ⇒ C l.acquire_1)
+    let p1 = pand([
+        dobs(0, f.d1, 0),
+        dobs(0, f.d2, 0),
+        imp(
+            at(1, [1]),
+            pand([dobs_op(0, f.l, OpPat::Init), dobs_op(1, f.l, OpPat::Init)]),
+        ),
+        imp(in_cs(1), covered_op(f.l, OpPat::Acquire(1))),
+    ]);
+    let p2 = pand([dobs(0, f.d1, 0), dobs(0, f.d2, 0), p_po.clone()]);
+    let p3 = pand([dobs(0, f.d1, 5), dobs(0, f.d2, 0), p_po.clone()]);
+    let p4 = pand([dobs(0, f.d1, 5), dobs(0, f.d2, 5), p_po]);
+
+    // Q'1 ≡ pc1 = 5 ∧ ⟨l.release_2⟩[d1 = 5]2 ∧ ⟨l.release_2⟩[d2 = 5]2
+    let q1p = pand([
+        at(0, [5]),
+        cond_obs_op(1, f.l, OpPat::Release(2), f.d1, 5),
+        cond_obs_op(1, f.l, OpPat::Release(2), f.d2, 5),
+    ]);
+    // Q1 ≡ (pc1 ∉ {2,3,4} ⇒ ([l.init_0]2 ∧ [d1 = 0]2 ∧ [d2 = 0]2) ∨ Q'1)
+    //      ∧ (pc1 = 1 ⇒ [l.init_0]1) ∧ (pc1 = 5 ⇒ H l.init_0)
+    let q1 = pand([
+        imp(
+            pnot(in_cs(0)),
+            por([
+                pand([dobs_op(1, f.l, OpPat::Init), dobs(1, f.d1, 0), dobs(1, f.d2, 0)]),
+                q1p,
+            ]),
+        ),
+        imp(at(0, [1]), dobs_op(0, f.l, OpPat::Init)),
+        imp(at(0, [5]), hidden(f.l, OpPat::Init)),
+    ]);
+    // Q2 ≡ (rl = 1 ⇒ [d1 = 0]2 ∧ [d2 = 0]2) ∧ (rl = 3 ⇒ [d1 = 5]2 ∧ [d2 = 5]2)
+    let q2 = pand([
+        imp(reg_eq(1, f.rl, 1), pand([dobs(1, f.d1, 0), dobs(1, f.d2, 0)])),
+        imp(reg_eq(1, f.rl, 3), pand([dobs(1, f.d1, 5), dobs(1, f.d2, 5)])),
+    ]);
+    // Q3 ≡ (rl = 1 ⇒ r1 = 0 ∧ [d2 = 0]2) ∧ (rl = 3 ⇒ r1 = 5 ∧ [d2 = 5]2)
+    let q3 = pand([
+        imp(reg_eq(1, f.rl, 1), pand([reg_eq(1, f.r1, 0), dobs(1, f.d2, 0)])),
+        imp(reg_eq(1, f.rl, 3), pand([reg_eq(1, f.r1, 5), dobs(1, f.d2, 5)])),
+    ]);
+    // Q4 ≡ (rl = 1 ⇒ r1 = 0 ∧ r2 = 0) ∧ (rl = 3 ⇒ r1 = 5 ∧ r2 = 5)
+    let q4 = pand([
+        imp(reg_eq(1, f.rl, 1), pand([reg_eq(1, f.r1, 0), reg_eq(1, f.r2, 0)])),
+        imp(reg_eq(1, f.rl, 3), pand([reg_eq(1, f.r1, 5), reg_eq(1, f.r2, 5)])),
+    ]);
+    // Final: (r1 = 0 ∧ r2 = 0) ∨ (r1 = 5 ∧ r2 = 5)
+    let q5 = por([
+        pand([reg_eq(1, f.r1, 0), reg_eq(1, f.r2, 0)]),
+        pand([reg_eq(1, f.r1, 5), reg_eq(1, f.r2, 5)]),
+    ]);
+
+    ProofOutline::new("figure-7", 2)
+        .invariant(inv)
+        .pre(0, 1, p1)
+        .pre(0, 2, p2)
+        .pre(0, 3, p3)
+        .pre(0, 4, p4)
+        .pre(1, 1, q1)
+        .pre(1, 2, q2)
+        .pre(1, 3, q3)
+        .pre(1, 4, q4)
+        .pre(1, 5, q5.clone())
+        .post(q5)
+}

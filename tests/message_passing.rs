@@ -1,0 +1,68 @@
+//! Experiments E1 and E2: the Figure-1 and Figure-2 message-passing
+//! programs, exhaustively and by sampling.
+
+use rc11::figures;
+use rc11::prelude::*;
+
+#[test]
+fn fig1_weak_outcome_is_reachable_and_outcome_set_exact() {
+    let f = figures::fig1();
+    let prog = compile(&f.prog);
+    let ex = Explorer::new(&prog, &AbstractObjects);
+    let report = ex.explore();
+    assert!(report.ok());
+    let mut r2s: Vec<Val> = report.terminated.iter().map(|c| c.reg(1, f.r2)).collect();
+    r2s.sort();
+    r2s.dedup();
+    assert_eq!(r2s, vec![Val::Int(0), Val::Int(5)], "Figure 1: r2 ∈ {{0, 5}}, both reachable");
+    // The pop always returned 1.
+    for c in &report.terminated {
+        assert_eq!(c.reg(1, f.r1), Val::Int(1));
+    }
+}
+
+#[test]
+fn fig2_strong_outcome_only() {
+    let f = figures::fig2();
+    let prog = compile(&f.prog);
+    let report = Explorer::new(&prog, &AbstractObjects).explore();
+    assert!(report.ok());
+    assert!(!report.terminated.is_empty());
+    for c in &report.terminated {
+        assert_eq!(c.reg(1, f.r2), Val::Int(5), "Figure 2: r2 = 5 always");
+    }
+}
+
+#[test]
+fn fig1_sampling_finds_both_outcomes() {
+    // The bench reports outcome frequencies; make sure sampling keeps
+    // exhibiting the weak behaviour.
+    let f = figures::fig1();
+    let prog = compile(&f.prog);
+    let samples = sample_terminals(&prog, &AbstractObjects, 200, 2_000, 42);
+    let stale = samples.iter().filter(|c| c.reg(1, f.r2) == Val::Int(0)).count();
+    let fresh = samples.iter().filter(|c| c.reg(1, f.r2) == Val::Int(5)).count();
+    assert_eq!(stale + fresh, 200);
+    assert!(stale > 0, "stale outcome should appear in 200 samples");
+    assert!(fresh > 0);
+}
+
+#[test]
+fn fig2_sampling_never_finds_stale() {
+    let f = figures::fig2();
+    let prog = compile(&f.prog);
+    let samples = sample_terminals(&prog, &AbstractObjects, 200, 2_000, 43);
+    assert!(samples.iter().all(|c| c.reg(1, f.r2) == Val::Int(5)));
+}
+
+#[test]
+fn fig1_vs_fig2_state_space_sizes() {
+    // Sanity on the experiment's denominators: both programs are small and
+    // fully explorable; record rough magnitudes so regressions are visible.
+    let f1 = figures::fig1();
+    let f2 = figures::fig2();
+    let r1 = Explorer::new(&compile(&f1.prog), &AbstractObjects).explore();
+    let r2 = Explorer::new(&compile(&f2.prog), &AbstractObjects).explore();
+    assert!(r1.states > 5 && r1.states < 100_000, "fig1: {} states", r1.states);
+    assert!(r2.states > 5 && r2.states < 100_000, "fig2: {} states", r2.states);
+}

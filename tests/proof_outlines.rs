@@ -1,0 +1,150 @@
+//! Experiments E3 and E7: the paper's proof outlines are valid.
+//!
+//! * Figure 3 (message passing via the synchronising stack) — every
+//!   annotation holds at every reachable configuration;
+//! * Figure 7 + Lemma 4 (lock-synchronisation client) — the full outline,
+//!   including mutual exclusion and the `rl`-indexed observations, is
+//!   valid; and the outline *fails* on mutated programs/annotations
+//!   (negative controls showing the checker has teeth).
+
+use rc11::figures;
+use rc11::prelude::*;
+
+#[test]
+fn figure_3_outline_is_valid() {
+    let f = figures::fig2();
+    let outline = figures::fig3_outline(&f);
+    let prog = compile(&f.prog);
+    let report = check_outline(&prog, &AbstractObjects, &outline, ExploreOptions::default());
+    assert!(
+        report.violations.is_empty() && !report.truncated,
+        "Figure 3 outline violated: {:?}",
+        report.violations.iter().map(|v| (&v.kind, v.class)).collect::<Vec<_>>()
+    );
+    assert!(report.terminated > 0);
+    assert_eq!(report.deadlocked, 0);
+}
+
+#[test]
+fn figure_3_outline_fails_on_figure_1() {
+    // The same annotations over the *unsynchronised* program must fail:
+    // the conditional-observation precondition of the loop is unprovable
+    // with a relaxed push.
+    let f = figures::fig1();
+    let outline = figures::fig3_outline(&f);
+    let prog = compile(&f.prog);
+    let report = check_outline(&prog, &AbstractObjects, &outline, ExploreOptions::default());
+    assert!(!report.violations.is_empty(), "relaxed MP must violate the Figure-3 outline");
+}
+
+#[test]
+fn figure_7_outline_is_valid_lemma_4() {
+    let f = figures::fig7();
+    let outline = figures::fig7_outline(&f);
+    let prog = compile(&f.prog);
+    let report = check_outline(&prog, &AbstractObjects, &outline, ExploreOptions::default());
+    assert!(
+        report.violations.is_empty() && !report.truncated,
+        "Figure 7 outline violated: {:?}",
+        report
+            .violations
+            .iter()
+            .map(|v| (&v.kind, v.class, v.mover))
+            .collect::<Vec<_>>()
+    );
+    assert!(report.terminated > 0, "the client terminates");
+    assert_eq!(report.deadlocked, 0, "the abstract lock never deadlocks this client");
+}
+
+#[test]
+fn figure_7_postcondition_shape() {
+    // Directly: all terminal states satisfy (r1, r2) ∈ {(0,0), (5,5)} and
+    // both do occur (thread 2 first vs thread 1 first).
+    let f = figures::fig7();
+    let prog = compile(&f.prog);
+    let report = Explorer::new(&prog, &AbstractObjects).explore();
+    assert!(report.ok());
+    let mut outcomes: Vec<(Val, Val)> = report
+        .terminated
+        .iter()
+        .map(|c| (c.reg(1, f.r1), c.reg(1, f.r2)))
+        .collect();
+    outcomes.sort();
+    outcomes.dedup();
+    assert_eq!(
+        outcomes,
+        vec![(Val::Int(0), Val::Int(0)), (Val::Int(5), Val::Int(5))],
+        "exactly the two atomic outcomes"
+    );
+}
+
+#[test]
+fn figure_7_rl_versions_are_1_or_3() {
+    let f = figures::fig7();
+    let prog = compile(&f.prog);
+    let report = Explorer::new(&prog, &AbstractObjects).explore();
+    let mut versions: Vec<Val> =
+        report.terminated.iter().map(|c| c.reg(1, f.rl)).collect();
+    versions.sort();
+    versions.dedup();
+    assert_eq!(versions, vec![Val::Int(1), Val::Int(3)]);
+}
+
+#[test]
+fn figure_7_outline_fails_without_mutual_exclusion_annotation_on_broken_data() {
+    // Mutate the program: thread 1 writes d2 ≠ 5. The outline's P4/Q2 must
+    // now be violated somewhere.
+    use rc11_lang::Com;
+    let f = figures::fig7();
+    let mut prog = f.prog.clone();
+    // Replace thread 1's `d2 := 5` (label 3) with `d2 := 7`.
+    fn mutate(c: &Com) -> Com {
+        match c {
+            Com::Labeled(3, inner) => {
+                if let Com::Write { var, rel, .. } = **inner {
+                    Com::Labeled(
+                        3,
+                        Box::new(Com::Write {
+                            var,
+                            exp: rc11_lang::Exp::Val(Val::Int(7)),
+                            rel,
+                        }),
+                    )
+                } else {
+                    c.clone()
+                }
+            }
+            Com::Seq(a, b) => Com::Seq(Box::new(mutate(a)), Box::new(mutate(b))),
+            other => other.clone(),
+        }
+    }
+    prog.threads[0].body = mutate(&prog.threads[0].body);
+    let outline = figures::fig7_outline(&f);
+    let compiled = compile(&prog);
+    let report = check_outline(&compiled, &AbstractObjects, &outline, ExploreOptions::default());
+    assert!(!report.violations.is_empty(), "the mutated program must violate the outline");
+}
+
+#[test]
+fn figure_7_interference_detected_for_naive_annotation() {
+    // A deliberately non-interference-free annotation: thread 1 claims
+    // [d1 = 0]2 stays true at its release point — thread 2 doesn't touch
+    // d1, but thread 1 itself wrote it; swap roles: claim [d1 = 0] for
+    // thread *2* while thread 1 writes it: a classic interference failure.
+    let f = figures::fig7();
+    let prog = compile(&f.prog);
+    let outline = ProofOutline::new("naive", 2)
+        // Thread 2 at its acquire point always sees d1 = 0 — false once
+        // thread 1 has run: interference.
+        .pre(1, 1, dobs(1, f.d1, 0));
+    let report = check_outline(&prog, &AbstractObjects, &outline, ExploreOptions::default());
+    assert!(!report.violations.is_empty());
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.class == rc11::check::OgClass::Interference),
+        "classification should include interference, got {:?}",
+        report.violations.iter().map(|v| v.class).collect::<Vec<_>>()
+    );
+}

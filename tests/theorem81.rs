@@ -1,0 +1,105 @@
+//! Experiment E10: Theorem 8.1 — forward simulation implies contextual
+//! refinement — cross-checked empirically.
+//!
+//! For every (client, implementation) pair, the simulation verdict and the
+//! *independently computed* literal trace-inclusion verdict (Definitions
+//! 5–7) must agree in the direction the theorem states: simulation found ⇒
+//! trace inclusion holds. The deliberately broken locks provide the
+//! negative side: both checkers must refute them.
+
+use rc11::prelude::*;
+use rc11_refine::harness;
+use rc11_refine::{
+    check_forward_simulation, check_trace_inclusion, ClientShape, SimOptions, TraceOptions,
+};
+
+fn both_verdicts(
+    client: &Program,
+    l: ObjRef,
+    imp: &rc11_lang::ObjectImpl,
+) -> (bool, bool, String) {
+    let shape = ClientShape::of(client);
+    let conc = instantiate(client, l, imp);
+    let abs_cfg = compile(client);
+    let conc_cfg = compile(&conc);
+    let sim = check_forward_simulation(
+        &abs_cfg,
+        &AbstractObjects,
+        &conc_cfg,
+        &NoObjects,
+        &shape,
+        SimOptions::default(),
+    );
+    let incl = check_trace_inclusion(
+        &abs_cfg,
+        &AbstractObjects,
+        &conc_cfg,
+        &NoObjects,
+        &shape,
+        TraceOptions::default(),
+    );
+    assert!(!sim.truncated, "{}: simulation truncated", imp.name);
+    assert!(!incl.truncated, "{}: baseline truncated", imp.name);
+    (sim.holds, incl.holds, format!("{} / {}", client.name, imp.name))
+}
+
+#[test]
+fn simulation_implies_trace_inclusion_on_all_pairs() {
+    let clients: Vec<(Program, ObjRef)> = vec![
+        harness::handoff_client(),
+        harness::counter_client(2),
+        // Regression: repeated hand-offs force abstract stutter-closure
+        // matching (a seqlock spin read can transfer the previous critical
+        // section's views before the acquire completes).
+        harness::rounds_client(2),
+    ];
+    let imps = [
+        rc11_locks::seqlock(),
+        rc11_locks::ticket(),
+        rc11_locks::tas(),
+        rc11_locks::ttas(),
+        rc11_locks::broken_relaxed_seqlock(),
+        rc11_locks::broken_noop_lock(),
+    ];
+    let mut checked = 0;
+    for (client, l) in &clients {
+        for imp in &imps {
+            let (sim, incl, what) = both_verdicts(client, *l, imp);
+            // Theorem 8.1: simulation ⇒ refinement.
+            assert!(!sim || incl, "{what}: simulation held but trace inclusion failed");
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 18);
+}
+
+#[test]
+fn correct_locks_pass_both_checkers() {
+    let (client, l) = harness::handoff_client();
+    for imp in rc11_locks::all_correct() {
+        let (sim, incl, what) = both_verdicts(&client, l, &imp);
+        assert!(sim, "{what}: simulation must hold (Propositions 9/10 and extensions)");
+        assert!(incl, "{what}: trace inclusion must hold");
+    }
+}
+
+#[test]
+fn broken_locks_fail_both_checkers() {
+    let (client, l) = harness::handoff_client();
+    for imp in [rc11_locks::broken_relaxed_seqlock(), rc11_locks::broken_noop_lock()] {
+        let (sim, incl, what) = both_verdicts(&client, l, &imp);
+        assert!(!sim, "{what}: simulation must be refuted");
+        assert!(!incl, "{what}: trace inclusion must be refuted");
+    }
+}
+
+#[test]
+fn fig7_client_refines_with_paper_locks() {
+    // Propositions 9 and 10 on the paper's own client (unlabelled variant).
+    let (client, l) = harness::fig7_client();
+    for imp in [rc11_locks::seqlock(), rc11_locks::ticket()] {
+        let report = rc11_refine::check_lock_refinement(&client, l, &imp);
+        assert!(report.holds, "{}: Fig-7 client refinement failed", imp.name);
+        assert!(report.concrete_states > 0 && report.abstract_states > 0);
+    }
+}
