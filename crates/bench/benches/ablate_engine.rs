@@ -67,7 +67,7 @@ fn bench(c: &mut Criterion) {
             f.client().mo(loc).iter().map(|&w| f.client().op(w).act.wrval()).collect();
         let mut lops: Vec<_> =
             l.client.ops.iter().filter(|(a, _)| a.loc() == loc).copied().collect();
-        lops.sort_by(|a, b| a.1.cmp(&b.1));
+        lops.sort_by_key(|a| a.1);
         let lv: Vec<Val> = lops.iter().map(|w| w.0.wrval()).collect();
         assert_eq!(fv, lv, "engines diverged on the ablation script");
     }

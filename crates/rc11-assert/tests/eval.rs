@@ -174,7 +174,7 @@ fn boolean_connectives() {
     assert!(imp(dobs(0, d, 5), tt()).eval(c), "false antecedent");
     assert!(pnot(dobs(0, d, 5)).eval(c));
     assert!(reg_is(1, rc11_lang::Reg(0), Val::Bot).eval(c));
-    assert!(reg_in(1, rc11_lang::Reg(0), []).eval(c) == false);
+    assert!(!reg_in(1, rc11_lang::Reg(0), []).eval(c));
 }
 
 #[test]

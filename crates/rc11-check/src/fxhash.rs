@@ -26,6 +26,12 @@ impl FxHasher {
 impl Hasher for FxHasher {
     #[inline]
     fn write(&mut self, bytes: &[u8]) {
+        // Mix the length in first: the remainder below is zero-padded to a
+        // full word, so within a single `write` call any zero-extended tail
+        // would collide (e.g. raw write of [1,2,3] vs [1,2,3,0,0]). std's
+        // derived Hash guards slices with a length prefix of its own, but
+        // raw `Hasher::write` callers get no such protection.
+        self.add_to_hash(bytes.len() as u64);
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
             self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
@@ -105,5 +111,25 @@ mod tests {
         let a: &[u8] = &[1, 2, 3, 4, 5, 6, 7, 8, 9];
         let b: &[u8] = &[1, 2, 3, 4, 5, 6, 7, 8, 10];
         assert_ne!(hash_of(&a), hash_of(&b));
+    }
+
+    /// Raw `write` of a slice vs the same slice zero-extended: the tail is
+    /// zero-padded into a full word, so only the length mix separates them.
+    #[test]
+    fn zero_extended_tail_does_not_collide() {
+        fn raw_write(bytes: &[u8]) -> u64 {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        }
+        assert_ne!(raw_write(&[1, 2, 3]), raw_write(&[1, 2, 3, 0, 0]));
+        assert_ne!(raw_write(&[1, 2, 3]), raw_write(&[1, 2, 3, 0, 0, 0, 0, 0]));
+        assert_ne!(raw_write(&[]), raw_write(&[0]));
+        assert_ne!(raw_write(&[0; 8]), raw_write(&[0; 16]));
+        // Zero-extension past the word boundary must also stay distinct.
+        let a = [9u8, 8, 7, 6, 5, 4, 3, 2, 1];
+        let mut b = a.to_vec();
+        b.extend_from_slice(&[0, 0, 0]);
+        assert_ne!(raw_write(&a), raw_write(&b));
     }
 }

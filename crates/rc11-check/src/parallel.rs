@@ -235,4 +235,60 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert!(!s.is_empty());
     }
+
+    /// Racing inserts of the same values from many threads: each distinct
+    /// value must be reported new by exactly one thread.
+    #[test]
+    fn sharded_set_concurrent_insert_unique_winner() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        const VALUES: u64 = 2_000;
+        const THREADS: usize = 8;
+        let s: ShardedSet<u64> = ShardedSet::new(4);
+        let wins = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let (s, wins) = (&s, &wins);
+                scope.spawn(move || {
+                    // Interleave directions so threads collide on the same
+                    // values at the same time instead of racing in lockstep.
+                    for i in 0..VALUES {
+                        let v = if t % 2 == 0 { i } else { VALUES - 1 - i };
+                        if s.insert(v) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.into_inner(), VALUES as usize, "each value must have one winner");
+        assert_eq!(s.len(), VALUES as usize);
+    }
+
+    /// The configured shard count is honored even for hash distributions
+    /// that are unfriendly to power-of-two masking (stride-aligned keys):
+    /// every shard must receive elements and the per-shard totals must sum
+    /// to `len()`.
+    #[test]
+    fn sharded_set_spreads_awkward_distributions() {
+        for shard_bits in [1u32, 3, 5] {
+            let s: ShardedSet<u64> = ShardedSet::new(shard_bits);
+            assert_eq!(s.shards.len(), 1 << shard_bits);
+            // Stride-128 keys: low bits constant, so a naive `hash & mask`
+            // of an identity-style hash would land everything in one shard.
+            for i in 0..4_096u64 {
+                assert!(s.insert(i * 128));
+            }
+            let per_shard: Vec<usize> = s.shards.iter().map(|sh| sh.read().len()).collect();
+            assert_eq!(per_shard.iter().sum::<usize>(), 4_096);
+            assert_eq!(s.len(), 4_096);
+            let empty = per_shard.iter().filter(|&&n| n == 0).count();
+            assert_eq!(
+                empty, 0,
+                "all {} shards should be populated, got counts {:?}",
+                1 << shard_bits,
+                per_shard
+            );
+        }
+    }
 }

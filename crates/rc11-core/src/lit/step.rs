@@ -198,7 +198,7 @@ mod tests {
         let s2 = apply_write(&s1, Comp::Client, T2, D, Val::Int(2), false, w0);
         let mut ops: Vec<LitOp> =
             s2.client.ops.iter().filter(|(a, _)| a.loc() == D).copied().collect();
-        ops.sort_by(|a, b| a.1.cmp(&b.1));
+        ops.sort_by_key(|a| a.1);
         // Timestamp order: init(0) < wr(2) < wr(1) — the second write bisects.
         let vals: Vec<Val> = ops.iter().map(|w| w.0.wrval()).collect();
         assert_eq!(vals, vec![Val::Int(0), Val::Int(2), Val::Int(1)]);

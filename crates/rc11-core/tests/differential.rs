@@ -33,7 +33,7 @@ struct Instr {
 }
 
 fn decode(raw: (u8, u8, u8, u8, u8)) -> Instr {
-    let comp = if raw.1 % 2 == 0 { Comp::Client } else { Comp::Lib };
+    let comp = if raw.1.is_multiple_of(2) { Comp::Client } else { Comp::Lib };
     let n_locs = if comp == Comp::Client { CLIENT_LOCS } else { LIB_LOCS };
     Instr {
         kind: raw.0 % 6,
@@ -99,7 +99,7 @@ fn summarize_lit(s: &LitCombined) -> Summary {
         for l in 0..n_locs {
             let mut ops: Vec<_> =
                 st.ops.iter().filter(|(a, _)| a.loc() == Loc(l as u16)).copied().collect();
-            ops.sort_by(|a, b| a.1.cmp(&b.1));
+            ops.sort_by_key(|a| a.1);
             history.push(
                 ops.iter().map(|w| (w.0.wrval(), st.cvd.contains(w))).collect(),
             );

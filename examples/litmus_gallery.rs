@@ -8,7 +8,7 @@ use std::io::Write;
 fn main() {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    writeln!(out, "{:<10} {:>7} {:>9} {:>9}  {}", "name", "states", "observed", "expected", "about")
+    writeln!(out, "{:<10} {:>7} {:>9} {:>9}  about", "name", "states", "observed", "expected")
         .unwrap();
     let mut all_pass = true;
     for l in rc11_litmus::all() {

@@ -1,0 +1,121 @@
+//! Offline shim for `crossbeam`: scoped threads over `std::thread::scope`
+//! and a mutex-backed `deque::Injector`. Only the subset the workspace's
+//! parallel explorer uses.
+
+#![warn(missing_docs)]
+
+/// Work-queue types mirroring `crossbeam::deque`.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Result of a steal attempt.
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The attempt lost a race; try again.
+        Retry,
+    }
+
+    /// A FIFO injector queue shared by all workers.
+    ///
+    /// The real crossbeam injector is lock-free; this shim serialises
+    /// through a mutex, which is contended but correct — the parallel
+    /// explorer's scaling benches measure the real crate, not this shim.
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Injector<T> {
+            Injector { q: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Pushes a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.q.lock().unwrap_or_else(|e| e.into_inner()).push_back(task);
+        }
+
+        /// Steals a task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock().unwrap_or_else(|e| e.into_inner()).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True iff the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Injector<T> {
+            Injector::new()
+        }
+    }
+}
+
+/// A scope handle passed to [`scope`] closures; spawns scoped workers.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives a copy of the scope so
+    /// it can spawn further threads (crossbeam's signature).
+    pub fn spawn<T, F>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(scope))
+    }
+}
+
+/// Creates a scope in which threads borrowing from the environment can be
+/// spawned; joins them all before returning. Unlike crossbeam, a panicking
+/// worker propagates its panic when the scope joins (the `Result` is kept
+/// for signature compatibility and is always `Ok`).
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_workers_drain_injector() {
+        let inj: Injector<usize> = Injector::new();
+        for i in 0..100 {
+            inj.push(i);
+        }
+        let sum = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| loop {
+                    match inj.steal() {
+                        Steal::Success(v) => {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => break,
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.into_inner(), (0..100).sum());
+    }
+}

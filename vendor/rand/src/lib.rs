@@ -1,0 +1,125 @@
+//! Offline shim for `rand`: `StdRng`/`SeedableRng`/`Rng::gen_range` over a
+//! SplitMix64 generator. Deterministic per seed (the only property the
+//! workspace's samplers rely on); sequences differ from upstream `rand`.
+
+#![warn(missing_docs)]
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The standard RNG: here, SplitMix64 (upstream uses ChaCha12).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng { state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15) }
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniformly distributed value from the range.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// Value generation, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Returns the next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a uniform value from `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized;
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea & Flood 2014).
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let xs: Vec<usize> = (0..100).map(|_| a.gen_range(0..10usize)).collect();
+        let ys: Vec<usize> = (0..100).map(|_| b.gen_range(0..10usize)).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().all(|&x| x < 10));
+        // All residues show up over 100 draws.
+        for v in 0..10 {
+            assert!(xs.contains(&v), "value {v} never drawn");
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn inclusive_range_hits_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        let xs: Vec<u8> = (0..300).map(|_| r.gen_range(0u8..=255)).collect();
+        assert!(xs.iter().any(|&x| x > 200));
+        assert!(xs.iter().any(|&x| x < 50));
+    }
+}
