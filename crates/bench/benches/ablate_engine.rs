@@ -1,16 +1,21 @@
 //! Ablation A1: the literal Figure-5 engine (rational timestamps, set-based
-//! states) versus the fast engine (dense ranks, canonicalising states).
+//! states) versus the fast engine (dense ranks, canonicalising states) —
+//! plus a sweep of the *exploration* engines (sequential reference vs the
+//! batched parallel engine) over a real lock client, so one bench file
+//! covers both engine axes of DESIGN.md.
 //!
-//! Both engines execute the same deterministic transition script; the fast
-//! engine additionally pays for canonicalisation, which is what makes
-//! state-space deduplication possible at all (the literal engine's rational
-//! timestamps make every interleaving representationally distinct).
-//! Expected shape: the fast engine wins by an order of magnitude on raw
-//! transitions, and only it supports visited-set dedup.
+//! Both memory engines execute the same deterministic transition script;
+//! the fast engine additionally pays for canonicalisation, which is what
+//! makes state-space deduplication possible at all (the literal engine's
+//! rational timestamps make every interleaving representationally
+//! distinct). Expected shape: the fast engine wins by an order of magnitude
+//! on raw transitions, and only it supports visited-set dedup.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rc11::prelude::*;
 use rc11_core::lit::{step as lit_step, LitCombined};
 use rc11_core::{Combined, Comp, InitLoc, Loc, Tid, Val};
+use rc11_refine::harness;
 
 const N_STEPS: usize = 60;
 
@@ -82,5 +87,39 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
+/// The exploration-engine axis: sequential reference vs the batched
+/// parallel engine (via `choose_engine`) over a three-thread ticket-lock
+/// client, with identical-state-count assertions on every iteration.
+fn bench_exploration(c: &mut Criterion) {
+    let (client, l) = harness::counter_client(3);
+    let conc = instantiate(&client, l, &rc11_locks::ticket());
+    let prog = compile(&conc);
+    let opts = ExploreOptions { record_traces: false, ..Default::default() };
+    let seq = Engine::Sequential.explore(&prog, &NoObjects, opts);
+    eprintln!(
+        "[ablate_engine] exploration reference: {} states, {} transitions",
+        seq.states, seq.transitions
+    );
+
+    let mut g = c.benchmark_group("exploration_engine");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            let r = Engine::Sequential.explore(&prog, &NoObjects, opts);
+            assert_eq!(r.states, seq.states);
+        })
+    });
+    for workers in [2usize, 4] {
+        let engine = choose_engine(workers);
+        g.bench_with_input(BenchmarkId::new("parallel", workers), &engine, |b, engine| {
+            b.iter(|| {
+                let r = engine.explore(&prog, &NoObjects, opts);
+                assert_eq!(r.states, seq.states);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench, bench_exploration);
 criterion_main!(benches);

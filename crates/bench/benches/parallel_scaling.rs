@@ -1,10 +1,16 @@
 //! Ablation A3: parallel exploration scaling.
 //!
 //! Explores a four-thread ticket-lock client (the largest state space in
-//! the suite: ~3.7k canonical states, ~15k transitions) with 1, 2, 4 and 8
-//! workers, asserting that every worker count visits the identical state
-//! count. Expected shape: speedup rising with workers until the frontier
-//! is too shallow to feed them.
+//! the suite: ~3.7k canonical states, ~15k transitions) with the
+//! sequential reference engine and the batched work-stealing parallel
+//! engine at 1, 2, 4 and 8 workers, asserting that every engine visits the
+//! identical state count. The parallel engine is benched through the
+//! unified [`Engine`] API (worker-local flush batches + batched sharded-map
+//! insertion); `Engine::Parallel { workers: 1 }` is forced (rather than
+//! `choose_engine(1)`, which would hand back the sequential engine) so the
+//! sweep exposes the parallel engine's fixed overhead at one worker.
+//! Expected shape: speedup rising with workers until the frontier is too
+//! shallow to feed them.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rc11::prelude::*;
@@ -20,7 +26,7 @@ fn bench(c: &mut Criterion) {
     let prog = build_prog();
     let opts = ExploreOptions { record_traces: false, ..Default::default() };
 
-    let seq = Explorer::new(&prog, &NoObjects).with_options(opts).explore();
+    let seq = Engine::Sequential.explore(&prog, &NoObjects, opts);
     eprintln!(
         "[parallel] {}: {} states, {} transitions (sequential reference)",
         prog.source.name, seq.states, seq.transitions
@@ -31,14 +37,15 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("sequential", |b| {
         b.iter(|| {
-            let r = Explorer::new(&prog, &NoObjects).with_options(opts).explore();
+            let r = Engine::Sequential.explore(&prog, &NoObjects, opts);
             assert_eq!(r.states, seq.states);
         })
     });
     for workers in [1usize, 2, 4, 8] {
-        g.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+        let engine = Engine::Parallel { workers };
+        g.bench_with_input(BenchmarkId::new("workers", workers), &engine, |b, engine| {
             b.iter(|| {
-                let r = par_explore(&prog, &NoObjects, opts, w, |_| Vec::new());
+                let r = engine.explore(&prog, &NoObjects, opts);
                 assert_eq!(r.states, seq.states, "worker count must not change the state count");
             })
         });

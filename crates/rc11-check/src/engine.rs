@@ -1,0 +1,191 @@
+//! The unified exploration-engine surface.
+//!
+//! Every exhaustive check in the workspace — litmus verdicts, proof-outline
+//! validation, refinement harness sweeps, the lock negative controls — asks
+//! the same question: "what does the reachable configuration space look
+//! like?". This module gives that question one answer type
+//! ([`EngineReport`], with [`Violation`]s that carry counterexample traces)
+//! and one entry point ([`Engine`]) behind which the sequential explorer
+//! ([`crate::explore::Explorer`]) and the batched work-stealing parallel
+//! explorer ([`crate::parallel::par_explore`]) are interchangeable.
+//!
+//! The two engines are proven equivalent — identical state, transition and
+//! terminal counts and identical violation sets — by the differential suite
+//! (`tests/engine_agreement.rs` at the workspace root), with the sequential
+//! explorer serving as the reference oracle. [`choose_engine`] picks the
+//! engine for a requested worker count.
+
+use crate::explore::Explorer;
+use crate::parallel::par_explore;
+use rc11_core::Tid;
+use rc11_lang::cfg::CfgProgram;
+use rc11_lang::machine::{Config, ObjectSemantics, StepOptions};
+
+/// Exploration limits and knobs, shared by both engines.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreOptions {
+    /// Step-generation options (local fusion).
+    pub step: StepOptions,
+    /// Hard cap on visited states (guards against state explosion; the
+    /// report marks truncation). The parallel engine checks the cap
+    /// against a racy running counter, so its visited map may transiently
+    /// overshoot by up to one batch of successors per worker; the report
+    /// reconciles that to the sequential oracle's verdict — whenever the
+    /// cap was exceeded, `truncated` is set and `states` is clamped to
+    /// `max_states` (still a valid lower bound on the reachable space) —
+    /// so cap-hitting runs agree across engines.
+    pub max_states: usize,
+    /// Record parent pointers so violations carry counterexample traces.
+    /// Both engines honour this: the sequential explorer keeps a parent
+    /// array, the parallel engine a sharded parent-pointer map.
+    pub record_traces: bool,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            step: StepOptions::default(),
+            max_states: 5_000_000,
+            record_traces: true,
+        }
+    }
+}
+
+/// A violation discovered during exploration.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// What was violated (human-readable).
+    pub what: String,
+    /// The offending configuration.
+    pub config: Config,
+    /// The step sequence from the initial configuration, if traces were
+    /// recorded: `(moving thread, resulting configuration)` pairs.
+    pub trace: Option<Vec<(Tid, Config)>>,
+}
+
+/// Exploration statistics and results, identical across engines.
+#[derive(Debug, Clone, Default)]
+pub struct EngineReport {
+    /// Distinct canonical configurations visited.
+    pub states: usize,
+    /// Transitions generated.
+    pub transitions: usize,
+    /// Terminal configurations where every thread halted.
+    pub terminated: Vec<Config>,
+    /// Terminal configurations with at least one non-halted (blocked)
+    /// thread — deadlocks under the abstract semantics.
+    pub deadlocked: Vec<Config>,
+    /// Violations reported by the check callback.
+    pub violations: Vec<Violation>,
+    /// True iff `max_states` was hit (results are a lower bound).
+    pub truncated: bool,
+}
+
+impl EngineReport {
+    /// No violations and exploration completed.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty() && !self.truncated
+    }
+}
+
+/// Which exploration engine to run. Both decide the same reachability
+/// question; the differential suite holds them to identical answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The sequential reference explorer ([`crate::explore::Explorer`]).
+    Sequential,
+    /// The batched work-stealing parallel explorer
+    /// ([`crate::parallel::par_explore`]) with this many workers.
+    Parallel {
+        /// Worker-thread count (clamped to at least 1).
+        workers: usize,
+    },
+}
+
+/// Pick an engine for a requested worker count: one worker (or zero) gets
+/// the sequential explorer — it has no synchronisation overhead and is the
+/// reference oracle — more workers get the parallel engine.
+pub fn choose_engine(n_workers: usize) -> Engine {
+    if n_workers <= 1 {
+        Engine::Sequential
+    } else {
+        Engine::Parallel { workers: n_workers }
+    }
+}
+
+impl Engine {
+    /// The number of worker threads this engine runs.
+    pub fn workers(&self) -> usize {
+        match self {
+            Engine::Sequential => 1,
+            Engine::Parallel { workers } => (*workers).max(1),
+        }
+    }
+
+    /// Exhaustive reachability with a per-configuration check callback; the
+    /// callback returns a description for every property the configuration
+    /// violates. The callback must be `Sync` because the parallel engine
+    /// evaluates it from every worker.
+    pub fn explore_with(
+        &self,
+        prog: &CfgProgram,
+        objs: &(dyn ObjectSemantics + Sync),
+        opts: ExploreOptions,
+        check: impl Fn(&Config) -> Vec<String> + Sync,
+    ) -> EngineReport {
+        match self {
+            Engine::Sequential => {
+                Explorer::new(prog, objs).with_options(opts).explore_with(|c| check(c))
+            }
+            Engine::Parallel { workers } => par_explore(prog, objs, opts, *workers, check),
+        }
+    }
+
+    /// Plain reachability (no property).
+    pub fn explore(
+        &self,
+        prog: &CfgProgram,
+        objs: &(dyn ObjectSemantics + Sync),
+        opts: ExploreOptions,
+    ) -> EngineReport {
+        self.explore_with(prog, objs, opts, |_| Vec::new())
+    }
+
+    /// Check a predicate as a global invariant.
+    pub fn check_invariant(
+        &self,
+        prog: &CfgProgram,
+        objs: &(dyn ObjectSemantics + Sync),
+        opts: ExploreOptions,
+        pred: &rc11_assert::Pred,
+    ) -> EngineReport {
+        self.explore_with(prog, objs, opts, |cfg| {
+            let ctx = rc11_assert::EvalCtx { prog, cfg };
+            if pred.eval(ctx) {
+                Vec::new()
+            } else {
+                vec!["invariant violated".to_string()]
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choose_engine_prefers_sequential_for_one_worker() {
+        assert_eq!(choose_engine(0), Engine::Sequential);
+        assert_eq!(choose_engine(1), Engine::Sequential);
+        assert_eq!(choose_engine(2), Engine::Parallel { workers: 2 });
+        assert_eq!(choose_engine(8), Engine::Parallel { workers: 8 });
+    }
+
+    #[test]
+    fn workers_clamped_to_at_least_one() {
+        assert_eq!(Engine::Sequential.workers(), 1);
+        assert_eq!(Engine::Parallel { workers: 0 }.workers(), 1);
+        assert_eq!(Engine::Parallel { workers: 4 }.workers(), 4);
+    }
+}

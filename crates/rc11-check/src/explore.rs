@@ -1,75 +1,24 @@
-//! The sequential state-space explorer.
+//! The sequential state-space explorer — the reference oracle.
 //!
-//! Exhaustive breadth-first exploration of all reachable configurations of
+//! Exhaustive exploration of all reachable configurations of
 //! a compiled program under the RC11 RAR semantics, deduplicating on
 //! canonical forms (rc11-core's canonicalisation makes interleavings that
 //! produce the same state collide). This is the executable counterpart of
 //! the paper's "for all executions" quantifier: every lemma is checked at
 //! every reachable configuration.
+//!
+//! The option/report/violation types shared with the parallel engine live
+//! in [`crate::engine`]; `Report` is a compatibility alias for
+//! [`EngineReport`](crate::engine::EngineReport). The differential suite
+//! (`tests/engine_agreement.rs`) holds the parallel engine to this
+//! explorer's answers, which makes this file the semantic ground truth.
 
 use crate::fxhash::FxHashMap;
 use rc11_core::Tid;
 use rc11_lang::cfg::CfgProgram;
-use rc11_lang::machine::{successors, Config, ObjectSemantics, StepOptions};
+use rc11_lang::machine::{successors, Config, ObjectSemantics};
 
-/// Exploration limits and knobs.
-#[derive(Debug, Clone, Copy)]
-pub struct ExploreOptions {
-    /// Step-generation options (local fusion).
-    pub step: StepOptions,
-    /// Hard cap on visited states (guards against state explosion; the
-    /// report marks truncation).
-    pub max_states: usize,
-    /// Record parent pointers so violations carry counterexample traces.
-    pub record_traces: bool,
-}
-
-impl Default for ExploreOptions {
-    fn default() -> Self {
-        ExploreOptions {
-            step: StepOptions::default(),
-            max_states: 5_000_000,
-            record_traces: true,
-        }
-    }
-}
-
-/// A violation discovered during exploration.
-#[derive(Debug, Clone)]
-pub struct Violation {
-    /// What was violated (human-readable).
-    pub what: String,
-    /// The offending configuration.
-    pub config: Config,
-    /// The step sequence from the initial configuration, if traces were
-    /// recorded: `(moving thread, resulting configuration)` pairs.
-    pub trace: Option<Vec<(Tid, Config)>>,
-}
-
-/// Exploration statistics and results.
-#[derive(Debug, Clone, Default)]
-pub struct Report {
-    /// Distinct canonical configurations visited.
-    pub states: usize,
-    /// Transitions generated.
-    pub transitions: usize,
-    /// Terminal configurations where every thread halted.
-    pub terminated: Vec<Config>,
-    /// Terminal configurations with at least one non-halted (blocked)
-    /// thread — deadlocks under the abstract semantics.
-    pub deadlocked: Vec<Config>,
-    /// Violations reported by the check callback.
-    pub violations: Vec<Violation>,
-    /// True iff `max_states` was hit (results are a lower bound).
-    pub truncated: bool,
-}
-
-impl Report {
-    /// No violations and exploration completed.
-    pub fn ok(&self) -> bool {
-        self.violations.is_empty() && !self.truncated
-    }
-}
+pub use crate::engine::{EngineReport as Report, ExploreOptions, Violation};
 
 struct Node {
     cfg: Config,

@@ -5,18 +5,24 @@
 //! operational semantics, this crate decides them for the paper's (finite-
 //! state) programs by exhaustive exploration:
 //!
-//! * [`explore::Explorer`] — sequential BFS over canonical configurations
+//! * [`engine`] — the unified exploration surface: [`engine::Engine`],
+//!   [`engine::choose_engine`], and the shared
+//!   [`engine::EngineReport`]/[`engine::Violation`] types both engines
+//!   produce;
+//! * [`explore::Explorer`] — sequential exhaustive search over canonical configurations
 //!   with invariant checking, terminal-outcome collection and counterexample
-//!   traces;
+//!   traces — the reference oracle for the differential suite;
 //! * [`outline_check`] — proof-outline validity (Figures 3, 7; Lemma 4)
-//!   with Owicki–Gries violation classification (local vs interference);
-//! * [`parallel`] — work-stealing parallel exploration over a sharded
-//!   visited set (ablation A3);
+//!   with Owicki–Gries violation classification (local vs interference),
+//!   runnable under either engine ([`outline_check::check_outline_with`]);
+//! * [`parallel`] — the batched work-stealing parallel engine over a
+//!   sharded parent-pointer map, with counterexample traces (ablation A3);
 //! * [`random`] — reproducible random-walk sampling for outcome frequency;
 //! * [`fxhash`] — the integer-friendly hasher behind all the maps.
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod explore;
 pub mod fxhash;
 pub mod outline_check;
@@ -24,7 +30,10 @@ pub mod parallel;
 pub mod pretty;
 pub mod random;
 
-pub use explore::{ExploreOptions, Explorer, Report, Violation};
-pub use outline_check::{check_outline, OgClass, OutlineKind, OutlineReport, OutlineViolation};
-pub use parallel::{par_explore, ShardedSet};
+pub use engine::{choose_engine, Engine, EngineReport, ExploreOptions, Violation};
+pub use explore::{Explorer, Report};
+pub use outline_check::{
+    check_outline, check_outline_with, OgClass, OutlineKind, OutlineReport, OutlineViolation,
+};
+pub use parallel::{par_explore, ShardedMap, ShardedSet};
 pub use random::{random_walk, sample_terminals};

@@ -23,12 +23,15 @@
 //! the strongest classification observed across incoming edges
 //! (interference > local > inherited > initial).
 
-use crate::explore::ExploreOptions;
+use crate::engine::{Engine, ExploreOptions};
 use crate::fxhash::FxHashMap;
+use crate::parallel::par_walk;
+use parking_lot::Mutex;
 use rc11_assert::{EvalCtx, Pred, ProofOutline};
 use rc11_core::Tid;
 use rc11_lang::cfg::CfgProgram;
 use rc11_lang::machine::{successors, Config, ObjectSemantics};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Owicki–Gries classification of a violated annotation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -95,28 +98,40 @@ impl OutlineReport {
     }
 }
 
-struct Checker<'a> {
+/// The annotation evaluator: immutable per-check data shared by both
+/// engines (and across the parallel engine's workers — everything here is
+/// `Sync`).
+struct Annots<'a> {
     prog: &'a CfgProgram,
     outline: &'a ProofOutline,
     /// Per thread: pc → label whose region starts at that pc.
     label_starts: Vec<FxHashMap<u32, u32>>,
-    /// Dedup: (annotation, configuration) → index into `violations`.
-    seen: FxHashMap<(OutlineKind, Config), usize>,
 }
 
-impl<'a> Checker<'a> {
-    /// All annotations violated at `cfg`: `(kind, owner)` pairs.
-    fn failures(&self, cfg: &Config, report: &mut OutlineReport) -> Vec<(OutlineKind, Option<usize>)> {
+impl<'a> Annots<'a> {
+    fn new(prog: &'a CfgProgram, outline: &'a ProofOutline) -> Annots<'a> {
+        assert_eq!(outline.pre.len(), prog.n_threads(), "outline thread count mismatch");
+        let label_starts: Vec<FxHashMap<u32, u32>> = prog
+            .threads
+            .iter()
+            .map(|th| th.labels.iter().map(|(&k, &pc)| (pc, k)).collect())
+            .collect();
+        Annots { prog, outline, label_starts }
+    }
+
+    /// All annotations violated at `cfg` (`(kind, owner)` pairs) and the
+    /// number of assertion evaluations performed.
+    fn failures(&self, cfg: &Config) -> (Vec<(OutlineKind, Option<usize>)>, usize) {
         let ctx = EvalCtx { prog: self.prog, cfg };
         let mut out = Vec::new();
-        report.checks += 1;
+        let mut checks = 1;
         if !self.outline.invariant.eval(ctx) {
             out.push((OutlineKind::Invariant, None));
         }
         for (t, anns) in self.outline.pre.iter().enumerate() {
             if let Some(&k) = self.label_starts[t].get(&cfg.pcs[t]) {
                 if let Some(p) = anns.get(&k) {
-                    report.checks += 1;
+                    checks += 1;
                     if !p.eval(ctx) {
                         out.push((OutlineKind::Pre(t, k), Some(t)));
                     }
@@ -124,12 +139,12 @@ impl<'a> Checker<'a> {
             }
         }
         if cfg.terminated(self.prog) {
-            report.checks += 1;
+            checks += 1;
             if !self.outline.post.eval(ctx) {
                 out.push((OutlineKind::Post, None));
             }
         }
-        out
+        (out, checks)
     }
 
     /// Did this annotation hold at `parent` (owner already at the point)?
@@ -145,51 +160,109 @@ impl<'a> Checker<'a> {
         }
     }
 
-    fn record(
-        &mut self,
-        kind: OutlineKind,
-        cfg: &Config,
-        class: OgClass,
-        mover: Option<Tid>,
-        report: &mut OutlineReport,
-    ) {
+    /// Owicki–Gries classification of a failed annotation on the edge
+    /// `parent —tid→ (violating config)`.
+    fn classify(
+        &self,
+        kind: &OutlineKind,
+        owner: Option<usize>,
+        tid: Tid,
+        parent: &Config,
+    ) -> OgClass {
+        if owner == Some(tid.idx()) {
+            OgClass::Local
+        } else if self.held_at(kind, parent) {
+            if owner.is_none() {
+                OgClass::Local // invariant/post: broken by this mover
+            } else {
+                OgClass::Interference
+            }
+        } else {
+            OgClass::Inherited
+        }
+    }
+}
+
+/// Violation collection with per-(annotation, configuration) dedup keeping
+/// the strongest classification. The parallel engine wraps this in a mutex;
+/// the final content is order-independent (max over all incoming edges), so
+/// both engines converge to the same (kind, config) → class map.
+#[derive(Default)]
+struct Recorder {
+    /// Dedup: (annotation, configuration) → index into `violations`.
+    seen: FxHashMap<(OutlineKind, Config), usize>,
+    violations: Vec<OutlineViolation>,
+}
+
+impl Recorder {
+    fn record(&mut self, kind: OutlineKind, cfg: &Config, class: OgClass, mover: Option<Tid>) {
         match self.seen.entry((kind.clone(), cfg.clone())) {
             std::collections::hash_map::Entry::Occupied(e) => {
-                let v = &mut report.violations[*e.get()];
+                let v = &mut self.violations[*e.get()];
                 if class > v.class {
                     v.class = class;
                     v.mover = mover;
                 }
             }
             std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(report.violations.len());
-                report.violations.push(OutlineViolation { kind, class, mover, config: cfg.clone() });
+                e.insert(self.violations.len());
+                self.violations.push(OutlineViolation {
+                    kind,
+                    class,
+                    mover,
+                    config: cfg.clone(),
+                });
             }
         }
     }
 }
 
-/// Check `outline` against the full reachable space of `prog`.
+/// Check `outline` against the full reachable space of `prog` with the
+/// sequential reference engine. See [`check_outline_with`] to pick the
+/// engine explicitly.
 pub fn check_outline(
     prog: &CfgProgram,
     objs: &dyn ObjectSemantics,
     outline: &ProofOutline,
     opts: ExploreOptions,
 ) -> OutlineReport {
-    assert_eq!(outline.pre.len(), prog.n_threads(), "outline thread count mismatch");
-    let label_starts: Vec<FxHashMap<u32, u32>> = prog
-        .threads
-        .iter()
-        .map(|th| th.labels.iter().map(|(&k, &pc)| (pc, k)).collect())
-        .collect();
+    seq_check_outline(prog, objs, outline, opts)
+}
 
+/// Check `outline` against the full reachable space of `prog` under the
+/// given [`Engine`]. Both engines classify every edge of the reachable
+/// graph and agree on states, transitions, checks, terminal counts and the
+/// (kind, configuration) → strongest-class violation map; only `mover`
+/// tie-breaks and violation order may differ in the parallel engine.
+pub fn check_outline_with(
+    prog: &CfgProgram,
+    objs: &(dyn ObjectSemantics + Sync),
+    outline: &ProofOutline,
+    opts: ExploreOptions,
+    engine: &Engine,
+) -> OutlineReport {
+    match engine {
+        Engine::Sequential => seq_check_outline(prog, objs, outline, opts),
+        Engine::Parallel { workers } => par_check_outline(prog, objs, outline, opts, *workers),
+    }
+}
+
+fn seq_check_outline(
+    prog: &CfgProgram,
+    objs: &dyn ObjectSemantics,
+    outline: &ProofOutline,
+    opts: ExploreOptions,
+) -> OutlineReport {
+    let annots = Annots::new(prog, outline);
+    let mut recorder = Recorder::default();
     let mut report = OutlineReport::default();
-    let mut checker = Checker { prog, outline, label_starts, seen: FxHashMap::default() };
 
     let mut visited: FxHashMap<Config, ()> = FxHashMap::default();
     let init = Config::initial(prog).canonical();
-    for (kind, _) in checker.failures(&init, &mut report) {
-        checker.record(kind, &init, OgClass::Initial, None, &mut report);
+    let (fails, checks) = annots.failures(&init);
+    report.checks += checks;
+    for (kind, _) in fails {
+        recorder.record(kind, &init, OgClass::Initial, None);
     }
     visited.insert(init.clone(), ());
     let mut frontier = vec![init];
@@ -208,19 +281,11 @@ pub fn check_outline(
         for (tid, succ) in succs {
             let canon = succ.canonical();
             // Classify per edge, visited or not.
-            for (kind, owner) in checker.failures(&canon, &mut report) {
-                let class = if owner == Some(tid.idx()) {
-                    OgClass::Local
-                } else if checker.held_at(&kind, &cfg) {
-                    if owner.is_none() {
-                        OgClass::Local // invariant/post: broken by this mover
-                    } else {
-                        OgClass::Interference
-                    }
-                } else {
-                    OgClass::Inherited
-                };
-                checker.record(kind, &canon, class, Some(tid), &mut report);
+            let (fails, checks) = annots.failures(&canon);
+            report.checks += checks;
+            for (kind, owner) in fails {
+                let class = annots.classify(&kind, owner, tid, &cfg);
+                recorder.record(kind, &canon, class, Some(tid));
             }
             if visited.contains_key(&canon) {
                 continue;
@@ -234,7 +299,67 @@ pub fn check_outline(
         }
     }
     report.states = visited.len();
+    report.violations = recorder.violations;
     report
+}
+
+/// The parallel outline checker: the shared batched work-stealing walk of
+/// [`crate::parallel`] (`par_walk`), with every generated edge classified
+/// Owicki–Gries style. Annotation evaluation (the expensive part) happens
+/// outside any lock; only violation recording serialises through a mutex.
+fn par_check_outline(
+    prog: &CfgProgram,
+    objs: &(dyn ObjectSemantics + Sync),
+    outline: &ProofOutline,
+    opts: ExploreOptions,
+    n_workers: usize,
+) -> OutlineReport {
+    let annots = Annots::new(prog, outline);
+    let recorder: Mutex<Recorder> = Mutex::new(Recorder::default());
+    let checks = AtomicUsize::new(0);
+
+    // The walk's `on_novel` fires for the initial configuration too, but
+    // initial failures are classified `Initial` (no incoming edge), which
+    // only the initial configuration gets — so handle it here and let
+    // `on_edge` cover everything else.
+    let init = Config::initial(prog).canonical();
+    let (fails, n) = annots.failures(&init);
+    checks.fetch_add(n, Ordering::Relaxed);
+    for (kind, _) in fails {
+        recorder.lock().record(kind, &init, OgClass::Initial, None);
+    }
+
+    let (_visited, stats) = par_walk(
+        prog,
+        objs,
+        opts,
+        n_workers,
+        (),
+        |_, _| (),
+        |parent: &Config, tid, canon: &Config| {
+            // Classify per edge, visited or not.
+            let (fails, n) = annots.failures(canon);
+            checks.fetch_add(n, Ordering::Relaxed);
+            if !fails.is_empty() {
+                let mut rec = recorder.lock();
+                for (kind, owner) in fails {
+                    let class = annots.classify(&kind, owner, tid, parent);
+                    rec.record(kind, canon, class, Some(tid));
+                }
+            }
+        },
+        |_| {},
+    );
+
+    OutlineReport {
+        states: stats.states,
+        transitions: stats.transitions,
+        checks: checks.into_inner(),
+        terminated: stats.terminated.len(),
+        deadlocked: stats.deadlocked.len(),
+        violations: recorder.into_inner().violations,
+        truncated: stats.truncated,
+    }
 }
 
 /// Convenience: check a single predicate as an invariant, returning outline

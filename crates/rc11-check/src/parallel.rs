@@ -1,24 +1,74 @@
-//! Parallel state-space exploration.
+//! The high-throughput parallel exploration engine.
 //!
-//! Work-stealing BFS over crossbeam's `Injector`, with a sharded visited
-//! set (parking_lot RwLock shards, FxHash sharding) so workers rarely
-//! contend. Properties are checked by a `Sync` callback; violations carry
-//! configurations but no traces (trace recording is inherently sequential —
-//! use the sequential explorer to reproduce a violation with a trace).
+//! Work-stealing exhaustive search over crossbeam's `Injector`, rebuilt
+//! around three throughput and one capability upgrade over the original
+//! ablation-A3 prototype:
 //!
+//! * **Batched work distribution** — workers accumulate novel states in a
+//!   worker-local buffer and flush them to the shared injector in chunks
+//!   ([`FLUSH_BATCH`]), so steal traffic and queue-lock contention scale
+//!   with batches, not states.
+//! * **Batched, double-checked shard insertion** — the visited structure is
+//!   a [`ShardedMap`] (parking_lot RwLock shards); all successors of one
+//!   expansion are grouped by shard and inserted with one read-lock filter
+//!   pass plus one write-lock pass per touched shard, re-checking membership
+//!   under the write lock so racing workers agree on exactly one winner per
+//!   state.
+//! * **Mixed shard indexing** — shard selection feeds the key's hash
+//!   through an avalanche mixer ([`spread`]) instead of using a fixed bit
+//!   window, so stride-aligned or low-entropy key patterns still populate
+//!   every shard (property-tested in `tests/sharded_props.rs`).
+//! * **Counterexample traces** — the visited map stores
+//!   `Config → (parent configuration, moving thread)` first-discovery
+//!   parent pointers (when [`ExploreOptions::record_traces`] is set), so
+//!   parallel violations reconstruct full replayable traces after the
+//!   workers join, exactly like the sequential explorer's. (Discovery
+//!   order is a race in the parallel engine and a stack discipline in the
+//!   sequential one, so traces are *valid* paths from the initial
+//!   configuration, not shortest ones — in either engine.)
+//!
+//! Engine selection is [`crate::engine::choose_engine`]; the sequential
+//! explorer remains the reference oracle, and `tests/engine_agreement.rs`
+//! (workspace root) proves state/transition/terminal/violation parity on
+//! the full litmus gallery and the outline programs at 1/2/4/8 workers.
 //! This is ablation A3 of DESIGN.md: the benches sweep worker counts to
 //! show exploration scaling.
 
-use crate::explore::{ExploreOptions, Report, Violation};
-use crate::fxhash::{FxBuildHasher, FxHashSet};
+use crate::engine::{EngineReport, ExploreOptions, Violation};
+use crate::fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 use crossbeam::deque::{Injector, Steal};
 use parking_lot::{Mutex, RwLock};
+use rc11_core::Tid;
 use rc11_lang::cfg::CfgProgram;
 use rc11_lang::machine::{successors, Config, ObjectSemantics};
 use std::hash::{BuildHasher, Hash};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
+/// Novel states a worker buffers locally before flushing one chunk to the
+/// shared injector.
+pub const FLUSH_BATCH: usize = 32;
+
+/// Avalanche-mix a hash into a shard index base: xor-fold and multiply so
+/// every input bit influences the low bits the mask keeps. Keys whose
+/// hashes differ only in high bits (stride-aligned patterns, low-entropy
+/// hash functions) still spread across shards.
+#[inline]
+fn spread(h: u64) -> usize {
+    let h = h ^ (h >> 33);
+    let h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    (h ^ (h >> 33)) as usize
+}
+
 /// A concurrent set sharded by hash, for visited-state deduplication.
+///
+/// `insert` is linearisable per value: the membership test is re-validated
+/// under the shard's write lock (double-checked locking), so for any value
+/// inserted concurrently by many threads exactly one caller observes
+/// `true`. [`len`](ShardedSet::len) and [`is_empty`](ShardedSet::is_empty)
+/// are **racy snapshots**: they lock the shards one at a time, so under
+/// concurrent insertion they return a value between the set's size when the
+/// call started and its size when the call finished — exact only at
+/// quiescence (e.g. after workers join).
 pub struct ShardedSet<T> {
     shards: Vec<RwLock<FxHashSet<T>>>,
     hasher: FxBuildHasher,
@@ -36,98 +86,326 @@ impl<T: Hash + Eq> ShardedSet<T> {
         }
     }
 
-    /// Insert; returns true iff the value was new.
+    #[inline]
+    fn shard_of(&self, v: &T) -> usize {
+        spread(self.hasher.hash_one(v)) & self.mask
+    }
+
+    /// Insert; returns true iff the value was new. A read-lock fast path
+    /// rejects known values; the slow path re-validates membership under
+    /// the write lock, so concurrent inserters of the same value elect
+    /// exactly one winner.
     pub fn insert(&self, v: T) -> bool {
-        let h = self.hasher.hash_one(&v) as usize;
-        let shard = &self.shards[(h >> 7) & self.mask];
-        {
-            let read = shard.read();
-            if read.contains(&v) {
-                return false;
-            }
+        let shard = &self.shards[self.shard_of(&v)];
+        if shard.read().contains(&v) {
+            return false;
         }
         shard.write().insert(v)
     }
 
-    /// Total elements across shards.
+    /// Total elements across shards — a racy snapshot (see the type docs);
+    /// exact when no insert is in flight.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.read().len()).sum()
     }
 
-    /// True iff no elements.
+    /// True iff no elements — racy under concurrent insertion, like
+    /// [`len`](ShardedSet::len).
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Per-shard element counts (racy snapshot), for occupancy diagnostics
+    /// and the shard-distribution property tests.
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.read().len()).collect()
     }
 }
 
-/// Exhaustive parallel reachability with a property callback. Semantically
-/// identical to [`crate::explore::Explorer::explore_with`] (same state
-/// counts), traces excepted.
-pub fn par_explore(
+/// A concurrent map sharded by key hash. The parallel engine stores visited
+/// configurations here, each mapped to its first-discovery parent pointer
+/// (`(parent configuration, moving thread)`), from which counterexample
+/// traces are reconstructed after the workers join.
+///
+/// Same concurrency contract as [`ShardedSet`]: inserts are double-checked
+/// under the shard write lock (exactly one winner per key, first value
+/// wins), while [`len`](ShardedMap::len)/[`is_empty`](ShardedMap::is_empty)
+/// are racy snapshots, exact only at quiescence.
+pub struct ShardedMap<K, V> {
+    shards: Vec<RwLock<FxHashMap<K, V>>>,
+    hasher: FxBuildHasher,
+    mask: usize,
+}
+
+impl<K: Hash + Eq, V> ShardedMap<K, V> {
+    /// A map with `2^shard_bits` shards.
+    pub fn new(shard_bits: u32) -> ShardedMap<K, V> {
+        let n = 1usize << shard_bits;
+        ShardedMap {
+            shards: (0..n).map(|_| RwLock::new(FxHashMap::default())).collect(),
+            hasher: FxBuildHasher::default(),
+            mask: n - 1,
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, k: &K) -> usize {
+        spread(self.hasher.hash_one(k)) & self.mask
+    }
+
+    /// Insert `k → v` if `k` is absent; returns true iff it was. Membership
+    /// is re-validated under the write lock, so racing inserters of one key
+    /// elect exactly one winner and the winner's value is kept.
+    pub fn insert(&self, k: K, v: V) -> bool {
+        let shard = &self.shards[self.shard_of(&k)];
+        if shard.read().contains_key(&k) {
+            return false;
+        }
+        match shard.write().entry(k) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(v);
+                true
+            }
+        }
+    }
+
+    /// Batched insert: the items are grouped by shard so each touched shard
+    /// is locked once for a read-phase membership filter and (only if some
+    /// item survived) once for the write-phase insert, which re-checks
+    /// membership before committing. Returns the keys that were newly
+    /// inserted, in shard-grouped order; for duplicate keys within one
+    /// batch the first occurrence wins.
+    pub fn insert_batch(&self, items: Vec<(K, V)>) -> Vec<K>
+    where
+        K: Clone,
+    {
+        let mut tagged: Vec<(usize, Option<(K, V)>)> =
+            items.into_iter().map(|kv| (self.shard_of(&kv.0), Some(kv))).collect();
+        tagged.sort_by_key(|t| t.0);
+        let mut novel = Vec::new();
+        let mut i = 0;
+        while i < tagged.len() {
+            let s = tagged[i].0;
+            let mut j = i;
+            while j < tagged.len() && tagged[j].0 == s {
+                j += 1;
+            }
+            let shard = &self.shards[s];
+            {
+                let rd = shard.read();
+                for t in &mut tagged[i..j] {
+                    if rd.contains_key(&t.1.as_ref().expect("unconsumed item").0) {
+                        t.1 = None;
+                    }
+                }
+            }
+            if tagged[i..j].iter().any(|t| t.1.is_some()) {
+                let mut wr = shard.write();
+                for t in &mut tagged[i..j] {
+                    if let Some((k, v)) = t.1.take() {
+                        if !wr.contains_key(&k) {
+                            wr.insert(k.clone(), v);
+                            novel.push(k);
+                        }
+                    }
+                }
+            }
+            i = j;
+        }
+        novel
+    }
+
+    /// The value for `k`, cloned out from under the shard read lock.
+    pub fn get_cloned(&self, k: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.shards[self.shard_of(k)].read().get(k).cloned()
+    }
+
+    /// True iff `k` is present.
+    pub fn contains_key(&self, k: &K) -> bool {
+        self.shards[self.shard_of(k)].read().contains_key(k)
+    }
+
+    /// Total entries across shards — a racy snapshot (see the type docs);
+    /// exact when no insert is in flight.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True iff no entries — racy under concurrent insertion, like
+    /// [`len`](ShardedMap::len).
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Per-shard entry counts (racy snapshot), for occupancy diagnostics
+    /// and the shard-distribution property tests.
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.read().len()).collect()
+    }
+}
+
+/// A visited entry's parent pointer: `None` for the initial configuration.
+type Parent = Option<(Config, Tid)>;
+
+/// Rebuild the step sequence from the initial configuration to `last` by
+/// walking the parent-pointer map (quiescent after the workers join).
+fn reconstruct_trace(
+    visited: &ShardedMap<Config, Parent>,
+    last: &Config,
+) -> Vec<(Tid, Config)> {
+    let mut rev: Vec<(Tid, Config)> = Vec::new();
+    let mut cur = last.clone();
+    while let Some(Some((parent, tid))) = visited.get_cloned(&cur) {
+        rev.push((tid, cur));
+        cur = parent;
+    }
+    rev.reverse();
+    rev
+}
+
+/// Statistics a [`par_walk`] hands back alongside the visited map.
+pub(crate) struct WalkStats {
+    /// Distinct canonical configurations counted (clamped to
+    /// `max_states` when the cap was hit, matching the sequential oracle).
+    pub states: usize,
+    /// Transitions generated.
+    pub transitions: usize,
+    /// Terminal configurations where every thread halted.
+    pub terminated: Vec<Config>,
+    /// Terminal configurations with a blocked thread.
+    pub deadlocked: Vec<Config>,
+    /// True iff the state cap cut the exploration short.
+    pub truncated: bool,
+}
+
+/// The shared batched work-stealing walk both parallel checkers run on:
+/// expands every reached canonical configuration exactly once and drives
+/// three callbacks —
+///
+/// * `edge_value(parent, tid)` — the value stored in the visited map for a
+///   successor first discovered over that edge (the engine stores parent
+///   pointers here, the outline checker `()`);
+/// * `on_edge(parent, tid, successor)` — every generated edge, visited or
+///   not (annotation classification);
+/// * `on_novel(config)` — each configuration exactly once, at first
+///   discovery (property checks); also called for the initial
+///   configuration before the workers start.
+///
+/// The state cap is enforced against a racy running counter, so the map
+/// may transiently overshoot `opts.max_states`; the returned
+/// [`WalkStats`] reconciles that to the sequential oracle's verdict
+/// (truncated, `states == max_states`) whenever the cap was exceeded, so
+/// cap-hitting runs agree across engines.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn par_walk<V, FV, FE, FN>(
     prog: &CfgProgram,
     objs: &(dyn ObjectSemantics + Sync),
     opts: ExploreOptions,
     n_workers: usize,
-    check: impl Fn(&Config) -> Vec<String> + Sync,
-) -> Report {
-    let visited: ShardedSet<Config> = ShardedSet::new(6);
-    let injector: Injector<Config> = Injector::new();
-    let in_flight = AtomicUsize::new(0);
+    init_value: V,
+    edge_value: FV,
+    on_edge: FE,
+    on_novel: FN,
+) -> (ShardedMap<Config, V>, WalkStats)
+where
+    V: Send + Sync,
+    FV: Fn(&Config, Tid) -> V + Sync,
+    FE: Fn(&Config, Tid, &Config) + Sync,
+    FN: Fn(&Config) + Sync,
+{
+    let visited: ShardedMap<Config, V> = ShardedMap::new(6);
+    let injector: Injector<Vec<Config>> = Injector::new();
+    // Chunks pushed to the injector but not yet fully processed (a stolen
+    // chunk stays counted until its worker has flushed every novel
+    // successor); all-workers-idle is `pending == 0` + empty injector.
+    let pending = AtomicUsize::new(0);
+    let n_states = AtomicUsize::new(0);
     let transitions = AtomicUsize::new(0);
     let truncated = AtomicBool::new(false);
     let terminated: Mutex<Vec<Config>> = Mutex::new(Vec::new());
     let deadlocked: Mutex<Vec<Config>> = Mutex::new(Vec::new());
-    let violations: Mutex<Vec<Violation>> = Mutex::new(Vec::new());
 
     let init = Config::initial(prog).canonical();
-    for what in check(&init) {
-        violations.lock().push(Violation { what, config: init.clone(), trace: None });
-    }
-    visited.insert(init.clone());
-    in_flight.store(1, Ordering::SeqCst);
-    injector.push(init);
+    on_novel(&init);
+    visited.insert(init.clone(), init_value);
+    n_states.store(1, Ordering::SeqCst);
+    pending.store(1, Ordering::SeqCst);
+    injector.push(vec![init]);
 
     crossbeam::scope(|scope| {
         for _ in 0..n_workers.max(1) {
-            scope.spawn(|_| loop {
-                match injector.steal() {
-                    Steal::Success(cfg) => {
-                        let succs = successors(prog, objs, &cfg, opts.step);
-                        transitions.fetch_add(succs.len(), Ordering::Relaxed);
-                        if succs.is_empty() {
-                            if cfg.terminated(prog) {
-                                terminated.lock().push(cfg);
-                            } else {
-                                deadlocked.lock().push(cfg);
-                            }
-                        } else {
-                            for (_tid, succ) in succs {
-                                let canon = succ.canonical();
-                                if visited.len() >= opts.max_states {
-                                    truncated.store(true, Ordering::Relaxed);
+            scope.spawn(|_| {
+                let mut out: Vec<Config> = Vec::with_capacity(FLUSH_BATCH);
+                loop {
+                    match injector.steal() {
+                        Steal::Success(chunk) => {
+                            for cfg in chunk {
+                                let succs = successors(prog, objs, &cfg, opts.step);
+                                transitions.fetch_add(succs.len(), Ordering::Relaxed);
+                                if succs.is_empty() {
+                                    if cfg.terminated(prog) {
+                                        terminated.lock().push(cfg);
+                                    } else {
+                                        deadlocked.lock().push(cfg);
+                                    }
                                     continue;
                                 }
-                                if visited.insert(canon.clone()) {
-                                    for what in check(&canon) {
-                                        violations.lock().push(Violation {
-                                            what,
-                                            config: canon.clone(),
-                                            trace: None,
-                                        });
+                                let mut edges = Vec::with_capacity(succs.len());
+                                for (tid, succ) in succs {
+                                    let canon = succ.canonical();
+                                    // Every edge, visited or not.
+                                    on_edge(&cfg, tid, &canon);
+                                    edges.push((tid, canon));
+                                }
+                                if n_states.load(Ordering::Relaxed) >= opts.max_states {
+                                    // Cap hit: keep draining the queue (so
+                                    // every queued state is still expanded
+                                    // and classified) but drop novel
+                                    // successors, marking truncation only
+                                    // if one actually existed — mirroring
+                                    // the sequential explorers.
+                                    if edges
+                                        .iter()
+                                        .any(|(_, canon)| !visited.contains_key(canon))
+                                    {
+                                        truncated.store(true, Ordering::Relaxed);
                                     }
-                                    in_flight.fetch_add(1, Ordering::SeqCst);
-                                    injector.push(canon);
+                                    continue;
+                                }
+                                let items: Vec<(Config, V)> = edges
+                                    .into_iter()
+                                    .map(|(tid, canon)| {
+                                        let v = edge_value(&cfg, tid);
+                                        (canon, v)
+                                    })
+                                    .collect();
+                                for canon in visited.insert_batch(items) {
+                                    n_states.fetch_add(1, Ordering::Relaxed);
+                                    on_novel(&canon);
+                                    out.push(canon);
+                                    if out.len() >= FLUSH_BATCH {
+                                        pending.fetch_add(1, Ordering::SeqCst);
+                                        injector.push(std::mem::take(&mut out));
+                                    }
                                 }
                             }
+                            if !out.is_empty() {
+                                pending.fetch_add(1, Ordering::SeqCst);
+                                injector.push(std::mem::take(&mut out));
+                            }
+                            pending.fetch_sub(1, Ordering::SeqCst);
                         }
-                        in_flight.fetch_sub(1, Ordering::SeqCst);
-                    }
-                    Steal::Retry => {}
-                    Steal::Empty => {
-                        if in_flight.load(Ordering::SeqCst) == 0 {
-                            break;
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if pending.load(Ordering::SeqCst) == 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
                         }
-                        std::thread::yield_now();
                     }
                 }
             });
@@ -135,13 +413,74 @@ pub fn par_explore(
     })
     .expect("worker panicked");
 
-    Report {
-        states: visited.len(),
+    // Reconcile the racy cap: when workers overshot `max_states`, report
+    // the sequential oracle's verdict — truncated, with `states` clamped
+    // to the cap (still a valid lower bound on the reachable space).
+    let mut states = visited.len();
+    let mut was_truncated = truncated.into_inner();
+    if states > opts.max_states {
+        was_truncated = true;
+        states = opts.max_states;
+    }
+
+    let stats = WalkStats {
+        states,
         transitions: transitions.into_inner(),
         terminated: terminated.into_inner(),
         deadlocked: deadlocked.into_inner(),
-        violations: violations.into_inner(),
-        truncated: truncated.into_inner(),
+        truncated: was_truncated,
+    };
+    (visited, stats)
+}
+
+/// Exhaustive parallel reachability with a property callback. Semantically
+/// identical to [`crate::explore::Explorer::explore_with`]: same state,
+/// transition and terminal counts and the same violation set — including
+/// counterexample traces when [`ExploreOptions::record_traces`] is set
+/// (the differential suite enforces this). Prefer going through
+/// [`crate::engine::Engine`] / [`crate::engine::choose_engine`].
+pub fn par_explore(
+    prog: &CfgProgram,
+    objs: &(dyn ObjectSemantics + Sync),
+    opts: ExploreOptions,
+    n_workers: usize,
+    check: impl Fn(&Config) -> Vec<String> + Sync,
+) -> EngineReport {
+    // Violations as (what, config); traces are attached after the join,
+    // once the parent-pointer map is quiescent.
+    let found: Mutex<Vec<(String, Config)>> = Mutex::new(Vec::new());
+
+    let (visited, stats) = par_walk(
+        prog,
+        objs,
+        opts,
+        n_workers,
+        None,
+        |parent, tid| opts.record_traces.then(|| (parent.clone(), tid)),
+        |_, _, _| {},
+        |canon| {
+            for what in check(canon) {
+                found.lock().push((what, canon.clone()));
+            }
+        },
+    );
+
+    let violations = found
+        .into_inner()
+        .into_iter()
+        .map(|(what, config)| {
+            let trace = opts.record_traces.then(|| reconstruct_trace(&visited, &config));
+            Violation { what, config, trace }
+        })
+        .collect();
+
+    EngineReport {
+        states: stats.states,
+        transitions: stats.transitions,
+        terminated: stats.terminated,
+        deadlocked: stats.deadlocked,
+        violations,
+        truncated: stats.truncated,
     }
 }
 
@@ -203,10 +542,10 @@ mod tests {
     }
 
     #[test]
-    fn parallel_finds_violations() {
+    fn parallel_finds_violations_with_traces() {
         let prog = sb_prog();
         // "r1 and r2 never both 0" is false under RA — the parallel checker
-        // must find it.
+        // must find it and hand back a replayable trace.
         let report = par_explore(
             &prog,
             &NoObjects,
@@ -224,6 +563,35 @@ mod tests {
             },
         );
         assert!(!report.violations.is_empty(), "SB weak outcome must be reachable");
+        for v in &report.violations {
+            let trace = v.trace.as_ref().expect("parallel violations carry traces");
+            assert!(!trace.is_empty(), "terminal violation needs at least one step");
+            assert_eq!(&trace.last().unwrap().1, &v.config, "trace ends at the violation");
+        }
+    }
+
+    #[test]
+    fn traces_disabled_when_not_recording() {
+        let prog = sb_prog();
+        let opts = ExploreOptions { record_traces: false, ..Default::default() };
+        let report = par_explore(&prog, &NoObjects, opts, 2, |cfg: &Config| {
+            if cfg.terminated(&prog) {
+                vec!["terminal".into()]
+            } else {
+                Vec::new()
+            }
+        });
+        assert!(!report.violations.is_empty());
+        assert!(report.violations.iter().all(|v| v.trace.is_none()));
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let prog = sb_prog();
+        let opts = ExploreOptions { max_states: 3, ..Default::default() };
+        let report = par_explore(&prog, &NoObjects, opts, 2, |_| Vec::new());
+        assert!(report.truncated);
+        assert!(!report.ok());
     }
 
     #[test]
@@ -273,13 +641,13 @@ mod tests {
     fn sharded_set_spreads_awkward_distributions() {
         for shard_bits in [1u32, 3, 5] {
             let s: ShardedSet<u64> = ShardedSet::new(shard_bits);
-            assert_eq!(s.shards.len(), 1 << shard_bits);
+            assert_eq!(s.shard_occupancy().len(), 1 << shard_bits);
             // Stride-128 keys: low bits constant, so a naive `hash & mask`
             // of an identity-style hash would land everything in one shard.
             for i in 0..4_096u64 {
                 assert!(s.insert(i * 128));
             }
-            let per_shard: Vec<usize> = s.shards.iter().map(|sh| sh.read().len()).collect();
+            let per_shard = s.shard_occupancy();
             assert_eq!(per_shard.iter().sum::<usize>(), 4_096);
             assert_eq!(s.len(), 4_096);
             let empty = per_shard.iter().filter(|&&n| n == 0).count();
@@ -290,5 +658,30 @@ mod tests {
                 per_shard
             );
         }
+    }
+
+    #[test]
+    fn sharded_map_first_value_wins() {
+        let m: ShardedMap<u64, &str> = ShardedMap::new(3);
+        assert!(m.insert(7, "first"));
+        assert!(!m.insert(7, "second"));
+        assert_eq!(m.get_cloned(&7), Some("first"));
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn sharded_map_batch_insert_dedups_within_and_across_batches() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new(4);
+        // Duplicate key inside one batch: first occurrence wins.
+        let novel = m.insert_batch(vec![(1, 10), (2, 20), (1, 11)]);
+        let mut sorted = novel.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2]);
+        assert_eq!(m.get_cloned(&1), Some(10));
+        // Across batches: already-present keys are filtered.
+        let novel = m.insert_batch(vec![(2, 21), (3, 30)]);
+        assert_eq!(novel, vec![3]);
+        assert_eq!(m.len(), 3);
     }
 }

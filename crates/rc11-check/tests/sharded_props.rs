@@ -1,0 +1,175 @@
+//! Property tests for the sharded visited structures behind the parallel
+//! engine.
+//!
+//! Three guarantees under test, over generated (including adversarial)
+//! inputs:
+//!
+//! 1. **Exactly-one-winner** — for any interleaved concurrent insert
+//!    sequence, each distinct value/key is reported new by exactly one
+//!    caller (the double-checked write-lock re-validation);
+//! 2. **Exact quiescent size** — after all inserters join, `len()` equals
+//!    the number of distinct values inserted (the racy-snapshot semantics
+//!    collapse to exactness at quiescence);
+//! 3. **Non-degenerate shard occupancy** — adversarial key patterns
+//!    (stride-aligned, low-entropy) still spread across shards through the
+//!    avalanche-mixed shard index, instead of piling into the few shards a
+//!    fixed bit-window index (the old `(h >> 7) & mask`) would select.
+
+use proptest::prelude::*;
+use rc11_check::parallel::{ShardedMap, ShardedSet};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Interleave each thread differently over the shared value list so the
+/// threads collide on the same values at the same time.
+fn thread_order(values: &[u64], t: usize) -> Vec<u64> {
+    let mut v: Vec<u64> = values.to_vec();
+    let n = v.len().max(1);
+    match t % 3 {
+        0 => {}
+        1 => v.reverse(),
+        _ => v.rotate_left(t % n),
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any interleaved concurrent insert sequence elects exactly one winner
+    /// per distinct value, and the quiescent `len()` is exact.
+    #[test]
+    fn set_concurrent_inserts_have_exactly_one_winner(
+        values in prop::collection::vec(0u64..4_096, 1..400),
+        threads in 2usize..7,
+        shard_bits in 0u32..7,
+    ) {
+        let distinct: HashSet<u64> = values.iter().copied().collect();
+        let set: ShardedSet<u64> = ShardedSet::new(shard_bits);
+        let wins = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let (set, wins, order) = (&set, &wins, thread_order(&values, t));
+                scope.spawn(move || {
+                    for v in order {
+                        if set.insert(v) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(wins.into_inner(), distinct.len(), "one winner per distinct value");
+        prop_assert_eq!(set.len(), distinct.len(), "quiescent len() is exact");
+        prop_assert_eq!(set.is_empty(), distinct.is_empty());
+        let occupancy = set.shard_occupancy();
+        prop_assert_eq!(occupancy.iter().sum::<usize>(), distinct.len());
+    }
+
+    /// Same law for the map, plus first-writer-wins on the value: the value
+    /// stored for each key is the one supplied by the winning thread.
+    #[test]
+    fn map_concurrent_inserts_have_exactly_one_winner(
+        keys in prop::collection::vec(0u64..2_048, 1..300),
+        threads in 2usize..6,
+        shard_bits in 0u32..6,
+    ) {
+        let distinct: HashSet<u64> = keys.iter().copied().collect();
+        let map: ShardedMap<u64, usize> = ShardedMap::new(shard_bits);
+        let wins = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let (map, wins, order) = (&map, &wins, thread_order(&keys, t));
+                scope.spawn(move || {
+                    for k in order {
+                        if map.insert(k, t) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(wins.into_inner(), distinct.len(), "one winner per distinct key");
+        prop_assert_eq!(map.len(), distinct.len(), "quiescent len() is exact");
+        for k in &distinct {
+            let owner = map.get_cloned(k).expect("inserted key present");
+            prop_assert!(owner < threads, "stored value came from a real inserter");
+        }
+    }
+
+    /// Batched insertion obeys the same exactly-one-winner law when racing
+    /// threads insert overlapping batches.
+    #[test]
+    fn map_concurrent_batch_inserts_have_exactly_one_winner(
+        keys in prop::collection::vec(0u64..1_024, 1..200),
+        threads in 2usize..6,
+        batch in 1usize..48,
+    ) {
+        let distinct: HashSet<u64> = keys.iter().copied().collect();
+        let map: ShardedMap<u64, usize> = ShardedMap::new(4);
+        let wins = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let (map, wins, order) = (&map, &wins, thread_order(&keys, t));
+                scope.spawn(move || {
+                    for chunk in order.chunks(batch) {
+                        let items: Vec<(u64, usize)> =
+                            chunk.iter().map(|&k| (k, t)).collect();
+                        wins.fetch_add(map.insert_batch(items).len(), Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(wins.into_inner(), distinct.len(), "one winner per distinct key");
+        prop_assert_eq!(map.len(), distinct.len());
+    }
+
+    /// Stride-aligned keys (constant low bits — the classic failure mode of
+    /// masking a weak hash) populate every shard once there are an order of
+    /// magnitude more keys than shards.
+    #[test]
+    fn stride_aligned_keys_populate_every_shard(
+        stride_log in 0u32..16,
+        base in 0u64..1_024,
+        shard_bits in 1u32..6,
+    ) {
+        let shards = 1usize << shard_bits;
+        let n_keys = (shards * 64) as u64;
+        let set: ShardedSet<u64> = ShardedSet::new(shard_bits);
+        for i in 0..n_keys {
+            set.insert(base + (i << stride_log));
+        }
+        let occupancy = set.shard_occupancy();
+        prop_assert_eq!(occupancy.len(), shards);
+        prop_assert_eq!(occupancy.iter().sum::<usize>(), n_keys as usize);
+        let empty = occupancy.iter().filter(|&&n| n == 0).count();
+        prop_assert_eq!(empty, 0, "no empty shard for stride 2^{}: {:?}", stride_log, occupancy);
+        let max = *occupancy.iter().max().expect("non-empty");
+        prop_assert!(
+            max <= (n_keys as usize) * 3 / 4,
+            "no shard may hold over three quarters of the keys: {:?}",
+            occupancy
+        );
+    }
+
+    /// Low-entropy keys that differ only in a narrow high bit-window (so a
+    /// fixed `(h >> 7)`-style index over a weak hash degenerates) still
+    /// spread: occupancy is non-degenerate for every window position.
+    #[test]
+    fn narrow_bit_window_keys_populate_every_shard(
+        window_shift in 0u32..56,
+    ) {
+        let set: ShardedSet<u64> = ShardedSet::new(4);
+        // 256 distinct values confined to one byte at an arbitrary shift.
+        for v in 0u64..256 {
+            set.insert(v << window_shift);
+        }
+        let occupancy = set.shard_occupancy();
+        prop_assert_eq!(occupancy.iter().sum::<usize>(), 256);
+        let empty = occupancy.iter().filter(|&&n| n == 0).count();
+        prop_assert_eq!(
+            empty, 0,
+            "no empty shard for window shift {}: {:?}", window_shift, occupancy
+        );
+    }
+}

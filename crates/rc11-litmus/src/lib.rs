@@ -7,13 +7,18 @@
 //! both directions: an unexpected outcome is a soundness bug in the
 //! semantics, a missing outcome is a completeness bug. Together these pin
 //! the executable semantics to the model (experiment E5).
+//!
+//! Verdicts are engine-parametric: [`run_with`] takes any
+//! [`rc11_check::Engine`], so the whole gallery runs under the parallel
+//! engine too (and the differential suite compares the engines verdict by
+//! verdict); [`run`] is the sequential-reference shorthand.
 
 #![warn(missing_docs)]
 
-use rc11_check::{ExploreOptions, Explorer};
+use rc11_check::{Engine, ExploreOptions};
 use rc11_core::Val;
 use rc11_lang::builder::*;
-use rc11_lang::machine::NoObjects;
+use rc11_lang::machine::{NoObjects, ObjectSemantics};
 use rc11_lang::{compile, Program, Reg};
 use rc11_objects::AbstractObjects;
 use std::collections::BTreeSet;
@@ -50,18 +55,27 @@ fn ints(rows: &[&[i64]]) -> BTreeSet<Vec<Val>> {
     rows.iter().map(|r| r.iter().map(|&n| Val::Int(n)).collect()).collect()
 }
 
-/// Run a litmus test by exhaustive exploration.
-pub fn run(l: &Litmus) -> LitmusResult {
-    let prog = compile(&l.prog);
-    let report = if l.prog.objects.is_empty() {
-        Explorer::new(&prog, &NoObjects)
-            .with_options(ExploreOptions { record_traces: false, ..Default::default() })
-            .explore()
+/// The object semantics a litmus program needs: none for pure-variable
+/// programs, the abstract registry otherwise.
+pub fn objects_for(l: &Litmus) -> &'static (dyn ObjectSemantics + Sync) {
+    if l.prog.objects.is_empty() {
+        &NoObjects
     } else {
-        Explorer::new(&prog, &AbstractObjects)
-            .with_options(ExploreOptions { record_traces: false, ..Default::default() })
-            .explore()
-    };
+        &AbstractObjects
+    }
+}
+
+/// Run a litmus test by exhaustive exploration with the sequential
+/// reference engine.
+pub fn run(l: &Litmus) -> LitmusResult {
+    run_with(l, &Engine::Sequential)
+}
+
+/// Run a litmus test by exhaustive exploration under the given engine.
+pub fn run_with(l: &Litmus, engine: &Engine) -> LitmusResult {
+    let prog = compile(&l.prog);
+    let opts = ExploreOptions { record_traces: false, ..Default::default() };
+    let report = engine.explore(&prog, objects_for(l), opts);
     assert!(!report.truncated, "litmus {} truncated", l.name);
     assert!(report.deadlocked.is_empty(), "litmus {} deadlocked", l.name);
     let observed: BTreeSet<Vec<Val>> = report
@@ -451,6 +465,19 @@ mod tests {
             assert!(
                 res.pass,
                 "{}: observed {:?} ≠ expected {:?}",
+                l.name, res.observed, res.expected
+            );
+        }
+    }
+
+    #[test]
+    fn every_litmus_verdict_is_exact_under_the_parallel_engine() {
+        let engine = rc11_check::choose_engine(4);
+        for l in all() {
+            let res = run_with(&l, &engine);
+            assert!(
+                res.pass,
+                "{} (parallel): observed {:?} ≠ expected {:?}",
                 l.name, res.observed, res.expected
             );
         }

@@ -175,11 +175,17 @@ pub fn all_correct() -> Vec<ObjectImpl> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rc11_check::{ExploreOptions, Explorer};
+    use rc11_check::{choose_engine, Engine, EngineReport, ExploreOptions};
     use rc11_core::Val;
     use rc11_lang::inline::instantiate;
     use rc11_lang::machine::NoObjects;
     use rc11_lang::{compile, Program};
+
+    /// Both engines: every lock scenario (positive and negative control)
+    /// runs sequentially and in parallel.
+    fn engines() -> [Engine; 2] {
+        [choose_engine(1), choose_engine(4)]
+    }
 
     /// The Figure-7 client shape: two threads, lock-protected writes/reads.
     fn lock_client() -> (Program, rc11_lang::ObjRef, [Reg; 2]) {
@@ -196,21 +202,47 @@ mod tests {
         (p.build(), l, [r1, r2])
     }
 
-    fn check_lock_client(imp: ObjectImpl) {
-        let (abs, l, [r1, r2]) = lock_client();
-        let conc = instantiate(&abs, l, &imp);
+    fn explore_lock_client(imp: &ObjectImpl, engine: &Engine) -> (EngineReport, [Reg; 2]) {
+        let (abs, l, regs) = lock_client();
+        let conc = instantiate(&abs, l, imp);
         let prog = compile(&conc);
-        let report = Explorer::new(&prog, &NoObjects)
-            .with_options(ExploreOptions { record_traces: false, ..Default::default() })
-            .explore();
-        assert!(report.ok(), "{}: exploration failed", imp.name);
-        assert!(report.deadlocked.is_empty(), "{}: deadlock", imp.name);
-        assert!(!report.terminated.is_empty(), "{}: no terminal states", imp.name);
-        for term in &report.terminated {
-            let (v1, v2) = (term.reg(1, r1), term.reg(1, r2));
+        let opts = ExploreOptions { record_traces: false, ..Default::default() };
+        (engine.explore(&prog, &NoObjects, opts), regs)
+    }
+
+    fn check_lock_client(imp: ObjectImpl) {
+        for engine in engines() {
+            let (report, [r1, r2]) = explore_lock_client(&imp, &engine);
+            assert!(report.ok(), "{} ({engine:?}): exploration failed", imp.name);
+            assert!(report.deadlocked.is_empty(), "{} ({engine:?}): deadlock", imp.name);
             assert!(
-                (v1, v2) == (Val::Int(0), Val::Int(0)) || (v1, v2) == (Val::Int(5), Val::Int(5)),
-                "{}: critical section torn: r1={v1}, r2={v2}",
+                !report.terminated.is_empty(),
+                "{} ({engine:?}): no terminal states",
+                imp.name
+            );
+            for term in &report.terminated {
+                let (v1, v2) = (term.reg(1, r1), term.reg(1, r2));
+                assert!(
+                    (v1, v2) == (Val::Int(0), Val::Int(0))
+                        || (v1, v2) == (Val::Int(5), Val::Int(5)),
+                    "{} ({engine:?}): critical section torn: r1={v1}, r2={v2}",
+                    imp.name
+                );
+            }
+        }
+    }
+
+    /// Negative controls must leak the torn read under *both* engines.
+    fn check_broken_lock_leaks(imp: ObjectImpl) {
+        for engine in engines() {
+            let (report, [r1, r2]) = explore_lock_client(&imp, &engine);
+            let torn = report
+                .terminated
+                .iter()
+                .any(|t| t.reg(1, r1) != t.reg(1, r2));
+            assert!(
+                torn,
+                "{} ({engine:?}): the broken lock must leak a torn read somewhere",
                 imp.name
             );
         }
@@ -238,36 +270,16 @@ mod tests {
 
     #[test]
     fn relaxed_seqlock_leaks_weak_behaviour() {
-        let (abs, l, [r1, r2]) = lock_client();
-        let conc = instantiate(&abs, l, &broken_relaxed_seqlock());
-        let prog = compile(&conc);
-        let report = Explorer::new(&prog, &NoObjects)
-            .with_options(ExploreOptions { record_traces: false, ..Default::default() })
-            .explore();
-        // The stale outcomes must now be reachable: r1 ≠ r2 shows up.
-        let torn = report
-            .terminated
-            .iter()
-            .any(|t| t.reg(1, r1) != t.reg(1, r2));
-        assert!(torn, "the relaxed release must leak a torn read somewhere");
+        check_broken_lock_leaks(broken_relaxed_seqlock());
     }
 
     #[test]
     fn noop_lock_leaks_weak_behaviour() {
-        let (abs, l, [r1, r2]) = lock_client();
-        let conc = instantiate(&abs, l, &broken_noop_lock());
-        let prog = compile(&conc);
-        let report = Explorer::new(&prog, &NoObjects)
-            .with_options(ExploreOptions { record_traces: false, ..Default::default() })
-            .explore();
-        let torn = report
-            .terminated
-            .iter()
-            .any(|t| t.reg(1, r1) != t.reg(1, r2));
-        assert!(torn);
+        check_broken_lock_leaks(broken_noop_lock());
     }
 
-    /// Three threads through the ticket lock: still atomic.
+    /// Three threads through the ticket lock: still atomic, under both
+    /// engines.
     #[test]
     fn ticket_lock_three_threads() {
         let mut p = ProgramBuilder::new("counter3");
@@ -280,14 +292,19 @@ mod tests {
         }
         let conc = instantiate(&p.build(), l, &ticket());
         let prog = compile(&conc);
-        let report = Explorer::new(&prog, &NoObjects)
-            .with_options(ExploreOptions { record_traces: false, ..Default::default() })
-            .explore();
-        assert!(report.ok());
-        for term in &report.terminated {
-            let st = term.mem.client();
-            let max = st.max_op(x.loc);
-            assert_eq!(st.op(max).act.wrval(), Val::Int(3), "all increments must land");
+        let opts = ExploreOptions { record_traces: false, ..Default::default() };
+        for engine in engines() {
+            let report = engine.explore(&prog, &NoObjects, opts);
+            assert!(report.ok());
+            for term in &report.terminated {
+                let st = term.mem.client();
+                let max = st.max_op(x.loc);
+                assert_eq!(
+                    st.op(max).act.wrval(),
+                    Val::Int(3),
+                    "all increments must land ({engine:?})"
+                );
+            }
         }
     }
 }

@@ -5,9 +5,18 @@
 //! lock-protected critical sections, and never bind lock-method return
 //! values (so `rval` agreement is by construction — see the module docs of
 //! [`crate::sim`]).
+//!
+//! The exploration helpers ([`explore_abstract`], [`explore_concrete`]) are
+//! engine-parametric: every harness client can be swept under the
+//! sequential reference explorer or the parallel engine
+//! ([`rc11_check::Engine`]) interchangeably.
 
+use rc11_check::{Engine, EngineReport, ExploreOptions};
 use rc11_lang::builder::*;
-use rc11_lang::{ObjRef, Program};
+use rc11_lang::inline::{instantiate, ObjectImpl};
+use rc11_lang::machine::NoObjects;
+use rc11_lang::{compile, ObjRef, Program};
+use rc11_objects::AbstractObjects;
 
 /// The publication hand-off client: T1 writes `d := 5` inside its critical
 /// section; T2 reads `d` inside its own. The paper's Figure-7 pattern with
@@ -77,9 +86,31 @@ pub fn rounds_client(rounds: usize) -> (Program, ObjRef) {
     (p.build(), l)
 }
 
+/// Explore a harness client with its abstract object(s) under `engine`
+/// (traces off — harness sweeps only need counts and terminals).
+pub fn explore_abstract(client: &Program, engine: &Engine) -> EngineReport {
+    let opts = ExploreOptions { record_traces: false, ..Default::default() };
+    engine.explore(&compile(client), &AbstractObjects, opts)
+}
+
+/// Explore a harness client with `imp` inlined into `obj`'s method holes
+/// under `engine`. The instantiated program has no abstract objects left,
+/// so it runs under [`NoObjects`].
+pub fn explore_concrete(
+    client: &Program,
+    obj: ObjRef,
+    imp: &ObjectImpl,
+    engine: &Engine,
+) -> EngineReport {
+    let conc = instantiate(client, obj, imp);
+    let opts = ExploreOptions { record_traces: false, ..Default::default() };
+    engine.explore(&compile(&conc), &NoObjects, opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rc11_check::choose_engine;
 
     #[test]
     fn harness_clients_validate() {
@@ -91,5 +122,33 @@ mod tests {
         assert_eq!(p.n_threads(), 3);
         let (p, _) = rounds_client(2);
         assert_eq!(p.n_threads(), 2);
+    }
+
+    /// Abstract harness sweeps agree across engines on the widest client.
+    #[test]
+    fn abstract_exploration_agrees_across_engines() {
+        let (client, _) = counter_client(3);
+        let seq = explore_abstract(&client, &Engine::Sequential);
+        assert!(seq.ok());
+        for workers in [2, 4] {
+            let par = explore_abstract(&client, &choose_engine(workers));
+            assert_eq!(par.states, seq.states, "workers = {workers}");
+            assert_eq!(par.transitions, seq.transitions);
+            assert_eq!(par.terminated.len(), seq.terminated.len());
+            assert_eq!(par.deadlocked.len(), seq.deadlocked.len());
+        }
+    }
+
+    /// Concrete (inlined-lock) harness sweeps agree across engines.
+    #[test]
+    fn concrete_exploration_agrees_across_engines() {
+        let (client, l) = handoff_client();
+        let imp = rc11_locks::ticket();
+        let seq = explore_concrete(&client, l, &imp, &Engine::Sequential);
+        assert!(seq.ok());
+        let par = explore_concrete(&client, l, &imp, &choose_engine(4));
+        assert_eq!(par.states, seq.states);
+        assert_eq!(par.transitions, seq.transitions);
+        assert_eq!(par.terminated.len(), seq.terminated.len());
     }
 }

@@ -41,7 +41,8 @@ pub mod prelude {
     pub use rc11_assert::dsl::*;
     pub use rc11_assert::{EvalCtx, OpPat, Pred, ProofOutline};
     pub use rc11_check::{
-        check_outline, par_explore, sample_terminals, ExploreOptions, Explorer, OutlineReport,
+        check_outline, check_outline_with, choose_engine, par_explore, sample_terminals, Engine,
+        EngineReport, ExploreOptions, Explorer, OutlineReport,
     };
     pub use rc11_core::{Combined, Comp, InitLoc, Loc, OpId, Tid, Val};
     pub use rc11_lang::builder::*;

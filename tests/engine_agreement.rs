@@ -1,0 +1,299 @@
+//! The cross-engine differential suite.
+//!
+//! The sequential explorer is the reference oracle; the batched parallel
+//! engine must agree with it **exactly** — states, transitions, terminal
+//! counts and violation sets — on every litmus-gallery program and on the
+//! Figure-3/Figure-7 proof-outline programs, at 1, 2, 4 and 8 workers.
+//! Any divergence is a bug in one of the engines (most likely a lost or
+//! double-counted state in the parallel one), which is why CI also runs
+//! this suite under the optimized release build the benches use.
+
+use rc11::figures;
+use rc11::prelude::*;
+use rc11_check::fxhash::FxHashMap;
+use rc11_check::OgClass;
+use rc11_litmus as litmus;
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Violations keyed by (description, configuration): both engines call the
+/// check exactly once per distinct state, so these are sets, and they must
+/// match elementwise.
+fn violation_set(report: &EngineReport) -> FxHashMap<(String, Config), usize> {
+    let mut set = FxHashMap::default();
+    for v in &report.violations {
+        *set.entry((v.what.clone(), v.config.clone())).or_insert(0) += 1;
+    }
+    set
+}
+
+fn assert_reports_agree(name: &str, workers: usize, seq: &EngineReport, par: &EngineReport) {
+    assert_eq!(par.states, seq.states, "{name} @ {workers} workers: states");
+    assert_eq!(par.transitions, seq.transitions, "{name} @ {workers} workers: transitions");
+    assert_eq!(
+        par.terminated.len(),
+        seq.terminated.len(),
+        "{name} @ {workers} workers: terminated"
+    );
+    assert_eq!(
+        par.deadlocked.len(),
+        seq.deadlocked.len(),
+        "{name} @ {workers} workers: deadlocked"
+    );
+    assert_eq!(par.truncated, seq.truncated, "{name} @ {workers} workers: truncated");
+    assert_eq!(
+        violation_set(par),
+        violation_set(seq),
+        "{name} @ {workers} workers: violation sets"
+    );
+}
+
+/// Every litmus-gallery program: full report parity at every worker count,
+/// with a violation-producing check (flag every terminal configuration) so
+/// violation-set parity is exercised on every program, not just the ones
+/// with interesting invariants.
+#[test]
+fn litmus_gallery_reports_agree_across_engines() {
+    for l in litmus::all() {
+        let prog = compile(&l.prog);
+        let objs = litmus::objects_for(&l);
+        let opts = ExploreOptions { record_traces: false, ..Default::default() };
+        let check = |cfg: &Config| {
+            if cfg.terminated(&prog) {
+                vec!["terminal".to_string()]
+            } else {
+                Vec::new()
+            }
+        };
+        let seq = Engine::Sequential.explore_with(&prog, objs, opts, check);
+        assert!(!seq.terminated.is_empty(), "{}: gallery programs terminate", l.name);
+        assert_eq!(
+            seq.violations.len(),
+            seq.terminated.len(),
+            "{}: one flag per terminal state",
+            l.name
+        );
+        for workers in WORKERS {
+            let par = Engine::Parallel { workers }.explore_with(&prog, objs, opts, check);
+            assert_reports_agree(l.name, workers, &seq, &par);
+        }
+    }
+}
+
+/// Every litmus verdict (observed-outcome set) matches between engines,
+/// through the gallery's own engine-parametric runner.
+#[test]
+fn litmus_gallery_verdicts_agree_across_engines() {
+    for l in litmus::all() {
+        let seq = litmus::run_with(&l, &Engine::Sequential);
+        assert!(seq.pass, "{}: sequential verdict must already be exact", l.name);
+        for workers in WORKERS {
+            let par = litmus::run_with(&l, &Engine::Parallel { workers });
+            assert_eq!(
+                par.observed, seq.observed,
+                "{} @ {workers} workers: outcome sets diverge",
+                l.name
+            );
+            assert_eq!(par.states, seq.states, "{} @ {workers} workers: states", l.name);
+            assert!(par.pass, "{} @ {workers} workers: verdict", l.name);
+        }
+    }
+}
+
+/// Outline reports keyed by (annotation, configuration) → strongest class.
+/// The strongest classification is a max over all incoming edges, so it is
+/// deterministic even though the parallel engine visits edges in arbitrary
+/// order; only `mover` tie-breaks may differ.
+fn outline_violation_map(
+    report: &OutlineReport,
+) -> FxHashMap<(rc11::check::OutlineKind, Config), OgClass> {
+    let mut map = FxHashMap::default();
+    for v in &report.violations {
+        let prev = map.insert((v.kind.clone(), v.config.clone()), v.class);
+        assert!(prev.is_none(), "duplicate (kind, config) violation entry");
+    }
+    map
+}
+
+fn assert_outline_reports_agree(
+    name: &str,
+    workers: usize,
+    seq: &OutlineReport,
+    par: &OutlineReport,
+) {
+    assert_eq!(par.states, seq.states, "{name} @ {workers} workers: states");
+    assert_eq!(par.transitions, seq.transitions, "{name} @ {workers} workers: transitions");
+    assert_eq!(par.checks, seq.checks, "{name} @ {workers} workers: assertion evaluations");
+    assert_eq!(par.terminated, seq.terminated, "{name} @ {workers} workers: terminated");
+    assert_eq!(par.deadlocked, seq.deadlocked, "{name} @ {workers} workers: deadlocked");
+    assert_eq!(par.truncated, seq.truncated, "{name} @ {workers} workers: truncated");
+    assert_eq!(
+        outline_violation_map(par),
+        outline_violation_map(seq),
+        "{name} @ {workers} workers: violation maps"
+    );
+}
+
+fn check_outline_agreement(name: &str, prog: &CfgProgram, outline: &rc11::assert::ProofOutline) {
+    let opts = ExploreOptions::default();
+    let seq = check_outline_with(prog, &AbstractObjects, outline, opts, &Engine::Sequential);
+    for workers in WORKERS {
+        let par =
+            check_outline_with(prog, &AbstractObjects, outline, opts, &Engine::Parallel { workers });
+        assert_outline_reports_agree(name, workers, &seq, &par);
+    }
+}
+
+/// The valid Figure-3 outline over Figure 2's program: both engines find
+/// zero violations and identical statistics.
+#[test]
+fn fig3_outline_on_fig2_agrees_across_engines() {
+    let f = figures::fig2();
+    let outline = figures::fig3_outline(&f);
+    let prog = compile(&f.prog);
+    let seq = check_outline_with(
+        &prog,
+        &AbstractObjects,
+        &outline,
+        ExploreOptions::default(),
+        &Engine::Sequential,
+    );
+    assert!(seq.valid(), "Figure-3 outline is valid sequentially");
+    check_outline_agreement("fig3-on-fig2", &prog, &outline);
+}
+
+/// The Figure-3 outline over the *unsynchronised* Figure-1 program: both
+/// engines find the same non-empty violation map, class by class.
+#[test]
+fn fig3_outline_on_fig1_violations_agree_across_engines() {
+    let f = figures::fig1();
+    let outline = figures::fig3_outline(&f);
+    let prog = compile(&f.prog);
+    let seq = check_outline_with(
+        &prog,
+        &AbstractObjects,
+        &outline,
+        ExploreOptions::default(),
+        &Engine::Sequential,
+    );
+    assert!(!seq.violations.is_empty(), "relaxed MP must violate the Figure-3 outline");
+    check_outline_agreement("fig3-on-fig1", &prog, &outline);
+}
+
+/// The full Figure-7 outline (Lemma 4): valid under both engines with
+/// identical statistics.
+#[test]
+fn fig7_outline_agrees_across_engines() {
+    let f = figures::fig7();
+    let outline = figures::fig7_outline(&f);
+    let prog = compile(&f.prog);
+    let seq = check_outline_with(
+        &prog,
+        &AbstractObjects,
+        &outline,
+        ExploreOptions::default(),
+        &Engine::Sequential,
+    );
+    assert!(seq.valid(), "Figure-7 outline is valid sequentially");
+    check_outline_agreement("fig7", &prog, &outline);
+}
+
+/// A deliberately interference-unsound annotation on Figure 7: both
+/// engines agree on the violation map, including the Interference
+/// classifications.
+#[test]
+fn fig7_naive_annotation_violations_agree_across_engines() {
+    use rc11::assert::ProofOutline;
+    let f = figures::fig7();
+    let prog = compile(&f.prog);
+    let outline = ProofOutline::new("naive", 2).pre(1, 1, dobs(1, f.d1, 0));
+    let seq = check_outline_with(
+        &prog,
+        &AbstractObjects,
+        &outline,
+        ExploreOptions::default(),
+        &Engine::Sequential,
+    );
+    assert!(
+        seq.violations.iter().any(|v| v.class == OgClass::Interference),
+        "the naive annotation must fail by interference"
+    );
+    check_outline_agreement("fig7-naive", &prog, &outline);
+}
+
+/// Cap parity: when `max_states` cuts a run short, both engines must
+/// return the same verdict — `truncated == true` and `states ==
+/// max_states` — even though the parallel engine's cap check is racy (its
+/// report reconciles any overshoot to the sequential oracle's verdict).
+/// Transition and terminal counts legitimately differ under truncation
+/// (the engines drop different states), so only the verdict is compared.
+#[test]
+fn truncated_runs_agree_on_the_verdict_across_engines() {
+    for l in litmus::all() {
+        let prog = compile(&l.prog);
+        let objs = litmus::objects_for(&l);
+        let full = Engine::Sequential.explore(
+            &prog,
+            objs,
+            ExploreOptions { record_traces: false, ..Default::default() },
+        );
+        // A cap strictly inside the reachable space forces truncation.
+        for cap in [1usize, full.states / 2, full.states - 1] {
+            let cap = cap.max(1);
+            if cap >= full.states {
+                continue;
+            }
+            let opts = ExploreOptions {
+                record_traces: false,
+                max_states: cap,
+                ..Default::default()
+            };
+            let seq = Engine::Sequential.explore(&prog, objs, opts);
+            assert!(seq.truncated, "{} cap {cap}: sequential must truncate", l.name);
+            assert_eq!(seq.states, cap, "{} cap {cap}: sequential states", l.name);
+            for workers in WORKERS {
+                let par = Engine::Parallel { workers }.explore(&prog, objs, opts);
+                assert!(par.truncated, "{} cap {cap} @ {workers} workers: truncated", l.name);
+                assert_eq!(par.states, cap, "{} cap {cap} @ {workers} workers: states", l.name);
+            }
+        }
+    }
+}
+
+/// Trace parity in kind: with traces on, both engines attach a trace to
+/// every violation and each trace replays step by step through
+/// `successors`. Both engines record the *first* parent that discovered a
+/// state — a valid path from the initial configuration, not a shortest
+/// one — so validity and endpoints are compared, not lengths.
+#[test]
+fn violation_traces_replay_under_both_engines() {
+    let l = litmus::sb_ra();
+    let prog = compile(&l.prog);
+    let opts = ExploreOptions::default();
+    let check = |cfg: &Config| {
+        if cfg.terminated(&prog)
+            && l.observe.iter().all(|&(t, r)| cfg.reg(t, r) == rc11::core::Val::Int(0))
+        {
+            vec!["both zero".to_string()]
+        } else {
+            Vec::new()
+        }
+    };
+    for engine in [Engine::Sequential, Engine::Parallel { workers: 4 }] {
+        let report = engine.explore_with(&prog, &NoObjects, opts, check);
+        assert!(!report.violations.is_empty(), "{engine:?}: SB weak outcome reachable");
+        for v in &report.violations {
+            let trace = v.trace.as_ref().expect("traces recorded");
+            let mut cur = Config::initial(&prog).canonical();
+            for (tid, next) in trace {
+                let succs = rc11::lang::machine::successors(&prog, &NoObjects, &cur, opts.step);
+                assert!(
+                    succs.iter().any(|(t, s)| t == tid && s.canonical() == *next),
+                    "{engine:?}: trace step by {tid:?} is not a real transition"
+                );
+                cur = next.clone();
+            }
+            assert_eq!(cur, v.config, "{engine:?}: trace must end at the violation");
+        }
+    }
+}
