@@ -2,7 +2,12 @@
 //! states) versus the fast engine (dense ranks, canonicalising states) —
 //! plus a sweep of the *exploration* engines (sequential reference vs the
 //! batched parallel engine) over a real lock client, so one bench file
-//! covers both engine axes of DESIGN.md.
+//! covers both engine axes of DESIGN.md — plus ablation A4
+//! (`canon_vs_fingerprint`): the per-successor cost of materialised
+//! canonicalisation + key clone (what visited-dedup used to pay on every
+//! edge) against the zero-rebuild canonical fingerprint that replaced it,
+//! measured over real successor configurations of a ticket-lock client
+//! and recorded into `BENCH_explore.json`.
 //!
 //! Both memory engines execute the same deterministic transition script;
 //! the fast engine additionally pays for canonicalisation, which is what
@@ -11,11 +16,14 @@
 //! distinct). Expected shape: the fast engine wins by an order of magnitude
 //! on raw transitions, and only it supports visited-set dedup.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rc11::prelude::*;
+use rc11_check::fxhash::{CanonicalFingerprint, FxHashSet};
 use rc11_core::lit::{step as lit_step, LitCombined};
 use rc11_core::{Combined, Comp, InitLoc, Loc, Tid, Val};
+use rc11_lang::machine::successors;
 use rc11_refine::harness;
+use std::time::Instant;
 
 const N_STEPS: usize = 60;
 
@@ -64,6 +72,9 @@ fn lit_script() -> LitCombined {
 }
 
 fn bench(c: &mut Criterion) {
+    if !criterion::selected("engine") {
+        return;
+    }
     // Cross-validate before timing: same observable value sequence.
     let f = fast_script();
     let l = lit_script();
@@ -91,6 +102,9 @@ fn bench(c: &mut Criterion) {
 /// parallel engine (via `choose_engine`) over a three-thread ticket-lock
 /// client, with identical-state-count assertions on every iteration.
 fn bench_exploration(c: &mut Criterion) {
+    if !criterion::selected("exploration_engine") {
+        return;
+    }
     let (client, l) = harness::counter_client(3);
     let conc = instantiate(&client, l, &rc11_locks::ticket());
     let prog = compile(&conc);
@@ -121,5 +135,142 @@ fn bench_exploration(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench, bench_exploration);
+/// Ablation A4: per-successor deduplication cost. Collect real raw
+/// successor configurations from a ticket-lock exploration, then compare
+/// what the visited structures pay per successor:
+///
+/// * `canonicalise_and_clone` — the old cost: materialise the canonical
+///   form (rebuilding every op record, `mo` vector and view) and clone it
+///   as the map key;
+/// * `fingerprint_only` — the new duplicate-hit fast path: one
+///   zero-rebuild hash walk;
+/// * `fingerprint_plus_confirm` — the full new duplicate path including
+///   the collision-bucket `canonical_eq` confirmation walk against the
+///   interned representative.
+///
+/// The acceptance bar (checked here, not just plotted): fingerprinting is
+/// strictly faster per successor than materialised canonicalisation.
+fn bench_canon_vs_fingerprint(c: &mut Criterion) {
+    if !criterion::selected("canon_vs_fingerprint") {
+        return;
+    }
+    let (client, l) = harness::counter_client(3);
+    let conc = instantiate(&client, l, &rc11_locks::ticket());
+    let prog = compile(&conc);
+
+    // Breadth-first sweep collecting raw (non-canonical) successors — the
+    // exact objects the engines' visited structures are probed with.
+    let mut raw_succs: Vec<Config> = Vec::new();
+    let mut seen: FxHashSet<Config> = FxHashSet::default();
+    let init = Config::initial(&prog).canonical();
+    seen.insert(init.clone());
+    let mut frontier = vec![init];
+    while let Some(cfg) = frontier.pop() {
+        if raw_succs.len() >= 1_500 {
+            break;
+        }
+        for (_, succ) in successors(&prog, &NoObjects, &cfg, StepOptions::default()) {
+            let canon = succ.canonical();
+            raw_succs.push(succ);
+            if seen.insert(canon.clone()) {
+                frontier.push(canon);
+            }
+        }
+    }
+    // The interned representatives the confirmation walk compares against.
+    let interned: Vec<Config> = raw_succs.iter().map(|s| s.canonical()).collect();
+    eprintln!("[canon_vs_fingerprint] measuring over {} real successors", raw_succs.len());
+
+    // Each per-successor workload is defined once and measured twice: by
+    // the criterion group (plotted lines) and by the best-of-5 sweep below
+    // (the BENCH_explore.json headline numbers) — so the two can't drift.
+    let canon_workload = || {
+        for s in &raw_succs {
+            let canon = black_box(s).canonical();
+            black_box(canon.clone());
+        }
+    };
+    let fp_workload = || {
+        for s in &raw_succs {
+            black_box(black_box(s).canonical_fingerprint());
+        }
+    };
+    let confirm_workload = || {
+        for (s, canon) in raw_succs.iter().zip(&interned) {
+            let perms = s.canonical_perms();
+            black_box(s.fingerprint_with(&perms));
+            assert!(s.canonical_eq_with(&perms, black_box(canon)));
+        }
+    };
+
+    let mut g = c.benchmark_group("canon_vs_fingerprint");
+    g.throughput(criterion::Throughput::Elements(raw_succs.len() as u64));
+    g.bench_function("canonicalise_and_clone", |b| b.iter(canon_workload));
+    g.bench_function("fingerprint_only", |b| b.iter(fp_workload));
+    g.bench_function("fingerprint_plus_confirm", |b| b.iter(confirm_workload));
+    g.finish();
+
+    // Headline numbers for the perf trajectory: best-of-5 wall clock over
+    // the whole successor set, reduced to ns per successor.
+    let best_ns_per_succ = |f: &dyn Fn()| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_nanos() as f64 / raw_succs.len() as f64);
+        }
+        best
+    };
+    let canon_ns = best_ns_per_succ(&canon_workload);
+    let fp_ns = best_ns_per_succ(&fp_workload);
+    let confirm_ns = best_ns_per_succ(&confirm_workload);
+    eprintln!(
+        "[canon_vs_fingerprint] canonicalise+clone {canon_ns:.0} ns/succ, \
+         fingerprint {fp_ns:.0} ns/succ ({:.2}x), fingerprint+confirm {confirm_ns:.0} ns/succ",
+        canon_ns / fp_ns
+    );
+    // End to end: the same sequential exploration with fingerprint dedup
+    // on (default) and off (legacy materialised-canonical keys).
+    let explore_secs = |fingerprint: bool| -> (f64, usize) {
+        let opts =
+            ExploreOptions { record_traces: false, fingerprint, ..Default::default() };
+        let mut best = f64::INFINITY;
+        let mut states = 0;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let r = Engine::Sequential.explore(&prog, &NoObjects, opts);
+            best = best.min(t0.elapsed().as_secs_f64());
+            states = r.states;
+        }
+        (best, states)
+    };
+    let (on, on_states) = explore_secs(true);
+    let (off, off_states) = explore_secs(false);
+    assert_eq!(on_states, off_states, "dedup mode must not change the state count");
+    eprintln!(
+        "[canon_vs_fingerprint] full exploration: fingerprint on {:.1} ms, off {:.1} ms ({:.2}x)",
+        on * 1e3,
+        off * 1e3,
+        off / on
+    );
+    bench::record_bench_json(
+        "canon_vs_fingerprint",
+        &[
+            ("canonicalise_and_clone_ns_per_succ", canon_ns),
+            ("fingerprint_only_ns_per_succ", fp_ns),
+            ("fingerprint_plus_confirm_ns_per_succ", confirm_ns),
+            ("speedup_fingerprint_vs_canonical", canon_ns / fp_ns),
+            ("explore_fp_on_ms", on * 1e3),
+            ("explore_fp_off_ms", off * 1e3),
+            ("explore_speedup_fp_on_vs_off", off / on),
+        ],
+    );
+    assert!(
+        fp_ns < canon_ns,
+        "fingerprinting ({fp_ns:.0} ns/succ) must beat materialised \
+         canonicalisation ({canon_ns:.0} ns/succ)"
+    );
+}
+
+criterion_group!(benches, bench, bench_exploration, bench_canon_vs_fingerprint);
 criterion_main!(benches);

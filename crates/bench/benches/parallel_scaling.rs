@@ -15,6 +15,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rc11::prelude::*;
 use rc11_refine::harness;
+use std::time::Instant;
 
 fn build_prog() -> CfgProgram {
     let (client, l) = harness::counter_client(4);
@@ -23,6 +24,9 @@ fn build_prog() -> CfgProgram {
 }
 
 fn bench(c: &mut Criterion) {
+    if !criterion::selected("parallel_scaling") {
+        return;
+    }
     let prog = build_prog();
     let opts = ExploreOptions { record_traces: false, ..Default::default() };
 
@@ -51,6 +55,32 @@ fn bench(c: &mut Criterion) {
         });
     }
     g.finish();
+
+    // States/second throughput lines for the perf trajectory
+    // (BENCH_explore.json): best-of-3 wall clock per engine.
+    let states_per_sec = |engine: &Engine| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let r = engine.explore(&prog, &NoObjects, opts);
+            assert_eq!(r.states, seq.states);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        seq.states as f64 / best
+    };
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    entries.push(("sequential_states_per_sec".to_string(), states_per_sec(&Engine::Sequential)));
+    for workers in [1usize, 2, 4, 8] {
+        entries.push((
+            format!("parallel_{workers}w_states_per_sec"),
+            states_per_sec(&Engine::Parallel { workers }),
+        ));
+    }
+    for (name, v) in &entries {
+        eprintln!("[parallel_scaling] {name}: {v:.0} states/s");
+    }
+    let borrowed: Vec<(&str, f64)> = entries.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    bench::record_bench_json("parallel_scaling", &borrowed);
 }
 
 criterion_group!(benches, bench);

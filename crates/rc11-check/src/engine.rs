@@ -39,6 +39,16 @@ pub struct ExploreOptions {
     /// Both engines honour this: the sequential explorer keeps a parent
     /// array, the parallel engine a sharded parent-pointer map.
     pub record_traces: bool,
+    /// Deduplicate visited states on zero-rebuild 128-bit canonical
+    /// fingerprints (`rc11_check::fxhash::Fp128`) instead of materialised
+    /// canonical [`Config`] keys. Successors then cost one hash walk
+    /// instead of a full renumber-and-rebuild plus a key clone; canonical
+    /// configurations are interned exactly once, and fingerprint hits are
+    /// confirmed against the interned representative, so verdicts are
+    /// bit-identical either way (enforced by the fingerprint-on/off
+    /// differential in `tests/engine_agreement.rs`; ablation A4 in
+    /// DESIGN.md). Off = the legacy materialised-canonical dedup path.
+    pub fingerprint: bool,
 }
 
 impl Default for ExploreOptions {
@@ -47,6 +57,7 @@ impl Default for ExploreOptions {
             step: StepOptions::default(),
             max_states: 5_000_000,
             record_traces: true,
+            fingerprint: true,
         }
     }
 }
@@ -122,20 +133,23 @@ impl Engine {
         }
     }
 
-    /// Exhaustive reachability with a per-configuration check callback; the
-    /// callback returns a description for every property the configuration
-    /// violates. The callback must be `Sync` because the parallel engine
-    /// evaluates it from every worker.
+    /// Exhaustive reachability with a per-configuration check callback.
+    /// The callback pushes a description into `out` for every property the
+    /// configuration violates; `out` is a reusable buffer owned by the
+    /// engine (one per worker in the parallel engine), so violation-free
+    /// configurations — the overwhelmingly common case — allocate nothing.
+    /// The callback must be `Sync` because the parallel engine evaluates
+    /// it from every worker.
     pub fn explore_with(
         &self,
         prog: &CfgProgram,
         objs: &(dyn ObjectSemantics + Sync),
         opts: ExploreOptions,
-        check: impl Fn(&Config) -> Vec<String> + Sync,
+        check: impl Fn(&Config, &mut Vec<String>) + Sync,
     ) -> EngineReport {
         match self {
             Engine::Sequential => {
-                Explorer::new(prog, objs).with_options(opts).explore_with(|c| check(c))
+                Explorer::new(prog, objs).with_options(opts).explore_with(|c, out| check(c, out))
             }
             Engine::Parallel { workers } => par_explore(prog, objs, opts, *workers, check),
         }
@@ -148,7 +162,7 @@ impl Engine {
         objs: &(dyn ObjectSemantics + Sync),
         opts: ExploreOptions,
     ) -> EngineReport {
-        self.explore_with(prog, objs, opts, |_| Vec::new())
+        self.explore_with(prog, objs, opts, |_, _| {})
     }
 
     /// Check a predicate as a global invariant.
@@ -159,12 +173,10 @@ impl Engine {
         opts: ExploreOptions,
         pred: &rc11_assert::Pred,
     ) -> EngineReport {
-        self.explore_with(prog, objs, opts, |cfg| {
+        self.explore_with(prog, objs, opts, |cfg, out| {
             let ctx = rc11_assert::EvalCtx { prog, cfg };
-            if pred.eval(ctx) {
-                Vec::new()
-            } else {
-                vec!["invariant violated".to_string()]
+            if !pred.eval(ctx) {
+                out.push("invariant violated".to_string());
             }
         })
     }

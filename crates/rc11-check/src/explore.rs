@@ -7,22 +7,124 @@
 //! the paper's "for all executions" quantifier: every lemma is checked at
 //! every reachable configuration.
 //!
+//! Deduplication is keyed on zero-rebuild **canonical fingerprints** by
+//! default ([`ExploreOptions::fingerprint`]): each successor is hashed in
+//! canonical order without materialising the canonical form, the visited
+//! map sends `Fp128 → state ids`, and every canonical configuration is
+//! **interned exactly once** in the node arena (which doubles as the
+//! parent-pointer store for trace reconstruction). A fingerprint hit is
+//! confirmed with a zero-rebuild `canonical_eq` walk against the interned
+//! representative(s) in its (rare) collision bucket, so verdicts are
+//! bit-identical to the legacy materialised-canonical path — which remains
+//! available with `fingerprint: false` (ablation A4 in DESIGN.md).
+//!
 //! The option/report/violation types shared with the parallel engine live
 //! in [`crate::engine`]; `Report` is a compatibility alias for
 //! [`EngineReport`](crate::engine::EngineReport). The differential suite
 //! (`tests/engine_agreement.rs`) holds the parallel engine to this
 //! explorer's answers, which makes this file the semantic ground truth.
 
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{CanonicalFingerprint, Fp128, FxHashMap, IdBucket};
 use rc11_core::Tid;
 use rc11_lang::cfg::CfgProgram;
 use rc11_lang::machine::{successors, Config, ObjectSemantics};
 
 pub use crate::engine::{EngineReport as Report, ExploreOptions, Violation};
 
+/// One interned state: its canonical configuration (stored exactly once
+/// across the whole explorer) and the first-discovery parent edge.
 struct Node {
     cfg: Config,
     parent: Option<(u32, Tid)>,
+}
+
+/// The visited index shared by the sequential explorer and the sequential
+/// outline checker: either the fingerprint → arena-ids map (default) or
+/// the legacy materialised-canonical key map. The index never owns the
+/// interned configurations — callers keep them in an arena and hand
+/// lookups an `interned(id)` accessor — so each canonical configuration
+/// is stored exactly once, whatever the arena's element type.
+pub(crate) enum VisitedIndex {
+    Fp(FxHashMap<Fp128, IdBucket>),
+    Exact(FxHashMap<Config, u32>),
+}
+
+/// The outcome of probing a successor against the visited index: already
+/// interned, or novel with the probe work (fingerprint + permutations, or
+/// the materialised canonical form) carried over for the insert. The
+/// `NovelExact` payload is boxed: it carries a whole materialised
+/// configuration and only exists on the legacy path.
+pub(crate) enum Probe {
+    Dup,
+    NovelFp(Fp128, rc11_core::CanonPerms),
+    NovelExact(Box<Config>),
+}
+
+impl VisitedIndex {
+    pub(crate) fn new(fingerprint: bool) -> VisitedIndex {
+        if fingerprint {
+            VisitedIndex::Fp(FxHashMap::default())
+        } else {
+            VisitedIndex::Exact(FxHashMap::default())
+        }
+    }
+
+    /// Probe a raw (non-canonical) successor. The fingerprint path never
+    /// materialises the canonical form: one hash walk, plus a
+    /// `canonical_eq` confirmation walk per candidate in the (almost
+    /// always empty or single-entry, matching) bucket — `interned` reads
+    /// the candidate's canonical configuration out of the caller's arena.
+    pub(crate) fn probe<'a>(
+        &self,
+        succ: &Config,
+        interned: impl Fn(u32) -> &'a Config,
+    ) -> Probe {
+        match self {
+            VisitedIndex::Fp(map) => {
+                let perms = succ.canonical_perms();
+                let fp = succ.fingerprint_with(&perms);
+                if let Some(bucket) = map.get(&fp) {
+                    for &id in bucket.ids() {
+                        if succ.canonical_eq_with(&perms, interned(id)) {
+                            return Probe::Dup;
+                        }
+                    }
+                }
+                Probe::NovelFp(fp, perms)
+            }
+            VisitedIndex::Exact(map) => {
+                let canon = succ.canonical();
+                if map.contains_key(&canon) {
+                    Probe::Dup
+                } else {
+                    Probe::NovelExact(Box::new(canon))
+                }
+            }
+        }
+    }
+
+    /// Intern a probed-novel successor under id `new_id`, returning its
+    /// canonical configuration (materialised here, exactly once per
+    /// distinct state) for the caller to push into its arena.
+    pub(crate) fn commit(&mut self, probe: Probe, succ: &Config, new_id: u32) -> Config {
+        match (self, probe) {
+            (VisitedIndex::Fp(map), Probe::NovelFp(fp, perms)) => {
+                let canon = succ.canonical_with(&perms);
+                match map.entry(fp) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(new_id),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(IdBucket::One(new_id));
+                    }
+                }
+                canon
+            }
+            (VisitedIndex::Exact(map), Probe::NovelExact(canon)) => {
+                map.insert((*canon).clone(), new_id);
+                *canon
+            }
+            _ => unreachable!("probe/commit mode mismatch"),
+        }
+    }
 }
 
 /// The explorer.
@@ -45,20 +147,26 @@ impl<'a> Explorer<'a> {
     }
 
     /// Exhaustive reachability with a per-configuration check callback.
-    /// The callback returns a description for every property the
-    /// configuration violates.
+    /// The callback pushes a description into the reusable buffer for
+    /// every property the configuration violates, so violation-free
+    /// configurations allocate nothing.
     pub fn explore_with(
         &self,
-        mut check: impl FnMut(&Config) -> Vec<String>,
+        mut check: impl FnMut(&Config, &mut Vec<String>),
     ) -> Report {
         let mut report = Report::default();
-        let mut visited: FxHashMap<Config, u32> = FxHashMap::default();
+        let mut index = VisitedIndex::new(self.opts.fingerprint);
+        // The interned state arena: every canonical configuration stored
+        // exactly once, with its first-discovery parent edge.
         let mut nodes: Vec<Node> = Vec::new();
+        let mut buf: Vec<String> = Vec::new();
 
         let init = Config::initial(self.prog).canonical();
-        visited.insert(init.clone(), 0);
+        let probe = index.probe(&init, |id| &nodes[id as usize].cfg);
+        let init = index.commit(probe, &init, 0);
         nodes.push(Node { cfg: init.clone(), parent: None });
-        for what in check(&init) {
+        check(&init, &mut buf);
+        for what in buf.drain(..) {
             report.violations.push(Violation {
                 what,
                 config: init.clone(),
@@ -80,17 +188,18 @@ impl<'a> Explorer<'a> {
                 continue;
             }
             for (tid, succ) in succs {
-                let canon = succ.canonical();
-                if visited.contains_key(&canon) {
-                    continue;
-                }
-                if visited.len() >= self.opts.max_states {
+                let probe = match index.probe(&succ, |id| &nodes[id as usize].cfg) {
+                    Probe::Dup => continue,
+                    novel => novel,
+                };
+                if nodes.len() >= self.opts.max_states {
                     report.truncated = true;
                     continue;
                 }
                 let new_id = nodes.len() as u32;
-                visited.insert(canon.clone(), new_id);
-                for what in check(&canon) {
+                let canon = index.commit(probe, &succ, new_id);
+                check(&canon, &mut buf);
+                for what in buf.drain(..) {
                     report.violations.push(Violation {
                         what,
                         config: canon.clone(),
@@ -103,24 +212,27 @@ impl<'a> Explorer<'a> {
                 nodes.push(Node { cfg: canon, parent: Some((id, tid)) });
                 frontier.push(new_id);
             }
+            // Past the state cap every further expansion can only re-count
+            // transitions of states we will drop anyway — stop the walk.
+            if report.truncated {
+                break;
+            }
         }
-        report.states = visited.len();
+        report.states = nodes.len();
         report
     }
 
     /// Plain reachability (no property).
     pub fn explore(&self) -> Report {
-        self.explore_with(|_| Vec::new())
+        self.explore_with(|_, _| {})
     }
 
     /// Check a predicate as a global invariant.
     pub fn check_invariant(&self, pred: &rc11_assert::Pred) -> Report {
-        self.explore_with(|cfg| {
+        self.explore_with(|cfg, out| {
             let ctx = rc11_assert::EvalCtx { prog: self.prog, cfg };
-            if pred.eval(ctx) {
-                Vec::new()
-            } else {
-                vec!["invariant violated".to_string()]
+            if !pred.eval(ctx) {
+                out.push("invariant violated".to_string());
             }
         })
     }

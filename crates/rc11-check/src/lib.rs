@@ -16,9 +16,13 @@
 //!   with Owicki–Gries violation classification (local vs interference),
 //!   runnable under either engine ([`outline_check::check_outline_with`]);
 //! * [`parallel`] — the batched work-stealing parallel engine over a
-//!   sharded parent-pointer map, with counterexample traces (ablation A3);
+//!   sharded fingerprint-keyed interned state store, with counterexample
+//!   traces (ablations A3/A4);
 //! * [`random`] — reproducible random-walk sampling for outcome frequency;
-//! * [`fxhash`] — the integer-friendly hasher behind all the maps.
+//! * [`fxhash`] — the integer-friendly hasher behind all the maps, its
+//!   128-bit extension [`fxhash::Fx128Hasher`] and the zero-rebuild
+//!   canonical fingerprint surface
+//!   ([`fxhash::CanonicalFingerprint`]/[`fxhash::Fp128`]).
 
 #![warn(missing_docs)]
 
@@ -32,8 +36,9 @@ pub mod random;
 
 pub use engine::{choose_engine, Engine, EngineReport, ExploreOptions, Violation};
 pub use explore::{Explorer, Report};
+pub use fxhash::{CanonicalFingerprint, Fp128, Fx128Hasher};
 pub use outline_check::{
     check_outline, check_outline_with, OgClass, OutlineKind, OutlineReport, OutlineViolation,
 };
-pub use parallel::{par_explore, ShardedMap, ShardedSet};
+pub use parallel::{par_explore, ShardedFpMap, ShardedMap, ShardedSet};
 pub use random::{random_walk, sample_terminals};

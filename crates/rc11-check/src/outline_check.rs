@@ -24,6 +24,7 @@
 //! (interference > local > inherited > initial).
 
 use crate::engine::{Engine, ExploreOptions};
+use crate::explore::{Probe, VisitedIndex};
 use crate::fxhash::FxHashMap;
 use crate::parallel::par_walk;
 use parking_lot::Mutex;
@@ -247,6 +248,26 @@ pub fn check_outline_with(
     }
 }
 
+/// Annotation evaluation is invariant under canonical renumbering: every
+/// predicate compares op ids only *within* one state (view entries against
+/// `maxTS`, membership in `Obs`), never across states, and everything else
+/// it reads (pcs, locals, wrvals, covered flags, method payloads) is
+/// untouched by renumbering. Both outline paths rely on this to evaluate
+/// annotations on **raw** successors and canonicalise only the (rare)
+/// failing ones for the recorder's dedup key; this debug check guards the
+/// reliance wherever a failing edge is canonicalised anyway.
+fn debug_assert_failures_invariant(
+    annots: &Annots<'_>,
+    fails: &[(OutlineKind, Option<usize>)],
+    canon: &Config,
+) {
+    debug_assert_eq!(
+        annots.failures(canon).0,
+        fails,
+        "annotation evaluation must be canonicalisation-invariant"
+    );
+}
+
 fn seq_check_outline(
     prog: &CfgProgram,
     objs: &dyn ObjectSemantics,
@@ -257,17 +278,24 @@ fn seq_check_outline(
     let mut recorder = Recorder::default();
     let mut report = OutlineReport::default();
 
-    let mut visited: FxHashMap<Config, ()> = FxHashMap::default();
+    // The interned canonical configurations; frontier entries index it.
+    // Deduplication reuses the explorer's two-mode visited index
+    // (`crate::explore::VisitedIndex`) over this arena.
+    let mut arena: Vec<Config> = Vec::new();
+    let mut index = VisitedIndex::new(opts.fingerprint);
+
     let init = Config::initial(prog).canonical();
     let (fails, checks) = annots.failures(&init);
     report.checks += checks;
     for (kind, _) in fails {
         recorder.record(kind, &init, OgClass::Initial, None);
     }
-    visited.insert(init.clone(), ());
-    let mut frontier = vec![init];
+    let probe = index.probe(&init, |id| &arena[id as usize]);
+    arena.push(index.commit(probe, &init, 0));
+    let mut frontier: Vec<u32> = vec![0];
 
-    while let Some(cfg) = frontier.pop() {
+    while let Some(id) = frontier.pop() {
+        let cfg = arena[id as usize].clone();
         let succs = successors(prog, objs, &cfg, opts.step);
         report.transitions += succs.len();
         if succs.is_empty() {
@@ -279,26 +307,53 @@ fn seq_check_outline(
             continue;
         }
         for (tid, succ) in succs {
-            let canon = succ.canonical();
-            // Classify per edge, visited or not.
-            let (fails, checks) = annots.failures(&canon);
+            // Classify per edge, visited or not — on the raw successor
+            // (evaluation is canonicalisation-invariant, see
+            // `debug_assert_failures_invariant`).
+            let (fails, checks) = annots.failures(&succ);
             report.checks += checks;
-            for (kind, owner) in fails {
-                let class = annots.classify(&kind, owner, tid, &cfg);
-                recorder.record(kind, &canon, class, Some(tid));
-            }
-            if visited.contains_key(&canon) {
-                continue;
-            }
-            if visited.len() >= opts.max_states {
+            let probe = match index.probe(&succ, |id| &arena[id as usize]) {
+                Probe::Dup => {
+                    if !fails.is_empty() {
+                        // Rare: a failing duplicate edge still needs the
+                        // canonical form as the recorder's dedup key.
+                        let canon = succ.canonical();
+                        debug_assert_failures_invariant(&annots, &fails, &canon);
+                        for (kind, owner) in fails {
+                            let class = annots.classify(&kind, owner, tid, &cfg);
+                            recorder.record(kind, &canon, class, Some(tid));
+                        }
+                    }
+                    continue;
+                }
+                novel => novel,
+            };
+            if arena.len() >= opts.max_states {
                 report.truncated = true;
+                if !fails.is_empty() {
+                    let canon = succ.canonical();
+                    debug_assert_failures_invariant(&annots, &fails, &canon);
+                    for (kind, owner) in fails {
+                        let class = annots.classify(&kind, owner, tid, &cfg);
+                        recorder.record(kind, &canon, class, Some(tid));
+                    }
+                }
                 continue;
             }
-            visited.insert(canon.clone(), ());
-            frontier.push(canon);
+            let new_id = arena.len() as u32;
+            arena.push(index.commit(probe, &succ, new_id));
+            if !fails.is_empty() {
+                let canon = &arena[new_id as usize];
+                debug_assert_failures_invariant(&annots, &fails, canon);
+                for (kind, owner) in fails {
+                    let class = annots.classify(&kind, owner, tid, &cfg);
+                    recorder.record(kind, canon, class, Some(tid));
+                }
+            }
+            frontier.push(new_id);
         }
     }
-    report.states = visited.len();
+    report.states = arena.len();
     report.violations = recorder.violations;
     report
 }
@@ -336,19 +391,26 @@ fn par_check_outline(
         n_workers,
         (),
         |_, _| (),
-        |parent: &Config, tid, canon: &Config| {
-            // Classify per edge, visited or not.
-            let (fails, n) = annots.failures(canon);
+        |parent: &Config, tid, succ: &Config| {
+            // Classify per edge, visited or not — on the raw successor
+            // (evaluation is canonicalisation-invariant, see
+            // `debug_assert_failures_invariant`), so clean edges — the
+            // overwhelmingly common case — never materialise a canonical
+            // form here. Only failing edges canonicalise, because the
+            // recorder dedups on canonical identity.
+            let (fails, n) = annots.failures(succ);
             checks.fetch_add(n, Ordering::Relaxed);
             if !fails.is_empty() {
+                let canon = succ.canonical();
+                debug_assert_failures_invariant(&annots, &fails, &canon);
                 let mut rec = recorder.lock();
                 for (kind, owner) in fails {
                     let class = annots.classify(&kind, owner, tid, parent);
-                    rec.record(kind, canon, class, Some(tid));
+                    rec.record(kind, &canon, class, Some(tid));
                 }
             }
         },
-        |_| {},
+        |_, _| {},
     );
 
     OutlineReport {

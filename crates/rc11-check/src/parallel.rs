@@ -1,31 +1,40 @@
 //! The high-throughput parallel exploration engine.
 //!
 //! Work-stealing exhaustive search over crossbeam's `Injector`, rebuilt
-//! around three throughput and one capability upgrade over the original
-//! ablation-A3 prototype:
+//! around batching, fingerprint-keyed deduplication and full counterexample
+//! traces:
 //!
 //! * **Batched work distribution** — workers accumulate novel states in a
 //!   worker-local buffer and flush them to the shared injector in chunks
 //!   ([`FLUSH_BATCH`]), so steal traffic and queue-lock contention scale
 //!   with batches, not states.
-//! * **Batched, double-checked shard insertion** — the visited structure is
-//!   a [`ShardedMap`] (parking_lot RwLock shards); all successors of one
-//!   expansion are grouped by shard and inserted with one read-lock filter
-//!   pass plus one write-lock pass per touched shard, re-checking membership
-//!   under the write lock so racing workers agree on exactly one winner per
-//!   state.
+//! * **Fingerprint-keyed interned visited store** — the visited structure
+//!   is a [`ShardedFpMap`] keyed by zero-rebuild 128-bit canonical
+//!   fingerprints ([`crate::fxhash::Fp128`]): duplicate successors (the
+//!   vast majority) cost one hash walk plus a `canonical_eq` confirmation
+//!   walk instead of a full canonical rebuild plus a key clone, and each
+//!   canonical configuration is interned exactly once. The legacy
+//!   materialised-canonical [`ShardedMap`] path remains selectable with
+//!   [`ExploreOptions::fingerprint`]` = false` (ablation A4).
+//! * **Batched, double-checked shard insertion** — all successors of one
+//!   expansion are grouped by shard (parking_lot RwLock shards) and
+//!   inserted with one read-lock filter pass plus one write-lock pass per
+//!   touched shard, re-checking membership under the write lock so racing
+//!   workers agree on exactly one winner per state; only confirmed-novel
+//!   states are materialised to canonical form, outside any lock.
 //! * **Mixed shard indexing** — shard selection feeds the key's hash
 //!   through an avalanche mixer ([`spread`]) instead of using a fixed bit
 //!   window, so stride-aligned or low-entropy key patterns still populate
 //!   every shard (property-tested in `tests/sharded_props.rs`).
-//! * **Counterexample traces** — the visited map stores
-//!   `Config → (parent configuration, moving thread)` first-discovery
-//!   parent pointers (when [`ExploreOptions::record_traces`] is set), so
-//!   parallel violations reconstruct full replayable traces after the
-//!   workers join, exactly like the sequential explorer's. (Discovery
-//!   order is a race in the parallel engine and a stack discipline in the
-//!   sequential one, so traces are *valid* paths from the initial
-//!   configuration, not shortest ones — in either engine.)
+//! * **Counterexample traces** — the visited store keeps
+//!   `(parent configuration, moving thread)` first-discovery parent
+//!   pointers next to each interned state (when
+//!   [`ExploreOptions::record_traces`] is set), so parallel violations
+//!   reconstruct full replayable traces after the workers join, exactly
+//!   like the sequential explorer's. (Discovery order is a race in the
+//!   parallel engine and a stack discipline in the sequential one, so
+//!   traces are *valid* paths from the initial configuration, not shortest
+//!   ones — in either engine.)
 //!
 //! Engine selection is [`crate::engine::choose_engine`]; the sequential
 //! explorer remains the reference oracle, and `tests/engine_agreement.rs`
@@ -35,10 +44,10 @@
 //! show exploration scaling.
 
 use crate::engine::{EngineReport, ExploreOptions, Violation};
-use crate::fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+use crate::fxhash::{CanonicalFingerprint, Fp128, FxBuildHasher, FxHashMap, FxHashSet};
 use crossbeam::deque::{Injector, Steal};
 use parking_lot::{Mutex, RwLock};
-use rc11_core::Tid;
+use rc11_core::{CanonPerms, Tid};
 use rc11_lang::cfg::CfgProgram;
 use rc11_lang::machine::{successors, Config, ObjectSemantics};
 use std::hash::{BuildHasher, Hash};
@@ -248,13 +257,280 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
     }
 }
 
+/// One interned state in a [`ShardedFpMap`]: the canonical configuration
+/// (stored exactly once across the engine) and the caller's value.
+struct FpEntry<V> {
+    cfg: Config,
+    val: V,
+}
+
+/// One shard of a [`ShardedFpMap`]: the fingerprint → interned-state map,
+/// plus an overflow list for genuine 128-bit collisions (distinct
+/// canonical states sharing a fingerprint). Every overflow fingerprint is
+/// also present in `map`, so a missing `map` entry proves absence.
+struct FpShard<V> {
+    map: FxHashMap<Fp128, FpEntry<V>>,
+    overflow: Vec<(Fp128, FpEntry<V>)>,
+}
+
+impl<V> Default for FpShard<V> {
+    fn default() -> FpShard<V> {
+        FpShard { map: FxHashMap::default(), overflow: Vec::new() }
+    }
+}
+
+impl<V> FpShard<V> {
+    /// Is a state with fingerprint `fp` whose canonical form matches
+    /// `is_cfg` present? `is_cfg` is handed the interned representative so
+    /// the caller chooses the cheapest equality check it can (zero-rebuild
+    /// `canonical_eq` for raw probes, plain `==` for canonical ones).
+    fn contains(&self, fp: Fp128, mut is_cfg: impl FnMut(&Config) -> bool) -> bool {
+        match self.map.get(&fp) {
+            None => false,
+            Some(e) => {
+                is_cfg(&e.cfg)
+                    || self
+                        .overflow
+                        .iter()
+                        .any(|(ofp, oe)| *ofp == fp && is_cfg(&oe.cfg))
+            }
+        }
+    }
+}
+
+/// The fingerprint-keyed equivalent of [`ShardedMap`], specialised to the
+/// engines' visited structure: keys are [`Fp128`] canonical fingerprints,
+/// and each entry **interns** its canonical [`Config`] exactly once (the
+/// confirmation representative and, for the engine, the trace endpoint)
+/// next to the caller's value. Same sharding (avalanche-mixed index),
+/// locking (read-filter pass + double-checked write pass) and batching
+/// discipline as [`ShardedMap`]; same racy-snapshot contract for `len`.
+pub struct ShardedFpMap<V> {
+    shards: Vec<RwLock<FpShard<V>>>,
+    mask: usize,
+}
+
+impl<V> ShardedFpMap<V> {
+    /// A map with `2^shard_bits` shards.
+    pub fn new(shard_bits: u32) -> ShardedFpMap<V> {
+        let n = 1usize << shard_bits;
+        ShardedFpMap {
+            shards: (0..n).map(|_| RwLock::new(FpShard::default())).collect(),
+            mask: n - 1,
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, fp: Fp128) -> usize {
+        spread(fp.lo ^ fp.hi) & self.mask
+    }
+
+    /// Insert the (already canonical) initial configuration.
+    fn insert_init(&self, fp: Fp128, cfg: Config, val: V) {
+        let mut shard = self.shards[self.shard_of(fp)].write();
+        shard.map.insert(fp, FpEntry { cfg, val });
+    }
+
+    /// True iff a state canonically equal to the **raw** configuration
+    /// `succ` is interned; decided by fingerprint lookup plus a
+    /// zero-rebuild confirmation walk, never by materialising.
+    pub fn contains_state(&self, succ: &Config) -> bool {
+        let perms = succ.canonical_perms();
+        let fp = succ.fingerprint_with(&perms);
+        self.shards[self.shard_of(fp)]
+            .read()
+            .contains(fp, |cfg| succ.canonical_eq_with(&perms, cfg))
+    }
+
+    /// Batched insert of raw successors (the engine's hot path): items are
+    /// fingerprinted (one zero-rebuild walk each), grouped by shard, and
+    /// filtered with one read-lock pass per touched shard confirming
+    /// fingerprint hits via `canonical_eq`. Only the survivors — novel
+    /// states — are **then** materialised to canonical form (outside any
+    /// lock, reusing the probe's permutations) and committed with a
+    /// double-checked write pass. Returns the novel canonical
+    /// configurations; for duplicates within one batch the first
+    /// occurrence wins.
+    pub fn insert_batch(&self, items: Vec<(Config, V)>) -> Vec<Config> {
+        struct Item<V> {
+            shard: usize,
+            fp: Fp128,
+            perms: CanonPerms,
+            raw: Config,
+            /// `None` once dropped as a duplicate (or consumed by commit).
+            val: Option<V>,
+        }
+        let mut tagged: Vec<Item<V>> = items
+            .into_iter()
+            .map(|(raw, val)| {
+                let perms = raw.canonical_perms();
+                let fp = raw.fingerprint_with(&perms);
+                Item { shard: self.shard_of(fp), fp, perms, raw, val: Some(val) }
+            })
+            .collect();
+        tagged.sort_by_key(|t| t.shard);
+        let mut novel = Vec::new();
+        let mut i = 0;
+        while i < tagged.len() {
+            let s = tagged[i].shard;
+            let mut j = i;
+            while j < tagged.len() && tagged[j].shard == s {
+                j += 1;
+            }
+            let shard = &self.shards[s];
+            {
+                let rd = shard.read();
+                for t in &mut tagged[i..j] {
+                    if rd.contains(t.fp, |cfg| t.raw.canonical_eq_with(&t.perms, cfg)) {
+                        t.val = None;
+                    }
+                }
+            }
+            if tagged[i..j].iter().any(|t| t.val.is_some()) {
+                // Materialise survivors outside the locks: this is the one
+                // canonicalisation each distinct state pays.
+                let canons: Vec<Option<Config>> = tagged[i..j]
+                    .iter()
+                    .map(|t| t.val.is_some().then(|| t.raw.canonical_with(&t.perms)))
+                    .collect();
+                let mut wr = shard.write();
+                let FpShard { map, overflow } = &mut *wr;
+                for (t, canon) in tagged[i..j].iter_mut().zip(canons) {
+                    let Some(canon) = canon else { continue };
+                    let val = t.val.take().expect("survivor carries its value");
+                    // Double-check under the write lock (racing workers,
+                    // or an earlier duplicate in this very batch).
+                    match map.entry(t.fp) {
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(FpEntry { cfg: canon.clone(), val });
+                            novel.push(canon);
+                        }
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            if e.get().cfg == canon
+                                || overflow.iter().any(|(ofp, oe)| *ofp == t.fp && oe.cfg == canon)
+                            {
+                                continue; // lost the race: already interned
+                            }
+                            // A true 128-bit collision: intern alongside.
+                            overflow.push((t.fp, FpEntry { cfg: canon.clone(), val }));
+                            novel.push(canon);
+                        }
+                    }
+                }
+            }
+            i = j;
+        }
+        novel
+    }
+
+    /// The value interned for the **canonical** configuration `canon`,
+    /// cloned out from under the shard read lock.
+    pub fn get_cloned(&self, canon: &Config) -> Option<V>
+    where
+        V: Clone,
+    {
+        let fp = canon.canonical_fingerprint();
+        let shard = self.shards[self.shard_of(fp)].read();
+        match shard.map.get(&fp) {
+            Some(e) if e.cfg == *canon => Some(e.val.clone()),
+            _ => shard
+                .overflow
+                .iter()
+                .find(|(ofp, oe)| *ofp == fp && oe.cfg == *canon)
+                .map(|(_, oe)| oe.val.clone()),
+        }
+    }
+
+    /// Total interned states — a racy snapshot like
+    /// [`ShardedMap::len`]; exact at quiescence.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| {
+            let s = s.read();
+            s.map.len() + s.overflow.len()
+        }).sum()
+    }
+
+    /// True iff no states are interned — racy like
+    /// [`ShardedFpMap::len`].
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| {
+            let s = s.read();
+            s.map.is_empty() && s.overflow.is_empty()
+        })
+    }
+}
+
 /// A visited entry's parent pointer: `None` for the initial configuration.
 type Parent = Option<(Config, Tid)>;
 
+/// The visited structure behind [`par_walk`], chosen by
+/// [`ExploreOptions::fingerprint`]: the fingerprint-keyed interned store
+/// (default) or the legacy map keyed by materialised canonical
+/// configurations (ablation A4's baseline). Both intern each canonical
+/// configuration exactly once and agree on every membership decision.
+pub(crate) enum VisitedStore<V> {
+    Fp(ShardedFpMap<V>),
+    Exact(ShardedMap<Config, V>),
+}
+
+impl<V: Clone> VisitedStore<V> {
+    fn new(fingerprint: bool, shard_bits: u32) -> VisitedStore<V> {
+        if fingerprint {
+            VisitedStore::Fp(ShardedFpMap::new(shard_bits))
+        } else {
+            VisitedStore::Exact(ShardedMap::new(shard_bits))
+        }
+    }
+
+    fn insert_init(&self, canon: Config, val: V) {
+        match self {
+            VisitedStore::Fp(m) => m.insert_init(canon.canonical_fingerprint(), canon, val),
+            VisitedStore::Exact(m) => {
+                m.insert(canon, val);
+            }
+        }
+    }
+
+    /// Membership of a raw successor (used only on the rare cap-hit path).
+    fn contains_state(&self, succ: &Config) -> bool {
+        match self {
+            VisitedStore::Fp(m) => m.contains_state(succ),
+            VisitedStore::Exact(m) => m.contains_key(&succ.canonical()),
+        }
+    }
+
+    /// Batched insert of raw successors; returns the novel canonical
+    /// configurations (see [`ShardedFpMap::insert_batch`]). The exact
+    /// backend materialises every successor first — that is precisely the
+    /// per-successor rebuild the fingerprint path eliminates.
+    fn insert_batch(&self, items: Vec<(Config, V)>) -> Vec<Config> {
+        match self {
+            VisitedStore::Fp(m) => m.insert_batch(items),
+            VisitedStore::Exact(m) => {
+                m.insert_batch(items.into_iter().map(|(raw, v)| (raw.canonical(), v)).collect())
+            }
+        }
+    }
+
+    fn get_cloned(&self, canon: &Config) -> Option<V> {
+        match self {
+            VisitedStore::Fp(m) => m.get_cloned(canon),
+            VisitedStore::Exact(m) => m.get_cloned(canon),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            VisitedStore::Fp(m) => m.len(),
+            VisitedStore::Exact(m) => m.len(),
+        }
+    }
+}
+
 /// Rebuild the step sequence from the initial configuration to `last` by
-/// walking the parent-pointer map (quiescent after the workers join).
+/// walking the parent-pointer store (quiescent after the workers join).
 fn reconstruct_trace(
-    visited: &ShardedMap<Config, Parent>,
+    visited: &VisitedStore<Parent>,
     last: &Config,
 ) -> Vec<(Tid, Config)> {
     let mut rev: Vec<(Tid, Config)> = Vec::new();
@@ -286,16 +562,20 @@ pub(crate) struct WalkStats {
 /// expands every reached canonical configuration exactly once and drives
 /// three callbacks —
 ///
-/// * `edge_value(parent, tid)` — the value stored in the visited map for a
-///   successor first discovered over that edge (the engine stores parent
+/// * `edge_value(parent, tid)` — the value stored in the visited store for
+///   a successor first discovered over that edge (the engine stores parent
 ///   pointers here, the outline checker `()`);
 /// * `on_edge(parent, tid, successor)` — every generated edge, visited or
-///   not (annotation classification);
-/// * `on_novel(config)` — each configuration exactly once, at first
-///   discovery (property checks); also called for the initial
-///   configuration before the workers start.
+///   not (annotation classification). The successor is handed **raw**
+///   (non-canonical): the fingerprint path never materialises canonical
+///   forms for duplicate successors, so callers that need the canonical
+///   form (the outline checker) canonicalise themselves;
+/// * `on_novel(config, buf)` — each canonical configuration exactly once,
+///   at first discovery (property checks), with a reusable worker-local
+///   string buffer so violation-free configurations allocate nothing;
+///   also called for the initial configuration before the workers start.
 ///
-/// The state cap is enforced against a racy running counter, so the map
+/// The state cap is enforced against a racy running counter, so the store
 /// may transiently overshoot `opts.max_states`; the returned
 /// [`WalkStats`] reconciles that to the sequential oracle's verdict
 /// (truncated, `states == max_states`) whenever the cap was exceeded, so
@@ -310,14 +590,14 @@ pub(crate) fn par_walk<V, FV, FE, FN>(
     edge_value: FV,
     on_edge: FE,
     on_novel: FN,
-) -> (ShardedMap<Config, V>, WalkStats)
+) -> (VisitedStore<V>, WalkStats)
 where
-    V: Send + Sync,
+    V: Clone + Send + Sync,
     FV: Fn(&Config, Tid) -> V + Sync,
     FE: Fn(&Config, Tid, &Config) + Sync,
-    FN: Fn(&Config) + Sync,
+    FN: Fn(&Config, &mut Vec<String>) + Sync,
 {
-    let visited: ShardedMap<Config, V> = ShardedMap::new(6);
+    let visited: VisitedStore<V> = VisitedStore::new(opts.fingerprint, 6);
     let injector: Injector<Vec<Config>> = Injector::new();
     // Chunks pushed to the injector but not yet fully processed (a stolen
     // chunk stays counted until its worker has flushed every novel
@@ -330,8 +610,10 @@ where
     let deadlocked: Mutex<Vec<Config>> = Mutex::new(Vec::new());
 
     let init = Config::initial(prog).canonical();
-    on_novel(&init);
-    visited.insert(init.clone(), init_value);
+    let mut init_buf = Vec::new();
+    on_novel(&init, &mut init_buf);
+    debug_assert!(init_buf.is_empty(), "on_novel must drain its buffer");
+    visited.insert_init(init.clone(), init_value);
     n_states.store(1, Ordering::SeqCst);
     pending.store(1, Ordering::SeqCst);
     injector.push(vec![init]);
@@ -340,6 +622,7 @@ where
         for _ in 0..n_workers.max(1) {
             scope.spawn(|_| {
                 let mut out: Vec<Config> = Vec::with_capacity(FLUSH_BATCH);
+                let mut buf: Vec<String> = Vec::new();
                 loop {
                     match injector.steal() {
                         Steal::Success(chunk) => {
@@ -354,12 +637,9 @@ where
                                     }
                                     continue;
                                 }
-                                let mut edges = Vec::with_capacity(succs.len());
-                                for (tid, succ) in succs {
-                                    let canon = succ.canonical();
-                                    // Every edge, visited or not.
-                                    on_edge(&cfg, tid, &canon);
-                                    edges.push((tid, canon));
+                                for (tid, succ) in &succs {
+                                    // Every edge, visited or not, raw form.
+                                    on_edge(&cfg, *tid, succ);
                                 }
                                 if n_states.load(Ordering::Relaxed) >= opts.max_states {
                                     // Cap hit: keep draining the queue (so
@@ -368,24 +648,25 @@ where
                                     // successors, marking truncation only
                                     // if one actually existed — mirroring
                                     // the sequential explorers.
-                                    if edges
+                                    if succs
                                         .iter()
-                                        .any(|(_, canon)| !visited.contains_key(canon))
+                                        .any(|(_, succ)| !visited.contains_state(succ))
                                     {
                                         truncated.store(true, Ordering::Relaxed);
                                     }
                                     continue;
                                 }
-                                let items: Vec<(Config, V)> = edges
+                                let items: Vec<(Config, V)> = succs
                                     .into_iter()
-                                    .map(|(tid, canon)| {
+                                    .map(|(tid, succ)| {
                                         let v = edge_value(&cfg, tid);
-                                        (canon, v)
+                                        (succ, v)
                                     })
                                     .collect();
                                 for canon in visited.insert_batch(items) {
                                     n_states.fetch_add(1, Ordering::Relaxed);
-                                    on_novel(&canon);
+                                    on_novel(&canon, &mut buf);
+                                    debug_assert!(buf.is_empty(), "on_novel must drain its buffer");
                                     out.push(canon);
                                     if out.len() >= FLUSH_BATCH {
                                         pending.fetch_add(1, Ordering::SeqCst);
@@ -444,10 +725,10 @@ pub fn par_explore(
     objs: &(dyn ObjectSemantics + Sync),
     opts: ExploreOptions,
     n_workers: usize,
-    check: impl Fn(&Config) -> Vec<String> + Sync,
+    check: impl Fn(&Config, &mut Vec<String>) + Sync,
 ) -> EngineReport {
     // Violations as (what, config); traces are attached after the join,
-    // once the parent-pointer map is quiescent.
+    // once the parent-pointer store is quiescent.
     let found: Mutex<Vec<(String, Config)>> = Mutex::new(Vec::new());
 
     let (visited, stats) = par_walk(
@@ -458,9 +739,13 @@ pub fn par_explore(
         None,
         |parent, tid| opts.record_traces.then(|| (parent.clone(), tid)),
         |_, _, _| {},
-        |canon| {
-            for what in check(canon) {
-                found.lock().push((what, canon.clone()));
+        |canon, buf| {
+            check(canon, buf);
+            if !buf.is_empty() {
+                let mut f = found.lock();
+                for what in buf.drain(..) {
+                    f.push((what, canon.clone()));
+                }
             }
         },
     );
@@ -511,16 +796,16 @@ mod tests {
         let prog = sb_prog();
         let seq_report = Explorer::new(&prog, &NoObjects).explore();
         for workers in [1, 2, 4] {
-            let par_report = par_explore(
-                &prog,
-                &NoObjects,
-                ExploreOptions::default(),
-                workers,
-                |_| Vec::new(),
-            );
-            assert_eq!(par_report.states, seq_report.states, "workers = {workers}");
-            assert_eq!(par_report.terminated.len(), seq_report.terminated.len());
-            assert_eq!(par_report.transitions, seq_report.transitions);
+            for fingerprint in [true, false] {
+                let opts = ExploreOptions { fingerprint, ..Default::default() };
+                let par_report = par_explore(&prog, &NoObjects, opts, workers, |_, _| {});
+                assert_eq!(
+                    par_report.states, seq_report.states,
+                    "workers = {workers}, fingerprint = {fingerprint}"
+                );
+                assert_eq!(par_report.terminated.len(), seq_report.terminated.len());
+                assert_eq!(par_report.transitions, seq_report.transitions);
+            }
         }
     }
 
@@ -537,7 +822,7 @@ mod tests {
         let prog = compile(&p.build());
         let seq_report = Explorer::new(&prog, &AbstractObjects).explore();
         let par_report =
-            par_explore(&prog, &AbstractObjects, ExploreOptions::default(), 4, |_| Vec::new());
+            par_explore(&prog, &AbstractObjects, ExploreOptions::default(), 4, |_, _| {});
         assert_eq!(par_report.states, seq_report.states);
     }
 
@@ -551,14 +836,12 @@ mod tests {
             &NoObjects,
             ExploreOptions::default(),
             4,
-            |cfg: &Config| {
+            |cfg: &Config, out: &mut Vec<String>| {
                 if cfg.terminated(&prog)
                     && cfg.reg(0, rc11_lang::Reg(0)) == rc11_core::Val::Int(0)
                     && cfg.reg(1, rc11_lang::Reg(0)) == rc11_core::Val::Int(0)
                 {
-                    vec!["both zero".into()]
-                } else {
-                    Vec::new()
+                    out.push("both zero".into());
                 }
             },
         );
@@ -574,11 +857,9 @@ mod tests {
     fn traces_disabled_when_not_recording() {
         let prog = sb_prog();
         let opts = ExploreOptions { record_traces: false, ..Default::default() };
-        let report = par_explore(&prog, &NoObjects, opts, 2, |cfg: &Config| {
+        let report = par_explore(&prog, &NoObjects, opts, 2, |cfg: &Config, out: &mut Vec<String>| {
             if cfg.terminated(&prog) {
-                vec!["terminal".into()]
-            } else {
-                Vec::new()
+                out.push("terminal".into());
             }
         });
         assert!(!report.violations.is_empty());
@@ -589,9 +870,37 @@ mod tests {
     fn truncation_is_reported() {
         let prog = sb_prog();
         let opts = ExploreOptions { max_states: 3, ..Default::default() };
-        let report = par_explore(&prog, &NoObjects, opts, 2, |_| Vec::new());
+        let report = par_explore(&prog, &NoObjects, opts, 2, |_, _| {});
         assert!(report.truncated);
         assert!(!report.ok());
+    }
+
+    /// The fingerprint store dedups representationally distinct raw forms
+    /// of the same canonical state, interns the canonical form once, and
+    /// serves value lookups by canonical configuration.
+    #[test]
+    fn sharded_fp_map_interns_by_canonical_identity() {
+        let prog = sb_prog();
+        let init = Config::initial(&prog).canonical();
+        let succs = successors(&prog, &NoObjects, &init, Default::default());
+        assert!(!succs.is_empty());
+        let raw = succs[0].1.clone();
+        let canon = raw.canonical();
+        assert_ne!(raw, canon, "raw successor ids differ from canonical ids");
+
+        let m: ShardedFpMap<u32> = ShardedFpMap::new(3);
+        // Same state under two representations in one batch: one winner.
+        let novel = m.insert_batch(vec![(raw.clone(), 1), (canon.clone(), 2)]);
+        assert_eq!(novel, vec![canon.clone()]);
+        assert_eq!(m.len(), 1);
+        // Across batches: both representations are already known.
+        assert!(m.insert_batch(vec![(canon.clone(), 3), (raw.clone(), 4)]).is_empty());
+        assert!(m.contains_state(&raw));
+        assert!(m.contains_state(&canon));
+        assert!(!m.contains_state(&init));
+        assert_eq!(m.get_cloned(&canon), Some(1), "first occurrence wins");
+        assert_eq!(m.get_cloned(&init), None);
+        assert!(!m.is_empty());
     }
 
     #[test]

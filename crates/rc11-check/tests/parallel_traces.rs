@@ -64,13 +64,11 @@ fn parallel_deadlock_configuration_has_replayable_trace() {
     let prog = deadlock_prog();
     let opts = ExploreOptions::default();
     // Flag exactly the stuck configurations: no successors, not terminated.
-    let check = |cfg: &Config| {
+    let check = |cfg: &Config, out: &mut Vec<String>| {
         let stuck = successors(&prog, &AbstractObjects, cfg, opts.step).is_empty()
             && !cfg.terminated(&prog);
         if stuck {
-            vec!["deadlock".to_string()]
-        } else {
-            Vec::new()
+            out.push("deadlock".to_string());
         }
     };
     let seq: EngineReport = Engine::Sequential.explore_with(&prog, &AbstractObjects, opts, check);
@@ -121,11 +119,9 @@ fn parallel_invariant_violation_has_replayable_trace() {
 fn traces_are_omitted_when_disabled() {
     let prog = deadlock_prog();
     let opts = ExploreOptions { record_traces: false, ..Default::default() };
-    let check = |cfg: &Config| {
+    let check = |cfg: &Config, out: &mut Vec<String>| {
         if cfg.pcs.iter().all(|&pc| pc > 0) {
-            vec!["all threads moved".to_string()]
-        } else {
-            Vec::new()
+            out.push("all threads moved".to_string());
         }
     };
     for engine in [Engine::Sequential, Engine::Parallel { workers: 2 }] {
@@ -142,11 +138,9 @@ fn traces_are_omitted_when_disabled() {
 fn replayed_traces_carry_full_configurations() {
     let prog = deadlock_prog();
     let opts = ExploreOptions::default();
-    let check = |cfg: &Config| {
+    let check = |cfg: &Config, out: &mut Vec<String>| {
         if cfg.reg(1, Reg(0)) == rc11_core::Val::Int(1) {
-            vec!["t2 observed the published write".to_string()]
-        } else {
-            Vec::new()
+            out.push("t2 observed the published write".to_string());
         }
     };
     let par = par_explore(&prog, &AbstractObjects, opts, 4, check);

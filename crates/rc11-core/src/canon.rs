@@ -1,4 +1,5 @@
-//! Canonical renumbering of operation ids.
+//! Canonical renumbering of operation ids — and the zero-rebuild canonical
+//! walk behind fingerprint deduplication.
 //!
 //! Operation ids are assigned in *insertion* order, so two interleavings
 //! that produce the same memory state (same per-location histories, views
@@ -8,11 +9,28 @@
 //! states become representationally equal. The explorer dedups visited
 //! states on canonical forms; without this, every interleaving would look
 //! fresh and exploration would never converge (ablation A1 in DESIGN.md).
+//!
+//! Materialising the canonical form ([`Combined::canonical`]) clones every
+//! op record, `mo` vector and view — far too expensive to pay once per
+//! generated successor. This module therefore also provides the
+//! **zero-rebuild canonical walk**: given the canonical permutations
+//! ([`Combined::canonical_perms`]), [`Combined::hash_canonical_with`]
+//! streams the canonical serialisation of a state into any
+//! [`std::hash::Hasher`] without constructing it, and
+//! [`Combined::canonical_eq_with`] compares a state against an
+//! already-canonical representative entry by entry. Both walk ops in
+//! `(location, mo-position)` order per component — exactly the canonical id
+//! order — remapping view entries through the permutations on the fly. The
+//! exploration engines (rc11-check) key their visited structures on the
+//! resulting 128-bit fingerprints and fall back to `canonical_eq` inside a
+//! fingerprint bucket, so deduplication decisions are bit-identical to
+//! materialised-canonical dedup (ablation A4 in DESIGN.md).
 
 use crate::combined::Combined;
 use crate::ids::{Loc, OpId};
 use crate::state::CState;
 use crate::view::View;
+use std::hash::{Hash, Hasher};
 
 /// Build the canonical permutation for one component: `perm[old] = new`,
 /// numbering ops by location then modification-order position.
@@ -76,18 +94,136 @@ fn renumber(st: &CState, perm: &[OpId], perm_other: &[OpId]) -> CState {
     )
 }
 
+/// The canonical permutations of a [`Combined`] state: `perm[old] = new`
+/// for each component, numbering ops by `(location, mo-position)`.
+///
+/// Computing the permutations is the cheap part of canonicalisation (two
+/// dense passes, no view cloning); they are reused across the fingerprint
+/// walk, the canonical-equality walk and — when a state turns out to be
+/// novel — the single materialising [`Combined::canonical_with`] call.
+#[derive(Debug, Clone)]
+pub struct CanonPerms {
+    /// Client-component permutation (`perm[old] = new`).
+    pub client: Vec<OpId>,
+    /// Library-component permutation (`perm[old] = new`).
+    pub lib: Vec<OpId>,
+}
+
+/// Stream one component's canonical serialisation into `h`: framing
+/// (loc/thread/op counts and per-location `mo` lengths — which fully
+/// determine the canonical `mo` vectors, since canonical ids are
+/// consecutive in `(location, mo-position)` order), then every op record,
+/// covered flag and modification-view pair in canonical id order with view
+/// entries remapped on the fly, then the remapped thread views.
+fn hash_component<H: Hasher>(st: &CState, perm: &[OpId], perm_other: &[OpId], h: &mut H) {
+    let (ops, mo, tview, mview_own, mview_other, cvd) = st.raw_parts();
+    h.write_usize(mo.len());
+    h.write_usize(tview.len());
+    h.write_usize(ops.len());
+    for locs in mo {
+        h.write_usize(locs.len());
+    }
+    for locs in mo {
+        for &w in locs {
+            let old = w.idx();
+            ops[old].hash(h);
+            h.write_u8(cvd[old] as u8);
+            mview_own[old].hash_remapped(perm, h);
+            mview_other[old].hash_remapped(perm_other, h);
+        }
+    }
+    for tv in tview {
+        tv.hash_remapped(perm, h);
+    }
+}
+
+/// True iff renumbering `st` through `perm`/`perm_other` would yield
+/// exactly `canon` — which must already be in canonical form (its `mo`
+/// vectors consecutive in `(location, mo-position)` order, as produced by
+/// [`Combined::canonical`]). Walks without materialising anything.
+fn component_canonical_eq(st: &CState, perm: &[OpId], perm_other: &[OpId], canon: &CState) -> bool {
+    let (ops, mo, tview, mview_own, mview_other, cvd) = st.raw_parts();
+    let (cops, cmo, ctview, cmview_own, cmview_other, ccvd) = canon.raw_parts();
+    if ops.len() != cops.len() || mo.len() != cmo.len() || tview.len() != ctview.len() {
+        return false;
+    }
+    let mut new_id = 0usize;
+    for (locs, clocs) in mo.iter().zip(cmo) {
+        if locs.len() != clocs.len() {
+            return false;
+        }
+        for &w in locs {
+            let old = w.idx();
+            if ops[old] != cops[new_id]
+                || cvd[old] != ccvd[new_id]
+                || !mview_own[old].eq_remapped(perm, &cmview_own[new_id])
+                || !mview_other[old].eq_remapped(perm_other, &cmview_other[new_id])
+            {
+                return false;
+            }
+            new_id += 1;
+        }
+    }
+    tview.iter().zip(ctview).all(|(tv, ctv)| tv.eq_remapped(perm, ctv))
+}
+
 impl Combined {
+    /// The canonical permutations of both components (see [`CanonPerms`]).
+    #[must_use]
+    pub fn canonical_perms(&self) -> CanonPerms {
+        CanonPerms { client: perm_of(self.client()), lib: perm_of(self.lib()) }
+    }
+
     /// The canonical representative of this state: ids renumbered by
     /// `(location, mo-position)` in both components, cross-references
     /// remapped consistently. Idempotent; structurally-equal states have
     /// equal canonical forms (tested by property tests).
     #[must_use]
     pub fn canonical(&self) -> Combined {
-        let pc = perm_of(self.client());
-        let pl = perm_of(self.lib());
-        let client = renumber(self.client(), &pc, &pl);
-        let lib = renumber(self.lib(), &pl, &pc);
+        self.canonical_with(&self.canonical_perms())
+    }
+
+    /// [`Combined::canonical`] with precomputed permutations — lets a
+    /// caller that already fingerprinted a state (and found it novel)
+    /// materialise the canonical form without recomputing the permutations.
+    #[must_use]
+    pub fn canonical_with(&self, perms: &CanonPerms) -> Combined {
+        let client = renumber(self.client(), &perms.client, &perms.lib);
+        let lib = renumber(self.lib(), &perms.lib, &perms.client);
         Combined::from_parts(client, lib)
+    }
+
+    /// Stream this state's *canonical* serialisation into `h` without
+    /// materialising the canonical form. Two states feed identical byte
+    /// streams into `h` iff their canonical forms are equal, so a
+    /// wide-enough hash of this walk is a canonical fingerprint (the
+    /// 128-bit instantiation lives in `rc11_check::fxhash`).
+    pub fn hash_canonical_with<H: Hasher>(&self, perms: &CanonPerms, h: &mut H) {
+        hash_component(self.client(), &perms.client, &perms.lib, h);
+        hash_component(self.lib(), &perms.lib, &perms.client, h);
+    }
+
+    /// [`Combined::hash_canonical_with`], computing the permutations
+    /// internally.
+    pub fn hash_canonical<H: Hasher>(&self, h: &mut H) {
+        self.hash_canonical_with(&self.canonical_perms(), h);
+    }
+
+    /// True iff `self.canonical() == *canon`, decided by a zero-rebuild
+    /// walk. `canon` **must already be canonical** (as stored in the
+    /// engines' interned state arenas); this is the collision-bucket
+    /// confirmation step of fingerprint deduplication.
+    #[must_use]
+    pub fn canonical_eq_with(&self, perms: &CanonPerms, canon: &Combined) -> bool {
+        component_canonical_eq(self.client(), &perms.client, &perms.lib, canon.client())
+            && component_canonical_eq(self.lib(), &perms.lib, &perms.client, canon.lib())
+    }
+
+    /// [`Combined::canonical_eq_with`], computing the permutations
+    /// internally.
+    #[must_use]
+    pub fn canonical_eq(&self, canon: &Combined) -> bool {
+        self.canonical_eq_with(&self.canonical_perms(), canon)
     }
 }
 
@@ -147,6 +283,69 @@ mod tests {
             };
             assert_eq!(obs(&s), obs(&c));
         }
+    }
+
+    /// A 64-bit instantiation of the canonical walk, for tests only (the
+    /// engines use the 128-bit `Fx128Hasher` in rc11-check).
+    fn walk_hash(s: &Combined) -> u64 {
+        use std::hash::Hasher;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        s.hash_canonical(&mut h);
+        h.finish()
+    }
+
+    /// The zero-rebuild walk agrees with materialised canonicalisation:
+    /// equal canonical forms ⟺ equal walk hashes, and `canonical_eq`
+    /// decides exactly `self.canonical() == canon`.
+    #[test]
+    fn walk_agrees_with_materialised_canonicalisation() {
+        let s = base();
+        let a = s
+            .apply_write(Comp::Client, Tid(0), X, Val::Int(1), false, OpId(0))
+            .apply_write(Comp::Client, Tid(1), Y, Val::Int(2), true, OpId(1));
+        let b = s
+            .apply_write(Comp::Client, Tid(1), Y, Val::Int(2), true, OpId(1))
+            .apply_write(Comp::Client, Tid(0), X, Val::Int(1), false, OpId(0));
+        let c = s.apply_write(Comp::Client, Tid(0), X, Val::Int(3), false, OpId(0));
+
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(walk_hash(&a), walk_hash(&b), "equal canonical forms, equal walk");
+        assert_ne!(walk_hash(&a), walk_hash(&c), "distinct canonical forms, distinct walk");
+
+        assert!(a.canonical_eq(&b.canonical()));
+        assert!(b.canonical_eq(&a.canonical()));
+        assert!(!c.canonical_eq(&a.canonical()));
+        assert!(!a.canonical_eq(&c.canonical()));
+    }
+
+    /// The walk hash is stable under canonicalisation (the canonical form's
+    /// permutations are the identity), and `canonical_with` reusing
+    /// precomputed permutations equals `canonical`.
+    #[test]
+    fn walk_is_stable_under_canonicalisation() {
+        let s = base()
+            .apply_write(Comp::Client, Tid(0), X, Val::Int(1), true, OpId(0))
+            .apply_update(Comp::Client, Tid(1), X, Val::Int(2), OpId(0))
+            .apply_read(Comp::Client, Tid(0), Y, true, OpId(1));
+        let canon = s.canonical();
+        assert_eq!(walk_hash(&s), walk_hash(&canon));
+        assert!(s.canonical_eq(&canon));
+        assert!(canon.canonical_eq(&canon));
+
+        let perms = s.canonical_perms();
+        assert_eq!(s.canonical_with(&perms), canon);
+    }
+
+    /// Covered flags are part of the canonical identity: states differing
+    /// *only* in `cvd` must neither walk-hash equal nor canonical-eq.
+    #[test]
+    fn walk_distinguishes_covered_flags() {
+        let s = base().apply_write(Comp::Client, Tid(0), X, Val::Int(1), true, OpId(0));
+        let mut covered = s.clone();
+        covered.comp_mut(Comp::Client).cover(OpId(0));
+        assert_ne!(walk_hash(&s), walk_hash(&covered));
+        assert!(!s.canonical_eq(&covered.canonical()));
+        assert!(!covered.canonical_eq(&s.canonical()));
     }
 
     /// Differing *orders on the same variable* must NOT be identified.

@@ -38,6 +38,7 @@ pub mod val;
 pub mod view;
 
 pub use action::{MethodOp, OpAction};
+pub use canon::CanonPerms;
 pub use combined::{Combined, ReadChoice};
 pub use ids::{Comp, Loc, LocKind, LocTable, OpId, Tid};
 pub use state::{CState, InitLoc, OpRecord};

@@ -79,6 +79,25 @@ impl View {
         }
     }
 
+    /// Feed the permutation-remapped entries into `h` without materialising
+    /// the remapped view — the per-view step of the zero-rebuild canonical
+    /// fingerprint (DESIGN.md ablation A4).
+    #[inline]
+    pub fn hash_remapped<H: std::hash::Hasher>(&self, perm: &[OpId], h: &mut H) {
+        for e in self.0.iter() {
+            h.write_u32(perm[e.idx()].0);
+        }
+    }
+
+    /// True iff remapping `self` through `perm` would yield exactly `other`,
+    /// without materialising the remapped view — the per-view step of
+    /// zero-rebuild canonical equality confirmation.
+    #[inline]
+    pub fn eq_remapped(&self, perm: &[OpId], other: &View) -> bool {
+        self.0.len() == other.0.len()
+            && self.0.iter().zip(other.0.iter()).all(|(e, o)| perm[e.idx()] == *o)
+    }
+
     /// Raw slice access (read-only), for hashing and debugging.
     #[inline]
     pub fn as_slice(&self) -> &[OpId] {
@@ -129,5 +148,31 @@ mod tests {
         let perm = [OpId(1), OpId(0), OpId(2)];
         v.remap(&perm);
         assert_eq!(v.as_slice(), &[OpId(1), OpId(2)]);
+    }
+
+    /// `hash_remapped` and `eq_remapped` agree with materialised remapping.
+    #[test]
+    fn remapped_hash_and_eq_match_materialised_remap() {
+        use std::hash::Hasher;
+        let v = View::from_entries(vec![OpId(0), OpId(2), OpId(1)]);
+        let perm = [OpId(2), OpId(0), OpId(1)];
+        let mut materialised = v.clone();
+        materialised.remap(&perm);
+
+        assert!(v.eq_remapped(&perm, &materialised));
+        assert!(!v.eq_remapped(&perm, &v));
+
+        // The streamed hash equals hashing the materialised entries the
+        // same way (one write_u32 per entry).
+        let hash_entries = |entries: &[OpId]| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            for e in entries {
+                h.write_u32(e.0);
+            }
+            h.finish()
+        };
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        v.hash_remapped(&perm, &mut h);
+        assert_eq!(h.finish(), hash_entries(materialised.as_slice()));
     }
 }

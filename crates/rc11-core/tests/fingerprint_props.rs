@@ -1,0 +1,174 @@
+//! Property tests for the zero-rebuild canonical fingerprint (ablation A4):
+//! on randomly generated transition scripts,
+//!
+//! `a.canonical() == b.canonical()  ⟺  fingerprint(a) == fingerprint(b)`,
+//!
+//! together with the supporting equalities the engines lean on —
+//! fingerprint stability under materialised canonicalisation, and
+//! `canonical_eq` deciding exactly materialised-canonical equality. The
+//! `⟸` direction is a no-collision claim for the generated family (the
+//! engines tolerate collisions via bucket confirmation; the differential
+//! suite `tests/engine_agreement.rs` covers that fallback end to end).
+//!
+//! Two generators exercise both directions meaningfully:
+//!
+//! * *random scripts* — arbitrary write/read/update sequences, so almost
+//!   all pairs have distinct canonical forms (`⟸` as non-collision);
+//! * *commuted interleavings* — one script applied in order and with
+//!   independent adjacent steps (different thread **and** different
+//!   location) swapped, so canonical forms coincide by construction (`⟹`).
+
+use proptest::prelude::*;
+use rc11_check::CanonicalFingerprint;
+use rc11_core::{Comp, Combined, InitLoc, Loc, Tid, Val};
+
+const N_LOCS: usize = 2;
+const N_THREADS: usize = 2;
+
+/// One step of a transition script, with indices resolved against the
+/// state at application time (so every generated script is applicable).
+#[derive(Debug, Clone, Copy)]
+enum RStep {
+    Write { t: u8, loc: u8, val: u8, rel: bool, pred: u8 },
+    Read { t: u8, loc: u8, acq: bool, choice: u8 },
+    Update { t: u8, loc: u8, val: u8, pred: u8 },
+}
+
+impl RStep {
+    fn tid(self) -> Tid {
+        match self {
+            RStep::Write { t, .. } | RStep::Read { t, .. } | RStep::Update { t, .. } => {
+                Tid(t % N_THREADS as u8)
+            }
+        }
+    }
+
+    fn loc(self) -> Loc {
+        match self {
+            RStep::Write { loc, .. } | RStep::Read { loc, .. } | RStep::Update { loc, .. } => {
+                Loc((loc % N_LOCS as u8) as u16)
+            }
+        }
+    }
+}
+
+fn rstep() -> impl Strategy<Value = RStep> {
+    prop_oneof![
+        (0u8..2, 0u8..2, 1u8..4, any::<bool>(), 0u8..4)
+            .prop_map(|(t, loc, val, rel, pred)| RStep::Write { t, loc, val, rel, pred }),
+        (0u8..2, 0u8..2, any::<bool>(), 0u8..4)
+            .prop_map(|(t, loc, acq, choice)| RStep::Read { t, loc, acq, choice }),
+        (0u8..2, 0u8..2, 1u8..4, 0u8..4)
+            .prop_map(|(t, loc, val, pred)| RStep::Update { t, loc, val, pred }),
+    ]
+}
+
+fn initial() -> Combined {
+    Combined::new(
+        &[InitLoc::Var(Val::Int(0)), InitLoc::Var(Val::Int(0))],
+        &[],
+        N_THREADS,
+    )
+}
+
+/// Apply one step, resolving the generated indices against the current
+/// choice lists; inapplicable steps (no uncovered predecessor) are skipped.
+fn apply(s: &Combined, step: RStep) -> Combined {
+    let t = step.tid();
+    let x = step.loc();
+    match step {
+        RStep::Write { val, rel, pred, .. } => {
+            let preds = s.write_preds(Comp::Client, t, x);
+            if preds.is_empty() {
+                return s.clone();
+            }
+            let w = preds[pred as usize % preds.len()];
+            s.apply_write(Comp::Client, t, x, Val::Int(val as i64), rel, w)
+        }
+        RStep::Read { acq, choice, .. } => {
+            let choices = s.read_choices(Comp::Client, t, x);
+            let c = choices[choice as usize % choices.len()];
+            s.apply_read(Comp::Client, t, x, acq, c.from)
+        }
+        RStep::Update { val, pred, .. } => {
+            let preds = s.update_preds(Comp::Client, t, x, None);
+            if preds.is_empty() {
+                return s.clone();
+            }
+            let w = preds[pred as usize % preds.len()];
+            s.apply_update(Comp::Client, t, x, Val::Int(val as i64), w)
+        }
+    }
+}
+
+fn run(script: &[RStep]) -> Combined {
+    script.iter().fold(initial(), |s, &st| apply(&s, st))
+}
+
+/// Swap adjacent steps when they are independent (different thread and
+/// different location): a different interleaving of the same behaviour.
+fn commute(script: &[RStep]) -> Vec<RStep> {
+    let mut out = script.to_vec();
+    let mut i = 0;
+    while i + 1 < out.len() {
+        if out[i].tid() != out[i + 1].tid() && out[i].loc() != out[i + 1].loc() {
+            out.swap(i, i + 1);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The central biconditional on random pairs: equal canonical forms
+    /// iff equal fingerprints — and `canonical_eq` decides it too.
+    #[test]
+    fn canonical_equality_iff_fingerprint_equality(
+        a in prop::collection::vec(rstep(), 0..7),
+        b in prop::collection::vec(rstep(), 0..7),
+    ) {
+        let (sa, sb) = (run(&a), run(&b));
+        let canon_eq = sa.canonical() == sb.canonical();
+        let fp_eq = sa.canonical_fingerprint() == sb.canonical_fingerprint();
+        prop_assert_eq!(canon_eq, fp_eq, "canonical equality and fingerprint equality diverged");
+        prop_assert_eq!(sa.canonical_eq(&sb.canonical()), canon_eq);
+        prop_assert_eq!(sb.canonical_eq(&sa.canonical()), canon_eq);
+    }
+
+    /// Commuted interleavings of one script: canonical forms coincide, so
+    /// fingerprints must too (the `⟹` direction on guaranteed-equal pairs).
+    #[test]
+    fn commuted_interleavings_fingerprint_equal(
+        script in prop::collection::vec(rstep(), 0..8),
+    ) {
+        let a = run(&script);
+        let b = run(&commute(&script));
+        prop_assert_eq!(a.canonical(), b.canonical(), "commuted steps must not change the state");
+        prop_assert_eq!(a.canonical_fingerprint(), b.canonical_fingerprint());
+        prop_assert!(a.canonical_eq(&b.canonical()));
+    }
+
+    /// Stability: fingerprinting is invariant under materialised
+    /// canonicalisation, `canonical_eq` accepts the state's own canonical
+    /// form, and the permutation-reusing entry points agree with the
+    /// self-contained ones.
+    #[test]
+    fn fingerprint_is_stable_under_canonicalisation(
+        script in prop::collection::vec(rstep(), 0..8),
+    ) {
+        let s = run(&script);
+        let canon = s.canonical();
+        prop_assert_eq!(s.canonical_fingerprint(), canon.canonical_fingerprint());
+        prop_assert!(s.canonical_eq(&canon));
+        prop_assert!(canon.canonical_eq(&canon));
+
+        let perms = s.canonical_perms();
+        prop_assert_eq!(s.fingerprint_with(&perms), s.canonical_fingerprint());
+        prop_assert!(s.canonical_eq_with(&perms, &canon));
+        prop_assert_eq!(s.canonical_with(&perms), canon);
+    }
+}

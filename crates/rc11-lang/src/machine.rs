@@ -82,6 +82,65 @@ impl Config {
         Config { pcs: self.pcs.clone(), locals: self.locals.clone(), mem: self.mem.canonical() }
     }
 
+    /// The memory state's canonical permutations
+    /// ([`rc11_core::Combined::canonical_perms`]) — the shared input of the
+    /// zero-rebuild fingerprint/equality walks and of
+    /// [`Config::canonical_with`].
+    #[must_use]
+    pub fn canonical_perms(&self) -> rc11_core::CanonPerms {
+        self.mem.canonical_perms()
+    }
+
+    /// [`Config::canonical`] with precomputed permutations, so a caller
+    /// that already fingerprinted this configuration materialises the
+    /// canonical form without recomputing them.
+    #[must_use]
+    pub fn canonical_with(&self, perms: &rc11_core::CanonPerms) -> Config {
+        Config {
+            pcs: self.pcs.clone(),
+            locals: self.locals.clone(),
+            mem: self.mem.canonical_with(perms),
+        }
+    }
+
+    /// Stream this configuration's canonical serialisation into `h`
+    /// without materialising it: pcs and locals as-is (already canonical),
+    /// memory via the zero-rebuild canonical walk. Two configurations feed
+    /// identical streams iff their canonical forms are equal.
+    pub fn hash_canonical_with<H: std::hash::Hasher>(
+        &self,
+        perms: &rc11_core::CanonPerms,
+        h: &mut H,
+    ) {
+        use std::hash::Hash;
+        self.pcs.hash(h);
+        self.locals.hash(h);
+        self.mem.hash_canonical_with(perms, h);
+    }
+
+    /// [`Config::hash_canonical_with`], computing the permutations
+    /// internally.
+    pub fn hash_canonical<H: std::hash::Hasher>(&self, h: &mut H) {
+        self.hash_canonical_with(&self.canonical_perms(), h);
+    }
+
+    /// True iff `self.canonical() == *canon`, decided without building the
+    /// canonical form. `canon` must already be canonical — this is the
+    /// collision-bucket confirmation step of fingerprint deduplication.
+    #[must_use]
+    pub fn canonical_eq_with(&self, perms: &rc11_core::CanonPerms, canon: &Config) -> bool {
+        self.pcs == canon.pcs
+            && self.locals == canon.locals
+            && self.mem.canonical_eq_with(perms, &canon.mem)
+    }
+
+    /// [`Config::canonical_eq_with`], computing the permutations
+    /// internally.
+    #[must_use]
+    pub fn canonical_eq(&self, canon: &Config) -> bool {
+        self.canonical_eq_with(&self.canonical_perms(), canon)
+    }
+
     /// True iff every thread is at `Halt`.
     pub fn terminated(&self, prog: &CfgProgram) -> bool {
         self.pcs

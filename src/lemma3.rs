@@ -34,9 +34,8 @@ impl RuleHarness {
         let mut configs = Vec::new();
         let report = Explorer::new(&prog, &AbstractObjects)
             .with_options(ExploreOptions { record_traces: false, ..Default::default() })
-            .explore_with(|cfg| {
+            .explore_with(|cfg, _| {
                 configs.push(cfg.clone());
-                Vec::new()
             });
         assert!(!report.truncated, "harness exploration truncated");
         RuleHarness { prog, configs, l, x }

@@ -7,6 +7,14 @@
 //! Any divergence is a bug in one of the engines (most likely a lost or
 //! double-counted state in the parallel one), which is why CI also runs
 //! this suite under the optimized release build the benches use.
+//!
+//! The suite is additionally **fingerprint-differential**: every engine
+//! must produce the identical report with zero-rebuild canonical
+//! fingerprint dedup ([`ExploreOptions::fingerprint`], the default) and
+//! with the legacy materialised-canonical dedup it replaced. The
+//! fingerprint path's collision-bucket fallback makes its membership
+//! decisions provably equal, and this suite holds it to that, gallery-wide
+//! and at every worker count.
 
 use rc11::figures;
 use rc11::prelude::*;
@@ -58,11 +66,9 @@ fn litmus_gallery_reports_agree_across_engines() {
         let prog = compile(&l.prog);
         let objs = litmus::objects_for(&l);
         let opts = ExploreOptions { record_traces: false, ..Default::default() };
-        let check = |cfg: &Config| {
+        let check = |cfg: &Config, out: &mut Vec<String>| {
             if cfg.terminated(&prog) {
-                vec!["terminal".to_string()]
-            } else {
-                Vec::new()
+                out.push("terminal".to_string());
             }
         };
         let seq = Engine::Sequential.explore_with(&prog, objs, opts, check);
@@ -76,6 +82,72 @@ fn litmus_gallery_reports_agree_across_engines() {
         for workers in WORKERS {
             let par = Engine::Parallel { workers }.explore_with(&prog, objs, opts, check);
             assert_reports_agree(l.name, workers, &seq, &par);
+        }
+    }
+}
+
+/// The fingerprint-on/off differential: on the whole gallery, the
+/// materialised-canonical dedup path and the fingerprint path must produce
+/// byte-identical reports — states, transitions, terminal counts and
+/// violation sets — under the sequential engine and under the parallel
+/// engine at every worker count. This is the soundness gate for ablation
+/// A4: rekeying the visited structures must not change a single verdict.
+#[test]
+fn fingerprint_and_materialised_dedup_reports_agree() {
+    for l in litmus::all() {
+        let prog = compile(&l.prog);
+        let objs = litmus::objects_for(&l);
+        let check = |cfg: &Config, out: &mut Vec<String>| {
+            if cfg.terminated(&prog) {
+                out.push("terminal".to_string());
+            }
+        };
+        let exact_opts = ExploreOptions {
+            record_traces: false,
+            fingerprint: false,
+            ..Default::default()
+        };
+        let fp_opts = ExploreOptions { fingerprint: true, ..exact_opts };
+        let oracle = Engine::Sequential.explore_with(&prog, objs, exact_opts, check);
+
+        let seq_fp = Engine::Sequential.explore_with(&prog, objs, fp_opts, check);
+        assert_reports_agree(l.name, 1, &oracle, &seq_fp);
+
+        for workers in WORKERS {
+            for (mode, opts) in [("fp", fp_opts), ("exact", exact_opts)] {
+                let par = Engine::Parallel { workers }.explore_with(&prog, objs, opts, check);
+                assert_reports_agree(&format!("{} [{mode}]", l.name), workers, &oracle, &par);
+            }
+        }
+    }
+}
+
+/// The same differential for the outline checker: both dedup modes agree
+/// on the full outline report (including assertion-evaluation counts) for
+/// a valid outline and for one with violations, under both engines.
+#[test]
+fn fingerprint_and_materialised_outline_reports_agree() {
+    for (name, f) in [("fig3-on-fig2", figures::fig2()), ("fig3-on-fig1", figures::fig1())] {
+        let outline = figures::fig3_outline(&f);
+        let prog = compile(&f.prog);
+        let exact_opts = ExploreOptions { fingerprint: false, ..Default::default() };
+        let fp_opts = ExploreOptions::default();
+        let oracle =
+            check_outline_with(&prog, &AbstractObjects, &outline, exact_opts, &Engine::Sequential);
+        let seq_fp =
+            check_outline_with(&prog, &AbstractObjects, &outline, fp_opts, &Engine::Sequential);
+        assert_outline_reports_agree(name, 1, &oracle, &seq_fp);
+        for workers in WORKERS {
+            for opts in [fp_opts, exact_opts] {
+                let par = check_outline_with(
+                    &prog,
+                    &AbstractObjects,
+                    &outline,
+                    opts,
+                    &Engine::Parallel { workers },
+                );
+                assert_outline_reports_agree(name, workers, &oracle, &par);
+            }
         }
     }
 }
@@ -270,13 +342,11 @@ fn violation_traces_replay_under_both_engines() {
     let l = litmus::sb_ra();
     let prog = compile(&l.prog);
     let opts = ExploreOptions::default();
-    let check = |cfg: &Config| {
+    let check = |cfg: &Config, out: &mut Vec<String>| {
         if cfg.terminated(&prog)
             && l.observe.iter().all(|&(t, r)| cfg.reg(t, r) == rc11::core::Val::Int(0))
         {
-            vec!["both zero".to_string()]
-        } else {
-            Vec::new()
+            out.push("both zero".to_string());
         }
     };
     for engine in [Engine::Sequential, Engine::Parallel { workers: 4 }] {

@@ -149,7 +149,7 @@ fn parallel_explorer_agrees_on_object_programs() {
         &AbstractObjects,
         ExploreOptions { record_traces: false, ..Default::default() },
         4,
-        |_| Vec::new(),
+        |_, _| {},
     );
     assert_eq!(par_report.states, seq_report.states);
     assert_eq!(par_report.terminated.len(), seq_report.terminated.len());

@@ -17,9 +17,8 @@ fn reachable(prog: &CfgProgram) -> Vec<Config> {
     let mut configs = Vec::new();
     let report = Explorer::new(prog, &AbstractObjects)
         .with_options(ExploreOptions { record_traces: false, ..Default::default() })
-        .explore_with(|cfg| {
+        .explore_with(|cfg, _| {
             configs.push(cfg.clone());
-            Vec::new()
         });
     assert!(!report.truncated);
     configs

@@ -85,7 +85,35 @@ pub enum Throughput {
 
 const DEFAULT_SAMPLE_SIZE: usize = 10;
 
+/// The benchmark-name filter, like real criterion's CLI: the first
+/// non-flag argument is a substring filter; benchmarks whose full path
+/// does not contain it are skipped (`cargo bench -- some_group`).
+fn name_filter() -> Option<&'static str> {
+    static FILTER: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+    FILTER
+        .get_or_init(|| std::env::args().skip(1).find(|a| !a.starts_with('-')))
+        .as_deref()
+}
+
+/// Would the active name filter select benchmarks under `prefix` (a group
+/// name or path prefix)? Bench files use this to skip expensive setup and
+/// side-effect blocks (result recording, custom sweeps) whose group was
+/// filtered out — the filter in [`name_filter`] only gates the timed
+/// benchmarks themselves. True when no filter is set, when the prefix
+/// contains the filter, or when the filter names a path under the prefix.
+pub fn selected(prefix: &str) -> bool {
+    match name_filter() {
+        None => true,
+        Some(f) => prefix.contains(f) || f.starts_with(prefix),
+    }
+}
+
 fn run_one(path: &str, sample_size: usize, throughput: Option<&Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    if let Some(filter) = name_filter() {
+        if !path.contains(filter) {
+            return;
+        }
+    }
     // One untimed warmup call, then the measured batch.
     let mut warmup = Bencher { iters: 1, total: Duration::ZERO, min: Duration::MAX };
     f(&mut warmup);
