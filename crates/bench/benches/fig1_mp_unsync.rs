@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
 
     let f = figures::fig1();
     let prog = compile(&f.prog);
-    let samples = sample_terminals(&prog, &AbstractObjects, 2000, 5_000, 7);
+    let samples = sample_terminals(&prog, &AbstractObjects, 2000, 5_000, 7).expect("Figure 1 terminates");
     let pct =
         samples.iter().filter(|cfg| cfg.reg(1, f.r2) == Val::Int(0)).count() as f64 / 20.0;
     eprintln!("[fig1] sampled stale-read frequency: {pct:.1}% (paper: weak outcome observable)");
@@ -36,7 +36,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1");
     g.bench_function("exhaustive_verify", |b| b.iter(verify_fig1));
     g.bench_function("sample_100_walks", |b| {
-        b.iter(|| sample_terminals(&prog, &AbstractObjects, 100, 5_000, 7))
+        b.iter(|| sample_terminals(&prog, &AbstractObjects, 100, 5_000, 7).unwrap())
     });
     g.finish();
 }

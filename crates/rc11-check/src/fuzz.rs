@@ -1,0 +1,350 @@
+//! The generative differential-fuzz harness.
+//!
+//! For each generated program ([`crate::gen`]) the harness decides the same
+//! reachability question many ways and requires every answer to agree with
+//! the sequential, materialised-canonical-dedup oracle:
+//!
+//! * sequential with fingerprint dedup on (ablation A4's fast path);
+//! * the parallel engine at each configured worker count, fingerprint on
+//!   *and* off;
+//! * the `.litmus` printer/parser round-trip: printing the program as text
+//!   and re-parsing it must preserve the outcome set (pinning the text
+//!   front-end to the builder);
+//! * sampler soundness: every [`crate::random::random_walk`] terminal
+//!   outcome must lie inside the exhaustive outcome set (a sample outside
+//!   it would be a transition the exhaustive engines missed, or a walk
+//!   through a transition that should not exist).
+//!
+//! Any disagreement is shrunk ([`crate::gen::shrink`]) to a minimal failing
+//! program and reported with its `.litmus` source, so the repro drops
+//! straight into `corpus/` and `rc11 run`.
+
+use crate::engine::{Engine, EngineReport, ExploreOptions};
+use crate::gen::{generate, shrink, GProg, GenOptions};
+use crate::random::sample_terminals;
+use rc11_core::Val;
+use rc11_lang::compile;
+use rc11_lang::machine::NoObjects;
+use std::collections::BTreeSet;
+
+/// Differential-check configuration.
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Parallel worker counts to cross-check (each runs fingerprint on and
+    /// off).
+    pub workers: Vec<usize>,
+    /// State cap per exploration; a generated program that exceeds it is
+    /// skipped (counted, not failed).
+    pub max_states: usize,
+    /// Random walks per program for the sampler-soundness check (0
+    /// disables).
+    pub samples: usize,
+    /// Step budget per walk.
+    pub sample_steps: usize,
+    /// Also round-trip each program through the `.litmus` printer/parser
+    /// and require outcome-set equality.
+    pub round_trip: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            workers: vec![2, 4],
+            max_states: 1 << 18,
+            samples: 24,
+            sample_steps: 4096,
+            round_trip: true,
+        }
+    }
+}
+
+/// The verdict for one generated program.
+#[derive(Debug, Clone)]
+pub enum DiffVerdict {
+    /// All engines, modes, the round-trip and the sampler agreed.
+    Pass {
+        /// Distinct states the oracle explored.
+        states: usize,
+        /// Distinct terminal outcome tuples.
+        outcomes: usize,
+    },
+    /// The oracle hit the state cap; nothing was compared.
+    Skipped,
+    /// Some check disagreed with the oracle.
+    Fail(String),
+}
+
+/// The exact terminal outcome set: the observation tuple (all data
+/// registers of all threads) of every terminated configuration.
+fn outcome_set(g: &GProg, report: &EngineReport) -> BTreeSet<Vec<Val>> {
+    let obs = g.observe();
+    report
+        .terminated
+        .iter()
+        .map(|c| obs.iter().map(|&(t, r)| c.reg(t, r)).collect())
+        .collect()
+}
+
+fn compare(
+    what: &str,
+    g: &GProg,
+    oracle: &EngineReport,
+    oracle_outcomes: &BTreeSet<Vec<Val>>,
+    got: &EngineReport,
+) -> Result<(), String> {
+    if got.truncated != oracle.truncated {
+        return Err(format!("{what}: truncated {} vs oracle {}", got.truncated, oracle.truncated));
+    }
+    if got.states != oracle.states {
+        return Err(format!("{what}: states {} vs oracle {}", got.states, oracle.states));
+    }
+    if got.transitions != oracle.transitions {
+        return Err(format!(
+            "{what}: transitions {} vs oracle {}",
+            got.transitions, oracle.transitions
+        ));
+    }
+    if got.terminated.len() != oracle.terminated.len() {
+        return Err(format!(
+            "{what}: terminal configurations {} vs oracle {}",
+            got.terminated.len(),
+            oracle.terminated.len()
+        ));
+    }
+    if got.deadlocked.len() != oracle.deadlocked.len() {
+        return Err(format!(
+            "{what}: deadlocked configurations {} vs oracle {}",
+            got.deadlocked.len(),
+            oracle.deadlocked.len()
+        ));
+    }
+    let got_outcomes = outcome_set(g, got);
+    if &got_outcomes != oracle_outcomes {
+        let missing: Vec<_> = oracle_outcomes.difference(&got_outcomes).collect();
+        let extra: Vec<_> = got_outcomes.difference(oracle_outcomes).collect();
+        return Err(format!(
+            "{what}: outcome sets diverge (missing {missing:?}, extra {extra:?})"
+        ));
+    }
+    Ok(())
+}
+
+/// Run every differential check on one generated program.
+pub fn diff_one(g: &GProg, seed: u64, opts: &DiffOptions) -> DiffVerdict {
+    let prog = compile(&g.to_program("fuzz"));
+    let base = ExploreOptions {
+        record_traces: false,
+        max_states: opts.max_states,
+        ..Default::default()
+    };
+    let exact = ExploreOptions { fingerprint: false, ..base };
+    let fp = ExploreOptions { fingerprint: true, ..base };
+
+    // The oracle: sequential, materialised-canonical dedup.
+    let oracle = Engine::Sequential.explore(&prog, &NoObjects, exact);
+    if oracle.truncated {
+        return DiffVerdict::Skipped;
+    }
+    let oracle_outcomes = outcome_set(g, &oracle);
+
+    match (|| -> Result<(), String> {
+        // Fingerprint on/off parity, sequentially.
+        let seq_fp = Engine::Sequential.explore(&prog, &NoObjects, fp);
+        compare("sequential fingerprint", g, &oracle, &oracle_outcomes, &seq_fp)?;
+
+        // Sequential vs parallel, in both dedup modes.
+        for &w in &opts.workers {
+            for (mode, o) in [("fp", fp), ("exact", exact)] {
+                let par = Engine::Parallel { workers: w }.explore(&prog, &NoObjects, o);
+                compare(
+                    &format!("parallel[{w} workers, {mode}]"),
+                    g,
+                    &oracle,
+                    &oracle_outcomes,
+                    &par,
+                )?;
+            }
+        }
+
+        // Printer/parser round-trip preserves the outcome set. The printed
+        // form initialises registers with explicit assignments (the text
+        // syntax has no register declarations), which interleaves as one
+        // extra local stage per thread — the reparsed state space is a
+        // small constant factor larger than the oracle's, so it gets
+        // head-room on the cap; only the outcome sets are compared.
+        if opts.round_trip {
+            let src = g.to_litmus_source("fuzz-rt", "", &oracle_outcomes);
+            let parsed = rc11_lang::parse::parse_litmus(&src)
+                .map_err(|e| format!("round-trip: printed source fails to parse: {e}"))?;
+            let rt_prog = compile(&parsed.prog);
+            let rt_opts =
+                ExploreOptions { max_states: opts.max_states.saturating_mul(16), ..exact };
+            let rt = Engine::Sequential.explore(&rt_prog, &NoObjects, rt_opts);
+            if rt.truncated {
+                return Err("round-trip: reparsed program truncated".into());
+            }
+            let rt_outcomes: BTreeSet<Vec<Val>> = rt
+                .terminated
+                .iter()
+                .map(|c| parsed.observe.iter().map(|&(t, r)| c.reg(t, r)).collect())
+                .collect();
+            if rt_outcomes != oracle_outcomes {
+                return Err(format!(
+                    "round-trip: outcome sets diverge (builder {} vs reparsed {})",
+                    oracle_outcomes.len(),
+                    rt_outcomes.len()
+                ));
+            }
+        }
+
+        // Sampler soundness: random walks only ever land inside the
+        // exhaustive outcome set. Generated programs always terminate, so
+        // a sampling failure is itself a bug.
+        if opts.samples > 0 {
+            let samples =
+                sample_terminals(&prog, &NoObjects, opts.samples, opts.sample_steps, seed)
+                    .map_err(|e| format!("sampler: generated program should terminate: {e}"))?;
+            let obs = g.observe();
+            for cfg in &samples {
+                let tuple: Vec<Val> = obs.iter().map(|&(t, r)| cfg.reg(t, r)).collect();
+                if !oracle_outcomes.contains(&tuple) {
+                    return Err(format!(
+                        "sampler: walked to outcome {tuple:?} outside the exhaustive set"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    })() {
+        Ok(()) => DiffVerdict::Pass {
+            states: oracle.states,
+            outcomes: oracle_outcomes.len(),
+        },
+        Err(e) => DiffVerdict::Fail(e),
+    }
+}
+
+/// A shrunk fuzz counterexample.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// Iteration (0-based) at which the failure was found.
+    pub iter: usize,
+    /// The per-program seed that produced it.
+    pub seed: u64,
+    /// The first check that disagreed, on the *shrunk* program.
+    pub what: String,
+    /// The shrunk program.
+    pub shrunk: GProg,
+    /// The shrunk program as replayable `.litmus` source (expected set =
+    /// the oracle's observed outcomes).
+    pub source: String,
+}
+
+/// Aggregate results of a fuzz run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Programs generated.
+    pub iters: usize,
+    /// Programs where every check agreed.
+    pub passed: usize,
+    /// Programs skipped because the oracle hit the state cap.
+    pub skipped: usize,
+    /// Total states explored by the oracle across passing programs.
+    pub total_states: usize,
+    /// The first failure, shrunk — `None` on a clean run.
+    pub failure: Option<FuzzFailure>,
+}
+
+impl FuzzReport {
+    /// True iff no differential check failed.
+    pub fn ok(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Generate and differentially check `iters` programs from `seed`,
+/// stopping (after shrinking) at the first failure. `progress` is called
+/// after every program with the running report.
+pub fn fuzz(
+    seed: u64,
+    iters: usize,
+    gen_opts: &GenOptions,
+    diff_opts: &DiffOptions,
+    mut progress: impl FnMut(&FuzzReport),
+) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for i in 0..iters {
+        // Decorrelate program seeds while keeping them reproducible.
+        let prog_seed = seed.wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let g = generate(prog_seed, gen_opts);
+        report.iters += 1;
+        match diff_one(&g, prog_seed, diff_opts) {
+            DiffVerdict::Pass { states, .. } => {
+                report.passed += 1;
+                report.total_states += states;
+            }
+            DiffVerdict::Skipped => report.skipped += 1,
+            DiffVerdict::Fail(_) => {
+                let fails = |cand: &GProg| {
+                    matches!(diff_one(cand, prog_seed, diff_opts), DiffVerdict::Fail(_))
+                };
+                let shrunk = shrink(&g, fails);
+                let what = match diff_one(&shrunk, prog_seed, diff_opts) {
+                    DiffVerdict::Fail(e) => e,
+                    other => format!("unstable failure after shrinking: {other:?}"),
+                };
+                // Recover the oracle's outcome set for the repro source.
+                let prog = compile(&shrunk.to_program("fuzz"));
+                let oracle = Engine::Sequential.explore(
+                    &prog,
+                    &NoObjects,
+                    ExploreOptions {
+                        record_traces: false,
+                        max_states: diff_opts.max_states,
+                        fingerprint: false,
+                        ..Default::default()
+                    },
+                );
+                let outcomes = outcome_set(&shrunk, &oracle);
+                let source = shrunk.to_litmus_source(
+                    &format!("fuzz-fail-{prog_seed}"),
+                    &format!("shrunk fuzz counterexample: {what}"),
+                    &outcomes,
+                );
+                report.failure =
+                    Some(FuzzFailure { iter: i, seed: prog_seed, what, shrunk, source });
+                progress(&report);
+                return report;
+            }
+        }
+        progress(&report);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_short_fixed_seed_fuzz_run_is_clean() {
+        let gen_opts = GenOptions { max_stmts: 3, ..Default::default() };
+        let diff_opts = DiffOptions { workers: vec![2], samples: 8, ..Default::default() };
+        let report = fuzz(0xC0FFEE, 10, &gen_opts, &diff_opts, |_| {});
+        assert_eq!(report.iters, 10);
+        assert!(
+            report.ok(),
+            "differential failure: {}",
+            report.failure.as_ref().map(|f| f.source.as_str()).unwrap_or("")
+        );
+        assert!(report.passed + report.skipped == 10);
+        assert!(report.passed > 0, "at least some programs must be checkable");
+    }
+
+    #[test]
+    fn observation_uses_all_data_registers() {
+        let g = generate(7, &GenOptions::default());
+        let obs = g.observe();
+        assert_eq!(obs.len(), g.threads.len() * crate::gen::DATA_REGS as usize);
+    }
+}

@@ -18,6 +18,12 @@
 //! * [`parallel`] — the batched work-stealing parallel engine over a
 //!   sharded fingerprint-keyed interned state store, with counterexample
 //!   traces (ablations A3/A4);
+//! * [`gen`] — seeded random litmus-program generation over the full
+//!   statement alphabet, with deletion-based shrinking;
+//! * [`fuzz`] — the generative differential harness: every generated
+//!   program must produce identical reports under sequential/parallel
+//!   engines, fingerprint on/off, the `.litmus` printer/parser round-trip,
+//!   and sampler-soundness (`random_walk` ⊆ exhaustive outcomes);
 //! * [`random`] — reproducible random-walk sampling for outcome frequency;
 //! * [`fxhash`] — the integer-friendly hasher behind all the maps, its
 //!   128-bit extension [`fxhash::Fx128Hasher`] and the zero-rebuild
@@ -27,6 +33,8 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fuzz;
+pub mod gen;
 pub mod explore;
 pub mod fxhash;
 pub mod outline_check;
@@ -35,10 +43,12 @@ pub mod pretty;
 pub mod random;
 
 pub use engine::{choose_engine, Engine, EngineReport, ExploreOptions, Violation};
+pub use fuzz::{diff_one, fuzz, DiffOptions, DiffVerdict, FuzzFailure, FuzzReport};
+pub use gen::{generate, shrink, GProg, GRhs, GStmt, GenOptions};
 pub use explore::{Explorer, Report};
 pub use fxhash::{CanonicalFingerprint, Fp128, Fx128Hasher};
 pub use outline_check::{
     check_outline, check_outline_with, OgClass, OutlineKind, OutlineReport, OutlineViolation,
 };
 pub use parallel::{par_explore, ShardedFpMap, ShardedMap, ShardedSet};
-pub use random::{random_walk, sample_terminals};
+pub use random::{random_walk, sample_terminals, SampleError};

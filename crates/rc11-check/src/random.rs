@@ -9,6 +9,32 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rc11_lang::cfg::CfgProgram;
 use rc11_lang::machine::{successors, Config, ObjectSemantics, StepOptions};
+use std::fmt;
+
+/// Sampling failed: the program (almost) never terminates within the step
+/// budget, so no terminal sample set of the requested size exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleError {
+    /// Walks that hit `max_steps` without reaching a terminal state.
+    pub failed_walks: usize,
+    /// Terminal samples collected before giving up.
+    pub collected: usize,
+    /// The per-walk step budget that was exceeded.
+    pub max_steps: usize,
+}
+
+impl fmt::Display for SampleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sampling gave up after {} non-terminating walks ({} terminal samples \
+             collected, {} steps per walk)",
+            self.failed_walks, self.collected, self.max_steps
+        )
+    }
+}
+
+impl std::error::Error for SampleError {}
 
 /// One random walk: uniformly choose a successor until termination,
 /// deadlock, or `max_steps`. Returns the final configuration and whether it
@@ -32,16 +58,18 @@ pub fn random_walk(
     (cfg, false)
 }
 
-/// Sample `n_walks` terminal configurations (walks that hit `max_steps`
-/// without terminating are discarded and retried once; persistent
-/// non-termination is reported as a panic to keep benches honest).
+/// Sample `n_walks` terminal configurations. Walks that hit `max_steps`
+/// without terminating are discarded and retried; once the discard count
+/// exceeds `10 × n_walks + 100` the program evidently (almost) never
+/// terminates within the budget and a [`SampleError`] is returned instead
+/// — callers that want the old fail-fast behaviour `.expect(…)` the result.
 pub fn sample_terminals(
     prog: &CfgProgram,
     objs: &dyn ObjectSemantics,
     n_walks: usize,
     max_steps: usize,
     seed: u64,
-) -> Vec<Config> {
+) -> Result<Vec<Config>, SampleError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n_walks);
     let mut failures = 0usize;
@@ -51,13 +79,16 @@ pub fn sample_terminals(
             out.push(cfg);
         } else {
             failures += 1;
-            assert!(
-                failures < n_walks * 10 + 100,
-                "program rarely terminates within {max_steps} steps"
-            );
+            if failures >= n_walks * 10 + 100 {
+                return Err(SampleError {
+                    failed_walks: failures,
+                    collected: out.len(),
+                    max_steps,
+                });
+            }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -81,8 +112,8 @@ mod tests {
         p.add_thread(t2, seq([do_until(rd(r1, f), eq(r1, 1)), rd(r2, d)]));
         let prog = compile(&p.build());
 
-        let a = sample_terminals(&prog, &NoObjects, 50, 500, 7);
-        let b = sample_terminals(&prog, &NoObjects, 50, 500, 7);
+        let a = sample_terminals(&prog, &NoObjects, 50, 500, 7).unwrap();
+        let b = sample_terminals(&prog, &NoObjects, 50, 500, 7).unwrap();
         let regs = |v: &Vec<Config>| -> Vec<Val> { v.iter().map(|c| c.reg(1, Reg(1))).collect() };
         use rc11_lang::Reg;
         assert_eq!(regs(&a), regs(&b));
@@ -90,5 +121,23 @@ mod tests {
         let vals = regs(&a);
         assert!(vals.contains(&Val::Int(5)));
         assert!(vals.contains(&Val::Int(0)), "stale read should show up when sampling");
+    }
+
+    #[test]
+    fn never_terminating_program_is_an_error_not_a_panic() {
+        // T1 spins forever: do r ← x until r = 1, and nobody ever writes 1.
+        let mut p = ProgramBuilder::new("spin-forever");
+        let x = p.client_var("x", 0);
+        let mut t1 = ThreadBuilder::new();
+        let r = t1.reg("r");
+        p.add_thread(t1, do_until(rd(r, x), eq(r, 1)));
+        let prog = compile(&p.build());
+
+        let err = sample_terminals(&prog, &NoObjects, 5, 50, 11)
+            .expect_err("a never-terminating program cannot yield terminal samples");
+        assert_eq!(err.collected, 0);
+        assert_eq!(err.max_steps, 50);
+        assert!(err.failed_walks >= 5 * 10 + 100);
+        assert!(err.to_string().contains("non-terminating walks"));
     }
 }

@@ -9,6 +9,9 @@
 //!   an honest `pc` per thread (the paper's proof outlines quantify over
 //!   `pc_t`), plus successor enumeration against the rc11-core memory;
 //! * [`builder`] — combinators mirroring the paper's surface syntax;
+//! * [`parse`] — the `.litmus` text front-end: litmus tests as data files
+//!   (program + observation tuple + exact expected outcome set), compiled
+//!   onto the same [`builder`]/[`program`] types;
 //! * [`inline`] — hole filling (`C[AO]` → `C[CO]`) for refinement checking.
 //!
 //! Abstract method calls are delegated through [`machine::ObjectSemantics`],
@@ -22,6 +25,7 @@ pub mod builder;
 pub mod cfg;
 pub mod inline;
 pub mod machine;
+pub mod parse;
 pub mod program;
 
 pub use ast::{BinOp, Com, EvalError, Exp, Method, ObjRef, Reg, UnOp, VarRef};
@@ -29,4 +33,5 @@ pub use ast_step::{ast_successors, AstConfig};
 pub use cfg::{compile, CfgProgram, Instr, ThreadCfg};
 pub use inline::{instantiate, CallSite, ObjectImpl};
 pub use machine::{successors, thread_successors, Config, NoObjects, ObjectSemantics, StepOptions};
+pub use parse::{parse_litmus, ParseError, ParsedLitmus, Span};
 pub use program::{ObjKind, Program, ThreadDef};

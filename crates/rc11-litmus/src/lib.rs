@@ -12,6 +12,14 @@
 //! [`rc11_check::Engine`], so the whole gallery runs under the parallel
 //! engine too (and the differential suite compares the engines verdict by
 //! verdict); [`run`] is the sequential-reference shorthand.
+//!
+//! Beyond the built-in gallery, litmus tests are **data**: [`load_str`]
+//! parses the `.litmus` surface syntax ([`rc11_lang::parse`]) into the same
+//! [`Litmus`] type, [`load_file`]/[`load_dir`] read them off disk, and the
+//! committed `corpus/` directory at the workspace root carries the full
+//! test set (every gallery entry round-tripped to text plus the classic
+//! weak-memory shapes). The `rc11 run` CLI batch-runs a corpus under any
+//! engine.
 
 #![warn(missing_docs)]
 
@@ -19,23 +27,98 @@ use rc11_check::{Engine, ExploreOptions};
 use rc11_core::Val;
 use rc11_lang::builder::*;
 use rc11_lang::machine::{NoObjects, ObjectSemantics};
+use rc11_lang::parse::{parse_litmus, ParsedLitmus};
 use rc11_lang::{compile, Program, Reg};
 use rc11_objects::AbstractObjects;
 use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 
 /// One litmus test: a program, the registers to observe, and the exact
 /// expected outcome set.
 pub struct Litmus {
     /// Short conventional name (`MP+rlx`, `SB+ra`, …).
-    pub name: &'static str,
+    pub name: String,
     /// What the test demonstrates.
-    pub about: &'static str,
+    pub about: String,
     /// The program.
     pub prog: Program,
     /// Which registers form the observation tuple: `(thread, register)`.
     pub observe: Vec<(usize, Reg)>,
     /// The exact set of admissible outcome tuples.
     pub expected: BTreeSet<Vec<Val>>,
+}
+
+impl From<ParsedLitmus> for Litmus {
+    fn from(p: ParsedLitmus) -> Litmus {
+        Litmus {
+            name: p.name,
+            about: p.about,
+            prog: p.prog,
+            observe: p.observe,
+            expected: p.expected,
+        }
+    }
+}
+
+/// An error loading a litmus test from disk: I/O or parse, with the file
+/// path for context.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read.
+    Io(PathBuf, std::io::Error),
+    /// The file did not parse; the [`rc11_lang::ParseError`] carries the
+    /// line/column span.
+    Parse(PathBuf, rc11_lang::ParseError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            LoadError::Parse(p, e) => write!(f, "{}:{e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Parse a `.litmus` source string into a runnable [`Litmus`].
+pub fn load_str(src: &str) -> Result<Litmus, rc11_lang::ParseError> {
+    parse_litmus(src).map(Litmus::from)
+}
+
+/// Load one `.litmus` file.
+pub fn load_file(path: impl AsRef<Path>) -> Result<Litmus, LoadError> {
+    let path = path.as_ref();
+    let src =
+        std::fs::read_to_string(path).map_err(|e| LoadError::Io(path.to_path_buf(), e))?;
+    load_str(&src).map_err(|e| LoadError::Parse(path.to_path_buf(), e))
+}
+
+/// Load every `*.litmus` file directly inside `dir`, sorted by file name.
+/// Each file loads independently, so one bad file does not hide the rest —
+/// including entries whose directory iteration errors, which surface as
+/// [`LoadError::Io`] entries rather than vanishing from the list.
+pub fn load_dir(dir: impl AsRef<Path>) -> std::io::Result<Vec<(PathBuf, Result<Litmus, LoadError>)>> {
+    let dir = dir.as_ref();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut broken: Vec<(PathBuf, Result<Litmus, LoadError>)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        match entry {
+            Ok(e) => {
+                let p = e.path();
+                if p.extension().is_some_and(|x| x == "litmus") {
+                    paths.push(p);
+                }
+            }
+            Err(e) => broken.push((dir.to_path_buf(), Err(LoadError::Io(dir.to_path_buf(), e)))),
+        }
+    }
+    paths.sort();
+    let mut out: Vec<(PathBuf, Result<Litmus, LoadError>)> =
+        paths.into_iter().map(|p| (p.clone(), load_file(&p))).collect();
+    out.extend(broken);
+    Ok(out)
 }
 
 /// Result of running one litmus test.
@@ -72,19 +155,38 @@ pub fn run(l: &Litmus) -> LitmusResult {
 }
 
 /// Run a litmus test by exhaustive exploration under the given engine.
+/// Panics on truncation or deadlock (gallery programs do neither); use
+/// [`run_with_opts`] for the non-panicking, options-taking variant.
 pub fn run_with(l: &Litmus, engine: &Engine) -> LitmusResult {
-    let prog = compile(&l.prog);
     let opts = ExploreOptions { record_traces: false, ..Default::default() };
+    let (res, truncated, deadlocked) = run_with_opts(l, engine, opts);
+    assert!(!truncated, "litmus {} truncated", l.name);
+    assert_eq!(deadlocked, 0, "litmus {} deadlocked", l.name);
+    res
+}
+
+/// [`run_with`] with explicit exploration options and no panicking:
+/// returns the result plus whether the run truncated and how many
+/// deadlocked configurations it found. `pass` additionally requires a
+/// complete, deadlock-free run. This is the one place the observed
+/// outcome set and the pass predicate are computed — the CLI and the
+/// corpus tests both go through it.
+pub fn run_with_opts(
+    l: &Litmus,
+    engine: &Engine,
+    opts: ExploreOptions,
+) -> (LitmusResult, bool, usize) {
+    let prog = compile(&l.prog);
     let report = engine.explore(&prog, objects_for(l), opts);
-    assert!(!report.truncated, "litmus {} truncated", l.name);
-    assert!(report.deadlocked.is_empty(), "litmus {} deadlocked", l.name);
     let observed: BTreeSet<Vec<Val>> = report
         .terminated
         .iter()
         .map(|c| l.observe.iter().map(|&(t, r)| c.reg(t, r)).collect())
         .collect();
-    let pass = observed == l.expected;
-    LitmusResult { observed, expected: l.expected.clone(), states: report.states, pass }
+    let pass = observed == l.expected && !report.truncated && report.deadlocked.is_empty();
+    let res =
+        LitmusResult { observed, expected: l.expected.clone(), states: report.states, pass };
+    (res, report.truncated, report.deadlocked.len())
 }
 
 /// `MP+rlx` — message passing, all-relaxed: the stale read is visible.
@@ -99,8 +201,8 @@ pub fn mp_rlx() -> Litmus {
     let r2 = t2.reg("r2");
     p.add_thread(t2, seq([rd(r1, f), rd(r2, d)]));
     Litmus {
-        name: "MP+rlx",
-        about: "relaxed message passing admits the stale data read",
+        name: "MP+rlx".into(),
+        about: "relaxed message passing admits the stale data read".into(),
         prog: p.build(),
         observe: vec![(1, r1), (1, r2)],
         expected: ints(&[&[0, 0], &[0, 5], &[1, 0], &[1, 5]]),
@@ -120,8 +222,8 @@ pub fn mp_ra() -> Litmus {
     let r2 = t2.reg("r2");
     p.add_thread(t2, seq([rd_acq(r1, f), rd(r2, d)]));
     Litmus {
-        name: "MP+ra",
-        about: "release/acquire message passing forbids the stale read",
+        name: "MP+ra".into(),
+        about: "release/acquire message passing forbids the stale read".into(),
         prog: p.build(),
         observe: vec![(1, r1), (1, r2)],
         expected: ints(&[&[0, 0], &[0, 5], &[1, 5]]),
@@ -141,8 +243,8 @@ pub fn sb_ra() -> Litmus {
     let r2 = t2.reg("r2");
     p.add_thread(t2, seq([wr_rel(y, 1), rd_acq(r2, x)]));
     Litmus {
-        name: "SB+ra",
-        about: "store buffering stays weak under release/acquire",
+        name: "SB+ra".into(),
+        about: "store buffering stays weak under release/acquire".into(),
         prog: p.build(),
         observe: vec![(0, r1), (1, r2)],
         expected: ints(&[&[0, 0], &[0, 1], &[1, 0], &[1, 1]]),
@@ -162,8 +264,8 @@ pub fn lb_rlx() -> Litmus {
     let r2 = t2.reg("r2");
     p.add_thread(t2, seq([rd(r2, y), wr(x, 1)]));
     Litmus {
-        name: "LB+rlx",
-        about: "load-buffering cycles are disallowed in RC11 RAR",
+        name: "LB+rlx".into(),
+        about: "load-buffering cycles are disallowed in RC11 RAR".into(),
         prog: p.build(),
         observe: vec![(0, r1), (1, r2)],
         expected: ints(&[&[0, 0], &[0, 1], &[1, 0]]),
@@ -182,8 +284,8 @@ pub fn corr() -> Litmus {
     let r2 = t2.reg("r2");
     p.add_thread(t2, seq([rd(r1, x), rd(r2, x)]));
     Litmus {
-        name: "CoRR",
-        about: "per-location coherence: no read-read inversion",
+        name: "CoRR".into(),
+        about: "per-location coherence: no read-read inversion".into(),
         prog: p.build(),
         observe: vec![(1, r1), (1, r2)],
         expected: ints(&[&[0, 0], &[0, 1], &[0, 2], &[1, 1], &[1, 2], &[2, 2]]),
@@ -201,8 +303,8 @@ pub fn cowr() -> Litmus {
     let t2 = ThreadBuilder::new();
     p.add_thread(t2, seq([wr(x, 2)]));
     Litmus {
-        name: "CoWR",
-        about: "a writer reads its own write or something newer",
+        name: "CoWR".into(),
+        about: "a writer reads its own write or something newer".into(),
         prog: p.build(),
         observe: vec![(0, r1)],
         expected: ints(&[&[1], &[2]]),
@@ -241,8 +343,8 @@ pub fn iriw_ra() -> Litmus {
         }
     }
     Litmus {
-        name: "IRIW+ra",
-        about: "independent readers may disagree on write order under RA",
+        name: "IRIW+ra".into(),
+        about: "independent readers may disagree on write order under RA".into(),
         prog: p.build(),
         observe: vec![(2, r1), (2, r2), (3, r3), (3, r4)],
         expected,
@@ -276,8 +378,8 @@ pub fn wrc_ra() -> Litmus {
         }
     }
     Litmus {
-        name: "WRC+ra",
-        about: "write-read causality through a release/acquire chain",
+        name: "WRC+ra".into(),
+        about: "write-read causality through a release/acquire chain".into(),
         prog: p.build(),
         observe: vec![(1, r1), (2, r2), (2, r3)],
         expected,
@@ -296,8 +398,8 @@ pub fn two_rmw() -> Litmus {
     let r2 = t2.reg("r2");
     p.add_thread(t2, seq([fai(r2, x)]));
     Litmus {
-        name: "2RMW",
-        about: "update atomicity: FAIs hand out distinct values",
+        name: "2RMW".into(),
+        about: "update atomicity: FAIs hand out distinct values".into(),
         prog: p.build(),
         observe: vec![(0, r1), (1, r2)],
         expected: ints(&[&[0, 1], &[1, 0]]),
@@ -317,8 +419,8 @@ pub fn fig1_stack_mp_unsync() -> Litmus {
     let r2 = t2.reg("r2");
     p.add_thread(t2, seq([do_until(pop(s, r1), eq(r1, 1)), rd(r2, d)]));
     Litmus {
-        name: "Fig1",
-        about: "unsynchronised stack message passing: r2 ∈ {0, 5}",
+        name: "Fig1".into(),
+        about: "unsynchronised stack message passing: r2 ∈ {0, 5}".into(),
         prog: p.build(),
         observe: vec![(1, r2)],
         expected: ints(&[&[0], &[5]]),
@@ -337,8 +439,8 @@ pub fn fig2_stack_mp_sync() -> Litmus {
     let r2 = t2.reg("r2");
     p.add_thread(t2, seq([do_until(pop_acq(s, r1), eq(r1, 1)), rd(r2, d)]));
     Litmus {
-        name: "Fig2",
-        about: "publication via a synchronising stack: r2 = 5",
+        name: "Fig2".into(),
+        about: "publication via a synchronising stack: r2 = 5".into(),
         prog: p.build(),
         observe: vec![(1, r2)],
         expected: ints(&[&[5]]),
@@ -358,8 +460,8 @@ pub fn queue_mp_sync() -> Litmus {
     let r2 = t2.reg("r2");
     p.add_thread(t2, seq([do_until(deq_acq(q, r1), eq(r1, 1)), rd(r2, d)]));
     Litmus {
-        name: "QueueMP+ra",
-        about: "publication via a synchronising queue: r2 = 5",
+        name: "QueueMP+ra".into(),
+        about: "publication via a synchronising queue: r2 = 5".into(),
         prog: p.build(),
         observe: vec![(1, r2)],
         expected: ints(&[&[5]]),
@@ -379,8 +481,8 @@ pub fn queue_mp_unsync() -> Litmus {
     let r2 = t2.reg("r2");
     p.add_thread(t2, seq([do_until(deq(q, r1), eq(r1, 1)), rd(r2, d)]));
     Litmus {
-        name: "QueueMP+rlx",
-        about: "unsynchronised queue message passing: r2 ∈ {0, 5}",
+        name: "QueueMP+rlx".into(),
+        about: "unsynchronised queue message passing: r2 ∈ {0, 5}".into(),
         prog: p.build(),
         observe: vec![(1, r2)],
         expected: ints(&[&[0], &[5]]),
@@ -406,8 +508,8 @@ pub fn queue_fifo_order() -> Litmus {
         ]),
     );
     Litmus {
-        name: "QueueFIFO",
-        about: "dequeues observe enqueue order",
+        name: "QueueFIFO".into(),
+        about: "dequeues observe enqueue order".into(),
         prog: p.build(),
         observe: vec![(1, r1), (1, r2)],
         expected: ints(&[&[1, 2]]),
@@ -425,8 +527,8 @@ pub fn lock_mp() -> Litmus {
     let r = t2.reg("r");
     p.add_thread(t2, seq([acquire(l), rd(r, d), release(l)]));
     Litmus {
-        name: "LockMP",
-        about: "lock hand-off publishes the protected write: r ∈ {0, 5}",
+        name: "LockMP".into(),
+        about: "lock hand-off publishes the protected write: r ∈ {0, 5}".into(),
         prog: p.build(),
         observe: vec![(1, r)],
         expected: ints(&[&[0], &[5]]),
@@ -487,7 +589,7 @@ mod tests {
     fn gallery_is_nonempty_and_named_uniquely() {
         let tests = all();
         assert!(tests.len() >= 12);
-        let mut names: Vec<_> = tests.iter().map(|l| l.name).collect();
+        let mut names: Vec<_> = tests.iter().map(|l| l.name.clone()).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), tests.len());

@@ -32,7 +32,7 @@ fn main() {
 
     // Outcome frequency under random scheduling (the paper's motivation:
     // the weak outcome is not a corner case).
-    let samples = sample_terminals(&prog1, &AbstractObjects, 1000, 5_000, 7);
+    let samples = sample_terminals(&prog1, &AbstractObjects, 1000, 5_000, 7).expect("Figure 1 terminates");
     let stale_freq =
         samples.iter().filter(|c| c.reg(1, f1.r2) == Val::Int(0)).count() as f64 / 10.0;
     writeln!(out, "  sampled stale-read frequency: {stale_freq:.1}%").unwrap();

@@ -1,0 +1,362 @@
+//! The `rc11` command-line driver.
+//!
+//! * `rc11 run <path>…` — batch-run `.litmus` files (or directories of
+//!   them) under any combination of engines, with a summary table and a
+//!   nonzero exit on any parse error or verdict mismatch;
+//! * `rc11 fuzz` — drive the generative differential harness from a seed.
+//!
+//! ```text
+//! rc11 run corpus/ --workers 1,2,4,8
+//! rc11 run corpus/mp_rlx.litmus --engine parallel --workers 4 --show-outcomes
+//! rc11 fuzz --seed 7 --iters 500 --workers 2,4
+//! ```
+
+use rc11::check::gen::GenOptions;
+use rc11::check::fuzz::{fuzz, DiffOptions};
+use rc11::check::{choose_engine, Engine};
+use rc11::litmus::{self, Litmus};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("rc11: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+rc11 — litmus tests and differential fuzzing for the RC11 RAR semantics
+
+USAGE:
+  rc11 run <path>... [OPTIONS]     batch-run .litmus files / directories
+  rc11 fuzz [OPTIONS]              generative differential fuzzing
+
+RUN OPTIONS:
+  --engine <seq|parallel>    engine family (default: seq; `parallel` implies
+                             the --workers list, default 4)
+  --workers <N[,N...]>       worker counts to run each test at; 1 = the
+                             sequential reference engine (default: 1)
+  --no-fingerprint           use materialised-canonical dedup instead of
+                             zero-rebuild canonical fingerprints
+  --max-states <N>           per-test state cap (default: 5000000)
+  --show-outcomes            print each test's observed outcome set
+  -q, --quiet                only print failures and the final summary
+
+FUZZ OPTIONS:
+  --seed <S>                 base seed (default: 1)
+  --iters <N>                programs to generate (default: 200)
+  --workers <N[,N...]>       parallel worker counts to cross-check
+                             (default: 2,4)
+  --threads <MIN,MAX>        thread-count range (default: 2,4)
+  --stmts <N>                max top-level statements per thread (default: 4)
+  --max-states <N>           oracle state cap; larger programs are skipped
+                             (default: 262144)
+  --samples <N>              random walks per program for sampler-soundness
+                             (default: 24)
+
+Exit status: 0 on full agreement, 1 on any mismatch/parse error, 2 on usage
+errors.
+";
+
+fn fail_usage(msg: &str) -> ExitCode {
+    eprintln!("rc11: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Parse `--key value` style options out of `args`, returning positional
+/// arguments. Boolean flags are looked up directly by the callers.
+struct Opts {
+    args: Vec<String>,
+}
+
+impl Opts {
+    fn value_of(&mut self, key: &str) -> Result<Option<String>, String> {
+        if let Some(i) = self.args.iter().position(|a| a == key) {
+            if i + 1 >= self.args.len() {
+                return Err(format!("{key} needs a value"));
+            }
+            let v = self.args.remove(i + 1);
+            self.args.remove(i);
+            return Ok(Some(v));
+        }
+        Ok(None)
+    }
+
+    fn flag(&mut self, keys: &[&str]) -> bool {
+        let before = self.args.len();
+        self.args.retain(|a| !keys.contains(&a.as_str()));
+        self.args.len() != before
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, key: &str, default: T) -> Result<T, String> {
+        match self.value_of(key)? {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("{key}: invalid value `{v}`")),
+        }
+    }
+
+    fn usize_list(&mut self, key: &str, default: &[usize]) -> Result<Vec<usize>, String> {
+        match self.value_of(key)? {
+            None => Ok(default.to_vec()),
+            Some(v) => v
+                .split(',')
+                .map(|s| s.trim().parse().map_err(|_| format!("{key}: invalid value `{s}`")))
+                .collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// rc11 run
+// ---------------------------------------------------------------------
+
+fn cmd_run(raw: &[String]) -> ExitCode {
+    let mut opts = Opts { args: raw.to_vec() };
+    let engine_kind = match opts.value_of("--engine") {
+        Ok(v) => v,
+        Err(e) => return fail_usage(&e),
+    };
+    let default_workers: &[usize] = match engine_kind.as_deref() {
+        None | Some("seq") | Some("sequential") => &[1],
+        Some("parallel") | Some("par") => &[4],
+        Some(other) => return fail_usage(&format!("--engine: unknown engine `{other}`")),
+    };
+    let workers = match opts.usize_list("--workers", default_workers) {
+        Ok(w) if !w.is_empty() => w,
+        Ok(_) => return fail_usage("--workers: empty list"),
+        Err(e) => return fail_usage(&e),
+    };
+    let max_states = match opts.parsed("--max-states", 5_000_000usize) {
+        Ok(v) => v,
+        Err(e) => return fail_usage(&e),
+    };
+    let fingerprint = !opts.flag(&["--no-fingerprint"]);
+    let show_outcomes = opts.flag(&["--show-outcomes"]);
+    let quiet = opts.flag(&["--quiet", "-q"]);
+    if let Some(bad) = opts.args.iter().find(|a| a.starts_with('-')) {
+        return fail_usage(&format!("unknown option `{bad}`"));
+    }
+    if opts.args.is_empty() {
+        return fail_usage("run: no .litmus files or directories given");
+    }
+
+    // Collect and load the work list (directories via the library's
+    // `load_dir`, so the CLI and the test suite share one enumeration).
+    let mut files: Vec<(PathBuf, Result<Litmus, litmus::LoadError>)> = Vec::new();
+    let mut broken = 0usize;
+    for arg in &opts.args {
+        let p = PathBuf::from(arg);
+        if p.is_dir() {
+            match litmus::load_dir(&p) {
+                Ok(entries) if entries.is_empty() => {
+                    eprintln!("rc11: no .litmus files in {}", p.display());
+                    broken += 1;
+                }
+                Ok(entries) => files.extend(entries),
+                Err(e) => {
+                    eprintln!("rc11: {}: {e}", p.display());
+                    broken += 1;
+                }
+            }
+        } else {
+            files.push((p.clone(), litmus::load_file(&p)));
+        }
+    }
+
+    let engines: Vec<(usize, Engine)> =
+        workers.iter().map(|&w| (w, choose_engine(w))).collect();
+    let explore_opts = rc11::check::ExploreOptions {
+        record_traces: false,
+        max_states,
+        fingerprint,
+        ..Default::default()
+    };
+
+    let mut passed = 0usize;
+    let mut failed = 0usize;
+    if !quiet {
+        println!("{:<16} {:>8} {:>10} {:>10}  RESULT", "NAME", "STATES", "OBSERVED", "EXPECTED");
+    }
+    // `LoadError`'s Display already includes the path, so only the loaded
+    // result is consumed here.
+    for (_path, loaded) in &files {
+        let litmus = match loaded {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("rc11: {e}");
+                broken += 1;
+                continue;
+            }
+        };
+        let mut ok = true;
+        let mut states = 0usize;
+        let mut first_divergence: Option<String> = None;
+        let mut observed: Option<std::collections::BTreeSet<Vec<rc11::core::Val>>> = None;
+        let mut prev_workers = 0usize;
+        for (w, engine) in &engines {
+            let (res, truncated, deadlocks) = litmus::run_with_opts(litmus, engine, explore_opts);
+            states = res.states;
+            if !res.pass && first_divergence.is_none() {
+                first_divergence = Some(if truncated {
+                    format!("@{w} worker(s): truncated at --max-states {max_states}")
+                } else if deadlocks > 0 {
+                    format!("@{w} worker(s): {deadlocks} deadlocked configuration(s)")
+                } else {
+                    let missing: Vec<_> = res.expected.difference(&res.observed).collect();
+                    let extra: Vec<_> = res.observed.difference(&res.expected).collect();
+                    format!("@{w} worker(s): missing {missing:?}, unexpected {extra:?}")
+                });
+            }
+            ok &= res.pass;
+            // All requested engine configurations must also agree with
+            // each other, not just with the expectation.
+            if let Some(pobs) = &observed {
+                if pobs != &res.observed {
+                    ok = false;
+                    first_divergence.get_or_insert(format!(
+                        "engines disagree: {prev_workers} vs {w} worker(s) observe different sets"
+                    ));
+                }
+            }
+            observed = Some(res.observed);
+            prev_workers = *w;
+        }
+        let observed = observed.unwrap_or_default();
+        if ok {
+            passed += 1;
+            if !quiet {
+                println!(
+                    "{:<16} {:>8} {:>10} {:>10}  pass",
+                    litmus.name,
+                    states,
+                    observed.len(),
+                    litmus.expected.len()
+                );
+            }
+        } else {
+            failed += 1;
+            println!(
+                "{:<16} {:>8} {:>10} {:>10}  FAIL  {}",
+                litmus.name,
+                states,
+                observed.len(),
+                litmus.expected.len(),
+                first_divergence.unwrap_or_default()
+            );
+        }
+        if show_outcomes {
+            for tuple in &observed {
+                let vals: Vec<String> = tuple.iter().map(rc11::lang::parse::val_literal).collect();
+                println!("    ({})", vals.join(", "));
+            }
+        }
+    }
+
+    println!(
+        "\n{} file(s): {passed} passed, {failed} failed, {broken} unreadable; \
+         engines: {:?} worker(s), fingerprint {}",
+        files.len(),
+        workers,
+        if fingerprint { "on" } else { "off" }
+    );
+    if failed == 0 && broken == 0 && passed > 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+// ---------------------------------------------------------------------
+// rc11 fuzz
+// ---------------------------------------------------------------------
+
+fn cmd_fuzz(raw: &[String]) -> ExitCode {
+    let mut opts = Opts { args: raw.to_vec() };
+    let seed = match opts.parsed("--seed", 1u64) {
+        Ok(v) => v,
+        Err(e) => return fail_usage(&e),
+    };
+    let iters = match opts.parsed("--iters", 200usize) {
+        Ok(v) => v,
+        Err(e) => return fail_usage(&e),
+    };
+    let workers = match opts.usize_list("--workers", &[2, 4]) {
+        Ok(v) => v,
+        Err(e) => return fail_usage(&e),
+    };
+    let threads = match opts.usize_list("--threads", &[2, 4]) {
+        Ok(v) if v.len() == 2 && v[0] >= 1 && v[0] <= v[1] => v,
+        Ok(_) => return fail_usage("--threads: expected MIN,MAX with 1 <= MIN <= MAX"),
+        Err(e) => return fail_usage(&e),
+    };
+    let stmts = match opts.parsed("--stmts", 4usize) {
+        Ok(v) if v >= 1 => v,
+        Ok(_) => return fail_usage("--stmts: must be at least 1"),
+        Err(e) => return fail_usage(&e),
+    };
+    let max_states = match opts.parsed("--max-states", 1usize << 18) {
+        Ok(v) => v,
+        Err(e) => return fail_usage(&e),
+    };
+    let samples = match opts.parsed("--samples", 24usize) {
+        Ok(v) => v,
+        Err(e) => return fail_usage(&e),
+    };
+    if let Some(bad) = opts.args.first() {
+        return fail_usage(&format!("fuzz takes no positional arguments (got `{bad}`)"));
+    }
+
+    let gen_opts = GenOptions {
+        min_threads: threads[0],
+        max_threads: threads[1],
+        max_stmts: stmts,
+        ..Default::default()
+    };
+    let diff_opts = DiffOptions { workers, max_states, samples, ..Default::default() };
+
+    println!(
+        "fuzzing {iters} programs from seed {seed} \
+         ({}–{} threads, ≤{stmts} statements/thread, workers {:?})",
+        gen_opts.min_threads, gen_opts.max_threads, diff_opts.workers
+    );
+    let step = (iters / 10).max(1);
+    let report = fuzz(seed, iters, &gen_opts, &diff_opts, |r| {
+        if r.iters % step == 0 && r.failure.is_none() {
+            println!(
+                "  {}/{iters}: {} passed, {} skipped, {} oracle states total",
+                r.iters, r.passed, r.skipped, r.total_states
+            );
+        }
+    });
+
+    match &report.failure {
+        None => {
+            println!(
+                "clean: {} checked, {} skipped (state cap), {} oracle states total",
+                report.passed, report.skipped, report.total_states
+            );
+            ExitCode::SUCCESS
+        }
+        Some(f) => {
+            println!(
+                "FAILURE at iteration {} (seed {}): {}\n\nshrunk repro ({} statements):\n\n{}",
+                f.iter,
+                f.seed,
+                f.what,
+                f.shrunk.len(),
+                f.source
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

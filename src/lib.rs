@@ -22,7 +22,13 @@
 //! * [`locks`] (rc11-locks) — the sequence lock and ticket lock (plus
 //!   extensions and deliberately-broken negative controls);
 //! * [`litmus`] (rc11-litmus) — a litmus-test gallery with expected RC11
-//!   RAR verdicts.
+//!   RAR verdicts, plus loaders for the `.litmus` text corpus at
+//!   `corpus/` (grammar in `corpus/README.md`).
+//!
+//! The `rc11` binary (`src/bin/rc11.rs`) batch-runs `.litmus` corpora
+//! under any engine configuration (`rc11 run corpus/ --workers 1,2,4,8`)
+//! and drives the generative differential-fuzz harness
+//! (`rc11 fuzz --seed S --iters N`).
 
 pub mod figures;
 pub mod lemma3;
@@ -48,6 +54,7 @@ pub mod prelude {
     pub use rc11_lang::builder::*;
     pub use rc11_lang::inline::instantiate;
     pub use rc11_lang::machine::{Config, NoObjects, StepOptions};
+    pub use rc11_lang::parse::{parse_litmus, ParseError, ParsedLitmus};
     pub use rc11_lang::{compile, CfgProgram, Com, Method, ObjRef, Program, Reg, VarRef};
     pub use rc11_objects::AbstractObjects;
 }

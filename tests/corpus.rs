@@ -1,0 +1,143 @@
+//! The committed `.litmus` corpus, held to the builder gallery and to both
+//! engines.
+//!
+//! Three layers of pinning:
+//!
+//! * **Round-trip**: every builder-gallery litmus has a text twin in
+//!   `corpus/` whose parsed program produces the *identical* verdict —
+//!   same expected set, same observed outcome set, same state count —
+//!   under both engines. A divergence is a bug in the parser (or a corpus
+//!   file that drifted from its twin).
+//! * **Corpus-wide exactness**: every corpus file (the twins plus the
+//!   classics that exist only as text) passes — observed = expected — at
+//!   1, 2, 4 and 8 workers, in both dedup modes.
+//! * **Inventory**: ≥ 30 files, unique test names, every file parses.
+
+use rc11::prelude::*;
+use rc11_litmus as litmus;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// The corpus file that ports a gallery entry: lowercased, `+` → `_`.
+fn twin_path(name: &str) -> PathBuf {
+    corpus_dir().join(format!("{}.litmus", name.to_lowercase().replace('+', "_")))
+}
+
+fn observed(l: &litmus::Litmus, engine: &Engine) -> (BTreeSet<Vec<Val>>, usize) {
+    let res = litmus::run_with(l, engine);
+    (res.observed, res.states)
+}
+
+#[test]
+fn every_gallery_entry_has_a_text_twin_with_an_identical_verdict() {
+    for builder in litmus::all() {
+        let path = twin_path(&builder.name);
+        let text = litmus::load_file(&path)
+            .unwrap_or_else(|e| panic!("{}: gallery twin missing or broken: {e}", builder.name));
+        assert_eq!(text.name, builder.name, "{}: twin is misnamed", path.display());
+        assert_eq!(
+            text.expected, builder.expected,
+            "{}: expected outcome sets drifted apart",
+            builder.name
+        );
+        for engine in [Engine::Sequential, Engine::Parallel { workers: 4 }] {
+            let (b_obs, b_states) = observed(&builder, &engine);
+            let (t_obs, t_states) = observed(&text, &engine);
+            assert_eq!(
+                t_obs, b_obs,
+                "{} ({engine:?}): parsed twin observes a different outcome set",
+                builder.name
+            );
+            assert_eq!(
+                t_states, b_states,
+                "{} ({engine:?}): parsed twin explores a different state space",
+                builder.name
+            );
+            assert_eq!(t_obs, text.expected, "{} ({engine:?}): twin verdict", builder.name);
+        }
+    }
+}
+
+#[test]
+fn corpus_inventory_is_large_parseable_and_uniquely_named() {
+    let entries = litmus::load_dir(corpus_dir()).expect("corpus/ must exist");
+    assert!(
+        entries.len() >= 30,
+        "corpus must hold at least 30 litmus files, found {}",
+        entries.len()
+    );
+    let mut names = BTreeSet::new();
+    for (path, loaded) in &entries {
+        let l = loaded
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{}: does not load: {e}", path.display()));
+        assert!(!l.expected.is_empty(), "{}: empty expected set", path.display());
+        assert!(
+            names.insert(l.name.clone()),
+            "{}: duplicate litmus name `{}`",
+            path.display(),
+            l.name
+        );
+    }
+}
+
+#[test]
+fn whole_corpus_is_exact_under_both_engines_at_every_worker_count() {
+    let entries = litmus::load_dir(corpus_dir()).expect("corpus/ must exist");
+    for (path, loaded) in entries {
+        let l = loaded.unwrap_or_else(|e| panic!("{e}"));
+        let mut seq_observed = None;
+        for workers in [1usize, 2, 4, 8] {
+            let engine = choose_engine(workers);
+            let res = litmus::run_with(&l, &engine);
+            assert!(
+                res.pass,
+                "{} ({}) @ {workers} worker(s): observed {:?} ≠ expected {:?}",
+                l.name,
+                path.display(),
+                res.observed,
+                res.expected
+            );
+            if let Some(prev) = &seq_observed {
+                assert_eq!(
+                    prev, &res.observed,
+                    "{} @ {workers} worker(s): engines disagree",
+                    l.name
+                );
+            } else {
+                seq_observed = Some(res.observed);
+            }
+        }
+    }
+}
+
+/// The corpus must also be exact under the legacy materialised-canonical
+/// dedup path (fingerprint off) — the corpus doubles as an end-to-end
+/// fingerprint differential on programs that exist only as text.
+#[test]
+fn whole_corpus_is_exact_with_fingerprints_off() {
+    let entries = litmus::load_dir(corpus_dir()).expect("corpus/ must exist");
+    let opts = ExploreOptions { record_traces: false, fingerprint: false, ..Default::default() };
+    for (path, loaded) in entries {
+        let l = loaded.unwrap_or_else(|e| panic!("{e}"));
+        let prog = compile(&l.prog);
+        for engine in [Engine::Sequential, Engine::Parallel { workers: 4 }] {
+            let report = engine.explore(&prog, litmus::objects_for(&l), opts);
+            assert!(!report.truncated && report.deadlocked.is_empty(), "{}", path.display());
+            let observed: BTreeSet<Vec<Val>> = report
+                .terminated
+                .iter()
+                .map(|c| l.observe.iter().map(|&(t, r)| c.reg(t, r)).collect())
+                .collect();
+            assert_eq!(
+                observed, l.expected,
+                "{} ({engine:?}, fingerprint off): verdict",
+                l.name
+            );
+        }
+    }
+}

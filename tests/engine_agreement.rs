@@ -81,7 +81,7 @@ fn litmus_gallery_reports_agree_across_engines() {
         );
         for workers in WORKERS {
             let par = Engine::Parallel { workers }.explore_with(&prog, objs, opts, check);
-            assert_reports_agree(l.name, workers, &seq, &par);
+            assert_reports_agree(&l.name, workers, &seq, &par);
         }
     }
 }
@@ -111,7 +111,7 @@ fn fingerprint_and_materialised_dedup_reports_agree() {
         let oracle = Engine::Sequential.explore_with(&prog, objs, exact_opts, check);
 
         let seq_fp = Engine::Sequential.explore_with(&prog, objs, fp_opts, check);
-        assert_reports_agree(l.name, 1, &oracle, &seq_fp);
+        assert_reports_agree(&l.name, 1, &oracle, &seq_fp);
 
         for workers in WORKERS {
             for (mode, opts) in [("fp", fp_opts), ("exact", exact_opts)] {

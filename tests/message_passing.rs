@@ -39,7 +39,7 @@ fn fig1_sampling_finds_both_outcomes() {
     // exhibiting the weak behaviour.
     let f = figures::fig1();
     let prog = compile(&f.prog);
-    let samples = sample_terminals(&prog, &AbstractObjects, 200, 2_000, 42);
+    let samples = sample_terminals(&prog, &AbstractObjects, 200, 2_000, 42).expect("Figure 1 terminates");
     let stale = samples.iter().filter(|c| c.reg(1, f.r2) == Val::Int(0)).count();
     let fresh = samples.iter().filter(|c| c.reg(1, f.r2) == Val::Int(5)).count();
     assert_eq!(stale + fresh, 200);
@@ -51,7 +51,7 @@ fn fig1_sampling_finds_both_outcomes() {
 fn fig2_sampling_never_finds_stale() {
     let f = figures::fig2();
     let prog = compile(&f.prog);
-    let samples = sample_terminals(&prog, &AbstractObjects, 200, 2_000, 43);
+    let samples = sample_terminals(&prog, &AbstractObjects, 200, 2_000, 43).expect("Figure 2 terminates");
     assert!(samples.iter().all(|c| c.reg(1, f.r2) == Val::Int(5)));
 }
 
