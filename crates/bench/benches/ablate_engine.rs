@@ -272,5 +272,98 @@ fn bench_canon_vs_fingerprint(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench, bench_exploration, bench_canon_vs_fingerprint);
+/// Ablation A5: sleep-set partial-order reduction. For each entry the
+/// same exploration is decided with `ExploreOptions::por` off and on; POR
+/// must preserve the state count bit-exactly (it prunes commuted sibling
+/// orders, not states) while generating fewer transitions. The headline
+/// metric is the *transition reduction factor* (full / reduced), recorded
+/// into `BENCH_explore.json`; the acceptance bar — checked here, not just
+/// plotted — is ≥ 1.5× on the spinlock (`ttas4`) and MP-spin (`mp_spin4`)
+/// corpus entries, the diamond-dense shapes sleep sets prune hardest. The
+/// smaller two-thread corpus twins ride along as report-only context, as
+/// does the ticket-lock client the other ablations measure.
+fn bench_por(c: &mut Criterion) {
+    if !criterion::selected("por_reduction") {
+        return;
+    }
+    let corpus = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
+    // (json key, corpus file, must hit the ≥1.5× acceptance bar)
+    let corpus_entries: [(&str, &str, bool); 4] = [
+        ("spinlock_ttas4", "ttas4.litmus", true),
+        ("mp_spin4", "mp_spin4.litmus", true),
+        ("caslock", "caslock.litmus", false),
+        ("mp_spin_ra", "mp_spin_ra.litmus", false),
+    ];
+    let mut progs: Vec<(&str, bool, rc11_lang::CfgProgram, bool)> = corpus_entries
+        .iter()
+        .map(|&(key, file, must)| {
+            let l = rc11_litmus::load_file(corpus.join(file))
+                .unwrap_or_else(|e| panic!("{file}: {e}"));
+            let uses_objects = !l.prog.objects.is_empty();
+            (key, must, compile(&l.prog), uses_objects)
+        })
+        .collect();
+    let (client, l) = harness::counter_client(3);
+    let conc = instantiate(&client, l, &rc11_locks::ticket());
+    progs.push(("ticket_counter3", false, compile(&conc), false));
+
+    let base = ExploreOptions { record_traces: false, ..Default::default() };
+    let por_opts = ExploreOptions { por: true, ..base };
+    let mut json: Vec<(String, f64)> = Vec::new();
+    let mut bench_progs = Vec::new();
+    for (key, must_reduce, prog, uses_objects) in progs {
+        let objs: &(dyn rc11_lang::machine::ObjectSemantics + Sync) =
+            if uses_objects { &AbstractObjects } else { &NoObjects };
+        let full = Engine::Sequential.explore(&prog, objs, base);
+        let por = Engine::Sequential.explore(&prog, objs, por_opts);
+        assert_eq!(por.states, full.states, "{key}: POR must not change the state count");
+        assert_eq!(
+            por.terminated.len(),
+            full.terminated.len(),
+            "{key}: POR must not change the terminal count"
+        );
+        assert!(por.transitions <= full.transitions, "{key}: POR must not add transitions");
+        let factor = full.transitions as f64 / por.transitions.max(1) as f64;
+        eprintln!(
+            "[por_reduction] {key}: {} states, {} → {} transitions ({factor:.2}x)",
+            full.states, full.transitions, por.transitions
+        );
+        if must_reduce {
+            assert!(
+                factor >= 1.5,
+                "{key}: POR reduction {factor:.2}x below the 1.5x acceptance bar \
+                 ({} vs {} transitions)",
+                por.transitions,
+                full.transitions
+            );
+        }
+        json.push((format!("{key}_transitions_full"), full.transitions as f64));
+        json.push((format!("{key}_transitions_por"), por.transitions as f64));
+        json.push((format!("{key}_reduction"), factor));
+        bench_progs.push((key, prog, uses_objects));
+    }
+
+    // Wall-clock lines for the spinlock entry: the reduction must also be
+    // a real time win, not just a transition count.
+    let mut g = c.benchmark_group("por_reduction");
+    g.sample_size(10);
+    for (key, prog, uses_objects) in &bench_progs {
+        if *key != "spinlock_ttas4" && *key != "ticket_counter3" {
+            continue;
+        }
+        let objs: &(dyn rc11_lang::machine::ObjectSemantics + Sync) =
+            if *uses_objects { &AbstractObjects } else { &NoObjects };
+        for (mode, opts) in [("full", base), ("por", por_opts)] {
+            g.bench_function(format!("{key}/{mode}"), |b| {
+                b.iter(|| black_box(Engine::Sequential.explore(prog, objs, opts).states))
+            });
+        }
+    }
+    g.finish();
+
+    let borrowed: Vec<(&str, f64)> = json.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    bench::record_bench_json("por_reduction", &borrowed);
+}
+
+criterion_group!(benches, bench, bench_exploration, bench_canon_vs_fingerprint, bench_por);
 criterion_main!(benches);

@@ -49,6 +49,18 @@ pub struct ExploreOptions {
     /// differential in `tests/engine_agreement.rs`; ablation A4 in
     /// DESIGN.md). Off = the legacy materialised-canonical dedup path.
     pub fingerprint: bool,
+    /// Partial-order reduction: sleep-set pruning over the
+    /// [`rc11_core::StepFootprint`] independence oracle (ablation A5 in
+    /// DESIGN.md, machinery in `crate::por`). Prunes **transitions only,
+    /// never states**: the visited state set, terminal/deadlock sets and
+    /// violation sets are identical to the unreduced search (enforced
+    /// gallery-, corpus- and fuzz-wide by the POR differentials), while
+    /// `transitions` shrinks by the number of commuted sibling orders
+    /// skipped. Both engines honour it. Default **off** this release;
+    /// `rc11 run --por` and the A5 benches turn it on. Ignored by the
+    /// outline checker, whose Owicki–Gries classification needs every
+    /// edge.
+    pub por: bool,
 }
 
 impl Default for ExploreOptions {
@@ -58,6 +70,7 @@ impl Default for ExploreOptions {
             max_states: 5_000_000,
             record_traces: true,
             fingerprint: true,
+            por: false,
         }
     }
 }

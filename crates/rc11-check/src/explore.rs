@@ -18,6 +18,13 @@
 //! bit-identical to the legacy materialised-canonical path — which remains
 //! available with `fingerprint: false` (ablation A4 in DESIGN.md).
 //!
+//! With [`ExploreOptions::por`], expansion additionally applies sleep-set
+//! partial-order reduction (`crate::por`, ablation A5): work items carry
+//! sleep/expansion thread masks, arena nodes remember which threads have
+//! been expanded (for the wake-up rule on duplicate hits), and commuted
+//! sibling orders are pruned before their successors are generated —
+//! transitions shrink, states and verdicts provably do not.
+//!
 //! The option/report/violation types shared with the parallel engine live
 //! in [`crate::engine`]; `Report` is a compatibility alias for
 //! [`EngineReport`](crate::engine::EngineReport). The differential suite
@@ -25,17 +32,22 @@
 //! explorer's answers, which makes this file the semantic ground truth.
 
 use crate::fxhash::{CanonicalFingerprint, Fp128, FxHashMap, IdBucket};
+use crate::por::{self, ThreadMask};
 use rc11_core::Tid;
 use rc11_lang::cfg::CfgProgram;
-use rc11_lang::machine::{successors, Config, ObjectSemantics};
+use rc11_lang::machine::{thread_successors, Config, ObjectSemantics};
 
 pub use crate::engine::{EngineReport as Report, ExploreOptions, Violation};
 
 /// One interned state: its canonical configuration (stored exactly once
-/// across the whole explorer) and the first-discovery parent edge.
+/// across the whole explorer), the first-discovery parent edge, and the
+/// mask of threads expansion work has been queued for (the complement of
+/// the intersection of every arriving sleep set — always full without
+/// POR; see `crate::por` for the wake-up rule).
 struct Node {
     cfg: Config,
     parent: Option<(u32, Tid)>,
+    explored: ThreadMask,
 }
 
 /// The visited index shared by the sequential explorer and the sequential
@@ -55,7 +67,9 @@ pub(crate) enum VisitedIndex {
 /// `NovelExact` payload is boxed: it carries a whole materialised
 /// configuration and only exists on the legacy path.
 pub(crate) enum Probe {
-    Dup,
+    /// Already interned, under this arena id (POR duplicate hits consult
+    /// the node's `explored` mask for the wake-up rule).
+    Dup(u32),
     NovelFp(Fp128, rc11_core::CanonPerms),
     NovelExact(Box<Config>),
 }
@@ -86,7 +100,7 @@ impl VisitedIndex {
                 if let Some(bucket) = map.get(&fp) {
                     for &id in bucket.ids() {
                         if succ.canonical_eq_with(&perms, interned(id)) {
-                            return Probe::Dup;
+                            return Probe::Dup(id);
                         }
                     }
                 }
@@ -94,8 +108,8 @@ impl VisitedIndex {
             }
             VisitedIndex::Exact(map) => {
                 let canon = succ.canonical();
-                if map.contains_key(&canon) {
-                    Probe::Dup
+                if let Some(&id) = map.get(&canon) {
+                    Probe::Dup(id)
                 } else {
                     Probe::NovelExact(Box::new(canon))
                 }
@@ -160,11 +174,17 @@ impl<'a> Explorer<'a> {
         // exactly once, with its first-discovery parent edge.
         let mut nodes: Vec<Node> = Vec::new();
         let mut buf: Vec<String> = Vec::new();
+        let por = self.opts.por;
+        let n_threads = self.prog.n_threads();
+        // Thread masks only exist on the POR path (which caps programs at
+        // 64 threads — `por::full_mask` asserts); the unreduced search
+        // iterates threads by index and supports any count `Tid` can name.
+        let full = if por { por::full_mask(n_threads) } else { !0 };
 
         let init = Config::initial(self.prog).canonical();
         let probe = index.probe(&init, |id| &nodes[id as usize].cfg);
         let init = index.commit(probe, &init, 0);
-        nodes.push(Node { cfg: init.clone(), parent: None });
+        nodes.push(Node { cfg: init.clone(), parent: None, explored: full });
         check(&init, &mut buf);
         for what in buf.drain(..) {
             report.violations.push(Violation {
@@ -174,43 +194,91 @@ impl<'a> Explorer<'a> {
             });
         }
 
-        let mut frontier: Vec<u32> = vec![0];
-        while let Some(id) = frontier.pop() {
+        // Work items: `(node, threads to expand, arriving sleep set,
+        // first visit?)`. Without POR every item is `(id, full, ∅, true)`
+        // and the loop below degenerates to the classical search (same
+        // expansion order, same transition counts). See `crate::por` for
+        // the sleep-set rules.
+        let mut frontier: Vec<(u32, ThreadMask, ThreadMask, bool)> = vec![(0, full, 0, true)];
+        while let Some((id, mask, sleep, first)) = frontier.pop() {
             let cfg = nodes[id as usize].cfg.clone();
-            let succs = successors(self.prog, self.objs, &cfg, self.opts.step);
-            report.transitions += succs.len();
-            if succs.is_empty() {
-                if cfg.terminated(self.prog) {
-                    report.terminated.push(cfg);
-                } else {
-                    report.deadlocked.push(cfg);
-                }
-                continue;
-            }
-            for (tid, succ) in succs {
-                let probe = match index.probe(&succ, |id| &nodes[id as usize].cfg) {
-                    Probe::Dup => continue,
-                    novel => novel,
-                };
-                if nodes.len() >= self.opts.max_states {
-                    report.truncated = true;
+            let fps = por.then(|| por::footprints(self.prog, &cfg));
+            let mut any_succ = false;
+            let mut earlier: ThreadMask = 0;
+            for t in 0..n_threads {
+                if por && mask & (1u64 << t) == 0 {
                     continue;
                 }
-                let new_id = nodes.len() as u32;
-                let canon = index.commit(probe, &succ, new_id);
-                check(&canon, &mut buf);
-                for what in buf.drain(..) {
-                    report.violations.push(Violation {
-                        what,
-                        config: canon.clone(),
-                        trace: self
-                            .opts
-                            .record_traces
-                            .then(|| reconstruct_trace(&nodes, id, tid, &canon)),
+                let succs = thread_successors(self.prog, self.objs, &cfg, t, self.opts.step);
+                report.transitions += succs.len();
+                any_succ |= !succs.is_empty();
+                let child_sleep = match &fps {
+                    Some(fps) => {
+                        let cs = por::child_sleep(fps, sleep | earlier, t);
+                        earlier |= 1u64 << t;
+                        cs
+                    }
+                    None => 0,
+                };
+                let tid = Tid(t as u8);
+                for succ in succs {
+                    let probe = match index.probe(&succ, |id| &nodes[id as usize].cfg) {
+                        Probe::Dup(dup_id) => {
+                            if por {
+                                // Wake-up rule: threads this arrival would
+                                // explore but no earlier arrival queued.
+                                let missing =
+                                    full & !child_sleep & !nodes[dup_id as usize].explored;
+                                if missing != 0 {
+                                    nodes[dup_id as usize].explored |= missing;
+                                    frontier.push((dup_id, missing, child_sleep, false));
+                                }
+                            }
+                            continue;
+                        }
+                        novel => novel,
+                    };
+                    if nodes.len() >= self.opts.max_states {
+                        report.truncated = true;
+                        continue;
+                    }
+                    let new_id = nodes.len() as u32;
+                    let canon = index.commit(probe, &succ, new_id);
+                    check(&canon, &mut buf);
+                    for what in buf.drain(..) {
+                        report.violations.push(Violation {
+                            what,
+                            config: canon.clone(),
+                            trace: self
+                                .opts
+                                .record_traces
+                                .then(|| reconstruct_trace(&nodes, id, tid, &canon)),
+                        });
+                    }
+                    nodes.push(Node {
+                        cfg: canon,
+                        parent: Some((id, tid)),
+                        explored: full & !child_sleep,
                     });
+                    frontier.push((new_id, full & !child_sleep, child_sleep, true));
                 }
-                nodes.push(Node { cfg: canon, parent: Some((id, tid)) });
-                frontier.push(new_id);
+            }
+            if !any_succ && first {
+                // The expanded threads produced nothing. Only a *first*
+                // visit may classify the state as terminal, and only after
+                // probing the threads it arrived asleep (a fully slept
+                // configuration has successors — all covered elsewhere —
+                // and is not terminal; see `por::has_any_successor` for
+                // why the probe stays out of the transition count).
+                // Without POR, `mask` is full and this probes nothing.
+                if !por::has_any_successor(self.prog, self.objs, &cfg, full & !mask, self.opts.step)
+                {
+                    if cfg.terminated(self.prog) {
+                        report.terminated.push(cfg);
+                    } else {
+                        report.deadlocked.push(cfg);
+                    }
+                }
             }
             // Past the state cap every further expansion can only re-count
             // transitions of states we will drop anyway — stop the walk.

@@ -10,6 +10,10 @@
 //! * the `.litmus` printer/parser round-trip: printing the program as text
 //!   and re-parsing it must preserve the outcome set (pinning the text
 //!   front-end to the builder);
+//! * the partial-order-reduction lane ([`DiffOptions::por`]): sleep-set
+//!   pruning must preserve states, terminal/deadlock counts and the
+//!   outcome set while generating no more transitions, under both engines
+//!   and both dedup modes;
 //! * sampler soundness: every [`crate::random::random_walk`] terminal
 //!   outcome must lie inside the exhaustive outcome set (a sample outside
 //!   it would be a transition the exhaustive engines missed, or a walk
@@ -44,6 +48,15 @@ pub struct DiffOptions {
     /// Also round-trip each program through the `.litmus` printer/parser
     /// and require outcome-set equality.
     pub round_trip: bool,
+    /// Add the partial-order-reduction parity lane: re-explore the program
+    /// with [`ExploreOptions::por`] on — sequentially in both dedup modes
+    /// and in parallel at every configured worker count — and require the
+    /// state count, terminal/deadlock counts and outcome set to match the
+    /// unreduced oracle exactly, with no more transitions generated.
+    /// Default off (mirroring `ExploreOptions::por`); the fixed-seed
+    /// `cargo test` lane, the `#[ignore]`d sweep and `rc11 fuzz --por`
+    /// turn it on.
+    pub por: bool,
 }
 
 impl Default for DiffOptions {
@@ -54,6 +67,7 @@ impl Default for DiffOptions {
             samples: 24,
             sample_steps: 4096,
             round_trip: true,
+            por: false,
         }
     }
 }
@@ -129,6 +143,53 @@ fn compare(
     Ok(())
 }
 
+/// The POR-lane comparison: sleep-set reduction prunes transitions only,
+/// so everything except the transition count must match the unreduced
+/// oracle exactly, and the transition count must not grow.
+fn compare_por(
+    what: &str,
+    g: &GProg,
+    oracle: &EngineReport,
+    oracle_outcomes: &BTreeSet<Vec<Val>>,
+    got: &EngineReport,
+) -> Result<(), String> {
+    if got.truncated != oracle.truncated {
+        return Err(format!("{what}: truncated {} vs oracle {}", got.truncated, oracle.truncated));
+    }
+    if got.states != oracle.states {
+        return Err(format!("{what}: POR lost states ({} vs oracle {})", got.states, oracle.states));
+    }
+    if got.transitions > oracle.transitions {
+        return Err(format!(
+            "{what}: POR generated more transitions ({} vs oracle {})",
+            got.transitions, oracle.transitions
+        ));
+    }
+    if got.terminated.len() != oracle.terminated.len() {
+        return Err(format!(
+            "{what}: terminal configurations {} vs oracle {}",
+            got.terminated.len(),
+            oracle.terminated.len()
+        ));
+    }
+    if got.deadlocked.len() != oracle.deadlocked.len() {
+        return Err(format!(
+            "{what}: deadlocked configurations {} vs oracle {}",
+            got.deadlocked.len(),
+            oracle.deadlocked.len()
+        ));
+    }
+    let got_outcomes = outcome_set(g, got);
+    if &got_outcomes != oracle_outcomes {
+        let missing: Vec<_> = oracle_outcomes.difference(&got_outcomes).collect();
+        let extra: Vec<_> = got_outcomes.difference(oracle_outcomes).collect();
+        return Err(format!(
+            "{what}: POR outcome sets diverge (missing {missing:?}, extra {extra:?})"
+        ));
+    }
+    Ok(())
+}
+
 /// Run every differential check on one generated program.
 pub fn diff_one(g: &GProg, seed: u64, opts: &DiffOptions) -> DiffVerdict {
     let prog = compile(&g.to_program("fuzz"));
@@ -194,6 +255,34 @@ pub fn diff_one(g: &GProg, seed: u64, opts: &DiffOptions) -> DiffVerdict {
                     oracle_outcomes.len(),
                     rt_outcomes.len()
                 ));
+            }
+        }
+
+        // POR parity: sleep-set reduction must preserve the whole report
+        // shape except the transition count — sequentially in both dedup
+        // modes and in parallel at every worker count.
+        if opts.por {
+            for (mode, o) in [("fp", fp), ("exact", exact)] {
+                let por_opts = ExploreOptions { por: true, ..o };
+                let seq = Engine::Sequential.explore(&prog, &NoObjects, por_opts);
+                compare_por(
+                    &format!("por[seq, {mode}]"),
+                    g,
+                    &oracle,
+                    &oracle_outcomes,
+                    &seq,
+                )?;
+            }
+            let por_fp = ExploreOptions { por: true, ..fp };
+            for &w in &opts.workers {
+                let par = Engine::Parallel { workers: w }.explore(&prog, &NoObjects, por_fp);
+                compare_por(
+                    &format!("por[{w} workers, fp]"),
+                    g,
+                    &oracle,
+                    &oracle_outcomes,
+                    &par,
+                )?;
             }
         }
 
@@ -329,7 +418,8 @@ mod tests {
     #[test]
     fn a_short_fixed_seed_fuzz_run_is_clean() {
         let gen_opts = GenOptions { max_stmts: 3, ..Default::default() };
-        let diff_opts = DiffOptions { workers: vec![2], samples: 8, ..Default::default() };
+        let diff_opts =
+            DiffOptions { workers: vec![2], samples: 8, por: true, ..Default::default() };
         let report = fuzz(0xC0FFEE, 10, &gen_opts, &diff_opts, |_| {});
         assert_eq!(report.iters, 10);
         assert!(

@@ -18,6 +18,9 @@
 //! * [`parallel`] — the batched work-stealing parallel engine over a
 //!   sharded fingerprint-keyed interned state store, with counterexample
 //!   traces (ablations A3/A4);
+//! * `por` (internal) — sleep-set partial-order reduction over the
+//!   [`rc11_core::StepFootprint`] independence oracle, layered on both
+//!   engines behind [`engine::ExploreOptions::por`] (ablation A5);
 //! * [`gen`] — seeded random litmus-program generation over the full
 //!   statement alphabet, with deletion-based shrinking;
 //! * [`fuzz`] — the generative differential harness: every generated
@@ -39,6 +42,7 @@ pub mod explore;
 pub mod fxhash;
 pub mod outline_check;
 pub mod parallel;
+pub(crate) mod por;
 pub mod pretty;
 pub mod random;
 

@@ -235,6 +235,14 @@ pub fn check_outline(
 /// graph and agree on states, transitions, checks, terminal counts and the
 /// (kind, configuration) → strongest-class violation map; only `mover`
 /// tie-breaks and violation order may differ in the parallel engine.
+///
+/// [`ExploreOptions::por`] is ignored (cleared) here: Owicki–Gries
+/// classification is a property of *edges* — interference vs inherited
+/// depends on which thread moved into the violating configuration over
+/// which incoming edge — and sleep-set reduction prunes exactly edges
+/// (never states). An outline checked under POR could report a weaker
+/// classification or miss an interference edge entirely, so the checker
+/// always explores the unreduced graph.
 pub fn check_outline_with(
     prog: &CfgProgram,
     objs: &(dyn ObjectSemantics + Sync),
@@ -242,6 +250,7 @@ pub fn check_outline_with(
     opts: ExploreOptions,
     engine: &Engine,
 ) -> OutlineReport {
+    let opts = ExploreOptions { por: false, ..opts };
     match engine {
         Engine::Sequential => seq_check_outline(prog, objs, outline, opts),
         Engine::Parallel { workers } => par_check_outline(prog, objs, outline, opts, *workers),
@@ -313,7 +322,7 @@ fn seq_check_outline(
             let (fails, checks) = annots.failures(&succ);
             report.checks += checks;
             let probe = match index.probe(&succ, |id| &arena[id as usize]) {
-                Probe::Dup => {
+                Probe::Dup(_) => {
                     if !fails.is_empty() {
                         // Rare: a failing duplicate edge still needs the
                         // canonical form as the recorder's dedup key.

@@ -4,10 +4,17 @@
 //! around batching, fingerprint-keyed deduplication and full counterexample
 //! traces:
 //!
-//! * **Batched work distribution** — workers accumulate novel states in a
-//!   worker-local buffer and flush them to the shared injector in chunks
-//!   ([`FLUSH_BATCH`]), so steal traffic and queue-lock contention scale
-//!   with batches, not states.
+//! * **Keep-local batched work distribution** — each worker drains a
+//!   private LIFO backlog and feeds novel successors straight back into
+//!   it; the shared injector only sees [`FLUSH_BATCH`]-sized overflow
+//!   chunks (exported past [`KEEP_LOCAL`] or when the injector runs dry),
+//!   so steal traffic and queue-lock contention scale with the *shared*
+//!   frontier, not the state count.
+//! * **Sleep-set partial-order reduction** — with
+//!   [`ExploreOptions::por`], work items carry sleep-set/expansion masks
+//!   and the visited stores keep each state's `explored` mask for the
+//!   wake-up rule (see `crate::por`); POR prunes transitions only, never
+//!   states, so reports stay differential-tested-identical.
 //! * **Fingerprint-keyed interned visited store** — the visited structure
 //!   is a [`ShardedFpMap`] keyed by zero-rebuild 128-bit canonical
 //!   fingerprints ([`crate::fxhash::Fp128`]): duplicate successors (the
@@ -45,17 +52,27 @@
 
 use crate::engine::{EngineReport, ExploreOptions, Violation};
 use crate::fxhash::{CanonicalFingerprint, Fp128, FxBuildHasher, FxHashMap, FxHashSet};
+use crate::por::{self, ThreadMask};
 use crossbeam::deque::{Injector, Steal};
 use parking_lot::{Mutex, RwLock};
 use rc11_core::{CanonPerms, Tid};
 use rc11_lang::cfg::CfgProgram;
-use rc11_lang::machine::{successors, Config, ObjectSemantics};
+use rc11_lang::machine::{thread_successors, Config, ObjectSemantics};
 use std::hash::{BuildHasher, Hash};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-/// Novel states a worker buffers locally before flushing one chunk to the
-/// shared injector.
-pub const FLUSH_BATCH: usize = 32;
+/// Novel states a worker buffers locally before a chunk becomes eligible
+/// for sharing through the injector.
+pub const FLUSH_BATCH: usize = 64;
+
+/// Work-item backlog a worker keeps to itself. Novel states first feed the
+/// worker's own LIFO backlog — the hot path never touches the shared
+/// injector — and only the *oldest* `FLUSH_BATCH` items are shared when
+/// the backlog outgrows this bound, or when the injector runs dry while
+/// other workers are starving. Sharing the oldest (breadth) end keeps the
+/// worker on its cache-warm depth-first tail while exporting the wide
+/// frontier other workers can fan out on.
+pub const KEEP_LOCAL: usize = 2 * FLUSH_BATCH;
 
 /// Avalanche-mix a hash into a shard index base: xor-fold and multiply so
 /// every input bit influences the low bits the mask keeps. Keys whose
@@ -284,17 +301,17 @@ impl<V> FpShard<V> {
     /// `is_cfg` present? `is_cfg` is handed the interned representative so
     /// the caller chooses the cheapest equality check it can (zero-rebuild
     /// `canonical_eq` for raw probes, plain `==` for canonical ones).
-    fn contains(&self, fp: Fp128, mut is_cfg: impl FnMut(&Config) -> bool) -> bool {
-        match self.map.get(&fp) {
-            None => false,
-            Some(e) => {
-                is_cfg(&e.cfg)
-                    || self
-                        .overflow
-                        .iter()
-                        .any(|(ofp, oe)| *ofp == fp && is_cfg(&oe.cfg))
-            }
+    fn contains(&self, fp: Fp128, is_cfg: impl FnMut(&Config) -> bool) -> bool {
+        self.entry(fp, is_cfg).is_some()
+    }
+
+    /// The interned entry for `fp` whose canonical form matches `is_cfg`.
+    fn entry(&self, fp: Fp128, mut is_cfg: impl FnMut(&Config) -> bool) -> Option<&FpEntry<V>> {
+        let e = self.map.get(&fp)?;
+        if is_cfg(&e.cfg) {
+            return Some(e);
         }
+        self.overflow.iter().find(|(ofp, oe)| *ofp == fp && is_cfg(&oe.cfg)).map(|(_, oe)| oe)
     }
 }
 
@@ -342,87 +359,6 @@ impl<V> ShardedFpMap<V> {
             .contains(fp, |cfg| succ.canonical_eq_with(&perms, cfg))
     }
 
-    /// Batched insert of raw successors (the engine's hot path): items are
-    /// fingerprinted (one zero-rebuild walk each), grouped by shard, and
-    /// filtered with one read-lock pass per touched shard confirming
-    /// fingerprint hits via `canonical_eq`. Only the survivors — novel
-    /// states — are **then** materialised to canonical form (outside any
-    /// lock, reusing the probe's permutations) and committed with a
-    /// double-checked write pass. Returns the novel canonical
-    /// configurations; for duplicates within one batch the first
-    /// occurrence wins.
-    pub fn insert_batch(&self, items: Vec<(Config, V)>) -> Vec<Config> {
-        struct Item<V> {
-            shard: usize,
-            fp: Fp128,
-            perms: CanonPerms,
-            raw: Config,
-            /// `None` once dropped as a duplicate (or consumed by commit).
-            val: Option<V>,
-        }
-        let mut tagged: Vec<Item<V>> = items
-            .into_iter()
-            .map(|(raw, val)| {
-                let perms = raw.canonical_perms();
-                let fp = raw.fingerprint_with(&perms);
-                Item { shard: self.shard_of(fp), fp, perms, raw, val: Some(val) }
-            })
-            .collect();
-        tagged.sort_by_key(|t| t.shard);
-        let mut novel = Vec::new();
-        let mut i = 0;
-        while i < tagged.len() {
-            let s = tagged[i].shard;
-            let mut j = i;
-            while j < tagged.len() && tagged[j].shard == s {
-                j += 1;
-            }
-            let shard = &self.shards[s];
-            {
-                let rd = shard.read();
-                for t in &mut tagged[i..j] {
-                    if rd.contains(t.fp, |cfg| t.raw.canonical_eq_with(&t.perms, cfg)) {
-                        t.val = None;
-                    }
-                }
-            }
-            if tagged[i..j].iter().any(|t| t.val.is_some()) {
-                // Materialise survivors outside the locks: this is the one
-                // canonicalisation each distinct state pays.
-                let canons: Vec<Option<Config>> = tagged[i..j]
-                    .iter()
-                    .map(|t| t.val.is_some().then(|| t.raw.canonical_with(&t.perms)))
-                    .collect();
-                let mut wr = shard.write();
-                let FpShard { map, overflow } = &mut *wr;
-                for (t, canon) in tagged[i..j].iter_mut().zip(canons) {
-                    let Some(canon) = canon else { continue };
-                    let val = t.val.take().expect("survivor carries its value");
-                    // Double-check under the write lock (racing workers,
-                    // or an earlier duplicate in this very batch).
-                    match map.entry(t.fp) {
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            e.insert(FpEntry { cfg: canon.clone(), val });
-                            novel.push(canon);
-                        }
-                        std::collections::hash_map::Entry::Occupied(e) => {
-                            if e.get().cfg == canon
-                                || overflow.iter().any(|(ofp, oe)| *ofp == t.fp && oe.cfg == canon)
-                            {
-                                continue; // lost the race: already interned
-                            }
-                            // A true 128-bit collision: intern alongside.
-                            overflow.push((t.fp, FpEntry { cfg: canon.clone(), val }));
-                            novel.push(canon);
-                        }
-                    }
-                }
-            }
-            i = j;
-        }
-        novel
-    }
-
     /// The value interned for the **canonical** configuration `canon`,
     /// cloned out from under the shard read lock.
     pub fn get_cloned(&self, canon: &Config) -> Option<V>
@@ -430,15 +366,10 @@ impl<V> ShardedFpMap<V> {
         V: Clone,
     {
         let fp = canon.canonical_fingerprint();
-        let shard = self.shards[self.shard_of(fp)].read();
-        match shard.map.get(&fp) {
-            Some(e) if e.cfg == *canon => Some(e.val.clone()),
-            _ => shard
-                .overflow
-                .iter()
-                .find(|(ofp, oe)| *ofp == fp && oe.cfg == *canon)
-                .map(|(_, oe)| oe.val.clone()),
-        }
+        self.shards[self.shard_of(fp)]
+            .read()
+            .entry(fp, |cfg| cfg == canon)
+            .map(|e| e.val.clone())
     }
 
     /// Total interned states — a racy snapshot like
@@ -460,6 +391,235 @@ impl<V> ShardedFpMap<V> {
     }
 }
 
+/// A store value together with the state's `explored` thread mask — the
+/// complement-union of every sleep set the state has been reached with
+/// (see `crate::por`). Mask updates happen under the owning shard's write
+/// lock, so the "exactly one winner" insert contract extends to "exactly
+/// one waker per missing thread".
+#[derive(Clone)]
+pub(crate) struct Masked<V> {
+    val: V,
+    explored: ThreadMask,
+}
+
+/// A successor queued for POR-aware insertion: the raw configuration, the
+/// caller's value, and the *explored-mask proposal* — the complement of
+/// the sleep set the successor would inherit over this edge (`full` when
+/// POR is off, which makes wake-ups impossible).
+type PorItem<V> = (Config, V, ThreadMask);
+
+/// A novel insertion: the interned canonical configuration and its stored
+/// explored mask (= the proposal that won).
+type PorNovel = (Config, ThreadMask);
+
+/// A wake-up: an already-interned state (canonical), the threads newly
+/// added to its explored mask, and the arriving proposal (whose complement
+/// is the sleep set the re-expansion inherits).
+type PorWoken = (Config, ThreadMask, ThreadMask);
+
+/// Generic-key counterparts of [`PorNovel`]/[`PorWoken`] for the
+/// materialised-canonical store.
+type PorNovelK<K> = (K, ThreadMask);
+type PorWokenK<K> = (K, ThreadMask, ThreadMask);
+
+impl<V> ShardedFpMap<Masked<V>> {
+    /// Batched insert of raw successors (the engines' hot path, POR-aware
+    /// — the single implementation both modes share; a full-mask proposal
+    /// makes wake-ups impossible and reduces this to plain insertion).
+    /// Items are fingerprinted (one zero-rebuild walk each), grouped by
+    /// shard, and filtered with one read-lock pass per touched shard
+    /// confirming fingerprint hits via `canonical_eq`; only the survivors
+    /// — novel states and wake-up candidates — are then materialised to
+    /// canonical form (outside any lock, reusing the probe's permutations)
+    /// and committed with a double-checked write pass. Duplicate hits
+    /// whose stored explored mask misses threads of the incoming proposal
+    /// are *woken*: the mask grows under the write lock and the state is
+    /// returned for partial re-expansion. The read-phase drop is sound
+    /// because explored masks only ever grow: a duplicate fully absorbed
+    /// under the read lock stays absorbed.
+    pub(crate) fn insert_batch_por(
+        &self,
+        items: Vec<PorItem<V>>,
+    ) -> (Vec<PorNovel>, Vec<PorWoken>) {
+        struct Item<V> {
+            shard: usize,
+            fp: Fp128,
+            perms: CanonPerms,
+            raw: Config,
+            proposal: ThreadMask,
+            /// `None` once dropped as an absorbed duplicate (or consumed).
+            val: Option<V>,
+        }
+        let mut tagged: Vec<Item<V>> = items
+            .into_iter()
+            .map(|(raw, val, proposal)| {
+                let perms = raw.canonical_perms();
+                let fp = raw.fingerprint_with(&perms);
+                Item { shard: self.shard_of(fp), fp, perms, raw, proposal, val: Some(val) }
+            })
+            .collect();
+        tagged.sort_by_key(|t| t.shard);
+        let mut novel = Vec::new();
+        let mut woken = Vec::new();
+        let mut i = 0;
+        while i < tagged.len() {
+            let s = tagged[i].shard;
+            let mut j = i;
+            while j < tagged.len() && tagged[j].shard == s {
+                j += 1;
+            }
+            let shard = &self.shards[s];
+            {
+                let rd = shard.read();
+                for t in &mut tagged[i..j] {
+                    if let Some(e) =
+                        rd.entry(t.fp, |cfg| t.raw.canonical_eq_with(&t.perms, cfg))
+                    {
+                        if t.proposal & !e.val.explored == 0 {
+                            t.val = None; // known state, nothing to wake
+                        }
+                    }
+                }
+            }
+            if tagged[i..j].iter().any(|t| t.val.is_some()) {
+                // Materialise survivors outside the locks: novel states pay
+                // their one canonicalisation here; wake-up duplicates are
+                // rare enough that re-materialising them is cheaper than
+                // cloning interned representatives under the read lock.
+                let canons: Vec<Option<Config>> = tagged[i..j]
+                    .iter()
+                    .map(|t| t.val.is_some().then(|| t.raw.canonical_with(&t.perms)))
+                    .collect();
+                let mut wr = shard.write();
+                let FpShard { map, overflow } = &mut *wr;
+                for (t, canon) in tagged[i..j].iter_mut().zip(canons) {
+                    let Some(canon) = canon else { continue };
+                    let val = t.val.take().expect("survivor carries its value");
+                    // Double-check under the write lock (racing workers,
+                    // or an earlier duplicate in this very batch).
+                    match map.entry(t.fp) {
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(FpEntry {
+                                cfg: canon.clone(),
+                                val: Masked { val, explored: t.proposal },
+                            });
+                            novel.push((canon, t.proposal));
+                        }
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            let entry = if e.get().cfg == canon {
+                                Some(e.get_mut())
+                            } else {
+                                overflow
+                                    .iter_mut()
+                                    .find(|(ofp, oe)| *ofp == t.fp && oe.cfg == canon)
+                                    .map(|(_, oe)| oe)
+                            };
+                            match entry {
+                                Some(oe) => {
+                                    // Lost the insert race (or a same-batch
+                                    // twin won): apply the wake-up rule.
+                                    let missing = t.proposal & !oe.val.explored;
+                                    if missing != 0 {
+                                        oe.val.explored |= missing;
+                                        woken.push((canon, missing, t.proposal));
+                                    }
+                                }
+                                None => {
+                                    // A true 128-bit collision: intern
+                                    // alongside.
+                                    overflow.push((
+                                        t.fp,
+                                        FpEntry {
+                                            cfg: canon.clone(),
+                                            val: Masked { val, explored: t.proposal },
+                                        },
+                                    ));
+                                    novel.push((canon, t.proposal));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            i = j;
+        }
+        (novel, woken)
+    }
+}
+
+impl<K: Hash + Eq + Clone, V> ShardedMap<K, Masked<V>> {
+    /// The materialised-canonical-key counterpart of
+    /// [`ShardedFpMap::insert_batch_por`]: same read-filter plus
+    /// double-checked write pass as [`ShardedMap::insert_batch`], with
+    /// duplicate hits applying the POR wake-up rule under the write lock.
+    /// This — not the plain `insert_batch` — is the exact-mode engine
+    /// path.
+    pub(crate) fn insert_batch_por(
+        &self,
+        items: Vec<(K, V, ThreadMask)>,
+    ) -> (Vec<PorNovelK<K>>, Vec<PorWokenK<K>>) {
+        struct Item<K, V> {
+            shard: usize,
+            /// `None` once dropped as an absorbed duplicate (or consumed).
+            kv: Option<(K, V)>,
+            proposal: ThreadMask,
+        }
+        let mut tagged: Vec<Item<K, V>> = items
+            .into_iter()
+            .map(|(k, v, proposal)| Item {
+                shard: self.shard_of(&k),
+                kv: Some((k, v)),
+                proposal,
+            })
+            .collect();
+        tagged.sort_by_key(|t| t.shard);
+        let mut novel = Vec::new();
+        let mut woken = Vec::new();
+        let mut i = 0;
+        while i < tagged.len() {
+            let s = tagged[i].shard;
+            let mut j = i;
+            while j < tagged.len() && tagged[j].shard == s {
+                j += 1;
+            }
+            let shard = &self.shards[s];
+            {
+                let rd = shard.read();
+                for t in &mut tagged[i..j] {
+                    let k = &t.kv.as_ref().expect("unconsumed item").0;
+                    if let Some(e) = rd.get(k) {
+                        if t.proposal & !e.explored == 0 {
+                            t.kv = None; // absorbed: masks only grow
+                        }
+                    }
+                }
+            }
+            if tagged[i..j].iter().any(|t| t.kv.is_some()) {
+                let mut wr = shard.write();
+                for t in &mut tagged[i..j] {
+                    if let Some((k, v)) = t.kv.take() {
+                        match wr.entry(k) {
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                let missing = t.proposal & !e.get().explored;
+                                if missing != 0 {
+                                    e.get_mut().explored |= missing;
+                                    woken.push((e.key().clone(), missing, t.proposal));
+                                }
+                            }
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                novel.push((e.key().clone(), t.proposal));
+                                e.insert(Masked { val: v, explored: t.proposal });
+                            }
+                        }
+                    }
+                }
+            }
+            i = j;
+        }
+        (novel, woken)
+    }
+}
+
 /// A visited entry's parent pointer: `None` for the initial configuration.
 type Parent = Option<(Config, Tid)>;
 
@@ -467,10 +627,11 @@ type Parent = Option<(Config, Tid)>;
 /// [`ExploreOptions::fingerprint`]: the fingerprint-keyed interned store
 /// (default) or the legacy map keyed by materialised canonical
 /// configurations (ablation A4's baseline). Both intern each canonical
-/// configuration exactly once and agree on every membership decision.
+/// configuration exactly once — with its `explored` thread mask for the
+/// POR wake-up rule — and agree on every membership decision.
 pub(crate) enum VisitedStore<V> {
-    Fp(ShardedFpMap<V>),
-    Exact(ShardedMap<Config, V>),
+    Fp(ShardedFpMap<Masked<V>>),
+    Exact(ShardedMap<Config, Masked<V>>),
 }
 
 impl<V: Clone> VisitedStore<V> {
@@ -482,7 +643,8 @@ impl<V: Clone> VisitedStore<V> {
         }
     }
 
-    fn insert_init(&self, canon: Config, val: V) {
+    fn insert_init(&self, canon: Config, val: V, explored: ThreadMask) {
+        let val = Masked { val, explored };
         match self {
             VisitedStore::Fp(m) => m.insert_init(canon.canonical_fingerprint(), canon, val),
             VisitedStore::Exact(m) => {
@@ -499,23 +661,25 @@ impl<V: Clone> VisitedStore<V> {
         }
     }
 
-    /// Batched insert of raw successors; returns the novel canonical
-    /// configurations (see [`ShardedFpMap::insert_batch`]). The exact
-    /// backend materialises every successor first — that is precisely the
-    /// per-successor rebuild the fingerprint path eliminates.
-    fn insert_batch(&self, items: Vec<(Config, V)>) -> Vec<Config> {
+    /// Batched insert of raw successors with the POR wake-up rule; returns
+    /// the novel canonical configurations with their stored explored masks
+    /// plus any woken duplicates (see [`ShardedFpMap::insert_batch_por`]).
+    /// The exact backend materialises every successor first — that is
+    /// precisely the per-successor rebuild the fingerprint path
+    /// eliminates.
+    fn insert_batch(&self, items: Vec<PorItem<V>>) -> (Vec<PorNovel>, Vec<PorWoken>) {
         match self {
-            VisitedStore::Fp(m) => m.insert_batch(items),
-            VisitedStore::Exact(m) => {
-                m.insert_batch(items.into_iter().map(|(raw, v)| (raw.canonical(), v)).collect())
-            }
+            VisitedStore::Fp(m) => m.insert_batch_por(items),
+            VisitedStore::Exact(m) => m.insert_batch_por(
+                items.into_iter().map(|(raw, v, p)| (raw.canonical(), v, p)).collect(),
+            ),
         }
     }
 
     fn get_cloned(&self, canon: &Config) -> Option<V> {
         match self {
-            VisitedStore::Fp(m) => m.get_cloned(canon),
-            VisitedStore::Exact(m) => m.get_cloned(canon),
+            VisitedStore::Fp(m) => m.get_cloned(canon).map(|m| m.val),
+            VisitedStore::Exact(m) => m.get_cloned(canon).map(|m| m.val),
         }
     }
 
@@ -558,9 +722,22 @@ pub(crate) struct WalkStats {
     pub truncated: bool,
 }
 
+/// One unit of parallel work: a canonical configuration, the mask of
+/// threads to expand, the sleep set the state was reached with, and
+/// whether this is the state's first visit (only first visits may classify
+/// terminals — see `crate::por`). Without POR, every item is
+/// `(cfg, full, ∅, true)`.
+struct WorkItem {
+    cfg: Config,
+    mask: ThreadMask,
+    sleep: ThreadMask,
+    first: bool,
+}
+
 /// The shared batched work-stealing walk both parallel checkers run on:
-/// expands every reached canonical configuration exactly once and drives
-/// three callbacks —
+/// expands every reached canonical configuration exactly once (plus POR
+/// wake-up re-expansions of newly woken threads) and drives three
+/// callbacks —
 ///
 /// * `edge_value(parent, tid)` — the value stored in the visited store for
 ///   a successor first discovered over that edge (the engine stores parent
@@ -574,6 +751,14 @@ pub(crate) struct WalkStats {
 ///   at first discovery (property checks), with a reusable worker-local
 ///   string buffer so violation-free configurations allocate nothing;
 ///   also called for the initial configuration before the workers start.
+///
+/// **Scheduling**: each worker drains a private LIFO backlog before
+/// touching the shared injector; novel successors feed that backlog
+/// directly, and only the oldest chunk is exported when the backlog
+/// outgrows [`KEEP_LOCAL`] or when the injector runs dry with other
+/// workers around. The injector therefore sees traffic proportional to
+/// the *shared* frontier, not to the state count — single-worker runs
+/// never re-queue through it at all.
 ///
 /// The state cap is enforced against a racy running counter, so the store
 /// may transiently overshoot `opts.max_states`; the returned
@@ -598,48 +783,95 @@ where
     FN: Fn(&Config, &mut Vec<String>) + Sync,
 {
     let visited: VisitedStore<V> = VisitedStore::new(opts.fingerprint, 6);
-    let injector: Injector<Vec<Config>> = Injector::new();
+    let injector: Injector<Vec<WorkItem>> = Injector::new();
     // Chunks pushed to the injector but not yet fully processed (a stolen
-    // chunk stays counted until its worker has flushed every novel
-    // successor); all-workers-idle is `pending == 0` + empty injector.
+    // chunk stays counted until its worker has drained the whole backlog
+    // it spawned); all-workers-idle is `pending == 0` + empty injector.
     let pending = AtomicUsize::new(0);
     let n_states = AtomicUsize::new(0);
     let transitions = AtomicUsize::new(0);
     let truncated = AtomicBool::new(false);
     let terminated: Mutex<Vec<Config>> = Mutex::new(Vec::new());
     let deadlocked: Mutex<Vec<Config>> = Mutex::new(Vec::new());
+    let por = opts.por;
+    let n_threads = prog.n_threads();
+    // Thread masks only exist on the POR path (which caps programs at 64
+    // threads — `por::full_mask` asserts); the unreduced search iterates
+    // threads by index and supports any count `Tid` can name.
+    let full = if por { por::full_mask(n_threads) } else { !0 };
+    let n_workers = n_workers.max(1);
 
     let init = Config::initial(prog).canonical();
     let mut init_buf = Vec::new();
     on_novel(&init, &mut init_buf);
     debug_assert!(init_buf.is_empty(), "on_novel must drain its buffer");
-    visited.insert_init(init.clone(), init_value);
+    visited.insert_init(init.clone(), init_value, full);
     n_states.store(1, Ordering::SeqCst);
     pending.store(1, Ordering::SeqCst);
-    injector.push(vec![init]);
+    injector.push(vec![WorkItem { cfg: init, mask: full, sleep: 0, first: true }]);
 
     crossbeam::scope(|scope| {
-        for _ in 0..n_workers.max(1) {
+        for _ in 0..n_workers {
             scope.spawn(|_| {
-                let mut out: Vec<Config> = Vec::with_capacity(FLUSH_BATCH);
+                let mut local: Vec<WorkItem> = Vec::new();
                 let mut buf: Vec<String> = Vec::new();
                 loop {
                     match injector.steal() {
                         Steal::Success(chunk) => {
-                            for cfg in chunk {
-                                let succs = successors(prog, objs, &cfg, opts.step);
-                                transitions.fetch_add(succs.len(), Ordering::Relaxed);
-                                if succs.is_empty() {
-                                    if cfg.terminated(prog) {
-                                        terminated.lock().push(cfg);
-                                    } else {
-                                        deadlocked.lock().push(cfg);
+                            local.extend(chunk);
+                            while let Some(item) = local.pop() {
+                                let WorkItem { cfg, mask, sleep, first } = item;
+                                let fps = por.then(|| por::footprints(prog, &cfg));
+                                let mut items: Vec<PorItem<V>> = Vec::new();
+                                let mut any_succ = false;
+                                let mut earlier: ThreadMask = 0;
+                                for t in 0..n_threads {
+                                    if por && mask & (1u64 << t) == 0 {
+                                        continue;
+                                    }
+                                    let succs =
+                                        thread_successors(prog, objs, &cfg, t, opts.step);
+                                    transitions.fetch_add(succs.len(), Ordering::Relaxed);
+                                    any_succ |= !succs.is_empty();
+                                    let child_sleep = match &fps {
+                                        Some(fps) => {
+                                            let cs = por::child_sleep(fps, sleep | earlier, t);
+                                            earlier |= 1u64 << t;
+                                            cs
+                                        }
+                                        None => 0,
+                                    };
+                                    let tid = Tid(t as u8);
+                                    for succ in succs {
+                                        // Every edge, visited or not, raw.
+                                        on_edge(&cfg, tid, &succ);
+                                        let v = edge_value(&cfg, tid);
+                                        items.push((succ, v, full & !child_sleep));
+                                    }
+                                }
+                                if !any_succ {
+                                    if first
+                                        // Only a first visit may classify,
+                                        // and only after probing the
+                                        // arrived-asleep threads (a fully
+                                        // slept state is not terminal; the
+                                        // probe stays out of the transition
+                                        // count — see `por::has_any_successor`).
+                                        && !por::has_any_successor(
+                                            prog,
+                                            objs,
+                                            &cfg,
+                                            full & !mask,
+                                            opts.step,
+                                        )
+                                    {
+                                        if cfg.terminated(prog) {
+                                            terminated.lock().push(cfg);
+                                        } else {
+                                            deadlocked.lock().push(cfg);
+                                        }
                                     }
                                     continue;
-                                }
-                                for (tid, succ) in &succs {
-                                    // Every edge, visited or not, raw form.
-                                    on_edge(&cfg, *tid, succ);
                                 }
                                 if n_states.load(Ordering::Relaxed) >= opts.max_states {
                                     // Cap hit: keep draining the queue (so
@@ -648,35 +880,53 @@ where
                                     // successors, marking truncation only
                                     // if one actually existed — mirroring
                                     // the sequential explorers.
-                                    if succs
+                                    if items
                                         .iter()
-                                        .any(|(_, succ)| !visited.contains_state(succ))
+                                        .any(|(succ, ..)| !visited.contains_state(succ))
                                     {
                                         truncated.store(true, Ordering::Relaxed);
                                     }
                                     continue;
                                 }
-                                let items: Vec<(Config, V)> = succs
-                                    .into_iter()
-                                    .map(|(tid, succ)| {
-                                        let v = edge_value(&cfg, tid);
-                                        (succ, v)
-                                    })
-                                    .collect();
-                                for canon in visited.insert_batch(items) {
+                                let (novel, woken) = visited.insert_batch(items);
+                                for (canon, explored) in novel {
                                     n_states.fetch_add(1, Ordering::Relaxed);
                                     on_novel(&canon, &mut buf);
-                                    debug_assert!(buf.is_empty(), "on_novel must drain its buffer");
-                                    out.push(canon);
-                                    if out.len() >= FLUSH_BATCH {
-                                        pending.fetch_add(1, Ordering::SeqCst);
-                                        injector.push(std::mem::take(&mut out));
-                                    }
+                                    debug_assert!(
+                                        buf.is_empty(),
+                                        "on_novel must drain its buffer"
+                                    );
+                                    local.push(WorkItem {
+                                        cfg: canon,
+                                        mask: explored,
+                                        sleep: full & !explored,
+                                        first: true,
+                                    });
                                 }
-                            }
-                            if !out.is_empty() {
-                                pending.fetch_add(1, Ordering::SeqCst);
-                                injector.push(std::mem::take(&mut out));
+                                for (canon, missing, proposal) in woken {
+                                    local.push(WorkItem {
+                                        cfg: canon,
+                                        mask: missing,
+                                        sleep: full & !proposal,
+                                        first: false,
+                                    });
+                                }
+                                // Share the oldest chunk when the backlog
+                                // outgrows the keep-local bound, or as soon
+                                // as the injector runs dry while other
+                                // workers could be starving. A lone worker
+                                // never exports: there is nobody to share
+                                // with, and the round-trip is pure cost.
+                                if n_workers > 1
+                                    && (local.len() > KEEP_LOCAL
+                                        || (local.len() > FLUSH_BATCH
+                                            && injector.is_empty()))
+                                {
+                                    let shared: Vec<WorkItem> =
+                                        local.drain(..FLUSH_BATCH).collect();
+                                    pending.fetch_add(1, Ordering::SeqCst);
+                                    injector.push(shared);
+                                }
                             }
                             pending.fetch_sub(1, Ordering::SeqCst);
                         }
@@ -882,25 +1132,61 @@ mod tests {
     fn sharded_fp_map_interns_by_canonical_identity() {
         let prog = sb_prog();
         let init = Config::initial(&prog).canonical();
-        let succs = successors(&prog, &NoObjects, &init, Default::default());
+        let succs =
+            rc11_lang::machine::successors(&prog, &NoObjects, &init, Default::default());
         assert!(!succs.is_empty());
         let raw = succs[0].1.clone();
         let canon = raw.canonical();
         assert_ne!(raw, canon, "raw successor ids differ from canonical ids");
 
-        let m: ShardedFpMap<u32> = ShardedFpMap::new(3);
-        // Same state under two representations in one batch: one winner.
-        let novel = m.insert_batch(vec![(raw.clone(), 1), (canon.clone(), 2)]);
-        assert_eq!(novel, vec![canon.clone()]);
+        let m: ShardedFpMap<Masked<u32>> = ShardedFpMap::new(3);
+        // Same state under two representations in one batch: one winner
+        // (the full-mask proposal makes wake-ups impossible, mirroring a
+        // non-POR engine run).
+        let (novel, woken) = m.insert_batch_por(vec![(raw.clone(), 1, !0), (canon.clone(), 2, !0)]);
+        assert_eq!(novel, vec![(canon.clone(), !0)]);
+        assert!(woken.is_empty());
         assert_eq!(m.len(), 1);
         // Across batches: both representations are already known.
-        assert!(m.insert_batch(vec![(canon.clone(), 3), (raw.clone(), 4)]).is_empty());
+        let (novel, woken) =
+            m.insert_batch_por(vec![(canon.clone(), 3, !0), (raw.clone(), 4, !0)]);
+        assert!(novel.is_empty() && woken.is_empty());
         assert!(m.contains_state(&raw));
         assert!(m.contains_state(&canon));
         assert!(!m.contains_state(&init));
-        assert_eq!(m.get_cloned(&canon), Some(1), "first occurrence wins");
-        assert_eq!(m.get_cloned(&init), None);
+        assert_eq!(m.get_cloned(&canon).map(|v| v.val), Some(1), "first occurrence wins");
+        assert!(m.get_cloned(&init).is_none());
         assert!(!m.is_empty());
+    }
+
+    /// The POR wake-up rule at the store level: a duplicate arriving with
+    /// an explored-mask proposal exceeding the stored mask grows the mask
+    /// under the write lock and reports the missing threads exactly once;
+    /// absorbed duplicates report nothing.
+    #[test]
+    fn sharded_fp_map_wakes_underexplored_duplicates() {
+        let prog = sb_prog();
+        let init = Config::initial(&prog).canonical();
+        let succs =
+            rc11_lang::machine::successors(&prog, &NoObjects, &init, Default::default());
+        let raw = succs[0].1.clone();
+        let canon = raw.canonical();
+
+        let m: ShardedFpMap<Masked<u32>> = ShardedFpMap::new(3);
+        // First arrival: threads {0} explored, thread 1 slept.
+        let (novel, woken) = m.insert_batch_por(vec![(raw.clone(), 1, 0b01)]);
+        assert_eq!(novel, vec![(canon.clone(), 0b01)]);
+        assert!(woken.is_empty());
+        // A smaller-or-equal proposal is absorbed silently.
+        let (novel, woken) = m.insert_batch_por(vec![(canon.clone(), 2, 0b01)]);
+        assert!(novel.is_empty() && woken.is_empty());
+        // A larger proposal wakes exactly the missing thread…
+        let (novel, woken) = m.insert_batch_por(vec![(raw.clone(), 3, 0b11)]);
+        assert!(novel.is_empty());
+        assert_eq!(woken, vec![(canon.clone(), 0b10, 0b11)]);
+        // …and only once: the stored mask has grown.
+        let (novel, woken) = m.insert_batch_por(vec![(canon, 4, 0b11)]);
+        assert!(novel.is_empty() && woken.is_empty());
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Sleep-set partial-order reduction (ablation A5).
+//!
+//! Both exploration engines enumerate, at every configuration, one step per
+//! thread per nondeterministic choice. When two threads' next steps are
+//! *independent* — [`rc11_core::StepFootprint::may_conflict`] returns
+//! `false` — executing them in either order reaches the same canonical
+//! configuration, so the classical search expands both orders only for one
+//! of them to be deduplicated a step later. Sleep sets prune the redundant
+//! order before its successors are ever generated.
+//!
+//! ## The algorithm
+//!
+//! Exploration work items carry two thread masks next to the configuration:
+//! the **sleep set** `Z` the item arrived with, and the **mask** `M` of
+//! threads to expand. Expanding an item processes the threads of `M` in
+//! ascending order; the successor reached over an edge by thread `t`
+//! inherits the sleep set
+//!
+//! ```text
+//! Z' = { u ∈ Z ∪ { t' ∈ M : t' < t } : ¬may_conflict(fp(u), fp(t)) }
+//! ```
+//!
+//! — threads already covered from the same configuration (earlier siblings
+//! in `M`, ordered asymmetrically so two siblings never sleep each other)
+//! or slept on arrival, kept only while their next step is provably
+//! independent of the edge taken. Footprints are per-thread summaries of
+//! the *next instruction* ([`rc11_lang::machine::thread_footprint`]), so
+//! one footprint vector per expanded configuration suffices, and a slept
+//! thread's footprint cannot change while it sleeps (the thread does not
+//! move).
+//!
+//! ## Sleep sets and state dedup: the wake-up rule
+//!
+//! Skipping an already-visited successor is only sound if it was visited
+//! with a sleep set **no larger** than the one the new edge would hand it
+//! (a larger stored sleep means some thread was never expanded there).
+//! Each interned state therefore stores the mask of threads expansion work
+//! has been queued for (`explored`, the complement-union of every arriving
+//! sleep set). A duplicate hit arriving with sleep `Z'` computes
+//! `missing = ¬Z' ∖ explored`; if non-empty, the threads in `missing` are
+//! *woken*: `explored` grows by `missing` and a partial re-expansion item
+//! `(state, missing, Z')` is queued — Godefroid's classical state-matching
+//! rule, with the stored sleep set represented by its complement. Woken
+//! children inherit sleeps from the arriving `Z'` only (never from
+//! siblings explored by earlier visits — inheriting those would let two
+//! visits sleep each other's threads symmetrically and lose states).
+//!
+//! With this rule, sleep sets prune **transitions only, never states**:
+//! every configuration reachable in the full graph is still interned, so
+//! terminal sets, deadlock sets and violation sets are bit-identical to
+//! the unreduced search, and only `transitions` shrinks. The differential
+//! suites (`tests/engine_agreement.rs`, `tests/corpus.rs`,
+//! `rc11_check::fuzz`'s POR lane) hold both engines to exactly that.
+//!
+//! ## Terminal classification under pruning
+//!
+//! A configuration with no successors must be classified terminated or
+//! deadlocked exactly once. Under pruning, "the expanded threads produced
+//! nothing" does not imply "no successors exist" — the slept threads might
+//! have some (a *fully slept* configuration, every outgoing edge covered
+//! by a commuted sibling elsewhere). First-visit expansions that come up
+//! empty therefore probe the remaining threads' successors
+//! ([`has_any_successor`]) and classify the state only if the full
+//! fan-out is empty; wake-up re-expansions never classify. Probe
+//! successors are discarded and **not** counted as transitions — a later
+//! wake-up would re-generate and re-count them, breaking the
+//! `reduced ≤ full` transition invariant the differentials assert.
+//!
+//! The outline checker does **not** run with POR: its Owicki–Gries
+//! classification quantifies over *all* incoming edges of every state
+//! (interference vs inherited is an edge property), and sleep sets prune
+//! exactly edges. `check_outline_with` clears the flag.
+
+use rc11_core::StepFootprint;
+use rc11_lang::cfg::CfgProgram;
+use rc11_lang::machine::{
+    thread_footprint, thread_successors, Config, ObjectSemantics, StepOptions,
+};
+
+/// A set of threads as a bitmask. Thread counts in this workspace are tiny
+/// (the machine caps `Tid` at `u8`); 64 bits is a hard ceiling enforced at
+/// mask construction.
+pub(crate) type ThreadMask = u64;
+
+/// The mask holding every thread of the program. Only the POR path calls
+/// this — the unreduced search iterates threads by index — so the 64-bit
+/// ceiling constrains reduced exploration only.
+#[inline]
+pub(crate) fn full_mask(n_threads: usize) -> ThreadMask {
+    assert!(
+        n_threads <= 64,
+        "partial-order reduction caps programs at 64 threads \
+         (explore with `por: false` for more)"
+    );
+    if n_threads == 64 {
+        !0
+    } else {
+        (1u64 << n_threads) - 1
+    }
+}
+
+/// Per-thread footprints of every thread's next step at `cfg` — computed
+/// once per expanded configuration, queried once per (candidate, edge)
+/// pair.
+#[inline]
+pub(crate) fn footprints(prog: &CfgProgram, cfg: &Config) -> Vec<StepFootprint> {
+    (0..prog.n_threads()).map(|t| thread_footprint(prog, cfg, t)).collect()
+}
+
+/// The terminal-classification probe shared by both engines: does any
+/// thread in `mask` have a successor at `cfg`? Probe successors are
+/// discarded and must **not** be counted as transitions (a later wake-up
+/// of those threads would re-generate and re-count them, breaking the
+/// `reduced ≤ full` invariant) — which is why this returns only a bool.
+pub(crate) fn has_any_successor(
+    prog: &CfgProgram,
+    objs: &dyn ObjectSemantics,
+    cfg: &Config,
+    mask: ThreadMask,
+    step: StepOptions,
+) -> bool {
+    let mut m = mask;
+    while m != 0 {
+        let t = m.trailing_zeros() as usize;
+        m &= m - 1;
+        if !thread_successors(prog, objs, cfg, t, step).is_empty() {
+            return true;
+        }
+    }
+    false
+}
+
+/// The sleep set a successor inherits over an edge by thread `t`:
+/// `candidates` (the arriving sleep set ∪ the earlier-expanded siblings)
+/// filtered to the threads whose next step is independent of `t`'s.
+#[inline]
+pub(crate) fn child_sleep(
+    fps: &[StepFootprint],
+    candidates: ThreadMask,
+    t: usize,
+) -> ThreadMask {
+    let ft = &fps[t];
+    let mut keep = 0u64;
+    let mut m = candidates & !(1u64 << t);
+    while m != 0 {
+        let u = m.trailing_zeros() as usize;
+        m &= m - 1;
+        if !fps[u].may_conflict(ft) {
+            keep |= 1u64 << u;
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc11_core::{AccessKind, Comp, Loc, Tid};
+
+    #[test]
+    fn full_mask_shapes() {
+        assert_eq!(full_mask(1), 0b1);
+        assert_eq!(full_mask(3), 0b111);
+        assert_eq!(full_mask(64), !0);
+    }
+
+    #[test]
+    fn child_sleep_keeps_independent_candidates_only() {
+        // t0 writes x, t1 writes y, t2 writes x: after t0's edge, t1 stays
+        // asleep (independent), t2 wakes (same location).
+        let fps = vec![
+            StepFootprint::access(Tid(0), Comp::Client, Loc(0), AccessKind::Write { rel: false }),
+            StepFootprint::access(Tid(1), Comp::Client, Loc(1), AccessKind::Write { rel: false }),
+            StepFootprint::access(Tid(2), Comp::Client, Loc(0), AccessKind::Write { rel: false }),
+        ];
+        assert_eq!(child_sleep(&fps, 0b110, 0), 0b010);
+        // The executing thread is never kept, even if listed.
+        assert_eq!(child_sleep(&fps, 0b111, 0), 0b010);
+        // Nothing to keep from an empty candidate set.
+        assert_eq!(child_sleep(&fps, 0, 1), 0);
+    }
+}

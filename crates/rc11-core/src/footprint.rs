@@ -1,0 +1,211 @@
+//! The independence oracle behind partial-order reduction (ablation A5).
+//!
+//! Exhaustive exploration enumerates every interleaving, but most
+//! interleavings differ only in the order of steps that *commute*: two
+//! steps by different threads whose effects touch disjoint parts of the
+//! combined state reach the same canonical configuration in either order.
+//! The explorers' sleep-set pruning (`rc11_check::por`) skips such
+//! redundant orders — but only where this module's conservative oracle
+//! *proves* commutation.
+//!
+//! A [`StepFootprint`] summarises everything one transition may read or
+//! write beyond its own thread's registers and program counter. The key
+//! observation, checked against every transition rule in this crate and in
+//! `rc11-objects`, is that a step by thread `t` mutates only
+//!
+//! * `t`'s viewfronts (in one or both components),
+//! * one location's history: its `mo` vector, covered flags of operations
+//!   on it, and the new operation's record and `mview`,
+//!
+//! and *reads* only that same location's history plus `t`'s views. Two
+//! steps by different threads can therefore interfere only **through a
+//! shared location**: [`StepFootprint::may_conflict`] returns `false`
+//! exactly when the footprints name different `(component, location)`
+//! pairs — or the same pair with both steps read-only — and in that case
+//! the steps commute up to canonical equivalence (operation ids assigned
+//! to freshly inserted operations depend on execution order, which
+//! canonicalisation erases).
+//!
+//! The oracle is deliberately one-sided: `may_conflict == true` never
+//! causes wrong answers, only missed reduction. Soundness of the `false`
+//! answers is property-tested in `crates/rc11-core/tests/por_props.rs`,
+//! which executes conflict-free pairs in both orders through [`Combined`]
+//! and requires canonically-equal results *and* unchanged choice sets —
+//! the two facts sleep-set pruning rests on (see DESIGN.md §A5).
+//!
+//! [`Combined`]: crate::combined::Combined
+
+use crate::ids::{Comp, Loc, OpId, Tid};
+
+/// What kind of access a step performs on its location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A read (`rd` / `rd^A`, or a read-only method such as the abstract
+    /// register's `read`): observes the location's history, moves only the
+    /// reader's views. `acq` marks the acquiring variant.
+    Read {
+        /// Acquiring annotation (`rd^A` / `read^A`).
+        acq: bool,
+    },
+    /// A write (`wr` / `wr^R`): inserts one operation into the location's
+    /// modification order. `rel` marks the releasing variant.
+    Write {
+        /// Releasing annotation (`wr^R`).
+        rel: bool,
+    },
+    /// An atomic update (`upd^RA`, CAS/FAI): reads, inserts, and covers its
+    /// predecessor. Always both acquiring and releasing.
+    Update,
+    /// An abstract method call that may modify the object's history
+    /// (push/pop, enq/deq, lock acquire/release, counter inc, register
+    /// write). `sync` marks the synchronising (`^R`/`^A`) variant; lock and
+    /// counter operations always synchronise.
+    Method {
+        /// Synchronising annotation.
+        sync: bool,
+    },
+}
+
+impl AccessKind {
+    /// May this access modify its location's history (`mo` order, covered
+    /// flags, operation records)? Reads only ever move the executing
+    /// thread's views.
+    #[inline]
+    pub fn writes(self) -> bool {
+        !matches!(self, AccessKind::Read { .. })
+    }
+}
+
+/// The shared-state access of one step: which component's location it
+/// touches and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// The component whose history the step touches.
+    pub comp: Comp,
+    /// The location (variable or object) within that component.
+    pub loc: Loc,
+    /// How the location is accessed.
+    pub kind: AccessKind,
+    /// The operation this step covers, when that identity is known at
+    /// footprint-extraction time: the predecessor of an update, or the
+    /// insert an ADT removal (pop/deq) takes. Thread-level footprints —
+    /// extracted before the step's nondeterminism is resolved — leave this
+    /// `None`. The current [`StepFootprint::may_conflict`] does **not**
+    /// refine on it: every covering step also *inserts* an operation into
+    /// the same location's `mo`, so two removals on one object never
+    /// commute even when they cover different inserts. The field exists as
+    /// the hook for a finer, per-edge independence relation (dynamic POR),
+    /// where the covered identity distinguishes operations whose effects a
+    /// later refinement may prove disjoint.
+    pub covers: Option<OpId>,
+}
+
+/// The footprint of one transition: the executing thread plus its
+/// shared-state access, if any. Steps that only touch thread-local state
+/// (register assignments, jumps — including whole fused local chains) have
+/// `access == None` and commute with every other thread's steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StepFootprint {
+    /// The executing thread.
+    pub tid: Tid,
+    /// The shared-state access, or `None` for a purely thread-local step.
+    pub access: Option<Access>,
+}
+
+impl StepFootprint {
+    /// A footprint for a purely thread-local step of `tid`.
+    #[inline]
+    pub fn local(tid: Tid) -> StepFootprint {
+        StepFootprint { tid, access: None }
+    }
+
+    /// A footprint for a step of `tid` accessing `loc` of `comp` as `kind`.
+    #[inline]
+    pub fn access(tid: Tid, comp: Comp, loc: Loc, kind: AccessKind) -> StepFootprint {
+        StepFootprint { tid, access: Some(Access { comp, loc, kind, covers: None }) }
+    }
+
+    /// Conservative interference test: `false` guarantees the two steps
+    /// commute (same canonical result in either order, and neither step
+    /// changes the other's choice set); `true` makes no claim.
+    ///
+    /// Two steps may conflict iff they are by the same thread (a thread
+    /// never commutes with itself: program order is real order), or they
+    /// touch the same `(component, location)` and at least one of them may
+    /// modify that location's history. Two reads of one location commute:
+    /// each only advances its own thread's views, and an acquiring read's
+    /// view join takes the *pre-existing* `mview` of the operation it reads
+    /// from, which the other read cannot change.
+    #[inline]
+    pub fn may_conflict(&self, other: &StepFootprint) -> bool {
+        if self.tid == other.tid {
+            return true;
+        }
+        match (&self.access, &other.access) {
+            (Some(a), Some(b)) => {
+                a.comp == b.comp && a.loc == b.loc && (a.kind.writes() || b.kind.writes())
+            }
+            // A purely local step touches no shared state at all.
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: Tid = Tid(0);
+    const T1: Tid = Tid(1);
+
+    #[test]
+    fn same_thread_always_conflicts() {
+        let a = StepFootprint::local(T0);
+        let b = StepFootprint::access(T0, Comp::Client, Loc(0), AccessKind::Read { acq: false });
+        assert!(a.may_conflict(&b));
+        assert!(a.may_conflict(&a));
+    }
+
+    #[test]
+    fn local_steps_never_conflict_across_threads() {
+        let a = StepFootprint::local(T0);
+        let w = StepFootprint::access(T1, Comp::Client, Loc(0), AccessKind::Write { rel: true });
+        assert!(!a.may_conflict(&w));
+        assert!(!w.may_conflict(&a));
+    }
+
+    #[test]
+    fn different_locations_commute() {
+        let a = StepFootprint::access(T0, Comp::Client, Loc(0), AccessKind::Update);
+        let b = StepFootprint::access(T1, Comp::Client, Loc(1), AccessKind::Update);
+        assert!(!a.may_conflict(&b));
+    }
+
+    #[test]
+    fn same_location_in_different_components_commutes() {
+        // Loc(0) names different locations in the client and the library.
+        let a = StepFootprint::access(T0, Comp::Client, Loc(0), AccessKind::Write { rel: false });
+        let b = StepFootprint::access(T1, Comp::Lib, Loc(0), AccessKind::Method { sync: true });
+        assert!(!a.may_conflict(&b));
+    }
+
+    #[test]
+    fn reads_of_one_location_commute_writes_do_not() {
+        let r0 = StepFootprint::access(T0, Comp::Client, Loc(0), AccessKind::Read { acq: true });
+        let r1 = StepFootprint::access(T1, Comp::Client, Loc(0), AccessKind::Read { acq: false });
+        assert!(!r0.may_conflict(&r1));
+        let w1 = StepFootprint::access(T1, Comp::Client, Loc(0), AccessKind::Write { rel: false });
+        assert!(r0.may_conflict(&w1));
+        assert!(w1.may_conflict(&r0), "conflict is symmetric");
+        let u0 = StepFootprint::access(T0, Comp::Client, Loc(0), AccessKind::Update);
+        assert!(u0.may_conflict(&w1));
+    }
+
+    #[test]
+    fn method_kinds_write() {
+        assert!(AccessKind::Method { sync: false }.writes());
+        assert!(AccessKind::Update.writes());
+        assert!(AccessKind::Write { rel: true }.writes());
+        assert!(!AccessKind::Read { acq: true }.writes());
+    }
+}

@@ -23,12 +23,19 @@
 //! ([`action::MethodOp`]). Their transition rules live in `rc11-objects`,
 //! built from the state-manipulation API exposed here ([`state::CState`]'s
 //! `insert_at_max`, `cover`, `join_tview_with`, …).
+//!
+//! The [`footprint`] module is the *independence oracle* for partial-order
+//! reduction (ablation A5): a conservative summary of what each transition
+//! reads and writes ([`footprint::StepFootprint`]) and a
+//! `may_conflict` predicate whose `false` answers certify that two steps by
+//! different threads commute up to canonical equivalence.
 
 #![warn(missing_docs)]
 
 pub mod action;
 pub mod canon;
 pub mod combined;
+pub mod footprint;
 pub mod ids;
 pub mod lit;
 pub mod pretty;
@@ -40,6 +47,7 @@ pub mod view;
 pub use action::{MethodOp, OpAction};
 pub use canon::CanonPerms;
 pub use combined::{Combined, ReadChoice};
+pub use footprint::{Access, AccessKind, StepFootprint};
 pub use ids::{Comp, Loc, LocKind, LocTable, OpId, Tid};
 pub use state::{CState, InitLoc, OpRecord};
 pub use ts::Ts;

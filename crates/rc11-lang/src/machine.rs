@@ -11,7 +11,7 @@
 use crate::ast::{Method, Reg};
 use crate::cfg::{CfgProgram, Instr};
 use crate::program::ObjKind;
-use rc11_core::{Combined, Loc, Tid, Val};
+use rc11_core::{AccessKind, Combined, Loc, StepFootprint, Tid, Val};
 
 /// Execution semantics of abstract objects (Section 4), supplied by the
 /// objects crate. Given the call description and current memory, returns
@@ -203,6 +203,71 @@ fn run_local_chain(prog: &CfgProgram, cfg: &mut Config, t: usize, mut budget: u3
         }
         budget -= 1;
         assert!(budget > 0, "thread {t}: local-instruction loop without shared access");
+    }
+}
+
+/// The footprint of thread `t`'s next step at `cfg` — the input of the
+/// partial-order-reduction independence oracle
+/// ([`rc11_core::StepFootprint::may_conflict`]).
+///
+/// The footprint summarises **every** successor the thread can produce
+/// from here, because sleep-set pruning skips threads wholesale: a `Cas`
+/// fans out into failure reads and success updates, so it reports the
+/// write-capable [`AccessKind::Update`]; a leading local instruction (and
+/// the whole fused chain behind it — fusion barriers stop *before* the
+/// next shared access) touches nothing shared and reports a local
+/// footprint, as does a halted thread. The shared access an instruction
+/// performs is static — its location and component are fixed in the
+/// instruction — so the footprint depends only on `cfg.pcs[t]` **except**
+/// for one state-dependent refinement: a `Cas` none of whose uncovered
+/// observable predecessors carries the expected value can only *fail*,
+/// i.e. only relaxed-read, and is footprinted as a read. That refinement
+/// is as persistent as the rest (the property sleep sets need): a step
+/// independent of a read of `x` touches neither `x`'s history nor the
+/// reader's views, so the success-impossible verdict survives it — while
+/// any step that could create a matching uncovered operation writes `x`
+/// and conflicts with the read footprint anyway.
+pub fn thread_footprint(prog: &CfgProgram, cfg: &Config, t: usize) -> StepFootprint {
+    let tid = Tid(t as u8);
+    match &prog.threads[t].instrs[cfg.pcs[t] as usize] {
+        Instr::Halt | Instr::Assign(..) | Instr::Jmp(_) | Instr::JmpUnless { .. } => {
+            StepFootprint::local(tid)
+        }
+        Instr::Write { var, rel, .. } => {
+            StepFootprint::access(tid, var.comp, var.loc, AccessKind::Write { rel: *rel })
+        }
+        Instr::Read { var, acq, .. } => {
+            StepFootprint::access(tid, var.comp, var.loc, AccessKind::Read { acq: *acq })
+        }
+        Instr::Cas { var, expect, .. } => {
+            let u = expect.eval(&cfg.locals[t]).expect("well-typed program");
+            let cstate = cfg.mem.comp(var.comp);
+            let success_possible =
+                cstate.obs_uncovered(tid, var.loc).any(|w| cstate.op(w).act.wrval() == u);
+            let kind = if success_possible {
+                AccessKind::Update
+            } else {
+                // A spinning CAS that can only fail is a relaxed read
+                // (Figure 4's failure case) — it commutes with other
+                // read-only steps on the location, which is where lock
+                // spin loops win their reduction.
+                AccessKind::Read { acq: false }
+            };
+            StepFootprint::access(tid, var.comp, var.loc, kind)
+        }
+        Instr::Fai { var, .. } => {
+            StepFootprint::access(tid, var.comp, var.loc, AccessKind::Update)
+        }
+        Instr::Method { obj, method, sync, .. } => {
+            let kind = match method {
+                // The abstract register's read never modifies the object
+                // history — it is a Figure-5 read over method operations.
+                Method::RegRead => AccessKind::Read { acq: *sync },
+                _ => AccessKind::Method { sync: *sync },
+            };
+            // Objects always live in the library component (`ObjRef`).
+            StepFootprint::access(tid, rc11_core::Comp::Lib, obj.loc, kind)
+        }
     }
 }
 

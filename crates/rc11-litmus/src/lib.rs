@@ -130,6 +130,11 @@ pub struct LitmusResult {
     pub expected: BTreeSet<Vec<Val>>,
     /// States explored.
     pub states: usize,
+    /// Transitions generated — with partial-order reduction
+    /// ([`ExploreOptions::por`]) this shrinks while `states` and the
+    /// verdict stay fixed; the `rc11 run --por` reduction column is the
+    /// ratio of this value between a reduced and an unreduced run.
+    pub transitions: usize,
     /// `observed == expected`.
     pub pass: bool,
 }
@@ -184,8 +189,13 @@ pub fn run_with_opts(
         .map(|c| l.observe.iter().map(|&(t, r)| c.reg(t, r)).collect())
         .collect();
     let pass = observed == l.expected && !report.truncated && report.deadlocked.is_empty();
-    let res =
-        LitmusResult { observed, expected: l.expected.clone(), states: report.states, pass };
+    let res = LitmusResult {
+        observed,
+        expected: l.expected.clone(),
+        states: report.states,
+        transitions: report.transitions,
+        pass,
+    };
     (res, report.truncated, report.deadlocked.len())
 }
 

@@ -48,6 +48,12 @@ RUN OPTIONS:
                              sequential reference engine (default: 1)
   --no-fingerprint           use materialised-canonical dedup instead of
                              zero-rebuild canonical fingerprints
+  --por                      explore with sleep-set partial-order reduction
+                             (ablation A5). Every test additionally runs
+                             once unreduced: state counts and outcome sets
+                             must match exactly, and the summary gains a
+                             REDUCTION column (unreduced / reduced
+                             transitions)
   --max-states <N>           per-test state cap (default: 5000000)
   --show-outcomes            print each test's observed outcome set
   -q, --quiet                only print failures and the final summary
@@ -63,6 +69,11 @@ FUZZ OPTIONS:
                              (default: 262144)
   --samples <N>              random walks per program for sampler-soundness
                              (default: 24)
+  --por                      add the POR-on/off report-parity lane: both
+                             engines re-explore each program with sleep-set
+                             reduction and must preserve states, terminals
+                             and outcome sets while generating no more
+                             transitions
 
 Exit status: 0 on full agreement, 1 on any mismatch/parse error, 2 on usage
 errors.
@@ -141,6 +152,7 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         Err(e) => return fail_usage(&e),
     };
     let fingerprint = !opts.flag(&["--no-fingerprint"]);
+    let por = opts.flag(&["--por"]);
     let show_outcomes = opts.flag(&["--show-outcomes"]);
     let quiet = opts.flag(&["--quiet", "-q"]);
     if let Some(bad) = opts.args.iter().find(|a| a.starts_with('-')) {
@@ -179,13 +191,26 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         record_traces: false,
         max_states,
         fingerprint,
+        por,
         ..Default::default()
     };
 
     let mut passed = 0usize;
     let mut failed = 0usize;
+    let mut full_transitions_total = 0usize;
+    let mut por_transitions_total = 0usize;
     if !quiet {
-        println!("{:<16} {:>8} {:>10} {:>10}  RESULT", "NAME", "STATES", "OBSERVED", "EXPECTED");
+        if por {
+            println!(
+                "{:<16} {:>8} {:>10} {:>10} {:>10}  RESULT",
+                "NAME", "STATES", "OBSERVED", "EXPECTED", "REDUCTION"
+            );
+        } else {
+            println!(
+                "{:<16} {:>8} {:>10} {:>10}  RESULT",
+                "NAME", "STATES", "OBSERVED", "EXPECTED"
+            );
+        }
     }
     // `LoadError`'s Display already includes the path, so only the loaded
     // result is consumed here.
@@ -200,12 +225,14 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         };
         let mut ok = true;
         let mut states = 0usize;
+        let mut transitions = 0usize;
         let mut first_divergence: Option<String> = None;
         let mut observed: Option<std::collections::BTreeSet<Vec<rc11::core::Val>>> = None;
         let mut prev_workers = 0usize;
         for (w, engine) in &engines {
             let (res, truncated, deadlocks) = litmus::run_with_opts(litmus, engine, explore_opts);
             states = res.states;
+            transitions = res.transitions;
             if !res.pass && first_divergence.is_none() {
                 first_divergence = Some(if truncated {
                     format!("@{w} worker(s): truncated at --max-states {max_states}")
@@ -231,12 +258,47 @@ fn cmd_run(raw: &[String]) -> ExitCode {
             observed = Some(res.observed);
             prev_workers = *w;
         }
+        // With --por, decide the same test once unreduced (sequentially):
+        // the reduction factor is unreduced/reduced transitions, and the
+        // unreduced run doubles as a soundness differential — states and
+        // outcome set must match the reduced runs exactly.
+        let mut reduction: Option<f64> = None;
+        if por {
+            let full_opts = rc11::check::ExploreOptions { por: false, ..explore_opts };
+            let (full, _, _) =
+                litmus::run_with_opts(litmus, &Engine::Sequential, full_opts);
+            full_transitions_total += full.transitions;
+            por_transitions_total += transitions;
+            if full.states != states {
+                ok = false;
+                first_divergence.get_or_insert(format!(
+                    "POR changed the state count: {} reduced vs {} full",
+                    states, full.states
+                ));
+            }
+            if Some(&full.observed) != observed.as_ref() {
+                ok = false;
+                first_divergence
+                    .get_or_insert("POR changed the observed outcome set".to_string());
+            }
+            if transitions > full.transitions {
+                ok = false;
+                first_divergence.get_or_insert(format!(
+                    "POR generated more transitions: {} reduced vs {} full",
+                    transitions, full.transitions
+                ));
+            }
+            reduction = Some(full.transitions as f64 / transitions.max(1) as f64);
+        }
+        // One separator space plus a 10-wide cell, matching the header's
+        // ` {:>10}` REDUCTION column.
+        let red = reduction.map(|r| format!(" {:>10}", format!("{r:.2}x"))).unwrap_or_default();
         let observed = observed.unwrap_or_default();
         if ok {
             passed += 1;
             if !quiet {
                 println!(
-                    "{:<16} {:>8} {:>10} {:>10}  pass",
+                    "{:<16} {:>8} {:>10} {:>10}{red}  pass",
                     litmus.name,
                     states,
                     observed.len(),
@@ -246,7 +308,7 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         } else {
             failed += 1;
             println!(
-                "{:<16} {:>8} {:>10} {:>10}  FAIL  {}",
+                "{:<16} {:>8} {:>10} {:>10}{red}  FAIL  {}",
                 litmus.name,
                 states,
                 observed.len(),
@@ -262,13 +324,23 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         }
     }
 
-    println!(
+    print!(
         "\n{} file(s): {passed} passed, {failed} failed, {broken} unreadable; \
          engines: {:?} worker(s), fingerprint {}",
         files.len(),
         workers,
         if fingerprint { "on" } else { "off" }
     );
+    if por && por_transitions_total > 0 {
+        println!(
+            "; POR reduction {:.2}x ({} transitions vs {} unreduced)",
+            full_transitions_total as f64 / por_transitions_total as f64,
+            por_transitions_total,
+            full_transitions_total
+        );
+    } else {
+        println!();
+    }
     if failed == 0 && broken == 0 && passed > 0 {
         ExitCode::SUCCESS
     } else {
@@ -312,6 +384,7 @@ fn cmd_fuzz(raw: &[String]) -> ExitCode {
         Ok(v) => v,
         Err(e) => return fail_usage(&e),
     };
+    let por = opts.flag(&["--por"]);
     if let Some(bad) = opts.args.first() {
         return fail_usage(&format!("fuzz takes no positional arguments (got `{bad}`)"));
     }
@@ -322,12 +395,15 @@ fn cmd_fuzz(raw: &[String]) -> ExitCode {
         max_stmts: stmts,
         ..Default::default()
     };
-    let diff_opts = DiffOptions { workers, max_states, samples, ..Default::default() };
+    let diff_opts = DiffOptions { workers, max_states, samples, por, ..Default::default() };
 
     println!(
         "fuzzing {iters} programs from seed {seed} \
-         ({}–{} threads, ≤{stmts} statements/thread, workers {:?})",
-        gen_opts.min_threads, gen_opts.max_threads, diff_opts.workers
+         ({}–{} threads, ≤{stmts} statements/thread, workers {:?}{})",
+        gen_opts.min_threads,
+        gen_opts.max_threads,
+        diff_opts.workers,
+        if por { ", POR parity lane on" } else { "" }
     );
     let step = (iters / 10).max(1);
     let report = fuzz(seed, iters, &gen_opts, &diff_opts, |r| {

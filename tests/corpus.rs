@@ -115,6 +115,68 @@ fn whole_corpus_is_exact_under_both_engines_at_every_worker_count() {
     }
 }
 
+/// Ablation A5: the whole corpus decided with sleep-set partial-order
+/// reduction on, at 1/2/4/8 workers and in both dedup modes. POR prunes
+/// transitions only, so this demands more than verdict parity: the state
+/// count must equal the unreduced run's exactly, the outcome set must
+/// equal the expected set, no run may deadlock or truncate, and the
+/// reduced transition count must never exceed the unreduced one.
+#[test]
+fn whole_corpus_is_exact_with_por_on() {
+    let entries = litmus::load_dir(corpus_dir()).expect("corpus/ must exist");
+    for (path, loaded) in entries {
+        let l = loaded.unwrap_or_else(|e| panic!("{e}"));
+        let prog = compile(&l.prog);
+        let objs = litmus::objects_for(&l);
+        let full = Engine::Sequential.explore(
+            &prog,
+            objs,
+            ExploreOptions { record_traces: false, ..Default::default() },
+        );
+        for workers in [1usize, 2, 4, 8] {
+            for fingerprint in [true, false] {
+                let opts = ExploreOptions {
+                    record_traces: false,
+                    fingerprint,
+                    por: true,
+                    ..Default::default()
+                };
+                let engine = choose_engine(workers);
+                let report = engine.explore(&prog, objs, opts);
+                assert!(
+                    !report.truncated && report.deadlocked.is_empty(),
+                    "{} ({}) @ {workers} worker(s), fingerprint {fingerprint}",
+                    l.name,
+                    path.display()
+                );
+                assert_eq!(
+                    report.states, full.states,
+                    "{} @ {workers} worker(s), fingerprint {fingerprint}: POR lost states",
+                    l.name
+                );
+                assert!(
+                    report.transitions <= full.transitions,
+                    "{} @ {workers} worker(s), fingerprint {fingerprint}: \
+                     POR generated more transitions ({} > {})",
+                    l.name,
+                    report.transitions,
+                    full.transitions
+                );
+                let observed: BTreeSet<Vec<Val>> = report
+                    .terminated
+                    .iter()
+                    .map(|c| l.observe.iter().map(|&(t, r)| c.reg(t, r)).collect())
+                    .collect();
+                assert_eq!(
+                    observed, l.expected,
+                    "{} @ {workers} worker(s), fingerprint {fingerprint}: POR verdict",
+                    l.name
+                );
+            }
+        }
+    }
+}
+
 /// The corpus must also be exact under the legacy materialised-canonical
 /// dedup path (fingerprint off) — the corpus doubles as an end-to-end
 /// fingerprint differential on programs that exist only as text.

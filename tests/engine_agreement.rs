@@ -293,6 +293,147 @@ fn fig7_naive_annotation_violations_agree_across_engines() {
     check_outline_agreement("fig7-naive", &prog, &outline);
 }
 
+/// Terminal configurations as a multiset (both engines push canonical
+/// forms; order is engine-dependent).
+fn config_multiset(cfgs: &[Config]) -> FxHashMap<Config, usize> {
+    let mut set = FxHashMap::default();
+    for c in cfgs {
+        *set.entry(c.clone()).or_insert(0) += 1;
+    }
+    set
+}
+
+/// Ablation A5: sleep-set partial-order reduction prunes **transitions
+/// only** — the visited state count, the terminal and deadlock multisets
+/// and the violation set must be bit-identical to the unreduced search,
+/// under both engines, at every worker count, in both dedup modes. The
+/// transition count must never grow, and must strictly shrink somewhere
+/// across the gallery (the reduction is real, not vacuous).
+#[test]
+fn por_prunes_transitions_but_preserves_reports() {
+    let mut full_total = 0usize;
+    let mut por_total = 0usize;
+    for l in litmus::all() {
+        let prog = compile(&l.prog);
+        let objs = litmus::objects_for(&l);
+        let check = |cfg: &Config, out: &mut Vec<String>| {
+            if cfg.terminated(&prog) {
+                out.push("terminal".to_string());
+            }
+        };
+        let base = ExploreOptions { record_traces: false, ..Default::default() };
+        let oracle = Engine::Sequential.explore_with(&prog, objs, base, check);
+        full_total += oracle.transitions;
+
+        for (mode, fingerprint) in [("fp", true), ("exact", false)] {
+            let opts = ExploreOptions { por: true, fingerprint, ..base };
+            let seq = Engine::Sequential.explore_with(&prog, objs, opts, check);
+            assert_eq!(seq.states, oracle.states, "{} [{mode}]: POR lost states", l.name);
+            assert_eq!(
+                config_multiset(&seq.terminated),
+                config_multiset(&oracle.terminated),
+                "{} [{mode}]: POR changed the terminal set",
+                l.name
+            );
+            assert_eq!(
+                config_multiset(&seq.deadlocked),
+                config_multiset(&oracle.deadlocked),
+                "{} [{mode}]: POR changed the deadlock set",
+                l.name
+            );
+            assert_eq!(
+                violation_set(&seq),
+                violation_set(&oracle),
+                "{} [{mode}]: POR changed the violation set",
+                l.name
+            );
+            assert!(
+                seq.transitions <= oracle.transitions,
+                "{} [{mode}]: POR generated more transitions ({} > {})",
+                l.name,
+                seq.transitions,
+                oracle.transitions
+            );
+            assert!(!seq.truncated, "{} [{mode}]", l.name);
+            if fingerprint {
+                por_total += seq.transitions;
+            }
+
+            for workers in WORKERS {
+                let par = Engine::Parallel { workers }.explore_with(&prog, objs, opts, check);
+                assert_eq!(
+                    par.states, oracle.states,
+                    "{} [{mode}] @ {workers} workers: POR lost states",
+                    l.name
+                );
+                assert_eq!(
+                    config_multiset(&par.terminated),
+                    config_multiset(&oracle.terminated),
+                    "{} [{mode}] @ {workers} workers: terminal set",
+                    l.name
+                );
+                assert_eq!(
+                    config_multiset(&par.deadlocked),
+                    config_multiset(&oracle.deadlocked),
+                    "{} [{mode}] @ {workers} workers: deadlock set",
+                    l.name
+                );
+                assert_eq!(
+                    violation_set(&par),
+                    violation_set(&oracle),
+                    "{} [{mode}] @ {workers} workers: violation set",
+                    l.name
+                );
+                assert!(
+                    par.transitions <= oracle.transitions,
+                    "{} [{mode}] @ {workers} workers: more transitions under POR",
+                    l.name
+                );
+                assert!(!par.truncated, "{} [{mode}] @ {workers} workers", l.name);
+            }
+        }
+    }
+    assert!(
+        por_total < full_total,
+        "POR must strictly reduce transitions somewhere across the gallery \
+         ({por_total} vs {full_total})"
+    );
+}
+
+/// POR violations still carry replayable traces: every step is a real
+/// transition and the trace ends at the violating configuration (paths may
+/// differ from the unreduced search — they are valid, not canonical).
+#[test]
+fn por_violation_traces_replay() {
+    let l = litmus::sb_ra();
+    let prog = compile(&l.prog);
+    let opts = ExploreOptions { por: true, ..Default::default() };
+    let check = |cfg: &Config, out: &mut Vec<String>| {
+        if cfg.terminated(&prog)
+            && l.observe.iter().all(|&(t, r)| cfg.reg(t, r) == rc11::core::Val::Int(0))
+        {
+            out.push("both zero".to_string());
+        }
+    };
+    for engine in [Engine::Sequential, Engine::Parallel { workers: 4 }] {
+        let report = engine.explore_with(&prog, &NoObjects, opts, check);
+        assert!(!report.violations.is_empty(), "{engine:?}: SB weak outcome reachable");
+        for v in &report.violations {
+            let trace = v.trace.as_ref().expect("traces recorded");
+            let mut cur = Config::initial(&prog).canonical();
+            for (tid, next) in trace {
+                let succs = rc11::lang::machine::successors(&prog, &NoObjects, &cur, opts.step);
+                assert!(
+                    succs.iter().any(|(t, s)| t == tid && s.canonical() == *next),
+                    "{engine:?}: POR trace step by {tid:?} is not a real transition"
+                );
+                cur = next.clone();
+            }
+            assert_eq!(cur, v.config, "{engine:?}: trace must end at the violation");
+        }
+    }
+}
+
 /// Cap parity: when `max_states` cuts a run short, both engines must
 /// return the same verdict — `truncated == true` and `states ==
 /// max_states` — even though the parallel engine's cap check is racy (its

@@ -6,8 +6,10 @@
 //! (`cargo test --release -- --ignored`) or from the CLI
 //! (`rc11 fuzz --iters N`). Every generated program is checked for:
 //! sequential-vs-parallel report parity, fingerprint-on/off parity, the
-//! `.litmus` printer/parser round-trip, and sampler soundness
-//! (`random_walk` terminal outcomes ⊆ the exhaustive outcome set).
+//! `.litmus` printer/parser round-trip, POR-on/off report parity (states,
+//! terminals and outcome sets preserved, transitions never grow — both
+//! engines), and sampler soundness (`random_walk` terminal outcomes ⊆ the
+//! exhaustive outcome set).
 
 use rc11::check::fuzz::{diff_one, fuzz, DiffOptions, DiffVerdict};
 use rc11::check::gen::{generate, GenOptions};
@@ -29,6 +31,7 @@ fn fixed_seed_fuzz_differential_is_clean() {
         workers: vec![2],
         max_states: 1 << 16,
         samples: 12,
+        por: true,
         ..Default::default()
     };
     let report = fuzz(0xD1FF_2026, 32, &gen_opts, &diff_opts, |_| {});
@@ -51,6 +54,7 @@ fn fixed_seed_fuzz_differential_covers_more_workers() {
         workers: vec![3, 8],
         max_states: 1 << 16,
         samples: 8,
+        por: true,
         ..Default::default()
     };
     let report = fuzz(0xBEEF, 12, &gen_opts, &diff_opts, |_| {});
@@ -85,7 +89,7 @@ fn long_fuzz_sweep_is_clean() {
     // A tighter cap than the CLI default: programs near a 2^18 cap take
     // seconds *per engine configuration*, and this sweep runs eight of
     // them per program — skip the giants, sweep the many.
-    let diff_opts = DiffOptions { max_states: 1 << 15, ..Default::default() };
+    let diff_opts = DiffOptions { max_states: 1 << 15, por: true, ..Default::default() };
     let report = fuzz(1, 500, &gen_opts, &diff_opts, |_| {});
     assert!(report.ok(), "{}", fail_message(&report));
     assert!(report.passed > 250, "passed only {} of 500", report.passed);
