@@ -365,5 +365,96 @@ fn bench_por(c: &mut Criterion) {
     bench::record_bench_json("por_reduction", &borrowed);
 }
 
-criterion_group!(benches, bench, bench_exploration, bench_canon_vs_fingerprint, bench_por);
+/// Ablation A6: thread-symmetry reduction. Each entry is decided with
+/// `ExploreOptions::symmetry` off and on; the reduction collapses every
+/// orbit of thread-permuted states to one representative, so the headline
+/// metric is the *state reduction factor* (full / symmetric states),
+/// recorded into `BENCH_explore.json`. The acceptance bar — checked here,
+/// not just plotted — is ≥ 3× on the fully symmetric corpus entries
+/// (`sym_cas3`, `sym_inc3`, `sym_fai4`). Orbit expansion must keep the
+/// terminal count bit-identical, which every iteration asserts. The
+/// gallery's two-thread `2RMW` rides along as report-only context.
+fn bench_symmetry(c: &mut Criterion) {
+    if !criterion::selected("symmetry_reduction") {
+        return;
+    }
+    let corpus = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
+    // (json key, corpus file, must hit the ≥3x acceptance bar)
+    let corpus_entries: [(&str, &str, bool); 4] = [
+        ("sym_cas3", "sym_cas3.litmus", true),
+        ("sym_inc3", "sym_inc3.litmus", true),
+        ("sym_fai4", "sym_fai4.litmus", true),
+        ("two_rmw", "2rmw.litmus", false),
+    ];
+    let progs: Vec<(&str, bool, rc11_lang::CfgProgram)> = corpus_entries
+        .iter()
+        .map(|&(key, file, must)| {
+            let l = rc11_litmus::load_file(corpus.join(file))
+                .unwrap_or_else(|e| panic!("{file}: {e}"));
+            (key, must, compile(&l.prog))
+        })
+        .collect();
+
+    let base = ExploreOptions { record_traces: false, ..Default::default() };
+    let sym_opts = ExploreOptions { symmetry: true, ..base };
+    let mut json: Vec<(String, f64)> = Vec::new();
+    for (key, must_reduce, prog) in &progs {
+        let full = Engine::Sequential.explore(prog, &NoObjects, base);
+        let sym = Engine::Sequential.explore(prog, &NoObjects, sym_opts);
+        assert!(sym.states <= full.states, "{key}: symmetry must not add states");
+        assert_eq!(
+            sym.terminated.len(),
+            full.terminated.len(),
+            "{key}: orbit expansion must restore the terminal count"
+        );
+        let factor = full.states as f64 / sym.states.max(1) as f64;
+        eprintln!(
+            "[symmetry_reduction] {key}: {} → {} states ({factor:.2}x), {} terminals",
+            full.states,
+            sym.states,
+            full.terminated.len()
+        );
+        if *must_reduce {
+            assert!(
+                factor >= 3.0,
+                "{key}: symmetry reduction {factor:.2}x below the 3x acceptance bar \
+                 ({} vs {} states)",
+                sym.states,
+                full.states
+            );
+        }
+        json.push((format!("{key}_states_full"), full.states as f64));
+        json.push((format!("{key}_states_sym"), sym.states as f64));
+        json.push((format!("{key}_reduction"), factor));
+    }
+
+    // Wall-clock lines for the widest orbit (4! = 24 on sym_fai4) — plotted
+    // context only: on entries this small the orbit bookkeeping dominates,
+    // so the acceptance bar is the state count, not the time.
+    let mut g = c.benchmark_group("symmetry_reduction");
+    g.sample_size(10);
+    for (key, _, prog) in &progs {
+        if *key != "sym_fai4" {
+            continue;
+        }
+        for (mode, opts) in [("full", base), ("sym", sym_opts)] {
+            g.bench_function(format!("{key}/{mode}"), |b| {
+                b.iter(|| black_box(Engine::Sequential.explore(prog, &NoObjects, opts).states))
+            });
+        }
+    }
+    g.finish();
+
+    let borrowed: Vec<(&str, f64)> = json.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    bench::record_bench_json("symmetry_reduction", &borrowed);
+}
+
+criterion_group!(
+    benches,
+    bench,
+    bench_exploration,
+    bench_canon_vs_fingerprint,
+    bench_por,
+    bench_symmetry
+);
 criterion_main!(benches);

@@ -1,0 +1,195 @@
+//! Static may-conflict matrices for partial-order reduction.
+//!
+//! Per thread, an over-approximate *static footprint*: every `(component,
+//! location)` pair the thread's code can touch, with a may-write flag.
+//! Two threads **may conflict** iff they share a touched pair one of them
+//! may write; the complement — static independence — is sound in *every*
+//! state, because the dynamic [`rc11_core::StepFootprint`] of any step is
+//! always contained in the static footprint of its thread (a `CAS` that
+//! dynamically refines to a failure read is statically an update; a method
+//! call is statically a write unless it is the register object's read).
+//!
+//! `rc11-check`'s sleep-set computation consults the matrix as a free
+//! pre-filter before extracting dynamic footprints, and the per-(thread,
+//! location) API plus [`ConflictMatrix::read_only`] are the inputs a
+//! persistent-set computation needs.
+
+use rc11_core::{Comp, Loc};
+use rc11_lang::ast::Method;
+use rc11_lang::cfg::{CfgProgram, Instr};
+
+/// One static footprint entry: a `(component, location)` the thread may
+/// touch, and whether any of its accesses may modify the history there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StaticAccess {
+    /// Owning component of the location.
+    pub comp: Comp,
+    /// The location.
+    pub loc: Loc,
+    /// May any access by this thread modify the location's history?
+    pub writes: bool,
+}
+
+/// The static conflict structure of one compiled program.
+#[derive(Debug, Clone)]
+pub struct ConflictMatrix {
+    /// Per-thread static footprints, deduplicated and sorted.
+    footprints: Vec<Vec<StaticAccess>>,
+    /// `indep[t]` has bit `u` set iff `u != t` and threads `t`,`u` are
+    /// statically independent (no shared location with a static writer).
+    indep: Vec<u64>,
+}
+
+/// Build the static conflict matrix of `prog`.
+pub fn conflict_matrix(prog: &CfgProgram) -> ConflictMatrix {
+    let n = prog.n_threads();
+    let mut footprints: Vec<Vec<StaticAccess>> = Vec::with_capacity(n);
+    for th in &prog.threads {
+        let mut fp: Vec<StaticAccess> = Vec::new();
+        let mut touch = |comp: Comp, loc: Loc, writes: bool| {
+            if let Some(e) = fp.iter_mut().find(|e| e.comp == comp && e.loc == loc) {
+                e.writes |= writes;
+            } else {
+                fp.push(StaticAccess { comp, loc, writes });
+            }
+        };
+        for i in &th.instrs {
+            match i {
+                Instr::Write { var, .. } => touch(var.comp, var.loc, true),
+                Instr::Read { var, .. } => touch(var.comp, var.loc, false),
+                // Updates (and CAS, whatever its dynamic refinement) are
+                // statically writes: static ⊇ dynamic.
+                Instr::Cas { var, .. } | Instr::Fai { var, .. } => touch(var.comp, var.loc, true),
+                Instr::Method { obj, method, .. } => {
+                    // The abstract register's read never modifies the
+                    // object history (mirrors `thread_footprint`).
+                    let writes = !matches!(method, Method::RegRead);
+                    touch(Comp::Lib, obj.loc, writes);
+                }
+                Instr::Assign(..) | Instr::Jmp(_) | Instr::JmpUnless { .. } | Instr::Halt => {}
+            }
+        }
+        fp.sort_unstable();
+        footprints.push(fp);
+    }
+
+    let mut indep = vec![0u64; n];
+    for t in 0..n {
+        for u in 0..n {
+            if t == u || u >= 64 {
+                continue;
+            }
+            let conflict = footprints[t].iter().any(|a| {
+                footprints[u]
+                    .iter()
+                    .any(|b| a.comp == b.comp && a.loc == b.loc && (a.writes || b.writes))
+            });
+            if !conflict {
+                indep[t] |= 1u64 << u;
+            }
+        }
+    }
+    ConflictMatrix { footprints, indep }
+}
+
+impl ConflictMatrix {
+    /// May threads `t` and `u` ever perform conflicting steps? `true` for
+    /// `t == u` (a thread always conflicts with itself, mirroring the
+    /// dynamic oracle).
+    pub fn may_conflict(&self, t: usize, u: usize) -> bool {
+        if t == u {
+            return true;
+        }
+        u >= 64 || self.indep[t] & (1u64 << u) == 0
+    }
+
+    /// Per-thread independence bitmasks: `static_indep()[t]` has bit `u`
+    /// set iff `t` and `u` are statically independent. The sleep-set
+    /// pre-filter consumes this directly.
+    pub fn static_indep(&self) -> &[u64] {
+        &self.indep
+    }
+
+    /// Thread `t`'s static footprint: every `(component, location)` it may
+    /// touch, with the may-write flag.
+    pub fn thread_footprint(&self, t: usize) -> &[StaticAccess] {
+        &self.footprints[t]
+    }
+
+    /// True iff no thread's code may modify `loc`'s history — reads of it
+    /// always observe the initialisation write.
+    pub fn read_only(&self, comp: Comp, loc: Loc) -> bool {
+        !self
+            .footprints
+            .iter()
+            .any(|fp| fp.iter().any(|a| a.comp == comp && a.loc == loc && a.writes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc11_lang::cfg::compile;
+    use rc11_lang::parse_litmus;
+
+    fn matrix(src: &str) -> ConflictMatrix {
+        conflict_matrix(&compile(&parse_litmus(src).unwrap().prog))
+    }
+
+    #[test]
+    fn disjoint_writers_are_independent() {
+        let m = matrix(
+            r#"
+            litmus "dis"
+            var x = 0
+            var y = 0
+            thread A { x = 1; }
+            thread B { y = 1; }
+            thread C { r = x; }
+            observe C.r
+            expected { (0) (1) }
+        "#,
+        );
+        assert!(!m.may_conflict(0, 1), "disjoint locations");
+        assert!(m.may_conflict(0, 2), "A writes what C reads");
+        assert!(!m.may_conflict(1, 2));
+        assert!(m.may_conflict(1, 1), "self-conflict by convention");
+        assert_eq!(m.static_indep()[0], 0b010);
+    }
+
+    #[test]
+    fn readers_of_the_same_location_are_independent() {
+        let m = matrix(
+            r#"
+            litmus "rr"
+            var x = 0
+            thread A { r = x; }
+            thread B { s = x; }
+            observe A.r B.s
+            expected { (0,0) }
+        "#,
+        );
+        assert!(!m.may_conflict(0, 1), "two readers never conflict");
+        assert!(m.read_only(Comp::Client, Loc(0)));
+    }
+
+    #[test]
+    fn cas_counts_as_a_static_writer() {
+        let m = matrix(
+            r#"
+            litmus "cas"
+            var x = 0
+            thread A { r = cas(x, 0, 1); }
+            thread B { s = x; }
+            observe A.r B.s
+            expected { (true,0) (true,1) }
+        "#,
+        );
+        assert!(m.may_conflict(0, 1));
+        assert!(!m.read_only(Comp::Client, Loc(0)));
+        assert_eq!(
+            m.thread_footprint(0),
+            &[StaticAccess { comp: Comp::Client, loc: Loc(0), writes: true }]
+        );
+    }
+}

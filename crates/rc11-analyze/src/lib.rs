@@ -1,0 +1,27 @@
+//! # rc11-analyze — static analyses over rc11 programs
+//!
+//! Everything here runs *before* exploration, over the compiled
+//! [`rc11_lang::CfgProgram`] (or the parsed litmus file, for lint), and
+//! feeds the checkers:
+//!
+//! * [`symmetry`] — detect groups of threads that are identical modulo a
+//!   consistent renaming of thread id and registers, and pick a canonical
+//!   representative per orbit so the explorers shed up to `N!` redundancy
+//!   that partial-order reduction cannot see;
+//! * [`conflict`] — over-approximate per-thread static footprints and the
+//!   derived may-conflict matrix, a free pre-filter for the sleep-set
+//!   computation and the input a persistent-set computation needs;
+//! * [`lint`] — span-carrying diagnostics for litmus files: dead
+//!   registers and variables, unreachable code, loops that cannot
+//!   terminate visibly, malformed `expected` blocks, and thread counts
+//!   beyond what reduction supports.
+
+#![warn(missing_docs)]
+
+pub mod conflict;
+pub mod lint;
+pub mod symmetry;
+
+pub use conflict::{conflict_matrix, ConflictMatrix, StaticAccess};
+pub use lint::{lint, render_diagnostic, Diagnostic, Rule, Severity};
+pub use symmetry::{thread_symmetry, SymmetrySpec, ORBIT_CAP};

@@ -1,0 +1,525 @@
+//! Span-carrying diagnostics for litmus files.
+//!
+//! The rules catch the mistakes that actually happen when writing litmus
+//! tests by hand: registers and variables that never feed an outcome,
+//! loops that can never terminate or never exit visibly, code that can
+//! never run, and `observe`/`expected` blocks that don't say what the
+//! author meant. Two rules are hard errors because the checkers cannot
+//! do anything sensible with the file: an empty `expected` set (every
+//! outcome would be a violation) and more threads than the 64-bit
+//! reduction masks address.
+//!
+//! A finding is suppressed by a `// lint: allow(rule-name)` comment
+//! anywhere in the file (the parser collects these off the raw text,
+//! since comments never reach the token stream).
+
+use rc11_lang::ast::{Com, Exp, Reg, VarRef};
+use rc11_lang::parse::const_bool;
+use rc11_lang::{ParsedLitmus, Span};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but runnable; `--deny-warnings` upgrades these.
+    Warning,
+    /// The file cannot be checked meaningfully.
+    Error,
+}
+
+/// The lint rules. `name()` gives the kebab-case identifier used in
+/// rendered diagnostics and `// lint: allow(…)` comments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// A register is assigned but never read in an expression or observed.
+    UnusedRegister,
+    /// A shared variable is declared but no thread reads or writes it.
+    UnusedVariable,
+    /// A shared variable is written but never read — no outcome can
+    /// depend on the values stored there.
+    WriteOnlyLocation,
+    /// A shared variable is read but never written — every read returns
+    /// the initial value, so the variable could be a constant.
+    ReadOnlyLocation,
+    /// A statement follows `while (true) { … }`; the language has no
+    /// `break`, so it can never execute.
+    UnreachableCode,
+    /// A loop guard is a constant: `while (true)` never terminates (no
+    /// `break` exists) and `do … until (false)` likewise; `while (false)`
+    /// never runs its body.
+    ConstantGuard,
+    /// No statement in a loop's body assigns any register the guard
+    /// reads, so the guard can never change once the loop is entered.
+    DivergentLoop,
+    /// The same `thread.register` appears twice in `observe`.
+    DuplicateObserve,
+    /// The `expected` set is empty, which declares every outcome a
+    /// violation.
+    EmptyExpected,
+    /// More threads than the 64-bit reduction masks support.
+    TooManyThreads,
+}
+
+impl Rule {
+    /// The kebab-case rule identifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnusedRegister => "unused-register",
+            Rule::UnusedVariable => "unused-variable",
+            Rule::WriteOnlyLocation => "write-only-location",
+            Rule::ReadOnlyLocation => "read-only-location",
+            Rule::UnreachableCode => "unreachable-code",
+            Rule::ConstantGuard => "constant-guard",
+            Rule::DivergentLoop => "divergent-loop",
+            Rule::DuplicateObserve => "duplicate-observe",
+            Rule::EmptyExpected => "empty-expected",
+            Rule::TooManyThreads => "too-many-threads",
+        }
+    }
+
+    fn severity(self) -> Severity {
+        match self {
+            Rule::EmptyExpected | Rule::TooManyThreads => Severity::Error,
+            _ => Severity::Warning,
+        }
+    }
+}
+
+/// One finding: rule, severity, source position and message.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Its severity.
+    pub severity: Severity,
+    /// Where in the source.
+    pub span: Span,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+/// Render a diagnostic in the conventional `file:line:col: level[rule]:
+/// message` form.
+pub fn render_diagnostic(file: &str, d: &Diagnostic) -> String {
+    let level = match d.severity {
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    };
+    format!("{file}:{}: {level}[{}]: {}", d.span, d.rule.name(), d.msg)
+}
+
+/// Per-register / per-variable usage counters accumulated from the bodies.
+#[derive(Default, Clone)]
+struct Usage {
+    reads: u32,
+    writes: u32,
+}
+
+/// Lint one parsed litmus test. Findings suppressed by the file's
+/// `// lint: allow(…)` comments are dropped; the rest come back in
+/// source order per rule group.
+pub fn lint(p: &ParsedLitmus) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut emit = |rule: Rule, span: Span, msg: String| {
+        if !p.lint.allows.iter().any(|a| a == rule.name()) {
+            out.push(Diagnostic { rule, severity: rule.severity(), span, msg });
+        }
+    };
+
+    // Usage counters: one per declared variable, one per (thread, reg).
+    let mut var_use: Vec<Usage> = vec![Usage::default(); p.lint.vars.len()];
+    let var_slot = |v: VarRef| p.lint.vars.iter().position(|(w, _, _)| *w == v);
+    let mut reg_use: Vec<Vec<Usage>> =
+        p.lint.threads.iter().map(|t| vec![Usage::default(); t.regs.len()]).collect();
+    // The loop nodes, across threads in declaration order — `Com::visit`
+    // is pre-order, which is exactly the order the parser recorded
+    // `loop_spans` in (spans are pushed at the `while`/`do` keyword,
+    // before the body is parsed).
+    let mut loops: Vec<(usize, Exp, Com)> = Vec::new();
+
+    for (ti, td) in p.prog.threads.iter().enumerate() {
+        let mut exp_regs = Vec::new();
+        td.body.visit(&mut |c| {
+            let mut read_var = |v: &VarRef| {
+                if let Some(i) = var_slot(*v) {
+                    var_use[i].reads += 1;
+                }
+            };
+            match c {
+                Com::Assign(r, e) => {
+                    reg_use[ti][r.idx()].writes += 1;
+                    e.regs(&mut exp_regs);
+                }
+                Com::Write { var, exp, .. } => {
+                    if let Some(i) = var_slot(*var) {
+                        var_use[i].writes += 1;
+                    }
+                    exp.regs(&mut exp_regs);
+                }
+                Com::Read { reg, var, .. } => {
+                    reg_use[ti][reg.idx()].writes += 1;
+                    read_var(var);
+                }
+                Com::Cas { reg, var, expect, new } => {
+                    reg_use[ti][reg.idx()].writes += 1;
+                    read_var(var);
+                    if let Some(i) = var_slot(*var) {
+                        var_use[i].writes += 1;
+                    }
+                    expect.regs(&mut exp_regs);
+                    new.regs(&mut exp_regs);
+                }
+                Com::Fai { reg, var } => {
+                    reg_use[ti][reg.idx()].writes += 1;
+                    read_var(var);
+                    if let Some(i) = var_slot(*var) {
+                        var_use[i].writes += 1;
+                    }
+                }
+                Com::MethodCall { reg, arg, .. } => {
+                    if let Some(r) = reg {
+                        reg_use[ti][r.idx()].writes += 1;
+                    }
+                    if let Some(a) = arg {
+                        a.regs(&mut exp_regs);
+                    }
+                }
+                Com::If { cond, .. } => cond.regs(&mut exp_regs),
+                Com::While { cond, body } => {
+                    cond.regs(&mut exp_regs);
+                    loops.push((ti, cond.clone(), (**body).clone()));
+                }
+                Com::DoUntil { body, cond } => {
+                    cond.regs(&mut exp_regs);
+                    loops.push((ti, cond.clone(), (**body).clone()));
+                }
+                Com::Skip | Com::Seq(..) | Com::Labeled(..) => {}
+            }
+            for r in exp_regs.drain(..) {
+                if r.idx() < reg_use[ti].len() {
+                    reg_use[ti][r.idx()].reads += 1;
+                }
+            }
+        });
+    }
+    // Observed registers count as read: they are the outcome.
+    for &(ti, r) in &p.observe {
+        if ti < reg_use.len() && r.idx() < reg_use[ti].len() {
+            reg_use[ti][r.idx()].reads += 1;
+        }
+    }
+
+    // --- unused-variable / write-only-location / read-only-location ---
+    for ((var, name, span), u) in p.lint.vars.iter().zip(&var_use) {
+        let _ = var;
+        if u.reads == 0 && u.writes == 0 {
+            emit(
+                Rule::UnusedVariable,
+                *span,
+                format!("shared variable `{name}` is never read or written"),
+            );
+        } else if u.reads == 0 {
+            emit(
+                Rule::WriteOnlyLocation,
+                *span,
+                format!("shared variable `{name}` is written but never read"),
+            );
+        } else if u.writes == 0 {
+            emit(
+                Rule::ReadOnlyLocation,
+                *span,
+                format!(
+                    "shared variable `{name}` is never written; \
+                     every read returns its initial value"
+                ),
+            );
+        }
+    }
+
+    // --- unused-register ---
+    for (t, tl) in p.lint.threads.iter().enumerate() {
+        for (r, (name, span)) in tl.regs.iter().enumerate() {
+            if reg_use[t][r].reads == 0 {
+                emit(
+                    Rule::UnusedRegister,
+                    *span,
+                    format!(
+                        "register `{name}` of thread `{}` is assigned \
+                         but never read or observed",
+                        tl.name
+                    ),
+                );
+            }
+        }
+    }
+
+    // --- unreachable-code ---
+    for span in &p.lint.unreachable {
+        emit(
+            Rule::UnreachableCode,
+            *span,
+            "statement follows `while (true)` and can never execute".to_string(),
+        );
+    }
+
+    // --- constant-guard / divergent-loop ---
+    for ((ti, cond, body), span) in loops.iter().zip(&p.lint.loop_spans) {
+        if let Some(b) = const_bool(cond) {
+            emit(
+                Rule::ConstantGuard,
+                *span,
+                format!(
+                    "loop guard is constantly `{b}`; the loop {}",
+                    if b { "can never exit (the language has no `break`)" } else { "never runs" }
+                ),
+            );
+            continue;
+        }
+        let mut guard_regs = Vec::new();
+        cond.regs(&mut guard_regs);
+        guard_regs.sort_unstable();
+        guard_regs.dedup();
+        let mut assigns_guard = false;
+        body.visit(&mut |c| {
+            let dest: Option<Reg> = match c {
+                Com::Assign(r, _) => Some(*r),
+                Com::Read { reg, .. } | Com::Cas { reg, .. } | Com::Fai { reg, .. } => Some(*reg),
+                Com::MethodCall { reg, .. } => *reg,
+                _ => None,
+            };
+            if let Some(r) = dest {
+                assigns_guard |= guard_regs.contains(&r);
+            }
+        });
+        if !assigns_guard {
+            let names: Vec<&str> = guard_regs
+                .iter()
+                .filter_map(|r| p.lint.threads[*ti].regs.get(r.idx()).map(|(n, _)| n.as_str()))
+                .collect();
+            emit(
+                Rule::DivergentLoop,
+                *span,
+                format!(
+                    "loop body never assigns the guard register{} `{}`; \
+                     the guard cannot change once the loop is entered",
+                    if names.len() == 1 { "" } else { "s" },
+                    names.join("`, `")
+                ),
+            );
+        }
+    }
+
+    // --- duplicate-observe ---
+    for (i, pair) in p.observe.iter().enumerate() {
+        if p.observe[..i].contains(pair) {
+            let (t, r) = &p.observe_names[i];
+            let span = p.lint.observe_spans.get(i).copied().unwrap_or_default();
+            emit(
+                Rule::DuplicateObserve,
+                span,
+                format!("`{t}.{r}` appears more than once in `observe`"),
+            );
+        }
+    }
+
+    // --- empty-expected ---
+    if p.expected.is_empty() {
+        emit(
+            Rule::EmptyExpected,
+            p.lint.expected_span,
+            "`expected` set is empty: every outcome would be a violation".to_string(),
+        );
+    }
+
+    // --- too-many-threads ---
+    if p.prog.n_threads() > 64 {
+        let span = p.lint.threads.get(64).map(|t| t.span).unwrap_or_default();
+        emit(
+            Rule::TooManyThreads,
+            span,
+            format!(
+                "{} threads exceed the 64-thread limit of the reduction \
+                 masks; `--por` falls back to unreduced search",
+                p.prog.n_threads()
+            ),
+        );
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc11_lang::parse_litmus;
+
+    fn lint_src(src: &str) -> Vec<Diagnostic> {
+        lint(&parse_litmus(src).unwrap())
+    }
+
+    fn fired(ds: &[Diagnostic], rule: Rule) -> Option<&Diagnostic> {
+        ds.iter().find(|d| d.rule == rule)
+    }
+
+    #[test]
+    fn clean_file_has_no_findings() {
+        let ds = lint_src(
+            r#"
+            litmus "clean"
+            var x = 0
+            thread A { x = 1; }
+            thread B { r = x; }
+            observe B.r
+            expected { (0) (1) }
+        "#,
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn unused_register_is_flagged_with_its_span() {
+        let src = "litmus \"u\"\nvar x = 0\nthread A {\n  dead = 3;\n  x = 1;\n}\nthread B { r = x; }\nobserve B.r\nexpected { (0) (1) }";
+        let ds = lint_src(src);
+        let d = fired(&ds, Rule::UnusedRegister).expect("fires");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!((d.span.line, d.span.col), (4, 3));
+        assert!(d.msg.contains("`dead`"), "{}", d.msg);
+        assert_eq!(
+            render_diagnostic("f.litmus", d),
+            format!("f.litmus:4:3: warning[unused-register]: {}", d.msg)
+        );
+    }
+
+    #[test]
+    fn observed_registers_are_not_unused() {
+        let ds = lint_src(
+            r#"
+            litmus "o"
+            var x = 0
+            thread A { r = x; }
+            observe A.r
+            expected { (0) }
+        "#,
+        );
+        assert!(fired(&ds, Rule::UnusedRegister).is_none(), "{ds:?}");
+    }
+
+    #[test]
+    fn variable_usage_rules() {
+        let ds = lint_src(
+            r#"
+            litmus "v"
+            var never = 0
+            var wonly = 0
+            var ronly = 7
+            thread A { wonly = 1; r = ronly; }
+            observe A.r
+            expected { (7) }
+        "#,
+        );
+        assert!(fired(&ds, Rule::UnusedVariable).unwrap().msg.contains("`never`"));
+        assert!(fired(&ds, Rule::WriteOnlyLocation).unwrap().msg.contains("`wonly`"));
+        assert!(fired(&ds, Rule::ReadOnlyLocation).unwrap().msg.contains("`ronly`"));
+    }
+
+    #[test]
+    fn cas_counts_as_read_and_write() {
+        let ds = lint_src(
+            r#"
+            litmus "c"
+            var x = 0
+            thread A { r = cas(x, 0, 1); }
+            observe A.r
+            expected { (true) }
+        "#,
+        );
+        assert!(fired(&ds, Rule::WriteOnlyLocation).is_none(), "{ds:?}");
+        assert!(fired(&ds, Rule::ReadOnlyLocation).is_none(), "{ds:?}");
+    }
+
+    #[test]
+    fn unreachable_code_after_while_true() {
+        let src = "litmus \"w\"\nvar x = 0\nthread A {\n  while (true) { x = 1; }\n  r = x;\n}\nobserve A.r\nexpected { (1) }";
+        let ds = lint_src(src);
+        let d = fired(&ds, Rule::UnreachableCode).expect("fires");
+        assert_eq!(d.span.line, 5);
+        // The `while (true)` itself is also a constant guard.
+        assert!(fired(&ds, Rule::ConstantGuard).is_some());
+    }
+
+    #[test]
+    fn divergent_loop_guard_never_reassigned() {
+        let ds = lint_src(
+            r#"
+            litmus "d"
+            var x = 0
+            var y = 0
+            thread A { r = x; while (r == 0) { y = 1; } s = x; }
+            observe A.s
+            expected { (0) }
+        "#,
+        );
+        let d = fired(&ds, Rule::DivergentLoop).expect("fires");
+        assert!(d.msg.contains("`r`"), "{}", d.msg);
+    }
+
+    #[test]
+    fn spin_loops_that_reload_the_guard_are_fine() {
+        let ds = lint_src(
+            r#"
+            litmus "s"
+            var f = 0
+            thread A { f = 1; }
+            thread B { do { r = f; } until (r == 1); s = r; }
+            observe B.s
+            expected { (1) }
+        "#,
+        );
+        assert!(fired(&ds, Rule::DivergentLoop).is_none(), "{ds:?}");
+        assert!(fired(&ds, Rule::ConstantGuard).is_none(), "{ds:?}");
+    }
+
+    #[test]
+    fn duplicate_observe_and_empty_expected() {
+        let ds = lint_src(
+            r#"
+            litmus "de"
+            var x = 0
+            thread A { r = x; }
+            observe A.r A.r
+            expected { }
+        "#,
+        );
+        assert!(fired(&ds, Rule::DuplicateObserve).is_some(), "{ds:?}");
+        let e = fired(&ds, Rule::EmptyExpected).expect("fires");
+        assert_eq!(e.severity, Severity::Error);
+    }
+
+    #[test]
+    fn allow_comments_suppress_rules() {
+        let ds = lint_src(
+            r#"
+            litmus "a"
+            // lint: allow(unused-variable, read-only-location)
+            var never = 0
+            var ronly = 1
+            thread A { r = ronly; }
+            observe A.r
+            expected { (1) }
+        "#,
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn too_many_threads_is_an_error() {
+        let mut src = String::from("litmus \"big\"\nvar x = 0\n");
+        for i in 0..65 {
+            src.push_str(&format!("thread T{i} {{ r = x; }}\n"));
+        }
+        src.push_str("observe T0.r\nexpected { (0) }");
+        let ds = lint_src(&src);
+        let d = fired(&ds, Rule::TooManyThreads).expect("fires");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.span.line, 67, "span points at the 65th thread");
+    }
+}

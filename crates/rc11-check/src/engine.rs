@@ -61,6 +61,22 @@ pub struct ExploreOptions {
     /// outline checker, whose Owicki–Gries classification needs every
     /// edge.
     pub por: bool,
+    /// Thread-symmetry reduction (ablation A6 in DESIGN.md, machinery in
+    /// `rc11_analyze::symmetry` plus `crate::sym`): configurations that
+    /// differ only by a permutation of provably-symmetric threads are
+    /// identified, so the visited state count shrinks by up to the orbit
+    /// size (`N!` for `N` fully-symmetric threads) — redundancy POR cannot
+    /// see (POR prunes transitions; symmetry identifies states). Outcome,
+    /// violation and terminal/deadlock sets stay bit-identical to the
+    /// unreduced search: the check callback runs on every distinct orbit
+    /// member at discovery, and terminal sets are orbit-expanded before
+    /// the report is returned. Composes with [`ExploreOptions::por`] and
+    /// both dedup modes. Programs without symmetric threads pay one cheap
+    /// static analysis and then run the unchanged fast path. Default
+    /// **off** this release; `rc11 run --symmetry` and the A6 benches turn
+    /// it on. Ignored by the outline checker (Owicki–Gries classification
+    /// is per-edge and per-thread).
+    pub symmetry: bool,
 }
 
 impl Default for ExploreOptions {
@@ -71,6 +87,7 @@ impl Default for ExploreOptions {
             record_traces: true,
             fingerprint: true,
             por: false,
+            symmetry: false,
         }
     }
 }
@@ -103,6 +120,13 @@ pub struct EngineReport {
     pub violations: Vec<Violation>,
     /// True iff `max_states` was hit (results are a lower bound).
     pub truncated: bool,
+    /// True iff partial-order reduction was requested but the program
+    /// exceeds POR's 64-thread mask ceiling, so the engine fell back to
+    /// the unreduced search (which supports any thread count `Tid` can
+    /// name). Results are exact either way; the flag exists so callers —
+    /// `rc11 run --por` prints a note — can surface the downgrade instead
+    /// of the hard assert this used to be.
+    pub por_fallback: bool,
 }
 
 impl EngineReport {

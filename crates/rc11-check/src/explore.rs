@@ -33,6 +33,8 @@
 
 use crate::fxhash::{CanonicalFingerprint, Fp128, FxHashMap, IdBucket};
 use crate::por::{self, ThreadMask};
+use crate::sym;
+use rc11_analyze::SymmetrySpec;
 use rc11_core::Tid;
 use rc11_lang::cfg::CfgProgram;
 use rc11_lang::machine::{thread_successors, Config, ObjectSemantics};
@@ -40,14 +42,18 @@ use rc11_lang::machine::{thread_successors, Config, ObjectSemantics};
 pub use crate::engine::{EngineReport as Report, ExploreOptions, Violation};
 
 /// One interned state: its canonical configuration (stored exactly once
-/// across the whole explorer), the first-discovery parent edge, and the
+/// across the whole explorer), the first-discovery parent edge, the
 /// mask of threads expansion work has been queued for (the complement of
 /// the intersection of every arriving sleep set — always full without
-/// POR; see `crate::por` for the wake-up rule).
+/// POR; see `crate::por` for the wake-up rule), and — under symmetry
+/// reduction — the group permutation the committing edge's raw successor
+/// was transported through (`None` = identity), from which
+/// [`reconstruct_trace_sym`] rebuilds exactly replayable traces.
 struct Node {
     cfg: Config,
     parent: Option<(u32, Tid)>,
     explored: ThreadMask,
+    sigma: Option<Vec<u8>>,
 }
 
 /// The visited index shared by the sequential explorer and the sequential
@@ -68,10 +74,11 @@ pub(crate) enum VisitedIndex {
 /// configuration and only exists on the legacy path.
 pub(crate) enum Probe {
     /// Already interned, under this arena id (POR duplicate hits consult
-    /// the node's `explored` mask for the wake-up rule).
-    Dup(u32),
+    /// the node's `explored` mask for the wake-up rule, after transporting
+    /// the arriving masks through the carried group permutation).
+    Dup(u32, Option<Vec<u8>>),
     NovelFp(Fp128, rc11_core::CanonPerms),
-    NovelExact(Box<Config>),
+    NovelExact(Box<Config>, Option<Vec<u8>>),
 }
 
 impl VisitedIndex {
@@ -88,30 +95,52 @@ impl VisitedIndex {
     /// `canonical_eq` confirmation walk per candidate in the (almost
     /// always empty or single-entry, matching) bucket — `interned` reads
     /// the candidate's canonical configuration out of the caller's arena.
+    /// With a symmetry spec, the walk first installs the canonical group
+    /// permutation (`sym::sym_perms`), so the whole orbit probes to one
+    /// interned representative.
     pub(crate) fn probe<'a>(
         &self,
         succ: &Config,
+        symm: Option<&SymmetrySpec>,
         interned: impl Fn(u32) -> &'a Config,
     ) -> Probe {
         match self {
             VisitedIndex::Fp(map) => {
-                let perms = succ.canonical_perms();
-                let fp = succ.fingerprint_with(&perms);
+                let mut perms = succ.canonical_perms();
+                if let Some(spec) = symm {
+                    perms.threads = spec.choose(succ, &perms);
+                }
+                let fp = match symm {
+                    Some(spec) => sym::fingerprint_sym(succ, &perms, spec),
+                    None => succ.fingerprint_with(&perms),
+                };
                 if let Some(bucket) = map.get(&fp) {
                     for &id in bucket.ids() {
-                        if succ.canonical_eq_with(&perms, interned(id)) {
-                            return Probe::Dup(id);
+                        let eq = match symm {
+                            Some(spec) => {
+                                succ.canonical_eq_sym(&perms, spec.maps(), interned(id))
+                            }
+                            None => succ.canonical_eq_with(&perms, interned(id)),
+                        };
+                        if eq {
+                            return Probe::Dup(id, perms.threads);
                         }
                     }
                 }
                 Probe::NovelFp(fp, perms)
             }
             VisitedIndex::Exact(map) => {
-                let canon = succ.canonical();
+                let (canon, sigma) = match symm {
+                    Some(spec) => {
+                        let perms = sym::sym_perms(spec, succ);
+                        (succ.canonical_sym(&perms, spec.maps()), perms.threads)
+                    }
+                    None => (succ.canonical(), None),
+                };
                 if let Some(&id) = map.get(&canon) {
-                    Probe::Dup(id)
+                    Probe::Dup(id, sigma)
                 } else {
-                    Probe::NovelExact(Box::new(canon))
+                    Probe::NovelExact(Box::new(canon), sigma)
                 }
             }
         }
@@ -119,22 +148,33 @@ impl VisitedIndex {
 
     /// Intern a probed-novel successor under id `new_id`, returning its
     /// canonical configuration (materialised here, exactly once per
-    /// distinct state) for the caller to push into its arena.
-    pub(crate) fn commit(&mut self, probe: Probe, succ: &Config, new_id: u32) -> Config {
+    /// distinct state) for the caller to push into its arena, plus the
+    /// group permutation the successor was transported through (`None`
+    /// without symmetry or when the choice was the identity).
+    pub(crate) fn commit(
+        &mut self,
+        probe: Probe,
+        succ: &Config,
+        symm: Option<&SymmetrySpec>,
+        new_id: u32,
+    ) -> (Config, Option<Vec<u8>>) {
         match (self, probe) {
             (VisitedIndex::Fp(map), Probe::NovelFp(fp, perms)) => {
-                let canon = succ.canonical_with(&perms);
+                let canon = match symm {
+                    Some(spec) => succ.canonical_sym(&perms, spec.maps()),
+                    None => succ.canonical_with(&perms),
+                };
                 match map.entry(fp) {
                     std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(new_id),
                     std::collections::hash_map::Entry::Vacant(e) => {
                         e.insert(IdBucket::One(new_id));
                     }
                 }
-                canon
+                (canon, perms.threads)
             }
-            (VisitedIndex::Exact(map), Probe::NovelExact(canon)) => {
+            (VisitedIndex::Exact(map), Probe::NovelExact(canon, sigma)) => {
                 map.insert((*canon).clone(), new_id);
-                *canon
+                (*canon, sigma)
             }
             _ => unreachable!("probe/commit mode mismatch"),
         }
@@ -174,17 +214,24 @@ impl<'a> Explorer<'a> {
         // exactly once, with its first-discovery parent edge.
         let mut nodes: Vec<Node> = Vec::new();
         let mut buf: Vec<String> = Vec::new();
-        let por = self.opts.por;
         let n_threads = self.prog.n_threads();
-        // Thread masks only exist on the POR path (which caps programs at
-        // 64 threads — `por::full_mask` asserts); the unreduced search
-        // iterates threads by index and supports any count `Tid` can name.
+        // POR's thread masks cap at 64 bits; larger programs fall back to
+        // the unreduced search (which iterates threads by index and
+        // supports any count `Tid` can name), flagged on the report.
+        let mut por = self.opts.por;
+        if por && n_threads > 64 {
+            por = false;
+            report.por_fallback = true;
+        }
         let full = if por { por::full_mask(n_threads) } else { !0 };
+        let spec = sym::active_spec(self.prog, self.opts.symmetry);
+        let symm = spec.as_ref();
+        let statics = por.then(|| rc11_analyze::conflict_matrix(self.prog));
 
         let init = Config::initial(self.prog).canonical();
-        let probe = index.probe(&init, |id| &nodes[id as usize].cfg);
-        let init = index.commit(probe, &init, 0);
-        nodes.push(Node { cfg: init.clone(), parent: None, explored: full });
+        let probe = index.probe(&init, symm, |id| &nodes[id as usize].cfg);
+        let (init, init_sigma) = index.commit(probe, &init, symm, 0);
+        nodes.push(Node { cfg: init.clone(), parent: None, explored: full, sigma: init_sigma });
         check(&init, &mut buf);
         for what in buf.drain(..) {
             report.violations.push(Violation {
@@ -202,7 +249,7 @@ impl<'a> Explorer<'a> {
         let mut frontier: Vec<(u32, ThreadMask, ThreadMask, bool)> = vec![(0, full, 0, true)];
         while let Some((id, mask, sleep, first)) = frontier.pop() {
             let cfg = nodes[id as usize].cfg.clone();
-            let fps = por.then(|| por::footprints(self.prog, &cfg));
+            let mut fps = por.then(|| por::LazyFootprints::new(n_threads));
             let mut any_succ = false;
             let mut earlier: ThreadMask = 0;
             for t in 0..n_threads {
@@ -212,26 +259,38 @@ impl<'a> Explorer<'a> {
                 let succs = thread_successors(self.prog, self.objs, &cfg, t, self.opts.step);
                 report.transitions += succs.len();
                 any_succ |= !succs.is_empty();
-                let child_sleep = match &fps {
-                    Some(fps) => {
-                        let cs = por::child_sleep(fps, sleep | earlier, t);
+                let child_sleep = match (&mut fps, &statics) {
+                    (Some(fps), Some(cm)) => {
+                        let cs = por::child_sleep_static(
+                            self.prog,
+                            &cfg,
+                            fps,
+                            cm.static_indep(),
+                            sleep | earlier,
+                            t,
+                        );
                         earlier |= 1u64 << t;
                         cs
                     }
-                    None => 0,
+                    _ => 0,
                 };
                 let tid = Tid(t as u8);
                 for succ in succs {
-                    let probe = match index.probe(&succ, |id| &nodes[id as usize].cfg) {
-                        Probe::Dup(dup_id) => {
+                    let probe = match index.probe(&succ, symm, |id| &nodes[id as usize].cfg) {
+                        Probe::Dup(dup_id, dsigma) => {
                             if por {
                                 // Wake-up rule: threads this arrival would
-                                // explore but no earlier arrival queued.
-                                let missing =
-                                    full & !child_sleep & !nodes[dup_id as usize].explored;
+                                // explore but no earlier arrival queued —
+                                // with the proposal transported into the
+                                // stored state's thread numbering first.
+                                let prop = match &dsigma {
+                                    Some(sg) => sym::remap_mask(full & !child_sleep, sg),
+                                    None => full & !child_sleep,
+                                };
+                                let missing = prop & !nodes[dup_id as usize].explored;
                                 if missing != 0 {
                                     nodes[dup_id as usize].explored |= missing;
-                                    frontier.push((dup_id, missing, child_sleep, false));
+                                    frontier.push((dup_id, missing, full & !prop, false));
                                 }
                             }
                             continue;
@@ -243,24 +302,59 @@ impl<'a> Explorer<'a> {
                         continue;
                     }
                     let new_id = nodes.len() as u32;
-                    let canon = index.commit(probe, &succ, new_id);
+                    let (canon, sigma) = index.commit(probe, &succ, symm, new_id);
+                    // The explored/sleep masks live in the stored state's
+                    // numbering: transport the proposal through σ.
+                    let prop = match (&sigma, por) {
+                        (Some(sg), true) => sym::remap_mask(full & !child_sleep, sg),
+                        _ => full & !child_sleep,
+                    };
                     check(&canon, &mut buf);
                     for what in buf.drain(..) {
                         report.violations.push(Violation {
                             what,
                             config: canon.clone(),
-                            trace: self
-                                .opts
-                                .record_traces
-                                .then(|| reconstruct_trace(&nodes, id, tid, &canon)),
+                            trace: self.opts.record_traces.then(|| match symm {
+                                Some(spec) => reconstruct_trace_sym(
+                                    &nodes,
+                                    id,
+                                    tid,
+                                    &sigma,
+                                    &canon,
+                                    (0..n_threads as u8).collect(),
+                                    spec,
+                                ),
+                                None => reconstruct_trace(&nodes, id, tid, &canon),
+                            }),
                         });
+                    }
+                    // Under symmetry the check must see every state of the
+                    // orbit, not just the representative: observation
+                    // tuples and invariants may distinguish thread
+                    // identities the reduction just modded out.
+                    if let Some(spec) = symm {
+                        for (pi, member) in sym::orbit_members(spec, &canon) {
+                            check(&member, &mut buf);
+                            for what in buf.drain(..) {
+                                report.violations.push(Violation {
+                                    what,
+                                    config: member.clone(),
+                                    trace: self.opts.record_traces.then(|| {
+                                        reconstruct_trace_sym(
+                                            &nodes, id, tid, &sigma, &canon, pi.clone(), spec,
+                                        )
+                                    }),
+                                });
+                            }
+                        }
                     }
                     nodes.push(Node {
                         cfg: canon,
                         parent: Some((id, tid)),
-                        explored: full & !child_sleep,
+                        explored: prop,
+                        sigma,
                     });
-                    frontier.push((new_id, full & !child_sleep, child_sleep, true));
+                    frontier.push((new_id, prop, full & !prop, true));
                 }
             }
             if !any_succ && first {
@@ -285,6 +379,14 @@ impl<'a> Explorer<'a> {
             if report.truncated {
                 break;
             }
+        }
+        // Terminal/deadlock sets are reported in unreduced terms: expand
+        // each representative's orbit back out (orbits of distinct
+        // representatives are disjoint, so this is exactly the unreduced
+        // search's set).
+        if let Some(spec) = symm {
+            sym::expand_terminals(spec, &mut report.terminated);
+            sym::expand_terminals(spec, &mut report.deadlocked);
         }
         report.states = nodes.len();
         report
@@ -323,6 +425,58 @@ fn reconstruct_trace(nodes: &[Node], parent: u32, tid: Tid, last: &Config) -> Ve
     let mut cur = parent;
     while let Some((p, t)) = nodes[cur as usize].parent {
         rev.push((t, nodes[cur as usize].cfg.clone()));
+        cur = p;
+    }
+    rev.reverse();
+    rev
+}
+
+/// Trace reconstruction under symmetry reduction. The arena holds one
+/// representative per orbit, with each node remembering the group
+/// permutation `σ` its committing edge was transported through
+/// (`R_k = σ_k(canon(s_k))`). An exactly replayable trace through the
+/// *raw* orbit is recovered by walking backward with an accumulated
+/// permutation `τ`, seeded with the target state's orbit permutation `π`
+/// (identity for the representative itself): the replayed state at step
+/// `k` is `τ_k(R_k)` re-canonicalised, the mover is the stored tid mapped
+/// through `τ_{k-1}`, and crossing edge `k` composes `τ_{k-1} = τ_k ∘ σ_k`.
+/// Group permutations are automorphisms and fix the initial configuration,
+/// so every entry is a real transition from its predecessor and the walk
+/// bottoms out at the true initial state — the symmetry trace-replay test
+/// in `tests/engine_agreement.rs` steps every entry to confirm it.
+fn reconstruct_trace_sym(
+    nodes: &[Node],
+    parent: u32,
+    tid: Tid,
+    sigma_last: &Option<Vec<u8>>,
+    last: &Config,
+    tau: Vec<u8>,
+    spec: &SymmetrySpec,
+) -> Vec<(Tid, Config)> {
+    let n = tau.len();
+    let compose = |tau: &[u8], sigma: &Option<Vec<u8>>| -> Vec<u8> {
+        match sigma {
+            Some(sg) => (0..n).map(|i| tau[sg[i] as usize]).collect(),
+            None => tau.to_vec(),
+        }
+    };
+    let apply = |cfg: &Config, tau: &[u8]| -> Config {
+        if sym::is_identity(tau) {
+            cfg.clone()
+        } else {
+            cfg.permute_threads(tau, spec.maps()).canonical()
+        }
+    };
+    let mut rev = Vec::new();
+    let m = apply(last, &tau);
+    let mut tau = compose(&tau, sigma_last);
+    rev.push((Tid(tau[tid.idx()]), m));
+    let mut cur = parent;
+    while let Some((p, t)) = nodes[cur as usize].parent {
+        let node = &nodes[cur as usize];
+        let m = apply(&node.cfg, &tau);
+        tau = compose(&tau, &node.sigma);
+        rev.push((Tid(tau[t.idx()]), m));
         cur = p;
     }
     rev.reverse();

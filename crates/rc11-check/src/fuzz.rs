@@ -14,6 +14,11 @@
 //!   pruning must preserve states, terminal/deadlock counts and the
 //!   outcome set while generating no more transitions, under both engines
 //!   and both dedup modes;
+//! * the thread-symmetry lane ([`DiffOptions::symmetry`]): symmetry
+//!   reduction may only shrink state/transition counts and must preserve
+//!   the terminal/deadlock counts and the outcome set exactly, under both
+//!   engines, both dedup modes, and composed with POR (the generator's
+//!   thread-cloning mode makes programs with real symmetry to reduce);
 //! * sampler soundness: every [`crate::random::random_walk`] terminal
 //!   outcome must lie inside the exhaustive outcome set (a sample outside
 //!   it would be a transition the exhaustive engines missed, or a walk
@@ -57,6 +62,17 @@ pub struct DiffOptions {
     /// `cargo test` lane, the `#[ignore]`d sweep and `rc11 fuzz --por`
     /// turn it on.
     pub por: bool,
+    /// Add the thread-symmetry parity lane: re-explore with
+    /// [`ExploreOptions::symmetry`] on — sequentially in both dedup modes,
+    /// in parallel at every configured worker count, and once more with
+    /// POR stacked on top — and require the terminal/deadlock counts and
+    /// the outcome set to match the unreduced oracle exactly, with no more
+    /// states or transitions than it. Default off (mirroring
+    /// `ExploreOptions::symmetry`); the fixed-seed `cargo test` lane, the
+    /// `#[ignore]`d sweep and `rc11 fuzz --symmetry` turn it on. Pairs
+    /// with [`crate::gen::GenOptions::clone_threads`], which makes
+    /// generated programs actually have symmetric threads to reduce.
+    pub symmetry: bool,
 }
 
 impl Default for DiffOptions {
@@ -68,6 +84,7 @@ impl Default for DiffOptions {
             sample_steps: 4096,
             round_trip: true,
             por: false,
+            symmetry: false,
         }
     }
 }
@@ -190,6 +207,58 @@ fn compare_por(
     Ok(())
 }
 
+/// The symmetry-lane comparison: symmetry reduction identifies states (up
+/// to the orbit size) and with them the transitions out of the identified
+/// copies, so both counts may only shrink — while the terminal/deadlock
+/// sets are orbit-expanded back out and the outcome set must match the
+/// unreduced oracle exactly.
+fn compare_sym(
+    what: &str,
+    g: &GProg,
+    oracle: &EngineReport,
+    oracle_outcomes: &BTreeSet<Vec<Val>>,
+    got: &EngineReport,
+) -> Result<(), String> {
+    if got.truncated != oracle.truncated {
+        return Err(format!("{what}: truncated {} vs oracle {}", got.truncated, oracle.truncated));
+    }
+    if got.states > oracle.states {
+        return Err(format!(
+            "{what}: symmetry grew the state count ({} vs oracle {})",
+            got.states, oracle.states
+        ));
+    }
+    if got.transitions > oracle.transitions {
+        return Err(format!(
+            "{what}: symmetry generated more transitions ({} vs oracle {})",
+            got.transitions, oracle.transitions
+        ));
+    }
+    if got.terminated.len() != oracle.terminated.len() {
+        return Err(format!(
+            "{what}: terminal configurations {} vs oracle {} (orbit expansion broken?)",
+            got.terminated.len(),
+            oracle.terminated.len()
+        ));
+    }
+    if got.deadlocked.len() != oracle.deadlocked.len() {
+        return Err(format!(
+            "{what}: deadlocked configurations {} vs oracle {}",
+            got.deadlocked.len(),
+            oracle.deadlocked.len()
+        ));
+    }
+    let got_outcomes = outcome_set(g, got);
+    if &got_outcomes != oracle_outcomes {
+        let missing: Vec<_> = oracle_outcomes.difference(&got_outcomes).collect();
+        let extra: Vec<_> = got_outcomes.difference(oracle_outcomes).collect();
+        return Err(format!(
+            "{what}: symmetry outcome sets diverge (missing {missing:?}, extra {extra:?})"
+        ));
+    }
+    Ok(())
+}
+
 /// Run every differential check on one generated program.
 pub fn diff_one(g: &GProg, seed: u64, opts: &DiffOptions) -> DiffVerdict {
     let prog = compile(&g.to_program("fuzz"));
@@ -278,6 +347,34 @@ pub fn diff_one(g: &GProg, seed: u64, opts: &DiffOptions) -> DiffVerdict {
                 let par = Engine::Parallel { workers: w }.explore(&prog, &NoObjects, por_fp);
                 compare_por(
                     &format!("por[{w} workers, fp]"),
+                    g,
+                    &oracle,
+                    &oracle_outcomes,
+                    &par,
+                )?;
+            }
+        }
+
+        // Symmetry parity: thread-symmetry reduction may only shrink the
+        // state/transition counts while reproducing the exact terminal,
+        // deadlock and outcome picture — sequentially in both dedup modes,
+        // in parallel at every worker count, and composed with POR.
+        if opts.symmetry {
+            for (mode, o) in [("fp", fp), ("exact", exact)] {
+                let sym_opts = ExploreOptions { symmetry: true, ..o };
+                let seq = Engine::Sequential.explore(&prog, &NoObjects, sym_opts);
+                compare_sym(&format!("sym[seq, {mode}]"), g, &oracle, &oracle_outcomes, &seq)?;
+            }
+            let sym_por = ExploreOptions { symmetry: true, por: true, ..fp };
+            let seq = Engine::Sequential.explore(&prog, &NoObjects, sym_por);
+            compare_sym("sym+por[seq, fp]", g, &oracle, &oracle_outcomes, &seq)?;
+            let sym_fp = ExploreOptions { symmetry: true, ..fp };
+            for &w in &opts.workers {
+                let par = Engine::Parallel { workers: w }.explore(&prog, &NoObjects, sym_fp);
+                compare_sym(&format!("sym[{w} workers, fp]"), g, &oracle, &oracle_outcomes, &par)?;
+                let par = Engine::Parallel { workers: w }.explore(&prog, &NoObjects, sym_por);
+                compare_sym(
+                    &format!("sym+por[{w} workers, fp]"),
                     g,
                     &oracle,
                     &oracle_outcomes,
@@ -417,9 +514,14 @@ mod tests {
 
     #[test]
     fn a_short_fixed_seed_fuzz_run_is_clean() {
-        let gen_opts = GenOptions { max_stmts: 3, ..Default::default() };
-        let diff_opts =
-            DiffOptions { workers: vec![2], samples: 8, por: true, ..Default::default() };
+        let gen_opts = GenOptions { max_stmts: 3, clone_threads: true, ..Default::default() };
+        let diff_opts = DiffOptions {
+            workers: vec![2],
+            samples: 8,
+            por: true,
+            symmetry: true,
+            ..Default::default()
+        };
         let report = fuzz(0xC0FFEE, 10, &gen_opts, &diff_opts, |_| {});
         assert_eq!(report.iters, 10);
         assert!(

@@ -46,6 +46,13 @@ pub struct GenOptions {
     pub max_depth: usize,
     /// Maximum bounded-loop iteration count.
     pub max_loop_iters: u8,
+    /// With ~1/3 probability per program, clone one generated thread body
+    /// into every thread slot, yielding a fully thread-symmetric program.
+    /// Off, independently drawn bodies almost never coincide, so the
+    /// symmetry-reduction differential lane would only ever exercise its
+    /// trivial fast path; on, a third of the corpus has real orbits to
+    /// reduce. Default off (the historical generator distribution).
+    pub clone_threads: bool,
 }
 
 impl Default for GenOptions {
@@ -57,6 +64,7 @@ impl Default for GenOptions {
             max_stmts: 4,
             max_depth: 2,
             max_loop_iters: 2,
+            clone_threads: false,
         }
     }
 }
@@ -333,13 +341,23 @@ pub fn generate(seed: u64, opts: &GenOptions) -> GProg {
         + rng.gen_range(0..(opts.max_threads - opts.min_threads + 1) as u64) as usize;
     let n_vars = 1 + rng.gen_range(0..opts.max_vars as u64) as u16;
     let mut g = Gen { rng: &mut rng, opts, n_vars };
-    let threads = (0..n_threads)
+    let mut threads: Vec<Vec<GStmt>> = (0..n_threads)
         .map(|_| {
             let mut types = vec![Ty::Int; DATA_REGS as usize];
             let n = 1 + g.rng.gen_range(0..g.opts.max_stmts as u64) as usize;
             (0..n).map(|_| g.stmt(0, &mut types)).collect()
         })
         .collect();
+    // Thread-cloning mode: sometimes collapse the program to copies of one
+    // body, so the symmetry-reduction lane sees non-trivial orbits. Every
+    // draw above still happens first — seeds stay comparable across modes.
+    if opts.clone_threads && rng.gen_range(0..3u64) == 0 {
+        let donor = rng.gen_range(0..n_threads as u64) as usize;
+        let body = threads[donor].clone();
+        for t in &mut threads {
+            t.clone_from(&body);
+        }
+    }
     GProg { n_vars, n_loop_regs: opts.max_depth as u16, threads }
 }
 

@@ -19,8 +19,12 @@
 //!   sharded fingerprint-keyed interned state store, with counterexample
 //!   traces (ablations A3/A4);
 //! * `por` (internal) — sleep-set partial-order reduction over the
-//!   [`rc11_core::StepFootprint`] independence oracle, layered on both
-//!   engines behind [`engine::ExploreOptions::por`] (ablation A5);
+//!   [`rc11_core::StepFootprint`] independence oracle with
+//!   `rc11_analyze`'s static may-conflict matrix as a pre-filter, layered
+//!   on both engines behind [`engine::ExploreOptions::por`] (ablation A5);
+//! * `sym` (internal) — the engine-side glue for thread-symmetry
+//!   reduction ([`rc11_analyze::symmetry`]), behind
+//!   [`engine::ExploreOptions::symmetry`] (ablation A6);
 //! * [`gen`] — seeded random litmus-program generation over the full
 //!   statement alphabet, with deletion-based shrinking;
 //! * [`fuzz`] — the generative differential harness: every generated
@@ -45,6 +49,7 @@ pub mod parallel;
 pub(crate) mod por;
 pub mod pretty;
 pub mod random;
+pub(crate) mod sym;
 
 pub use engine::{choose_engine, Engine, EngineReport, ExploreOptions, Violation};
 pub use fuzz::{diff_one, fuzz, DiffOptions, DiffVerdict, FuzzFailure, FuzzReport};

@@ -250,7 +250,7 @@ pub fn check_outline_with(
     opts: ExploreOptions,
     engine: &Engine,
 ) -> OutlineReport {
-    let opts = ExploreOptions { por: false, ..opts };
+    let opts = ExploreOptions { por: false, symmetry: false, ..opts };
     match engine {
         Engine::Sequential => seq_check_outline(prog, objs, outline, opts),
         Engine::Parallel { workers } => par_check_outline(prog, objs, outline, opts, *workers),
@@ -299,8 +299,8 @@ fn seq_check_outline(
     for (kind, _) in fails {
         recorder.record(kind, &init, OgClass::Initial, None);
     }
-    let probe = index.probe(&init, |id| &arena[id as usize]);
-    arena.push(index.commit(probe, &init, 0));
+    let probe = index.probe(&init, None, |id| &arena[id as usize]);
+    arena.push(index.commit(probe, &init, None, 0).0);
     let mut frontier: Vec<u32> = vec![0];
 
     while let Some(id) = frontier.pop() {
@@ -321,8 +321,8 @@ fn seq_check_outline(
             // `debug_assert_failures_invariant`).
             let (fails, checks) = annots.failures(&succ);
             report.checks += checks;
-            let probe = match index.probe(&succ, |id| &arena[id as usize]) {
-                Probe::Dup(_) => {
+            let probe = match index.probe(&succ, None, |id| &arena[id as usize]) {
+                Probe::Dup(..) => {
                     if !fails.is_empty() {
                         // Rare: a failing duplicate edge still needs the
                         // canonical form as the recorder's dedup key.
@@ -350,7 +350,7 @@ fn seq_check_outline(
                 continue;
             }
             let new_id = arena.len() as u32;
-            arena.push(index.commit(probe, &succ, new_id));
+            arena.push(index.commit(probe, &succ, None, new_id).0);
             if !fails.is_empty() {
                 let canon = &arena[new_id as usize];
                 debug_assert_failures_invariant(&annots, &fails, canon);

@@ -53,8 +53,10 @@
 use crate::engine::{EngineReport, ExploreOptions, Violation};
 use crate::fxhash::{CanonicalFingerprint, Fp128, FxBuildHasher, FxHashMap, FxHashSet};
 use crate::por::{self, ThreadMask};
+use crate::sym;
 use crossbeam::deque::{Injector, Steal};
 use parking_lot::{Mutex, RwLock};
+use rc11_analyze::SymmetrySpec;
 use rc11_core::{CanonPerms, Tid};
 use rc11_lang::cfg::CfgProgram;
 use rc11_lang::machine::{thread_successors, Config, ObjectSemantics};
@@ -359,6 +361,22 @@ impl<V> ShardedFpMap<V> {
             .contains(fp, |cfg| succ.canonical_eq_with(&perms, cfg))
     }
 
+    /// [`contains_state`](ShardedFpMap::contains_state) with an optional
+    /// thread-symmetry spec: membership is then decided up to the symmetry
+    /// group, matching the keys `insert_batch_por_sym` stores under.
+    pub(crate) fn contains_state_sym(
+        &self,
+        succ: &Config,
+        symm: Option<&SymmetrySpec>,
+    ) -> bool {
+        let Some(spec) = symm else { return self.contains_state(succ) };
+        let perms = sym::sym_perms(spec, succ);
+        let fp = sym::fingerprint_sym(succ, &perms, spec);
+        self.shards[self.shard_of(fp)]
+            .read()
+            .contains(fp, |cfg| succ.canonical_eq_sym(&perms, spec.maps(), cfg))
+    }
+
     /// The value interned for the **canonical** configuration `canon`,
     /// cloned out from under the shard read lock.
     pub fn get_cloned(&self, canon: &Config) -> Option<V>
@@ -437,9 +455,28 @@ impl<V> ShardedFpMap<Masked<V>> {
     /// returned for partial re-expansion. The read-phase drop is sound
     /// because explored masks only ever grow: a duplicate fully absorbed
     /// under the read lock stays absorbed.
+    #[cfg(test)]
     pub(crate) fn insert_batch_por(
         &self,
         items: Vec<PorItem<V>>,
+    ) -> (Vec<PorNovel>, Vec<PorWoken>) {
+        self.insert_batch_por_sym(items, None, false)
+    }
+
+    /// [`insert_batch_por`](ShardedFpMap::insert_batch_por) with an
+    /// optional thread-symmetry spec: items are then keyed by their
+    /// symmetry-canonical form (one interned representative per orbit),
+    /// and — when `remap_masks` is set, i.e. under POR — each explored
+    /// proposal is transported through the item's group permutation `σ`
+    /// (bit `t` → bit `σ[t]`) so stored masks always live in the
+    /// representative's thread numbering. `remap_masks` must be false
+    /// without POR: full masks carry bits `≥ n_threads` that `σ` cannot
+    /// index.
+    pub(crate) fn insert_batch_por_sym(
+        &self,
+        items: Vec<PorItem<V>>,
+        symm: Option<&SymmetrySpec>,
+        remap_masks: bool,
     ) -> (Vec<PorNovel>, Vec<PorWoken>) {
         struct Item<V> {
             shard: usize,
@@ -452,9 +489,20 @@ impl<V> ShardedFpMap<Masked<V>> {
         }
         let mut tagged: Vec<Item<V>> = items
             .into_iter()
-            .map(|(raw, val, proposal)| {
-                let perms = raw.canonical_perms();
-                let fp = raw.fingerprint_with(&perms);
+            .map(|(raw, val, mut proposal)| {
+                let mut perms = raw.canonical_perms();
+                let fp = match symm {
+                    Some(spec) => {
+                        perms.threads = spec.choose(&raw, &perms);
+                        if remap_masks {
+                            if let Some(sg) = &perms.threads {
+                                proposal = sym::remap_mask(proposal, sg);
+                            }
+                        }
+                        sym::fingerprint_sym(&raw, &perms, spec)
+                    }
+                    None => raw.fingerprint_with(&perms),
+                };
                 Item { shard: self.shard_of(fp), fp, perms, raw, proposal, val: Some(val) }
             })
             .collect();
@@ -472,9 +520,10 @@ impl<V> ShardedFpMap<Masked<V>> {
             {
                 let rd = shard.read();
                 for t in &mut tagged[i..j] {
-                    if let Some(e) =
-                        rd.entry(t.fp, |cfg| t.raw.canonical_eq_with(&t.perms, cfg))
-                    {
+                    if let Some(e) = rd.entry(t.fp, |cfg| match symm {
+                        Some(spec) => t.raw.canonical_eq_sym(&t.perms, spec.maps(), cfg),
+                        None => t.raw.canonical_eq_with(&t.perms, cfg),
+                    }) {
                         if t.proposal & !e.val.explored == 0 {
                             t.val = None; // known state, nothing to wake
                         }
@@ -488,7 +537,12 @@ impl<V> ShardedFpMap<Masked<V>> {
                 // cloning interned representatives under the read lock.
                 let canons: Vec<Option<Config>> = tagged[i..j]
                     .iter()
-                    .map(|t| t.val.is_some().then(|| t.raw.canonical_with(&t.perms)))
+                    .map(|t| {
+                        t.val.is_some().then(|| match symm {
+                            Some(spec) => t.raw.canonical_sym(&t.perms, spec.maps()),
+                            None => t.raw.canonical_with(&t.perms),
+                        })
+                    })
                     .collect();
                 let mut wr = shard.write();
                 let FpShard { map, overflow } = &mut *wr;
@@ -653,25 +707,55 @@ impl<V: Clone> VisitedStore<V> {
         }
     }
 
-    /// Membership of a raw successor (used only on the rare cap-hit path).
-    fn contains_state(&self, succ: &Config) -> bool {
+    /// Membership of a raw successor (used only on the rare cap-hit path),
+    /// decided up to the symmetry group when a spec is active.
+    fn contains_state(&self, succ: &Config, symm: Option<&SymmetrySpec>) -> bool {
         match self {
-            VisitedStore::Fp(m) => m.contains_state(succ),
-            VisitedStore::Exact(m) => m.contains_key(&succ.canonical()),
+            VisitedStore::Fp(m) => m.contains_state_sym(succ, symm),
+            VisitedStore::Exact(m) => {
+                let canon = match symm {
+                    Some(spec) => {
+                        let perms = sym::sym_perms(spec, succ);
+                        succ.canonical_sym(&perms, spec.maps())
+                    }
+                    None => succ.canonical(),
+                };
+                m.contains_key(&canon)
+            }
         }
     }
 
     /// Batched insert of raw successors with the POR wake-up rule; returns
     /// the novel canonical configurations with their stored explored masks
     /// plus any woken duplicates (see [`ShardedFpMap::insert_batch_por`]).
-    /// The exact backend materialises every successor first — that is
-    /// precisely the per-successor rebuild the fingerprint path
-    /// eliminates.
-    fn insert_batch(&self, items: Vec<PorItem<V>>) -> (Vec<PorNovel>, Vec<PorWoken>) {
+    /// With a symmetry spec, keys are symmetry-canonical (one interned
+    /// representative per orbit) and — under POR (`remap_masks`) — mask
+    /// proposals are transported into representative numbering. The exact
+    /// backend materialises every successor first — that is precisely the
+    /// per-successor rebuild the fingerprint path eliminates.
+    fn insert_batch(
+        &self,
+        items: Vec<PorItem<V>>,
+        symm: Option<&SymmetrySpec>,
+        remap_masks: bool,
+    ) -> (Vec<PorNovel>, Vec<PorWoken>) {
         match self {
-            VisitedStore::Fp(m) => m.insert_batch_por(items),
+            VisitedStore::Fp(m) => m.insert_batch_por_sym(items, symm, remap_masks),
             VisitedStore::Exact(m) => m.insert_batch_por(
-                items.into_iter().map(|(raw, v, p)| (raw.canonical(), v, p)).collect(),
+                items
+                    .into_iter()
+                    .map(|(raw, v, p)| match symm {
+                        Some(spec) => {
+                            let perms = sym::sym_perms(spec, &raw);
+                            let p = match (&perms.threads, remap_masks) {
+                                (Some(sg), true) => sym::remap_mask(p, sg),
+                                _ => p,
+                            };
+                            (raw.canonical_sym(&perms, spec.maps()), v, p)
+                        }
+                        None => (raw.canonical(), v, p),
+                    })
+                    .collect(),
             ),
         }
     }
@@ -720,6 +804,9 @@ pub(crate) struct WalkStats {
     pub deadlocked: Vec<Config>,
     /// True iff the state cap cut the exploration short.
     pub truncated: bool,
+    /// True iff POR was requested but the program exceeds the 64-thread
+    /// mask ceiling, so the walk ran unreduced (results stay exact).
+    pub por_fallback: bool,
 }
 
 /// One unit of parallel work: a canonical configuration, the mask of
@@ -793,12 +880,21 @@ where
     let truncated = AtomicBool::new(false);
     let terminated: Mutex<Vec<Config>> = Mutex::new(Vec::new());
     let deadlocked: Mutex<Vec<Config>> = Mutex::new(Vec::new());
-    let por = opts.por;
     let n_threads = prog.n_threads();
-    // Thread masks only exist on the POR path (which caps programs at 64
-    // threads — `por::full_mask` asserts); the unreduced search iterates
-    // threads by index and supports any count `Tid` can name.
+    // Thread masks only exist on the POR path, which caps programs at 64
+    // bits; larger programs fall back to the unreduced search (which
+    // iterates threads by index and supports any count `Tid` can name),
+    // flagged on the stats.
+    let mut por = opts.por;
+    let mut por_fallback = false;
+    if por && n_threads > 64 {
+        por = false;
+        por_fallback = true;
+    }
     let full = if por { por::full_mask(n_threads) } else { !0 };
+    let spec = sym::active_spec(prog, opts.symmetry);
+    let symm = spec.as_ref();
+    let statics = por.then(|| rc11_analyze::conflict_matrix(prog));
     let n_workers = n_workers.max(1);
 
     let init = Config::initial(prog).canonical();
@@ -821,7 +917,8 @@ where
                             local.extend(chunk);
                             while let Some(item) = local.pop() {
                                 let WorkItem { cfg, mask, sleep, first } = item;
-                                let fps = por.then(|| por::footprints(prog, &cfg));
+                                let mut fps =
+                                    por.then(|| por::LazyFootprints::new(n_threads));
                                 let mut items: Vec<PorItem<V>> = Vec::new();
                                 let mut any_succ = false;
                                 let mut earlier: ThreadMask = 0;
@@ -833,13 +930,20 @@ where
                                         thread_successors(prog, objs, &cfg, t, opts.step);
                                     transitions.fetch_add(succs.len(), Ordering::Relaxed);
                                     any_succ |= !succs.is_empty();
-                                    let child_sleep = match &fps {
-                                        Some(fps) => {
-                                            let cs = por::child_sleep(fps, sleep | earlier, t);
+                                    let child_sleep = match (&mut fps, &statics) {
+                                        (Some(fps), Some(cm)) => {
+                                            let cs = por::child_sleep_static(
+                                                prog,
+                                                &cfg,
+                                                fps,
+                                                cm.static_indep(),
+                                                sleep | earlier,
+                                                t,
+                                            );
                                             earlier |= 1u64 << t;
                                             cs
                                         }
-                                        None => 0,
+                                        _ => 0,
                                     };
                                     let tid = Tid(t as u8);
                                     for succ in succs {
@@ -882,13 +986,13 @@ where
                                     // the sequential explorers.
                                     if items
                                         .iter()
-                                        .any(|(succ, ..)| !visited.contains_state(succ))
+                                        .any(|(succ, ..)| !visited.contains_state(succ, symm))
                                     {
                                         truncated.store(true, Ordering::Relaxed);
                                     }
                                     continue;
                                 }
-                                let (novel, woken) = visited.insert_batch(items);
+                                let (novel, woken) = visited.insert_batch(items, symm, por);
                                 for (canon, explored) in novel {
                                     n_states.fetch_add(1, Ordering::Relaxed);
                                     on_novel(&canon, &mut buf);
@@ -960,6 +1064,7 @@ where
         terminated: terminated.into_inner(),
         deadlocked: deadlocked.into_inner(),
         truncated: was_truncated,
+        por_fallback,
     };
     (visited, stats)
 }
@@ -977,11 +1082,22 @@ pub fn par_explore(
     n_workers: usize,
     check: impl Fn(&Config, &mut Vec<String>) + Sync,
 ) -> EngineReport {
-    // Violations as (what, config); traces are attached after the join,
-    // once the parent-pointer store is quiescent.
-    let found: Mutex<Vec<(String, Config)>> = Mutex::new(Vec::new());
+    // Same detection `par_walk` runs (it is deterministic and cheap):
+    // under symmetry reduction the check callback must additionally see
+    // every non-representative orbit member, and terminal sets must be
+    // orbit-expanded back to the unreduced search's.
+    let spec = sym::active_spec(prog, opts.symmetry);
 
-    let (visited, stats) = par_walk(
+    // Violations as (what, config, orbit origin); traces are attached
+    // after the join, once the parent-pointer store is quiescent. For an
+    // orbit-member violation the origin carries the interned
+    // representative (where the parent-pointer walk must start) and the
+    // group permutation `π` mapping the representative chain onto the
+    // member's.
+    type Origin = Option<(Config, Vec<u8>)>;
+    let found: Mutex<Vec<(String, Config, Origin)>> = Mutex::new(Vec::new());
+
+    let (visited, mut stats) = par_walk(
         prog,
         objs,
         opts,
@@ -994,17 +1110,42 @@ pub fn par_explore(
             if !buf.is_empty() {
                 let mut f = found.lock();
                 for what in buf.drain(..) {
-                    f.push((what, canon.clone()));
+                    f.push((what, canon.clone(), None));
+                }
+            }
+            if let Some(spec) = &spec {
+                for (pi, member) in sym::orbit_members(spec, canon) {
+                    check(&member, buf);
+                    if !buf.is_empty() {
+                        let mut f = found.lock();
+                        for what in buf.drain(..) {
+                            f.push((what, member.clone(), Some((canon.clone(), pi.clone()))));
+                        }
+                    }
                 }
             }
         },
     );
 
+    if let Some(spec) = &spec {
+        sym::expand_terminals(spec, &mut stats.terminated);
+        sym::expand_terminals(spec, &mut stats.deadlocked);
+    }
+
     let violations = found
         .into_inner()
         .into_iter()
-        .map(|(what, config)| {
-            let trace = opts.record_traces.then(|| reconstruct_trace(&visited, &config));
+        .map(|(what, config, origin)| {
+            let trace = opts.record_traces.then(|| match (&origin, &spec) {
+                // A member violation: walk the representative chain, then
+                // permute it onto the member's orbit copy (ending at the
+                // violating configuration because the original ended at
+                // its representative).
+                (Some((rep, pi)), Some(spec)) => {
+                    sym::permute_trace(spec, pi, reconstruct_trace(&visited, rep))
+                }
+                _ => reconstruct_trace(&visited, &config),
+            });
             Violation { what, config, trace }
         })
         .collect();
@@ -1016,6 +1157,7 @@ pub fn par_explore(
         deadlocked: stats.deadlocked,
         violations,
         truncated: stats.truncated,
+        por_fallback: stats.por_fallback,
     }
 }
 

@@ -99,12 +99,66 @@ pub(crate) fn full_mask(n_threads: usize) -> ThreadMask {
     }
 }
 
-/// Per-thread footprints of every thread's next step at `cfg` — computed
-/// once per expanded configuration, queried once per (candidate, edge)
-/// pair.
-#[inline]
+/// Per-thread footprints of every thread's next step at `cfg` — the
+/// eagerly-extracted oracle [`child_sleep`] quantifies over. The engines
+/// run [`child_sleep_static`] instead (same answers, fewer extractions);
+/// the pair survives as the specification the unit tests hold it to.
+#[cfg(test)]
 pub(crate) fn footprints(prog: &CfgProgram, cfg: &Config) -> Vec<StepFootprint> {
     (0..prog.n_threads()).map(|t| thread_footprint(prog, cfg, t)).collect()
+}
+
+/// Per-configuration footprint cache filled on demand: threads whose
+/// independence the static may-conflict matrix already decides never have
+/// their dynamic footprint extracted at all. One cache per expanded
+/// configuration (a slept thread's footprint cannot change while it
+/// sleeps, so per-thread memoisation within one configuration is sound).
+pub(crate) struct LazyFootprints {
+    slots: Vec<Option<StepFootprint>>,
+}
+
+impl LazyFootprints {
+    pub(crate) fn new(n_threads: usize) -> LazyFootprints {
+        LazyFootprints { slots: vec![None; n_threads] }
+    }
+
+    #[inline]
+    fn get(&mut self, prog: &CfgProgram, cfg: &Config, t: usize) -> StepFootprint {
+        *self.slots[t].get_or_insert_with(|| thread_footprint(prog, cfg, t))
+    }
+}
+
+/// [`child_sleep`] with the static pre-filter in front: candidates the
+/// static may-conflict matrix proves independent of *any* step of `t`
+/// (`static_indep[t]`, from [`rc11_analyze::ConflictMatrix`]) are kept
+/// asleep without extracting a single dynamic footprint; only the
+/// remainder pays the per-pair [`rc11_core::StepFootprint::may_conflict`]
+/// check. Static independence implies dynamic independence (the static
+/// footprint over-approximates every step the thread can ever take), so
+/// the result is bit-identical to the purely dynamic [`child_sleep`].
+#[inline]
+pub(crate) fn child_sleep_static(
+    prog: &CfgProgram,
+    cfg: &Config,
+    fps: &mut LazyFootprints,
+    static_indep: &[u64],
+    candidates: ThreadMask,
+    t: usize,
+) -> ThreadMask {
+    let cand = candidates & !(1u64 << t);
+    let mut keep = static_indep[t] & cand;
+    let mut m = cand & !keep;
+    if m != 0 {
+        let ft = fps.get(prog, cfg, t);
+        while m != 0 {
+            let u = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if !fps.get(prog, cfg, u).may_conflict(&ft) {
+                keep |= 1u64 << u;
+            }
+        }
+    }
+    keep
 }
 
 /// The terminal-classification probe shared by both engines: does any
@@ -133,6 +187,9 @@ pub(crate) fn has_any_successor(
 /// The sleep set a successor inherits over an edge by thread `t`:
 /// `candidates` (the arriving sleep set ∪ the earlier-expanded siblings)
 /// filtered to the threads whose next step is independent of `t`'s.
+/// The eager-footprint specification of [`child_sleep_static`], kept for
+/// the unit tests that compare the two.
+#[cfg(test)]
 #[inline]
 pub(crate) fn child_sleep(
     fps: &[StepFootprint],
@@ -178,5 +235,52 @@ mod tests {
         assert_eq!(child_sleep(&fps, 0b111, 0), 0b010);
         // Nothing to keep from an empty candidate set.
         assert_eq!(child_sleep(&fps, 0, 1), 0);
+    }
+
+    /// The statically pre-filtered sleep computation agrees bit-for-bit
+    /// with the eager dynamic oracle on every reachable configuration of a
+    /// mixed program (two threads on disjoint locations — statically
+    /// independent — plus two racing on a shared one).
+    #[test]
+    fn static_prefilter_matches_dynamic_oracle() {
+        use rc11_lang::builder::*;
+        use rc11_lang::machine::{successors, NoObjects};
+        let mut p = ProgramBuilder::new("mixed");
+        let a = p.client_var("a", 0);
+        let b = p.client_var("b", 0);
+        let x = p.client_var("x", 0);
+        p.add_thread(ThreadBuilder::new(), seq([wr(a, 1), wr(a, 2)]));
+        p.add_thread(ThreadBuilder::new(), seq([wr(b, 1)]));
+        p.add_thread(ThreadBuilder::new(), seq([wr(x, 1)]));
+        let mut t3 = ThreadBuilder::new();
+        let r = t3.reg("r");
+        p.add_thread(t3, seq([rd(r, x)]));
+        let prog = rc11_lang::compile(&p.build());
+        let cm = rc11_analyze::conflict_matrix(&prog);
+        let n = prog.n_threads();
+
+        let mut frontier = vec![Config::initial(&prog).canonical()];
+        let mut seen = vec![frontier[0].clone()];
+        while let Some(cfg) = frontier.pop() {
+            let eager = footprints(&prog, &cfg);
+            let mut lazy = LazyFootprints::new(n);
+            for t in 0..n {
+                for cand in [0u64, 0b1010, 0b0111, full_mask(n)] {
+                    assert_eq!(
+                        child_sleep_static(&prog, &cfg, &mut lazy, cm.static_indep(), cand, t),
+                        child_sleep(&eager, cand, t),
+                        "thread {t}, candidates {cand:#b}"
+                    );
+                }
+            }
+            for (_, s) in successors(&prog, &NoObjects, &cfg, StepOptions::default()) {
+                let c = s.canonical();
+                if !seen.contains(&c) {
+                    seen.push(c.clone());
+                    frontier.push(c);
+                }
+            }
+        }
+        assert!(seen.len() > 4, "walked a non-trivial space");
     }
 }

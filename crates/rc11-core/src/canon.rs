@@ -27,10 +27,19 @@
 //! materialised-canonical dedup (ablation A4 in DESIGN.md).
 
 use crate::combined::Combined;
-use crate::ids::{Loc, OpId};
-use crate::state::CState;
+use crate::ids::{Loc, OpId, Tid};
+use crate::state::{CState, OpRecord};
 use crate::view::View;
 use std::hash::{Hash, Hasher};
+
+/// The inverse of a thread permutation `sigma[old] = new`: `inv[new] = old`.
+fn invert_tperm(sigma: &[u8]) -> Vec<u8> {
+    let mut inv = vec![0u8; sigma.len()];
+    for (old, &new) in sigma.iter().enumerate() {
+        inv[new as usize] = old as u8;
+    }
+    inv
+}
 
 /// Build the canonical permutation for one component: `perm[old] = new`,
 /// numbering ops by location then modification-order position.
@@ -48,10 +57,20 @@ fn perm_of(st: &CState) -> Vec<OpId> {
 }
 
 /// Rebuild a component state with ids renumbered by `perm` (own ids) and
-/// `perm_other` (ids appearing in cross-component view halves).
-fn renumber(st: &CState, perm: &[OpId], perm_other: &[OpId]) -> CState {
+/// `perm_other` (ids appearing in cross-component view halves), and —
+/// when `tperm` is given — thread ids permuted by `tperm[old] = new`.
+/// Initialisation operations (modification-order position 0 on every
+/// location) belong to no thread and keep their dummy `Tid(0)`.
+fn renumber(st: &CState, perm: &[OpId], perm_other: &[OpId], tperm: Option<&[u8]>) -> CState {
     let (ops, mo, tview, mview_own, mview_other, cvd) = st.raw_parts();
     let n = ops.len();
+
+    // Which ops are initialisation ops: exactly the mo-position-0 entry of
+    // every location (inserts always land at rank ≥ 1).
+    let mut is_init = vec![false; n];
+    for locs in mo {
+        is_init[locs[0].idx()] = true;
+    }
 
     let mut new_ops = ops.to_vec();
     let mut new_cvd = vec![false; n];
@@ -59,7 +78,13 @@ fn renumber(st: &CState, perm: &[OpId], perm_other: &[OpId]) -> CState {
     let mut new_mview_other: Vec<Option<View>> = vec![None; n];
     for old in 0..n {
         let new = perm[old].idx();
-        new_ops[new] = ops[old];
+        let mut rec = ops[old];
+        if let Some(sigma) = tperm {
+            if !is_init[old] {
+                rec.tid = Tid(sigma[rec.tid.idx()]);
+            }
+        }
+        new_ops[new] = rec;
         new_cvd[new] = cvd[old];
         let mut own = mview_own[old].clone();
         own.remap(perm);
@@ -74,7 +99,7 @@ fn renumber(st: &CState, perm: &[OpId], perm_other: &[OpId]) -> CState {
         .map(|locs| locs.iter().map(|w| perm[w.idx()]).collect())
         .collect();
 
-    let new_tview: Vec<View> = tview
+    let mut new_tview: Vec<View> = tview
         .iter()
         .map(|v| {
             let mut v = v.clone();
@@ -82,6 +107,13 @@ fn renumber(st: &CState, perm: &[OpId], perm_other: &[OpId]) -> CState {
             v
         })
         .collect();
+    if let Some(sigma) = tperm {
+        let remapped = new_tview;
+        new_tview = vec![View::from_entries(Vec::new()); remapped.len()];
+        for (old_t, v) in remapped.into_iter().enumerate() {
+            new_tview[sigma[old_t] as usize] = v;
+        }
+    }
 
     CState::from_raw_parts(
         st.comp,
@@ -107,6 +139,12 @@ pub struct CanonPerms {
     pub client: Vec<OpId>,
     /// Library-component permutation (`perm[old] = new`).
     pub lib: Vec<OpId>,
+    /// Optional thread permutation (`threads[old tid] = new tid`) applied on
+    /// top of the op renumbering — the symmetry-reduction hook (ablation A6).
+    /// `None` means the identity. The op permutations commute with any
+    /// thread permutation because [`perm_of`] orders ops purely by
+    /// `(location, mo-position)`, which thread renaming leaves untouched.
+    pub threads: Option<Vec<u8>>,
 }
 
 /// Stream one component's canonical serialisation into `h`: framing
@@ -115,7 +153,13 @@ pub struct CanonPerms {
 /// consecutive in `(location, mo-position)` order), then every op record,
 /// covered flag and modification-view pair in canonical id order with view
 /// entries remapped on the fly, then the remapped thread views.
-fn hash_component<H: Hasher>(st: &CState, perm: &[OpId], perm_other: &[OpId], h: &mut H) {
+fn hash_component<H: Hasher>(
+    st: &CState,
+    perm: &[OpId],
+    perm_other: &[OpId],
+    tperm: Option<&[u8]>,
+    h: &mut H,
+) {
     let (ops, mo, tview, mview_own, mview_other, cvd) = st.raw_parts();
     h.write_usize(mo.len());
     h.write_usize(tview.len());
@@ -124,16 +168,37 @@ fn hash_component<H: Hasher>(st: &CState, perm: &[OpId], perm_other: &[OpId], h:
         h.write_usize(locs.len());
     }
     for locs in mo {
-        for &w in locs {
+        for (pos, &w) in locs.iter().enumerate() {
             let old = w.idx();
-            ops[old].hash(h);
+            // mo-position 0 is the location's initialisation op, which
+            // belongs to no thread — its dummy tid stays fixed under any
+            // thread permutation.
+            match tperm {
+                Some(sigma) if pos > 0 => {
+                    let rec = ops[old];
+                    OpRecord { tid: Tid(sigma[rec.tid.idx()]), ..rec }.hash(h);
+                }
+                _ => ops[old].hash(h),
+            }
             h.write_u8(cvd[old] as u8);
             mview_own[old].hash_remapped(perm, h);
             mview_other[old].hash_remapped(perm_other, h);
         }
     }
-    for tv in tview {
-        tv.hash_remapped(perm, h);
+    match tperm {
+        Some(sigma) => {
+            // Thread views in *canonical* slot order: new slot `j` holds the
+            // view of the old thread `inv[j]`.
+            let inv = invert_tperm(sigma);
+            for &old_t in &inv {
+                tview[old_t as usize].hash_remapped(perm, h);
+            }
+        }
+        None => {
+            for tv in tview {
+                tv.hash_remapped(perm, h);
+            }
+        }
     }
 }
 
@@ -141,7 +206,13 @@ fn hash_component<H: Hasher>(st: &CState, perm: &[OpId], perm_other: &[OpId], h:
 /// exactly `canon` — which must already be in canonical form (its `mo`
 /// vectors consecutive in `(location, mo-position)` order, as produced by
 /// [`Combined::canonical`]). Walks without materialising anything.
-fn component_canonical_eq(st: &CState, perm: &[OpId], perm_other: &[OpId], canon: &CState) -> bool {
+fn component_canonical_eq(
+    st: &CState,
+    perm: &[OpId],
+    perm_other: &[OpId],
+    tperm: Option<&[u8]>,
+    canon: &CState,
+) -> bool {
     let (ops, mo, tview, mview_own, mview_other, cvd) = st.raw_parts();
     let (cops, cmo, ctview, cmview_own, cmview_other, ccvd) = canon.raw_parts();
     if ops.len() != cops.len() || mo.len() != cmo.len() || tview.len() != ctview.len() {
@@ -152,9 +223,17 @@ fn component_canonical_eq(st: &CState, perm: &[OpId], perm_other: &[OpId], canon
         if locs.len() != clocs.len() {
             return false;
         }
-        for &w in locs {
+        for (pos, &w) in locs.iter().enumerate() {
             let old = w.idx();
-            if ops[old] != cops[new_id]
+            let rec = match tperm {
+                // Init ops (mo-position 0) belong to no thread; see
+                // `hash_component`.
+                Some(sigma) if pos > 0 => {
+                    OpRecord { tid: Tid(sigma[ops[old].tid.idx()]), ..ops[old] }
+                }
+                _ => ops[old],
+            };
+            if rec != cops[new_id]
                 || cvd[old] != ccvd[new_id]
                 || !mview_own[old].eq_remapped(perm, &cmview_own[new_id])
                 || !mview_other[old].eq_remapped(perm_other, &cmview_other[new_id])
@@ -164,14 +243,23 @@ fn component_canonical_eq(st: &CState, perm: &[OpId], perm_other: &[OpId], canon
             new_id += 1;
         }
     }
-    tview.iter().zip(ctview).all(|(tv, ctv)| tv.eq_remapped(perm, ctv))
+    match tperm {
+        Some(sigma) => {
+            let inv = invert_tperm(sigma);
+            inv.iter()
+                .zip(ctview)
+                .all(|(&old_t, ctv)| tview[old_t as usize].eq_remapped(perm, ctv))
+        }
+        None => tview.iter().zip(ctview).all(|(tv, ctv)| tv.eq_remapped(perm, ctv)),
+    }
 }
 
 impl Combined {
-    /// The canonical permutations of both components (see [`CanonPerms`]).
+    /// The canonical permutations of both components (see [`CanonPerms`]),
+    /// with the identity thread permutation.
     #[must_use]
     pub fn canonical_perms(&self) -> CanonPerms {
-        CanonPerms { client: perm_of(self.client()), lib: perm_of(self.lib()) }
+        CanonPerms { client: perm_of(self.client()), lib: perm_of(self.lib()), threads: None }
     }
 
     /// The canonical representative of this state: ids renumbered by
@@ -188,8 +276,24 @@ impl Combined {
     /// materialise the canonical form without recomputing the permutations.
     #[must_use]
     pub fn canonical_with(&self, perms: &CanonPerms) -> Combined {
-        let client = renumber(self.client(), &perms.client, &perms.lib);
-        let lib = renumber(self.lib(), &perms.lib, &perms.client);
+        let tperm = perms.threads.as_deref();
+        let client = renumber(self.client(), &perms.client, &perms.lib, tperm);
+        let lib = renumber(self.lib(), &perms.lib, &perms.client, tperm);
+        Combined::from_parts(client, lib)
+    }
+
+    /// Rebuild this state with thread ids permuted by `sigma[old] = new`
+    /// (op ids untouched): per-op `tid`s renamed (initialisation ops keep
+    /// their dummy tid) and thread viewfronts moved to their new slots.
+    /// Only sound as a state-space symmetry when `sigma` is a program
+    /// automorphism — the detection side lives in `rc11-analyze`.
+    #[must_use]
+    pub fn permute_threads(&self, sigma: &[u8]) -> Combined {
+        let identity = |st: &CState| (0..st.n_ops() as u32).map(OpId).collect::<Vec<_>>();
+        let cid = identity(self.client());
+        let lid = identity(self.lib());
+        let client = renumber(self.client(), &cid, &lid, Some(sigma));
+        let lib = renumber(self.lib(), &lid, &cid, Some(sigma));
         Combined::from_parts(client, lib)
     }
 
@@ -199,8 +303,9 @@ impl Combined {
     /// wide-enough hash of this walk is a canonical fingerprint (the
     /// 128-bit instantiation lives in `rc11_check::fxhash`).
     pub fn hash_canonical_with<H: Hasher>(&self, perms: &CanonPerms, h: &mut H) {
-        hash_component(self.client(), &perms.client, &perms.lib, h);
-        hash_component(self.lib(), &perms.lib, &perms.client, h);
+        let tperm = perms.threads.as_deref();
+        hash_component(self.client(), &perms.client, &perms.lib, tperm, h);
+        hash_component(self.lib(), &perms.lib, &perms.client, tperm, h);
     }
 
     /// [`Combined::hash_canonical_with`], computing the permutations
@@ -215,8 +320,9 @@ impl Combined {
     /// confirmation step of fingerprint deduplication.
     #[must_use]
     pub fn canonical_eq_with(&self, perms: &CanonPerms, canon: &Combined) -> bool {
-        component_canonical_eq(self.client(), &perms.client, &perms.lib, canon.client())
-            && component_canonical_eq(self.lib(), &perms.lib, &perms.client, canon.lib())
+        let tperm = perms.threads.as_deref();
+        component_canonical_eq(self.client(), &perms.client, &perms.lib, tperm, canon.client())
+            && component_canonical_eq(self.lib(), &perms.lib, &perms.client, tperm, canon.lib())
     }
 
     /// [`Combined::canonical_eq_with`], computing the permutations

@@ -32,6 +32,8 @@ pub use ast::{BinOp, Com, EvalError, Exp, Method, ObjRef, Reg, UnOp, VarRef};
 pub use ast_step::{ast_successors, AstConfig};
 pub use cfg::{compile, CfgProgram, Instr, ThreadCfg};
 pub use inline::{instantiate, CallSite, ObjectImpl};
-pub use machine::{successors, thread_successors, Config, NoObjects, ObjectSemantics, StepOptions};
-pub use parse::{parse_litmus, ParseError, ParsedLitmus, Span};
+pub use machine::{
+    successors, thread_successors, Config, NoObjects, ObjectSemantics, StepOptions, SymMaps,
+};
+pub use parse::{parse_litmus, LintInfo, ParseError, ParsedLitmus, Span, ThreadLintInfo};
 pub use program::{ObjKind, Program, ThreadDef};

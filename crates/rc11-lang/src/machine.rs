@@ -52,6 +52,31 @@ impl ObjectSemantics for NoObjects {
     }
 }
 
+/// Per-thread register renaming maps between each thread's own register
+/// numbering and the *representative* numbering of its thread-symmetry
+/// group (first-use order of the group's representative member). Threads
+/// outside any symmetry group carry identity maps. Produced by the
+/// detection pass in `rc11-analyze`; consumed by the symmetry-aware
+/// canonicalisation walks below.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymMaps {
+    /// `to_rep[t][r]` — the representative-numbering index of thread `t`'s
+    /// register `r`.
+    pub to_rep: Vec<Vec<u16>>,
+    /// `from_rep[t][k]` — the register of thread `t` that plays
+    /// representative index `k` (the inverse of `to_rep[t]`).
+    pub from_rep: Vec<Vec<u16>>,
+}
+
+impl SymMaps {
+    /// Identity maps for a program whose threads have the given register
+    /// counts.
+    pub fn identity(n_regs: &[u16]) -> SymMaps {
+        let id: Vec<Vec<u16>> = n_regs.iter().map(|&n| (0..n).collect()).collect();
+        SymMaps { to_rep: id.clone(), from_rep: id }
+    }
+}
+
 /// A machine configuration: per-thread pcs, per-thread register files and
 /// the combined memory state.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -139,6 +164,98 @@ impl Config {
     #[must_use]
     pub fn canonical_eq(&self, canon: &Config) -> bool {
         self.canonical_eq_with(&self.canonical_perms(), canon)
+    }
+
+    /// The thread-permuted control state `(pcs, locals)` under
+    /// `sigma[old] = new`: slot `sigma[t]` receives thread `t`'s pc and its
+    /// register file re-expressed in the destination slot's numbering via
+    /// `maps` (`file'[k] = file_t[from_rep_t[to_rep_dest[k]]]`). Only
+    /// meaningful when `sigma` permutes threads within symmetry groups
+    /// (equal instruction streams modulo the register renaming), which is
+    /// what `rc11-analyze` detects.
+    fn permuted_control(&self, sigma: &[u8], maps: &SymMaps) -> (Vec<u32>, Vec<Vec<Val>>) {
+        let n = self.pcs.len();
+        let mut pcs = vec![0u32; n];
+        let mut locals: Vec<Vec<Val>> = vec![Vec::new(); n];
+        for t in 0..n {
+            let dest = sigma[t] as usize;
+            pcs[dest] = self.pcs[t];
+            let file = &self.locals[t];
+            locals[dest] = maps.to_rep[dest]
+                .iter()
+                .map(|&rep| file[maps.from_rep[t][rep as usize] as usize])
+                .collect();
+        }
+        (pcs, locals)
+    }
+
+    /// Rebuild this configuration with threads permuted by
+    /// `sigma[old] = new`: control state via [`SymMaps`]-aware slot moves,
+    /// memory via [`rc11_core::Combined::permute_threads`]. When `sigma` is
+    /// a program automorphism the result is a reachable configuration with
+    /// the same future behaviour up to the same permutation.
+    #[must_use]
+    pub fn permute_threads(&self, sigma: &[u8], maps: &SymMaps) -> Config {
+        let (pcs, locals) = self.permuted_control(sigma, maps);
+        Config { pcs, locals, mem: self.mem.permute_threads(sigma) }
+    }
+
+    /// [`Config::hash_canonical_with`] honouring the thread permutation in
+    /// `perms.threads`: streams the canonical serialisation of the
+    /// thread-permuted configuration. Feeds byte-identical input to `h` as
+    /// the plain walk over `self.permute_threads(σ).canonical()` would, so
+    /// sym-fingerprints and plain fingerprints of materialised sym-canonical
+    /// forms coincide. Falls back to the plain walk when `perms.threads` is
+    /// `None`.
+    pub fn hash_canonical_sym<H: std::hash::Hasher>(
+        &self,
+        perms: &rc11_core::CanonPerms,
+        maps: &SymMaps,
+        h: &mut H,
+    ) {
+        use std::hash::Hash;
+        match &perms.threads {
+            Some(sigma) => {
+                let (pcs, locals) = self.permuted_control(sigma, maps);
+                pcs.hash(h);
+                locals.hash(h);
+                self.mem.hash_canonical_with(perms, h);
+            }
+            None => self.hash_canonical_with(perms, h),
+        }
+    }
+
+    /// [`Config::canonical_eq_with`] honouring the thread permutation in
+    /// `perms.threads` (see [`Config::hash_canonical_sym`]).
+    #[must_use]
+    pub fn canonical_eq_sym(
+        &self,
+        perms: &rc11_core::CanonPerms,
+        maps: &SymMaps,
+        canon: &Config,
+    ) -> bool {
+        match &perms.threads {
+            Some(sigma) => {
+                let (pcs, locals) = self.permuted_control(sigma, maps);
+                pcs == canon.pcs
+                    && locals == canon.locals
+                    && self.mem.canonical_eq_with(perms, &canon.mem)
+            }
+            None => self.canonical_eq_with(perms, canon),
+        }
+    }
+
+    /// [`Config::canonical_with`] honouring the thread permutation in
+    /// `perms.threads`: materialises the thread-permuted canonical form.
+    #[must_use]
+    pub fn canonical_sym(&self, perms: &rc11_core::CanonPerms, maps: &SymMaps) -> Config {
+        match &perms.threads {
+            Some(sigma) => {
+                let (pcs, locals) = self.permuted_control(sigma, maps);
+                Config { pcs, locals, mem: self.mem.canonical_with(perms) }
+            }
+            None => self.canonical_with(perms),
+        }
     }
 
     /// True iff every thread is at `Halt`.

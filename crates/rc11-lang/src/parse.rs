@@ -53,8 +53,9 @@ use rc11_core::Val;
 use std::collections::BTreeSet;
 use std::fmt;
 
-/// A source position: 1-based line and column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A source position: 1-based line and column (`0:0` when unknown, e.g.
+/// the default [`LintInfo`] before the `expected` block is reached).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Span {
     /// 1-based line number.
     pub line: u32,
@@ -103,12 +104,93 @@ pub struct ParsedLitmus {
     pub observe_names: Vec<(String, String)>,
     /// The exact admissible outcome set, one `Vec<Val>` per tuple.
     pub expected: BTreeSet<Vec<Val>>,
+    /// Source facts collected for the lint pass (rc11-analyze).
+    pub lint: LintInfo,
+}
+
+/// Source-position facts the parser records as it goes, so the lint pass
+/// (which works over the assembled [`Program`], where spans no longer
+/// exist) can point its diagnostics at the offending source location.
+#[derive(Debug, Clone, Default)]
+pub struct LintInfo {
+    /// Every declared shared variable: its reference, name and the span of
+    /// the declaration, in declaration order.
+    pub vars: Vec<(VarRef, String, Span)>,
+    /// Per-thread names, declaration spans and register tables.
+    pub threads: Vec<ThreadLintInfo>,
+    /// One span per `while`/`do` loop, recorded at the keyword in source
+    /// order — i.e. in pre-order of the assembled `Com` trees, threads in
+    /// declaration order (the order [`Com::visit`] yields the loop nodes).
+    pub loop_spans: Vec<Span>,
+    /// First statement of each block that follows a `while (true) { … }`.
+    pub unreachable: Vec<Span>,
+    /// One span per `observe` entry, parallel to `ParsedLitmus::observe`.
+    pub observe_spans: Vec<Span>,
+    /// The span of the `expected` block.
+    pub expected_span: Span,
+    /// Rule names from `// lint: allow(rule, …)` comments in the source.
+    pub allows: Vec<String>,
+}
+
+/// Lint facts for one thread.
+#[derive(Debug, Clone)]
+pub struct ThreadLintInfo {
+    /// Thread name.
+    pub name: String,
+    /// Span of the thread declaration.
+    pub span: Span,
+    /// Register names and first-use spans, in allocation order (index `i`
+    /// is `Reg(i)`).
+    pub regs: Vec<(String, Span)>,
 }
 
 /// Parse one `.litmus` source text.
 pub fn parse_litmus(src: &str) -> Result<ParsedLitmus, ParseError> {
     let toks = Lexer::new(src).lex()?;
-    Parser { toks, pos: 0, decls: Vec::new(), threads: Vec::new() }.parse()
+    let parser = Parser {
+        toks,
+        pos: 0,
+        decls: Vec::new(),
+        threads: Vec::new(),
+        lint: LintInfo { allows: scan_allows(src), ..LintInfo::default() },
+    };
+    parser.parse()
+}
+
+/// Evaluate a register-free expression to a boolean, if it is one — the
+/// constant-guard oracle shared by the parser's unreachable-code tracking
+/// and the lint pass.
+pub fn const_bool(e: &Exp) -> Option<bool> {
+    let mut regs = Vec::new();
+    e.regs(&mut regs);
+    if !regs.is_empty() {
+        return None;
+    }
+    match e.eval(&[]) {
+        Ok(Val::Bool(b)) => Some(b),
+        _ => None,
+    }
+}
+
+/// Collect rule names from `// lint: allow(rule, …)` comments. Comments
+/// are invisible to the lexer, so the directive is read off the raw text.
+fn scan_allows(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in src.lines() {
+        let Some(comment) = line.split_once("//").map(|(_, c)| c) else { continue };
+        let Some(rest) = comment.trim().strip_prefix("lint:") else { continue };
+        let Some(args) = rest.trim().strip_prefix("allow(").and_then(|r| r.split(')').next())
+        else {
+            continue;
+        };
+        for rule in args.split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                out.push(rule.to_string());
+            }
+        }
+    }
+    out
 }
 
 /// Print a value in the form the `expected { … }` block parses back —
@@ -416,24 +498,25 @@ enum Decl {
 /// Per-thread parsing state: register names in allocation order.
 struct ThreadCtx {
     name: String,
+    span: Span,
     tb: ThreadBuilder,
-    regs: Vec<String>,
+    regs: Vec<(String, Span)>,
 }
 
 impl ThreadCtx {
     /// Resolve a register name, or `None` if never assigned.
     fn lookup(&self, name: &str) -> Option<Reg> {
-        self.regs.iter().position(|r| r == name).map(|i| Reg(i as u16))
+        self.regs.iter().position(|(r, _)| r == name).map(|i| Reg(i as u16))
     }
 
     /// Resolve a register name as an assignment target, declaring it on
     /// first use (initialised to `⊥`).
-    fn target(&mut self, name: &str) -> Reg {
+    fn target(&mut self, name: &str, span: Span) -> Reg {
         match self.lookup(name) {
             Some(r) => r,
             None => {
                 let r = self.tb.reg(name);
-                self.regs.push(name.to_string());
+                self.regs.push((name.to_string(), span));
                 r
             }
         }
@@ -445,6 +528,7 @@ struct Parser {
     pos: usize,
     decls: Vec<(String, Decl)>,
     threads: Vec<ThreadCtx>,
+    lint: LintInfo,
 }
 
 impl Parser {
@@ -545,6 +629,7 @@ impl Parser {
                     } else {
                         pb.lib_var(&vname, init)
                     };
+                    self.lint.vars.push((var, vname.clone(), vspan));
                     self.decls.push((vname, Decl::Var(var)));
                 }
                 Tok::Ident(kw)
@@ -576,6 +661,7 @@ impl Parser {
                     }
                     self.threads.push(ThreadCtx {
                         name: tname,
+                        span: tspan,
                         tb: ThreadBuilder::new(),
                         regs: Vec::new(),
                     });
@@ -631,6 +717,7 @@ impl Parser {
                     };
                     observe.push((ti, reg));
                     observe_names.push((tname, rname));
+                    self.lint.observe_spans.push(tspan);
                     // Optional separating comma.
                     if self.peek() == &Tok::Comma {
                         self.bump();
@@ -644,6 +731,7 @@ impl Parser {
         }
 
         // `expected { (v, …) … }`
+        self.lint.expected_span = self.span();
         if !self.eat_kw("expected") {
             return Err(self.err(self.span(), "expected the `expected { … }` block"));
         }
@@ -689,13 +777,18 @@ impl Parser {
 
         // Assemble the program.
         for (ctx, body) in self.threads.drain(..).zip(bodies) {
+            self.lint.threads.push(ThreadLintInfo {
+                name: ctx.name.clone(),
+                span: ctx.span,
+                regs: ctx.regs.clone(),
+            });
             pb.add_thread(ctx.tb, body);
         }
         let prog = pb.build();
         if let Err(e) = prog.validate() {
             return Err(ParseError { msg: e, span: Span { line: 1, col: 1 } });
         }
-        Ok(ParsedLitmus { name, about, prog, observe, observe_names, expected })
+        Ok(ParsedLitmus { name, about, prog, observe, observe_names, expected, lint: self.lint })
     }
 
     fn check_fresh(&self, name: &str, span: Span) -> Result<(), ParseError> {
@@ -747,8 +840,20 @@ impl Parser {
 
     fn parse_stmts(&mut self, ti: usize) -> Result<Com, ParseError> {
         let mut out = Com::Skip;
+        // Statements after a `while (true) { … }` can never run (the
+        // language has no `break`); flag the first one per block.
+        let mut diverged = false;
+        let mut flagged = false;
         while self.peek() != &Tok::RBrace && self.peek() != &Tok::Eof {
+            let span = self.span();
+            if diverged && !flagged {
+                self.lint.unreachable.push(span);
+                flagged = true;
+            }
             let s = self.parse_stmt(ti)?;
+            if let Com::While { cond, .. } = &s {
+                diverged = diverged || const_bool(cond) == Some(true);
+            }
             out = out.then(s);
         }
         Ok(out)
@@ -775,6 +880,7 @@ impl Parser {
             }
             Tok::Ident(kw) if kw == "while" => {
                 self.bump();
+                self.lint.loop_spans.push(span);
                 self.expect(&Tok::LParen, "to open the condition")?;
                 let cond = self.parse_exp(ti)?;
                 self.expect(&Tok::RParen, "to close the condition")?;
@@ -783,6 +889,7 @@ impl Parser {
             }
             Tok::Ident(kw) if kw == "do" => {
                 self.bump();
+                self.lint.loop_spans.push(span);
                 let body = self.parse_block(ti)?;
                 if !self.eat_kw("until") {
                     return Err(self.err(self.span(), "expected `until` after a `do` block"));
@@ -824,7 +931,7 @@ impl Parser {
                                 format!("`{name}` is a shared location, not a register"),
                             ));
                         }
-                        let reg = self.threads[ti].target(&name);
+                        let reg = self.threads[ti].target(&name, span);
                         self.expect(&Tok::Semi, "after a read")?;
                         Ok(Com::Read { reg, var, acq: true })
                     }
@@ -866,7 +973,7 @@ impl Parser {
                         let new = self.parse_exp(ti)?;
                         self.expect(&Tok::RParen, "to close the CAS")?;
                         self.expect(&Tok::Semi, "after a CAS")?;
-                        let reg = self.threads[ti].target(&name);
+                        let reg = self.threads[ti].target(&name, span);
                         Ok(Com::Cas { reg, var, expect, new })
                     }
                     // `r = fai(x);`
@@ -877,7 +984,7 @@ impl Parser {
                         let var = self.resolve_var(&vname, vspan)?;
                         self.expect(&Tok::RParen, "to close the FAI")?;
                         self.expect(&Tok::Semi, "after a FAI")?;
-                        let reg = self.threads[ti].target(&name);
+                        let reg = self.threads[ti].target(&name, span);
                         Ok(Com::Fai { reg, var })
                     }
                     // `r = obj.method(...);`
@@ -885,7 +992,7 @@ impl Parser {
                         if self.peek2() == &Tok::Dot
                             && matches!(self.lookup_decl(&oname), Some(Decl::Obj(..))) =>
                     {
-                        let stmt = self.parse_method_call(ti, Some(name))?;
+                        let stmt = self.parse_method_call(ti, Some((name, span)))?;
                         self.expect(&Tok::Semi, "after a method call")?;
                         Ok(stmt)
                     }
@@ -900,14 +1007,14 @@ impl Parser {
                         self.bump();
                         let var = self.resolve_var(&vname, span).unwrap();
                         self.bump(); // the semicolon
-                        let reg = self.threads[ti].target(&name);
+                        let reg = self.threads[ti].target(&name, span);
                         Ok(Com::Read { reg, var, acq: false })
                     }
                     // Otherwise: a local assignment over registers.
                     _ => {
                         let exp = self.parse_exp(ti)?;
                         self.expect(&Tok::Semi, "after an assignment")?;
-                        let reg = self.threads[ti].target(&name);
+                        let reg = self.threads[ti].target(&name, span);
                         Ok(Com::Assign(reg, exp))
                     }
                 }
@@ -916,7 +1023,11 @@ impl Parser {
     }
 
     /// `obj.method(args)` with an optional result register.
-    fn parse_method_call(&mut self, ti: usize, result: Option<String>) -> Result<Com, ParseError> {
+    fn parse_method_call(
+        &mut self,
+        ti: usize,
+        result: Option<(String, Span)>,
+    ) -> Result<Com, ParseError> {
         let (oname, ospan) = self.expect_ident("an object name")?;
         let (obj, kind) = match self.lookup_decl(&oname) {
             Some(Decl::Obj(o, k)) => (o, k),
@@ -967,7 +1078,7 @@ impl Parser {
         };
         self.expect(&Tok::RParen, "to close the argument list")?;
         let reg = match result {
-            Some(rname) => Some(self.threads[ti].target(&rname)),
+            Some((rname, rspan)) => Some(self.threads[ti].target(&rname, rspan)),
             None => None,
         };
         Ok(Com::MethodCall { reg, obj, method, arg, sync })

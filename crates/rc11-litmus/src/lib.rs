@@ -137,6 +137,10 @@ pub struct LitmusResult {
     pub transitions: usize,
     /// `observed == expected`.
     pub pass: bool,
+    /// POR was requested but the program has more than 64 threads, so the
+    /// engine fell back to unreduced search (the sleep masks are 64-bit).
+    /// The result is still exact; `rc11 run --por` prints a note.
+    pub por_fallback: bool,
 }
 
 fn ints(rows: &[&[i64]]) -> BTreeSet<Vec<Val>> {
@@ -195,6 +199,7 @@ pub fn run_with_opts(
         states: report.states,
         transitions: report.transitions,
         pass,
+        por_fallback: report.por_fallback,
     };
     (res, report.truncated, report.deadlocked.len())
 }

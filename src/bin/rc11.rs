@@ -3,17 +3,23 @@
 //! * `rc11 run <path>…` — batch-run `.litmus` files (or directories of
 //!   them) under any combination of engines, with a summary table and a
 //!   nonzero exit on any parse error or verdict mismatch;
+//! * `rc11 lint <path>…` — static diagnostics over `.litmus` files:
+//!   every file's findings are reported before the exit code is decided,
+//!   so a batch never hides errors behind the first one;
 //! * `rc11 fuzz` — drive the generative differential harness from a seed.
 //!
 //! ```text
 //! rc11 run corpus/ --workers 1,2,4,8
 //! rc11 run corpus/mp_rlx.litmus --engine parallel --workers 4 --show-outcomes
+//! rc11 lint corpus/ --deny-warnings
 //! rc11 fuzz --seed 7 --iters 500 --workers 2,4
 //! ```
 
+use rc11::analyze::{lint as analyze_lint, render_diagnostic, Severity};
 use rc11::check::gen::GenOptions;
 use rc11::check::fuzz::{fuzz, DiffOptions};
 use rc11::check::{choose_engine, Engine};
+use rc11::lang::parse::parse_litmus;
 use rc11::litmus::{self, Litmus};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,6 +28,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
@@ -39,6 +46,7 @@ rc11 — litmus tests and differential fuzzing for the RC11 RAR semantics
 
 USAGE:
   rc11 run <path>... [OPTIONS]     batch-run .litmus files / directories
+  rc11 lint <path>... [OPTIONS]    static diagnostics for .litmus files
   rc11 fuzz [OPTIONS]              generative differential fuzzing
 
 RUN OPTIONS:
@@ -53,10 +61,23 @@ RUN OPTIONS:
                              once unreduced: state counts and outcome sets
                              must match exactly, and the summary gains a
                              REDUCTION column (unreduced / reduced
-                             transitions)
+                             transitions). Programs beyond 64 threads fall
+                             back to unreduced search (a note is printed;
+                             results stay exact)
+  --symmetry                 explore with thread-symmetry reduction
+                             (ablation A6). Every test additionally runs
+                             once without it: outcome sets must match
+                             exactly while the state count never grows,
+                             and the summary gains a SYM column
+                             (unsymmetric / symmetric states)
   --max-states <N>           per-test state cap (default: 5000000)
   --show-outcomes            print each test's observed outcome set
   -q, --quiet                only print failures and the final summary
+
+LINT OPTIONS:
+  --deny-warnings            exit nonzero on warnings, not just errors.
+                             All findings across all files are reported
+                             before the exit code is decided
 
 FUZZ OPTIONS:
   --seed <S>                 base seed (default: 1)
@@ -74,6 +95,13 @@ FUZZ OPTIONS:
                              reduction and must preserve states, terminals
                              and outcome sets while generating no more
                              transitions
+  --symmetry                 add the symmetry report-parity lane (and bias
+                             the generator towards cloned threads): every
+                             program re-explores with thread-symmetry
+                             reduction — alone and combined with POR,
+                             sequential and parallel — and must preserve
+                             terminals and outcome sets while never
+                             growing the state count
 
 Exit status: 0 on full agreement, 1 on any mismatch/parse error, 2 on usage
 errors.
@@ -153,6 +181,7 @@ fn cmd_run(raw: &[String]) -> ExitCode {
     };
     let fingerprint = !opts.flag(&["--no-fingerprint"]);
     let por = opts.flag(&["--por"]);
+    let symmetry = opts.flag(&["--symmetry"]);
     let show_outcomes = opts.flag(&["--show-outcomes"]);
     let quiet = opts.flag(&["--quiet", "-q"]);
     if let Some(bad) = opts.args.iter().find(|a| a.starts_with('-')) {
@@ -192,6 +221,7 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         max_states,
         fingerprint,
         por,
+        symmetry,
         ..Default::default()
     };
 
@@ -199,18 +229,20 @@ fn cmd_run(raw: &[String]) -> ExitCode {
     let mut failed = 0usize;
     let mut full_transitions_total = 0usize;
     let mut por_transitions_total = 0usize;
+    let mut nosym_states_total = 0usize;
+    let mut sym_states_total = 0usize;
     if !quiet {
+        let mut header = format!(
+            "{:<16} {:>8} {:>10} {:>10}",
+            "NAME", "STATES", "OBSERVED", "EXPECTED"
+        );
         if por {
-            println!(
-                "{:<16} {:>8} {:>10} {:>10} {:>10}  RESULT",
-                "NAME", "STATES", "OBSERVED", "EXPECTED", "REDUCTION"
-            );
-        } else {
-            println!(
-                "{:<16} {:>8} {:>10} {:>10}  RESULT",
-                "NAME", "STATES", "OBSERVED", "EXPECTED"
-            );
+            header.push_str(&format!(" {:>10}", "REDUCTION"));
         }
+        if symmetry {
+            header.push_str(&format!(" {:>10}", "SYM"));
+        }
+        println!("{header}  RESULT");
     }
     // `LoadError`'s Display already includes the path, so only the loaded
     // result is consumed here.
@@ -226,6 +258,7 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         let mut ok = true;
         let mut states = 0usize;
         let mut transitions = 0usize;
+        let mut por_fell_back = false;
         let mut first_divergence: Option<String> = None;
         let mut observed: Option<std::collections::BTreeSet<Vec<rc11::core::Val>>> = None;
         let mut prev_workers = 0usize;
@@ -233,6 +266,7 @@ fn cmd_run(raw: &[String]) -> ExitCode {
             let (res, truncated, deadlocks) = litmus::run_with_opts(litmus, engine, explore_opts);
             states = res.states;
             transitions = res.transitions;
+            por_fell_back |= res.por_fallback;
             if !res.pass && first_divergence.is_none() {
                 first_divergence = Some(if truncated {
                     format!("@{w} worker(s): truncated at --max-states {max_states}")
@@ -290,9 +324,38 @@ fn cmd_run(raw: &[String]) -> ExitCode {
             }
             reduction = Some(full.transitions as f64 / transitions.max(1) as f64);
         }
-        // One separator space plus a 10-wide cell, matching the header's
-        // ` {:>10}` REDUCTION column.
-        let red = reduction.map(|r| format!(" {:>10}", format!("{r:.2}x"))).unwrap_or_default();
+        // With --symmetry, decide the same test once without it
+        // (sequentially): the SYM factor is unsymmetric/symmetric states,
+        // and the unsymmetric run doubles as a soundness differential —
+        // the outcome set must match exactly and reduction must never
+        // grow the state count.
+        let mut sym_factor: Option<f64> = None;
+        if symmetry {
+            let nosym_opts = rc11::check::ExploreOptions { symmetry: false, ..explore_opts };
+            let (nosym, _, _) = litmus::run_with_opts(litmus, &Engine::Sequential, nosym_opts);
+            nosym_states_total += nosym.states;
+            sym_states_total += states;
+            if states > nosym.states {
+                ok = false;
+                first_divergence.get_or_insert(format!(
+                    "symmetry grew the state count: {} symmetric vs {} full",
+                    states, nosym.states
+                ));
+            }
+            if Some(&nosym.observed) != observed.as_ref() {
+                ok = false;
+                first_divergence
+                    .get_or_insert("symmetry changed the observed outcome set".to_string());
+            }
+            sym_factor = Some(nosym.states as f64 / states.max(1) as f64);
+        }
+        // One separator space plus a 10-wide cell per enabled reduction,
+        // matching the header's ` {:>10}` REDUCTION / SYM columns.
+        let mut red =
+            reduction.map(|r| format!(" {:>10}", format!("{r:.2}x"))).unwrap_or_default();
+        if let Some(s) = sym_factor {
+            red.push_str(&format!(" {:>10}", format!("{s:.2}x")));
+        }
         let observed = observed.unwrap_or_default();
         if ok {
             passed += 1;
@@ -316,6 +379,13 @@ fn cmd_run(raw: &[String]) -> ExitCode {
                 first_divergence.unwrap_or_default()
             );
         }
+        if por_fell_back && !quiet {
+            println!(
+                "    note: {} threads exceed the 64-bit sleep masks; \
+                 POR fell back to unreduced search (results exact)",
+                litmus.prog.n_threads()
+            );
+        }
         if show_outcomes {
             for tuple in &observed {
                 let vals: Vec<String> = tuple.iter().map(rc11::lang::parse::val_literal).collect();
@@ -332,16 +402,123 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         if fingerprint { "on" } else { "off" }
     );
     if por && por_transitions_total > 0 {
-        println!(
+        print!(
             "; POR reduction {:.2}x ({} transitions vs {} unreduced)",
             full_transitions_total as f64 / por_transitions_total as f64,
             por_transitions_total,
             full_transitions_total
         );
-    } else {
-        println!();
     }
+    if symmetry && sym_states_total > 0 {
+        print!(
+            "; symmetry reduction {:.2}x ({} states vs {} unsymmetric)",
+            nosym_states_total as f64 / sym_states_total as f64,
+            sym_states_total,
+            nosym_states_total
+        );
+    }
+    println!();
     if failed == 0 && broken == 0 && passed > 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+// ---------------------------------------------------------------------
+// rc11 lint
+// ---------------------------------------------------------------------
+
+fn cmd_lint(raw: &[String]) -> ExitCode {
+    let mut opts = Opts { args: raw.to_vec() };
+    let deny_warnings = opts.flag(&["--deny-warnings"]);
+    if let Some(bad) = opts.args.iter().find(|a| a.starts_with('-')) {
+        return fail_usage(&format!("unknown option `{bad}`"));
+    }
+    if opts.args.is_empty() {
+        return fail_usage("lint: no .litmus files or directories given");
+    }
+
+    // Enumerate the work list up front; every file is then linted
+    // independently so one unreadable or unparsable file never hides the
+    // findings in the rest of the batch.
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut unreadable = 0usize;
+    for arg in &opts.args {
+        let p = PathBuf::from(arg);
+        if p.is_dir() {
+            match std::fs::read_dir(&p) {
+                Ok(entries) => {
+                    let mut found = Vec::new();
+                    for entry in entries {
+                        match entry {
+                            Ok(e) => {
+                                let f = e.path();
+                                if f.extension().is_some_and(|x| x == "litmus") {
+                                    found.push(f);
+                                }
+                            }
+                            Err(e) => {
+                                eprintln!("rc11: {}: {e}", p.display());
+                                unreadable += 1;
+                            }
+                        }
+                    }
+                    if found.is_empty() {
+                        eprintln!("rc11: no .litmus files in {}", p.display());
+                        unreadable += 1;
+                    }
+                    found.sort();
+                    files.extend(found);
+                }
+                Err(e) => {
+                    eprintln!("rc11: {}: {e}", p.display());
+                    unreadable += 1;
+                }
+            }
+        } else {
+            files.push(p);
+        }
+    }
+
+    let mut warnings = 0usize;
+    let mut errors = 0usize;
+    for path in &files {
+        let file = path.display().to_string();
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rc11: {file}: {e}");
+                unreadable += 1;
+                continue;
+            }
+        };
+        let parsed = match parse_litmus(&src) {
+            Ok(p) => p,
+            Err(e) => {
+                // A parse error is a diagnostic like any other: report it
+                // and keep linting the rest of the batch.
+                println!("{file}:{e}");
+                errors += 1;
+                continue;
+            }
+        };
+        for d in analyze_lint(&parsed) {
+            println!("{}", render_diagnostic(&file, &d));
+            match d.severity {
+                Severity::Warning => warnings += 1,
+                Severity::Error => errors += 1,
+            }
+        }
+    }
+
+    println!(
+        "{} file(s): {errors} error(s), {warnings} warning(s), {unreadable} unreadable{}",
+        files.len(),
+        if deny_warnings { " (denying warnings)" } else { "" }
+    );
+    let warnings_fail = deny_warnings && warnings > 0;
+    if errors == 0 && unreadable == 0 && !warnings_fail && !files.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -385,6 +562,7 @@ fn cmd_fuzz(raw: &[String]) -> ExitCode {
         Err(e) => return fail_usage(&e),
     };
     let por = opts.flag(&["--por"]);
+    let symmetry = opts.flag(&["--symmetry"]);
     if let Some(bad) = opts.args.first() {
         return fail_usage(&format!("fuzz takes no positional arguments (got `{bad}`)"));
     }
@@ -393,17 +571,22 @@ fn cmd_fuzz(raw: &[String]) -> ExitCode {
         min_threads: threads[0],
         max_threads: threads[1],
         max_stmts: stmts,
+        // The symmetry lane is only interesting on programs with orbits,
+        // so bias the generator towards cloned thread bodies.
+        clone_threads: symmetry,
         ..Default::default()
     };
-    let diff_opts = DiffOptions { workers, max_states, samples, por, ..Default::default() };
+    let diff_opts =
+        DiffOptions { workers, max_states, samples, por, symmetry, ..Default::default() };
 
     println!(
         "fuzzing {iters} programs from seed {seed} \
-         ({}–{} threads, ≤{stmts} statements/thread, workers {:?}{})",
+         ({}–{} threads, ≤{stmts} statements/thread, workers {:?}{}{})",
         gen_opts.min_threads,
         gen_opts.max_threads,
         diff_opts.workers,
-        if por { ", POR parity lane on" } else { "" }
+        if por { ", POR parity lane on" } else { "" },
+        if symmetry { ", symmetry parity lane on" } else { "" }
     );
     let step = (iters / 10).max(1);
     let report = fuzz(seed, iters, &gen_opts, &diff_opts, |r| {

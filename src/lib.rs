@@ -11,6 +11,9 @@
 //!   (fast engine + literal rational-timestamp engine);
 //! * [`lang`] (rc11-lang) — the Figure-4 program grammar with method-call
 //!   holes, its AST semantics, and the CFG machine;
+//! * [`analyze`] (rc11-analyze) — static analyses run before exploration:
+//!   thread-symmetry detection, static may-conflict matrices, and the
+//!   `rc11 lint` diagnostics pass;
 //! * [`objects`] (rc11-objects) — abstract objects (Section 4): the
 //!   Figure-6 lock, the message-passing stack, extensions;
 //! * [`assert`] (rc11-assert) — the Section-5.1 observability assertion
@@ -33,6 +36,7 @@
 pub mod figures;
 pub mod lemma3;
 
+pub use rc11_analyze as analyze;
 pub use rc11_assert as assert;
 pub use rc11_check as check;
 pub use rc11_core as core;

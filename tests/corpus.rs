@@ -177,6 +177,125 @@ fn whole_corpus_is_exact_with_por_on() {
     }
 }
 
+/// Ablation A6: the whole corpus decided with thread-symmetry reduction
+/// on, alone and combined with POR, at 1/2/4/8 workers and in both dedup
+/// modes. Symmetry collapses each orbit to one representative, so the
+/// state count may only shrink; the orbit expansion of the terminal and
+/// deadlock sets must restore them bit-identically, which the observed
+/// outcome set (== expected) and the terminal multiset pin down.
+#[test]
+fn whole_corpus_is_exact_with_symmetry_on() {
+    let entries = litmus::load_dir(corpus_dir()).expect("corpus/ must exist");
+    for (path, loaded) in entries {
+        let l = loaded.unwrap_or_else(|e| panic!("{e}"));
+        let prog = compile(&l.prog);
+        let objs = litmus::objects_for(&l);
+        let full = Engine::Sequential.explore(
+            &prog,
+            objs,
+            ExploreOptions { record_traces: false, ..Default::default() },
+        );
+        let multiset = |cfgs: &[Config]| {
+            let mut m = std::collections::HashMap::<Config, usize>::new();
+            for c in cfgs {
+                *m.entry(c.clone()).or_insert(0) += 1;
+            }
+            m
+        };
+        let full_terminals = multiset(&full.terminated);
+        for workers in [1usize, 2, 4, 8] {
+            for fingerprint in [true, false] {
+                for por in [false, true] {
+                    let opts = ExploreOptions {
+                        record_traces: false,
+                        fingerprint,
+                        por,
+                        symmetry: true,
+                        ..Default::default()
+                    };
+                    let engine = choose_engine(workers);
+                    let report = engine.explore(&prog, objs, opts);
+                    let tag = format!(
+                        "{} ({}) @ {workers} worker(s), fingerprint {fingerprint}, por {por}",
+                        l.name,
+                        path.display()
+                    );
+                    assert!(!report.truncated && report.deadlocked.is_empty(), "{tag}");
+                    assert!(
+                        report.states <= full.states,
+                        "{tag}: symmetry grew the state count ({} > {})",
+                        report.states,
+                        full.states
+                    );
+                    assert_eq!(
+                        report.terminated.len(),
+                        full.terminated.len(),
+                        "{tag}: orbit expansion changed the terminal count"
+                    );
+                    assert_eq!(
+                        multiset(&report.terminated),
+                        full_terminals,
+                        "{tag}: orbit expansion changed the terminal set"
+                    );
+                    let observed: BTreeSet<Vec<Val>> = report
+                        .terminated
+                        .iter()
+                        .map(|c| l.observe.iter().map(|&(t, r)| c.reg(t, r)).collect())
+                        .collect();
+                    assert_eq!(observed, l.expected, "{tag}: symmetry verdict");
+                }
+            }
+        }
+    }
+}
+
+/// The acceptance bar for A6: the fully symmetric corpus entries shed at
+/// least 3x states under symmetry reduction.
+#[test]
+fn symmetric_corpus_entries_shed_at_least_3x_states() {
+    for file in ["sym_cas3.litmus", "sym_inc3.litmus", "sym_fai4.litmus"] {
+        let l = litmus::load_file(corpus_dir().join(file)).unwrap_or_else(|e| panic!("{e}"));
+        let prog = compile(&l.prog);
+        let base = ExploreOptions { record_traces: false, ..Default::default() };
+        let full = Engine::Sequential.explore(&prog, &NoObjects, base);
+        let sym = Engine::Sequential
+            .explore(&prog, &NoObjects, ExploreOptions { symmetry: true, ..base });
+        let factor = full.states as f64 / sym.states.max(1) as f64;
+        assert!(
+            factor >= 3.0,
+            "{file}: symmetry reduction {factor:.2}x below the 3x bar \
+             ({} vs {} states)",
+            sym.states,
+            full.states
+        );
+    }
+}
+
+/// Every corpus file is lint-clean: the `rc11 lint` rules produce no
+/// findings (files with intentionally-dead CAS/FAI destination registers
+/// carry `// lint: allow(…)` comments). CI enforces the same via
+/// `rc11 lint corpus/ --deny-warnings`.
+#[test]
+fn whole_corpus_is_lint_clean() {
+    let entries = litmus::load_dir(corpus_dir()).expect("corpus/ must exist");
+    for (path, _) in entries {
+        let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{e}"));
+        let parsed =
+            parse_litmus(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let findings = rc11::analyze::lint(&parsed);
+        assert!(
+            findings.is_empty(),
+            "{}: lint findings:\n{}",
+            path.display(),
+            findings
+                .iter()
+                .map(|d| rc11::analyze::render_diagnostic(&path.display().to_string(), d))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
 /// The corpus must also be exact under the legacy materialised-canonical
 /// dedup path (fingerprint off) — the corpus doubles as an end-to-end
 /// fingerprint differential on programs that exist only as text.

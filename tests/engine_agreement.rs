@@ -400,6 +400,174 @@ fn por_prunes_transitions_but_preserves_reports() {
     );
 }
 
+/// Ablation A6: thread-symmetry reduction explores one representative per
+/// orbit, so the state count may only shrink — while the orbit expansion
+/// of terminals, deadlocks and check callbacks must keep the terminal and
+/// deadlock multisets and the violation set bit-identical to the
+/// unreduced search, under both engines, at every worker count, in both
+/// dedup modes, alone and composed with POR. The gallery's `2RMW` entry
+/// (two threads FAI-ing one location, identical modulo register renaming)
+/// must shed states strictly — the reduction is real, not vacuous.
+#[test]
+fn symmetry_preserves_reports_and_sheds_states() {
+    let mut reduced_somewhere = false;
+    for l in litmus::all() {
+        let prog = compile(&l.prog);
+        let objs = litmus::objects_for(&l);
+        let check = |cfg: &Config, out: &mut Vec<String>| {
+            if cfg.terminated(&prog) {
+                out.push("terminal".to_string());
+            }
+        };
+        let base = ExploreOptions { record_traces: false, ..Default::default() };
+        let oracle = Engine::Sequential.explore_with(&prog, objs, base, check);
+
+        for (mode, fingerprint) in [("fp", true), ("exact", false)] {
+            for por in [false, true] {
+                let opts = ExploreOptions { symmetry: true, por, fingerprint, ..base };
+                let tag = |workers: usize| {
+                    format!("{} [{mode}, por {por}] @ {workers} workers", l.name)
+                };
+                let seq = Engine::Sequential.explore_with(&prog, objs, opts, check);
+                if seq.states < oracle.states {
+                    reduced_somewhere = true;
+                }
+                let assert_sym = |name: &str, r: &EngineReport| {
+                    assert!(
+                        r.states <= oracle.states,
+                        "{name}: symmetry grew the state count ({} > {})",
+                        r.states,
+                        oracle.states
+                    );
+                    assert!(
+                        r.transitions <= oracle.transitions,
+                        "{name}: symmetry generated more transitions"
+                    );
+                    assert_eq!(
+                        config_multiset(&r.terminated),
+                        config_multiset(&oracle.terminated),
+                        "{name}: orbit expansion changed the terminal multiset"
+                    );
+                    assert_eq!(
+                        config_multiset(&r.deadlocked),
+                        config_multiset(&oracle.deadlocked),
+                        "{name}: orbit expansion changed the deadlock multiset"
+                    );
+                    assert_eq!(
+                        violation_set(r),
+                        violation_set(&oracle),
+                        "{name}: symmetry changed the violation set"
+                    );
+                    assert!(!r.truncated, "{name}: truncated");
+                };
+                assert_sym(&tag(1), &seq);
+                for workers in WORKERS {
+                    let par = Engine::Parallel { workers }.explore_with(&prog, objs, opts, check);
+                    assert_sym(&tag(workers), &par);
+                }
+            }
+        }
+        if l.name == "2RMW" {
+            let sym = Engine::Sequential.explore(
+                &prog,
+                objs,
+                ExploreOptions { symmetry: true, ..base },
+            );
+            assert!(
+                sym.states < oracle.states,
+                "2RMW is fully symmetric; reduction must be real ({} vs {})",
+                sym.states,
+                oracle.states
+            );
+        }
+    }
+    assert!(reduced_somewhere, "symmetry must shed states somewhere across the gallery");
+}
+
+/// Under the sequential engine, symmetry-reduced violation traces are
+/// exactly replayable — for the orbit representative *and* for every
+/// expanded orbit member: the per-edge permutations compose into a
+/// concrete interleaving of the original program (the automorphisms fix
+/// the initial state). The parallel engine's member traces are
+/// permutations of a representative chain (valid modulo symmetry), so
+/// only the sequential engine is held to step-exact replay here.
+#[test]
+fn symmetry_violation_traces_replay_sequentially() {
+    // 2RMW: fully symmetric, so both the representative and a nontrivial
+    // orbit member produce violations; SB+ra: trivial symmetry (the spec
+    // is empty), pinning the identity path.
+    for l in [litmus::two_rmw(), litmus::sb_ra()] {
+        let prog = compile(&l.prog);
+        for por in [false, true] {
+            let opts = ExploreOptions { symmetry: true, por, ..Default::default() };
+            let check = |cfg: &Config, out: &mut Vec<String>| {
+                if cfg.terminated(&prog) {
+                    out.push("terminal".to_string());
+                }
+            };
+            let report = Engine::Sequential.explore_with(&prog, &NoObjects, opts, check);
+            assert!(!report.violations.is_empty(), "{}: terminals exist", l.name);
+            assert_eq!(
+                report.violations.len(),
+                l.expected.len(),
+                "{} (por {por}): orbit expansion must flag every terminal exactly once",
+                l.name
+            );
+            for v in &report.violations {
+                let trace = v.trace.as_ref().expect("traces recorded");
+                let mut cur = Config::initial(&prog).canonical();
+                for (tid, next) in trace {
+                    let succs =
+                        rc11::lang::machine::successors(&prog, &NoObjects, &cur, opts.step);
+                    assert!(
+                        succs.iter().any(|(t, s)| t == tid && s.canonical() == *next),
+                        "{} (por {por}): symmetry trace step by {tid:?} is not a real transition",
+                        l.name
+                    );
+                    cur = next.clone();
+                }
+                assert_eq!(
+                    cur, v.config,
+                    "{} (por {por}): trace must end at the violation",
+                    l.name
+                );
+            }
+        }
+    }
+}
+
+/// Satellite of A6: beyond 64 threads the sleep masks cannot represent
+/// the thread set, so `--por` must *fall back* to unreduced search (and
+/// say so via `EngineReport::por_fallback`) instead of asserting. The 64
+/// empty threads compile to zero instructions, so the state space is the
+/// two real threads' — the fallback is observable without a blow-up.
+#[test]
+fn por_falls_back_beyond_64_threads() {
+    let mut p = ProgramBuilder::new("Wide");
+    let x = p.client_var("x", 0);
+    let t1 = ThreadBuilder::new();
+    p.add_thread(t1, seq([wr(x, 1)]));
+    let mut t2 = ThreadBuilder::new();
+    let r = t2.reg("r");
+    p.add_thread(t2, seq([rd(r, x)]));
+    for _ in 0..64 {
+        p.add_thread(ThreadBuilder::new(), seq([]));
+    }
+    let prog = compile(&p.build());
+    assert!(prog.n_threads() > 64);
+
+    let base = ExploreOptions { record_traces: false, ..Default::default() };
+    let full = Engine::Sequential.explore(&prog, &NoObjects, base);
+    assert!(!full.por_fallback, "fallback only reports when POR was requested");
+    for engine in [Engine::Sequential, Engine::Parallel { workers: 4 }] {
+        let report = engine.explore(&prog, &NoObjects, ExploreOptions { por: true, ..base });
+        assert!(report.por_fallback, "{engine:?}: must report the fallback");
+        assert_eq!(report.states, full.states, "{engine:?}: fallback is unreduced");
+        assert_eq!(report.transitions, full.transitions, "{engine:?}: fallback is unreduced");
+        assert_eq!(report.terminated.len(), full.terminated.len(), "{engine:?}: terminals");
+    }
+}
+
 /// POR violations still carry replayable traces: every step is a real
 /// transition and the trace ends at the violating configuration (paths may
 /// differ from the unreduced search — they are valid, not canonical).

@@ -182,6 +182,61 @@ proptest! {
         }
     }
 
+    /// Symmetry soundness (ablation A6) on adversarial inputs: programs
+    /// with 2–3 *cloned* thread bodies (fully symmetric, the case the
+    /// reduction bites hardest), optionally plus one distinct thread
+    /// (partial symmetry — the orbit must not leak across groups).
+    /// Exploring with `symmetry: true` must preserve the terminal-state
+    /// multiset exactly (orbit expansion) while never growing the state
+    /// count, under the sequential and the parallel engine, alone and
+    /// composed with POR.
+    #[test]
+    fn symmetry_reduction_is_sound_on_cloned_threads(
+        body in prop::collection::vec(rinstr(), 0..4),
+        clones in 2usize..4,
+        with_extra in any::<bool>(),
+        extra in prop::collection::vec(rinstr(), 1..3),
+    ) {
+        let mut threads: Vec<Vec<RInstr>> = vec![body; clones];
+        if with_extra {
+            threads.push(extra);
+        }
+        let compiled = compile(&build_program(&threads));
+        let base = ExploreOptions { record_traces: false, ..Default::default() };
+        let oracle = Engine::Sequential.explore(&compiled, &NoObjects, base);
+        let multiset = |cfgs: &[Config]| {
+            let mut m = std::collections::HashMap::<Config, usize>::new();
+            for c in cfgs {
+                *m.entry(c.clone()).or_insert(0) += 1;
+            }
+            m
+        };
+        let terminals = multiset(&oracle.terminated);
+        for por in [false, true] {
+            let opts = ExploreOptions { symmetry: true, por, ..base };
+            for engine in [Engine::Sequential, Engine::Parallel { workers: 2 }] {
+                let r = engine.explore(&compiled, &NoObjects, opts);
+                prop_assert!(
+                    r.states <= oracle.states,
+                    "{engine:?} por {por}: symmetry grew the state count ({} > {})",
+                    r.states, oracle.states
+                );
+                prop_assert_eq!(
+                    multiset(&r.terminated),
+                    terminals.clone(),
+                    "{:?} por {}: orbit expansion changed the terminal multiset",
+                    engine, por
+                );
+                prop_assert_eq!(
+                    r.deadlocked.len(),
+                    oracle.deadlocked.len(),
+                    "{:?} por {}: deadlocks",
+                    engine, por
+                );
+            }
+        }
+    }
+
     /// Update atomicity: in every reachable configuration, each location has
     /// exactly one uncovered maximal op, and every covered op has an update
     /// (or lock-style op) immediately after it in modification order.
