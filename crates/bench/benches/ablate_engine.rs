@@ -449,12 +449,113 @@ fn bench_symmetry(c: &mut Criterion) {
     bench::record_bench_json("symmetry_reduction", &borrowed);
 }
 
+/// Ablation A7: persistent-set DPOR on top of sleep sets. Each entry is
+/// decided with sleep sets only (`ExploreOptions::por`) and with the
+/// persistent-set layer added (`ExploreOptions::dpor`); persistent sets
+/// postpone whole threads, collapsing the state-space *product* of
+/// independent conflict components into a sum, so the headline metric is
+/// the *transition reduction factor* versus the sleep-set baseline
+/// (sleep / dpor transitions), recorded into `BENCH_explore.json`. The
+/// acceptance bar — checked here, not just plotted — is ≥ 5× on the
+/// multi-component corpus entries (`ttas2x2`, `mp_spin2x3`,
+/// `deqspin2x2`). Every iteration asserts the A7 exactness contract:
+/// terminal counts bit-identical, states and transitions never grow. The
+/// single-component `ticket2` (pc-sensitivity only, factor 1×) and the
+/// stack pipe `popspin2x2` ride along as report-only context, as does
+/// `mp_spin4` from the A5 group.
+fn bench_dpor(c: &mut Criterion) {
+    if !criterion::selected("dpor_reduction") {
+        return;
+    }
+    let corpus = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
+    // (json key, corpus file, must hit the ≥5x acceptance bar)
+    let corpus_entries: [(&str, &str, bool); 6] = [
+        ("ttas2x2", "ttas2x2.litmus", true),
+        ("mp_spin2x3", "mp_spin2x3.litmus", true),
+        ("deqspin2x2", "deqspin2x2.litmus", true),
+        ("popspin2x2", "popspin2x2.litmus", false),
+        ("ticket2", "ticket2.litmus", false),
+        ("mp_spin4", "mp_spin4.litmus", false),
+    ];
+    let progs: Vec<(&str, bool, rc11_lang::CfgProgram, bool)> = corpus_entries
+        .iter()
+        .map(|&(key, file, must)| {
+            let l = rc11_litmus::load_file(corpus.join(file))
+                .unwrap_or_else(|e| panic!("{file}: {e}"));
+            let uses_objects = !l.prog.objects.is_empty();
+            (key, must, compile(&l.prog), uses_objects)
+        })
+        .collect();
+
+    let base = ExploreOptions { record_traces: false, ..Default::default() };
+    let sleep_opts = ExploreOptions { por: true, ..base };
+    let dpor_opts = ExploreOptions { dpor: true, ..base };
+    let mut json: Vec<(String, f64)> = Vec::new();
+    for (key, must_reduce, prog, uses_objects) in &progs {
+        let objs: &(dyn rc11_lang::machine::ObjectSemantics + Sync) =
+            if *uses_objects { &AbstractObjects } else { &NoObjects };
+        let sleep = Engine::Sequential.explore(prog, objs, sleep_opts);
+        let dpor = Engine::Sequential.explore(prog, objs, dpor_opts);
+        assert!(dpor.states <= sleep.states, "{key}: DPOR must not add states");
+        assert!(
+            dpor.transitions <= sleep.transitions,
+            "{key}: DPOR must not add transitions"
+        );
+        assert_eq!(
+            dpor.terminated.len(),
+            sleep.terminated.len(),
+            "{key}: DPOR must not change the terminal count"
+        );
+        let factor = sleep.transitions as f64 / dpor.transitions.max(1) as f64;
+        eprintln!(
+            "[dpor_reduction] {key}: {} → {} states, {} → {} transitions ({factor:.2}x)",
+            sleep.states, dpor.states, sleep.transitions, dpor.transitions
+        );
+        if *must_reduce {
+            assert!(
+                factor >= 5.0,
+                "{key}: DPOR reduction {factor:.2}x below the 5x acceptance bar \
+                 ({} vs {} transitions)",
+                dpor.transitions,
+                sleep.transitions
+            );
+        }
+        json.push((format!("{key}_transitions_sleep"), sleep.transitions as f64));
+        json.push((format!("{key}_transitions_dpor"), dpor.transitions as f64));
+        json.push((format!("{key}_states_sleep"), sleep.states as f64));
+        json.push((format!("{key}_states_dpor"), dpor.states as f64));
+        json.push((format!("{key}_reduction"), factor));
+    }
+
+    // Wall-clock lines for the largest entry: the product→sum collapse
+    // must also be a real time win, not just a transition count.
+    let mut g = c.benchmark_group("dpor_reduction");
+    g.sample_size(10);
+    for (key, _, prog, uses_objects) in &progs {
+        if *key != "ttas2x2" {
+            continue;
+        }
+        let objs: &(dyn rc11_lang::machine::ObjectSemantics + Sync) =
+            if *uses_objects { &AbstractObjects } else { &NoObjects };
+        for (mode, opts) in [("sleep", sleep_opts), ("dpor", dpor_opts)] {
+            g.bench_function(format!("{key}/{mode}"), |b| {
+                b.iter(|| black_box(Engine::Sequential.explore(prog, objs, opts).states))
+            });
+        }
+    }
+    g.finish();
+
+    let borrowed: Vec<(&str, f64)> = json.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    bench::record_bench_json("dpor_reduction", &borrowed);
+}
+
 criterion_group!(
     benches,
     bench,
     bench_exploration,
     bench_canon_vs_fingerprint,
     bench_por,
-    bench_symmetry
+    bench_symmetry,
+    bench_dpor
 );
 criterion_main!(benches);

@@ -11,6 +11,9 @@
 //! * [`conflict`] — over-approximate per-thread static footprints and the
 //!   derived may-conflict matrix, a free pre-filter for the sleep-set
 //!   computation and the input a persistent-set computation needs;
+//! * [`persistent`] — pc-sensitive *future* static footprints and the
+//!   per-state persistent-set closure DPOR (A7) expands instead of every
+//!   thread;
 //! * [`lint`] — span-carrying diagnostics for litmus files: dead
 //!   registers and variables, unreachable code, loops that cannot
 //!   terminate visibly, malformed `expected` blocks, and thread counts
@@ -20,8 +23,10 @@
 
 pub mod conflict;
 pub mod lint;
+pub mod persistent;
 pub mod symmetry;
 
 pub use conflict::{conflict_matrix, ConflictMatrix, StaticAccess};
+pub use persistent::{future_footprints, FutureFootprints};
 pub use lint::{lint, render_diagnostic, Diagnostic, Rule, Severity};
 pub use symmetry::{thread_symmetry, SymmetrySpec, ORBIT_CAP};

@@ -61,6 +61,28 @@ pub struct ExploreOptions {
     /// outline checker, whose Owicki–Gries classification needs every
     /// edge.
     pub por: bool,
+    /// Dynamic partial-order reduction with persistent sets (ablation A7
+    /// in DESIGN.md, machinery in `rc11_analyze::persistent` plus
+    /// `crate::por`). Implies [`ExploreOptions::por`]: on top of the
+    /// sleep-set masks, each state expands only a *persistent set* of
+    /// threads — the smallest closure of pc-sensitive future-footprint
+    /// conflicts — so whole threads are skipped, not just sibling orders.
+    /// Unlike A5/A6 this **may shed states**: configurations only
+    /// reachable by commuting an outside-the-set thread first are never
+    /// built. Terminal, deadlock, outcome and violation multisets stay
+    /// bit-identical to the unreduced search (Godefroid's persistent-set
+    /// theorem; enforced gallery-, corpus- and fuzz-wide by the DPOR
+    /// differentials), but `states` and `transitions` are only *bounded
+    /// above* by the unreduced counts and may differ between engines —
+    /// arrival order changes which duplicate wakes which mask. Checks
+    /// that must see every reachable intermediate configuration (e.g.
+    /// global invariants over non-terminal states) should use sleep-only
+    /// POR or the unreduced search instead. Degrades silently to
+    /// sleep-sets-only when the program exceeds the 128-location future-
+    /// footprint capacity, and to the unreduced search past 64 threads
+    /// (reported via [`EngineReport::por_fallback`]). Default **off**;
+    /// `rc11 run --dpor` and the A7 benches turn it on.
+    pub dpor: bool,
     /// Thread-symmetry reduction (ablation A6 in DESIGN.md, machinery in
     /// `rc11_analyze::symmetry` plus `crate::sym`): configurations that
     /// differ only by a permutation of provably-symmetric threads are
@@ -87,6 +109,7 @@ impl Default for ExploreOptions {
             record_traces: true,
             fingerprint: true,
             por: false,
+            dpor: false,
             symmetry: false,
         }
     }

@@ -25,6 +25,21 @@
 //! sibling orders are pruned before their successors are generated —
 //! transitions shrink, states and verdicts provably do not.
 //!
+//! With [`ExploreOptions::dpor`] (which implies `por`), expansion further
+//! restricts each state to a **persistent set** of threads
+//! ([`rc11_analyze::persistent`], ablation A7): the smallest closure of
+//! pc-sensitive future-footprint conflicts. Threads outside the closure
+//! commute with every member for the rest of the run, so postponing them
+//! preserves every terminal, deadlock and violation — but not every
+//! intermediate state, so `states` may shrink too. Work items then carry
+//! the *true* arriving sleep set (`full & !proposal` would over-sleep the
+//! postponed threads), duplicate arrivals wake underexplored threads
+//! exactly as in A5, and a **retry rule** handles blocked persistent
+//! sets: when an expansion produces no successor but some non-slept,
+//! never-explored thread still has one (a persistent member blocked on a
+//! lock, say), the expansion grows to those threads instead of
+//! classifying the state.
+//!
 //! The option/report/violation types shared with the parallel engine live
 //! in [`crate::engine`]; `Report` is a compatibility alias for
 //! [`EngineReport`](crate::engine::EngineReport). The differential suite
@@ -218,7 +233,7 @@ impl<'a> Explorer<'a> {
         // POR's thread masks cap at 64 bits; larger programs fall back to
         // the unreduced search (which iterates threads by index and
         // supports any count `Tid` can name), flagged on the report.
-        let mut por = self.opts.por;
+        let mut por = self.opts.por || self.opts.dpor;
         if por && n_threads > 64 {
             por = false;
             report.por_fallback = true;
@@ -227,11 +242,18 @@ impl<'a> Explorer<'a> {
         let spec = sym::active_spec(self.prog, self.opts.symmetry);
         let symm = spec.as_ref();
         let statics = por.then(|| rc11_analyze::conflict_matrix(self.prog));
+        // Persistent-set machinery (A7): `None` unless dpor is on *and*
+        // the program fits the 128-location future-footprint capacity —
+        // otherwise we degrade to sleep-sets-only, which is sound.
+        let pers = (por && self.opts.dpor)
+            .then(|| rc11_analyze::future_footprints(self.prog))
+            .flatten();
 
         let init = Config::initial(self.prog).canonical();
         let probe = index.probe(&init, symm, |id| &nodes[id as usize].cfg);
         let (init, init_sigma) = index.commit(probe, &init, symm, 0);
-        nodes.push(Node { cfg: init.clone(), parent: None, explored: full, sigma: init_sigma });
+        let init_prop = pers.as_ref().map_or(full, |p| p.persistent_mask(&init.pcs));
+        nodes.push(Node { cfg: init.clone(), parent: None, explored: init_prop, sigma: init_sigma });
         check(&init, &mut buf);
         for what in buf.drain(..) {
             report.violations.push(Violation {
@@ -245,8 +267,10 @@ impl<'a> Explorer<'a> {
         // first visit?)`. Without POR every item is `(id, full, ∅, true)`
         // and the loop below degenerates to the classical search (same
         // expansion order, same transition counts). See `crate::por` for
-        // the sleep-set rules.
-        let mut frontier: Vec<(u32, ThreadMask, ThreadMask, bool)> = vec![(0, full, 0, true)];
+        // the sleep-set rules. Under dpor the expansion mask starts from
+        // the state's persistent set instead of `full`.
+        let mut frontier: Vec<(u32, ThreadMask, ThreadMask, bool)> =
+            vec![(0, init_prop, 0, true)];
         while let Some((id, mask, sleep, first)) = frontier.pop() {
             let cfg = nodes[id as usize].cfg.clone();
             let mut fps = por.then(|| por::LazyFootprints::new(n_threads));
@@ -276,6 +300,13 @@ impl<'a> Explorer<'a> {
                 };
                 let tid = Tid(t as u8);
                 for succ in succs {
+                    // The successor's persistent set (full without dpor).
+                    // A pure function of the program counters, computed on
+                    // the raw successor and transported through σ with the
+                    // sleep mask — symmetric threads have equal future
+                    // footprints, so the remapped mask is exactly the
+                    // stored representative's persistent set.
+                    let pmask = pers.as_ref().map_or(full, |p| p.persistent_mask(&succ.pcs));
                     let probe = match index.probe(&succ, symm, |id| &nodes[id as usize].cfg) {
                         Probe::Dup(dup_id, dsigma) => {
                             if por {
@@ -283,14 +314,21 @@ impl<'a> Explorer<'a> {
                                 // explore but no earlier arrival queued —
                                 // with the proposal transported into the
                                 // stored state's thread numbering first.
-                                let prop = match &dsigma {
-                                    Some(sg) => sym::remap_mask(full & !child_sleep, sg),
-                                    None => full & !child_sleep,
+                                // The queued item carries the arrival's
+                                // true sleep set: under dpor `full &
+                                // !prop` would unsoundly sleep the merely
+                                // postponed outside-persistent threads.
+                                let (prop, slp) = match &dsigma {
+                                    Some(sg) => (
+                                        sym::remap_mask(pmask & !child_sleep, sg),
+                                        sym::remap_mask(child_sleep, sg),
+                                    ),
+                                    None => (pmask & !child_sleep, child_sleep),
                                 };
                                 let missing = prop & !nodes[dup_id as usize].explored;
                                 if missing != 0 {
                                     nodes[dup_id as usize].explored |= missing;
-                                    frontier.push((dup_id, missing, full & !prop, false));
+                                    frontier.push((dup_id, missing, slp, false));
                                 }
                             }
                             continue;
@@ -304,10 +342,13 @@ impl<'a> Explorer<'a> {
                     let new_id = nodes.len() as u32;
                     let (canon, sigma) = index.commit(probe, &succ, symm, new_id);
                     // The explored/sleep masks live in the stored state's
-                    // numbering: transport the proposal through σ.
-                    let prop = match (&sigma, por) {
-                        (Some(sg), true) => sym::remap_mask(full & !child_sleep, sg),
-                        _ => full & !child_sleep,
+                    // numbering: transport proposal and sleep through σ.
+                    let (prop, slp) = match (&sigma, por) {
+                        (Some(sg), true) => (
+                            sym::remap_mask(pmask & !child_sleep, sg),
+                            sym::remap_mask(child_sleep, sg),
+                        ),
+                        _ => (pmask & !child_sleep, child_sleep),
                     };
                     check(&canon, &mut buf);
                     for what in buf.drain(..) {
@@ -354,10 +395,10 @@ impl<'a> Explorer<'a> {
                         explored: prop,
                         sigma,
                     });
-                    frontier.push((new_id, prop, full & !prop, true));
+                    frontier.push((new_id, prop, slp, true));
                 }
             }
-            if !any_succ && first {
+            if !any_succ {
                 // The expanded threads produced nothing. Only a *first*
                 // visit may classify the state as terminal, and only after
                 // probing the threads it arrived asleep (a fully slept
@@ -365,12 +406,37 @@ impl<'a> Explorer<'a> {
                 // and is not terminal; see `por::has_any_successor` for
                 // why the probe stays out of the transition count).
                 // Without POR, `mask` is full and this probes nothing.
-                if !por::has_any_successor(self.prog, self.objs, &cfg, full & !mask, self.opts.step)
+                if first
+                    && !por::has_any_successor(
+                        self.prog,
+                        self.objs,
+                        &cfg,
+                        full & !mask,
+                        self.opts.step,
+                    )
                 {
                     if cfg.terminated(self.prog) {
                         report.terminated.push(cfg);
                     } else {
                         report.deadlocked.push(cfg);
+                    }
+                } else {
+                    // Retry rule (dpor): every expanded thread was blocked
+                    // — a persistent member stuck on a lock acquire, say —
+                    // but the state is not terminal. Persistence cannot
+                    // promise an outside thread will unblock a member
+                    // (outsiders never conflict with members' futures), so
+                    // grow the expansion to every non-slept thread never
+                    // queued here. Slept threads stay out: their steps are
+                    // covered from a sibling state (the A5 argument).
+                    // Without dpor `explored` already covers `full &
+                    // !sleep`, so `rest` is zero and nothing changes.
+                    let rest = full & !sleep & !nodes[id as usize].explored;
+                    if rest != 0
+                        && por::has_any_successor(self.prog, self.objs, &cfg, rest, self.opts.step)
+                    {
+                        nodes[id as usize].explored |= rest;
+                        frontier.push((id, rest, sleep, false));
                     }
                 }
             }

@@ -19,6 +19,12 @@
 //!   the terminal/deadlock counts and the outcome set exactly, under both
 //!   engines, both dedup modes, and composed with POR (the generator's
 //!   thread-cloning mode makes programs with real symmetry to reduce);
+//! * the persistent-set DPOR lane ([`DiffOptions::dpor`]): persistent
+//!   sets may shed both states and transitions (unlike sleep sets, which
+//!   preserve states), so the lane holds DPOR to the A7 contract — state
+//!   and transition counts bounded above by the unreduced oracle,
+//!   terminal/deadlock counts and the outcome set preserved exactly —
+//!   under both engines, both dedup modes, and composed with symmetry;
 //! * sampler soundness: every [`crate::random::random_walk`] terminal
 //!   outcome must lie inside the exhaustive outcome set (a sample outside
 //!   it would be a transition the exhaustive engines missed, or a walk
@@ -73,6 +79,17 @@ pub struct DiffOptions {
     /// with [`crate::gen::GenOptions::clone_threads`], which makes
     /// generated programs actually have symmetric threads to reduce.
     pub symmetry: bool,
+    /// Add the persistent-set DPOR parity lane: re-explore with
+    /// [`ExploreOptions::dpor`] on — sequentially in both dedup modes, in
+    /// parallel at every configured worker count, and once more composed
+    /// with symmetry — and require the terminal/deadlock counts and the
+    /// outcome set to match the unreduced oracle exactly, with no more
+    /// states or transitions than it (persistent sets skip whole threads,
+    /// so unlike the sleep-set lane the *state* count may legitimately
+    /// shrink). Default off (mirroring [`ExploreOptions::dpor`]); the
+    /// fixed-seed `cargo test` lane, the `#[ignore]`d sweep and
+    /// `rc11 fuzz --dpor` turn it on.
+    pub dpor: bool,
 }
 
 impl Default for DiffOptions {
@@ -85,6 +102,7 @@ impl Default for DiffOptions {
             round_trip: true,
             por: false,
             symmetry: false,
+            dpor: false,
         }
     }
 }
@@ -259,6 +277,59 @@ fn compare_sym(
     Ok(())
 }
 
+/// The DPOR-lane comparison: persistent sets postpone whole threads, so
+/// both the state and transition counts may shrink (reduced states are
+/// genuinely never visited, unlike the sleep-set lane where every state
+/// survives) — while terminal/deadlock counts and the outcome set must
+/// match the unreduced oracle exactly.
+fn compare_dpor(
+    what: &str,
+    g: &GProg,
+    oracle: &EngineReport,
+    oracle_outcomes: &BTreeSet<Vec<Val>>,
+    got: &EngineReport,
+) -> Result<(), String> {
+    if got.truncated != oracle.truncated {
+        return Err(format!("{what}: truncated {} vs oracle {}", got.truncated, oracle.truncated));
+    }
+    if got.states > oracle.states {
+        return Err(format!(
+            "{what}: DPOR grew the state count ({} vs oracle {})",
+            got.states, oracle.states
+        ));
+    }
+    if got.transitions > oracle.transitions {
+        return Err(format!(
+            "{what}: DPOR generated more transitions ({} vs oracle {})",
+            got.transitions, oracle.transitions
+        ));
+    }
+    if got.terminated.len() != oracle.terminated.len() {
+        return Err(format!(
+            "{what}: terminal configurations {} vs oracle {} (a persistent set \
+             postponed a thread it should not have)",
+            got.terminated.len(),
+            oracle.terminated.len()
+        ));
+    }
+    if got.deadlocked.len() != oracle.deadlocked.len() {
+        return Err(format!(
+            "{what}: deadlocked configurations {} vs oracle {}",
+            got.deadlocked.len(),
+            oracle.deadlocked.len()
+        ));
+    }
+    let got_outcomes = outcome_set(g, got);
+    if &got_outcomes != oracle_outcomes {
+        let missing: Vec<_> = oracle_outcomes.difference(&got_outcomes).collect();
+        let extra: Vec<_> = got_outcomes.difference(oracle_outcomes).collect();
+        return Err(format!(
+            "{what}: DPOR outcome sets diverge (missing {missing:?}, extra {extra:?})"
+        ));
+    }
+    Ok(())
+}
+
 /// Run every differential check on one generated program.
 pub fn diff_one(g: &GProg, seed: u64, opts: &DiffOptions) -> DiffVerdict {
     let prog = compile(&g.to_program("fuzz"));
@@ -375,6 +446,40 @@ pub fn diff_one(g: &GProg, seed: u64, opts: &DiffOptions) -> DiffVerdict {
                 let par = Engine::Parallel { workers: w }.explore(&prog, &NoObjects, sym_por);
                 compare_sym(
                     &format!("sym+por[{w} workers, fp]"),
+                    g,
+                    &oracle,
+                    &oracle_outcomes,
+                    &par,
+                )?;
+            }
+        }
+
+        // DPOR parity: persistent-set reduction may shed states and
+        // transitions but must reproduce the exact terminal, deadlock and
+        // outcome picture — sequentially in both dedup modes, in parallel
+        // at every worker count, and composed with symmetry.
+        if opts.dpor {
+            for (mode, o) in [("fp", fp), ("exact", exact)] {
+                let dpor_opts = ExploreOptions { dpor: true, ..o };
+                let seq = Engine::Sequential.explore(&prog, &NoObjects, dpor_opts);
+                compare_dpor(&format!("dpor[seq, {mode}]"), g, &oracle, &oracle_outcomes, &seq)?;
+            }
+            let dpor_sym = ExploreOptions { dpor: true, symmetry: true, ..fp };
+            let seq = Engine::Sequential.explore(&prog, &NoObjects, dpor_sym);
+            compare_dpor("dpor+sym[seq, fp]", g, &oracle, &oracle_outcomes, &seq)?;
+            let dpor_fp = ExploreOptions { dpor: true, ..fp };
+            for &w in &opts.workers {
+                let par = Engine::Parallel { workers: w }.explore(&prog, &NoObjects, dpor_fp);
+                compare_dpor(
+                    &format!("dpor[{w} workers, fp]"),
+                    g,
+                    &oracle,
+                    &oracle_outcomes,
+                    &par,
+                )?;
+                let par = Engine::Parallel { workers: w }.explore(&prog, &NoObjects, dpor_sym);
+                compare_dpor(
+                    &format!("dpor+sym[{w} workers, fp]"),
                     g,
                     &oracle,
                     &oracle_outcomes,
@@ -520,6 +625,7 @@ mod tests {
             samples: 8,
             por: true,
             symmetry: true,
+            dpor: true,
             ..Default::default()
         };
         let report = fuzz(0xC0FFEE, 10, &gen_opts, &diff_opts, |_| {});

@@ -15,6 +15,16 @@
 //!   and the visited stores keep each state's `explored` mask for the
 //!   wake-up rule (see `crate::por`); POR prunes transitions only, never
 //!   states, so reports stay differential-tested-identical.
+//! * **Persistent-set DPOR** — with [`ExploreOptions::dpor`], each
+//!   state's expansion proposal further shrinks to its persistent set
+//!   ([`rc11_analyze::persistent`], ablation A7), items carry the true
+//!   arriving sleep set (no longer the proposal's complement — postponed
+//!   outside-persistent threads stay wakeable), and blocked persistent
+//!   sets re-submit through the store's wake-up rule (the retry rule in
+//!   `crate::explore`'s docs). Terminal/deadlock/violation multisets stay
+//!   oracle-identical; state and transition counts become upper-bounded
+//!   rather than pinned — arrival order decides which duplicate wakes
+//!   which mask.
 //! * **Fingerprint-keyed interned visited store** — the visited structure
 //!   is a [`ShardedFpMap`] keyed by zero-rebuild 128-bit canonical
 //!   fingerprints ([`crate::fxhash::Fp128`]): duplicate successors (the
@@ -421,23 +431,28 @@ pub(crate) struct Masked<V> {
 }
 
 /// A successor queued for POR-aware insertion: the raw configuration, the
-/// caller's value, and the *explored-mask proposal* — the complement of
-/// the sleep set the successor would inherit over this edge (`full` when
-/// POR is off, which makes wake-ups impossible).
-type PorItem<V> = (Config, V, ThreadMask);
+/// caller's value, the *explored-mask proposal* — the threads the arrival
+/// wants queued for expansion (`full` when POR is off, which makes
+/// wake-ups impossible; the persistent set minus the sleep set under
+/// dpor) — and the sleep set the successor inherits over this edge. The
+/// sleep travels separately because under dpor it is **not** the
+/// proposal's complement: threads outside the persistent set are merely
+/// postponed (wakeable by later arrivals), not slept.
+type PorItem<V> = (Config, V, ThreadMask, ThreadMask);
 
-/// A novel insertion: the interned canonical configuration and its stored
-/// explored mask (= the proposal that won).
-type PorNovel = (Config, ThreadMask);
+/// A novel insertion: the interned canonical configuration, its stored
+/// explored mask (= the proposal that won) and the winning arrival's
+/// sleep set.
+type PorNovel = (Config, ThreadMask, ThreadMask);
 
 /// A wake-up: an already-interned state (canonical), the threads newly
-/// added to its explored mask, and the arriving proposal (whose complement
-/// is the sleep set the re-expansion inherits).
+/// added to its explored mask, and the arriving sleep set the
+/// re-expansion inherits.
 type PorWoken = (Config, ThreadMask, ThreadMask);
 
 /// Generic-key counterparts of [`PorNovel`]/[`PorWoken`] for the
 /// materialised-canonical store.
-type PorNovelK<K> = (K, ThreadMask);
+type PorNovelK<K> = (K, ThreadMask, ThreadMask);
 type PorWokenK<K> = (K, ThreadMask, ThreadMask);
 
 impl<V> ShardedFpMap<Masked<V>> {
@@ -484,12 +499,13 @@ impl<V> ShardedFpMap<Masked<V>> {
             perms: CanonPerms,
             raw: Config,
             proposal: ThreadMask,
+            sleep: ThreadMask,
             /// `None` once dropped as an absorbed duplicate (or consumed).
             val: Option<V>,
         }
         let mut tagged: Vec<Item<V>> = items
             .into_iter()
-            .map(|(raw, val, mut proposal)| {
+            .map(|(raw, val, mut proposal, mut sleep)| {
                 let mut perms = raw.canonical_perms();
                 let fp = match symm {
                     Some(spec) => {
@@ -497,13 +513,14 @@ impl<V> ShardedFpMap<Masked<V>> {
                         if remap_masks {
                             if let Some(sg) = &perms.threads {
                                 proposal = sym::remap_mask(proposal, sg);
+                                sleep = sym::remap_mask(sleep, sg);
                             }
                         }
                         sym::fingerprint_sym(&raw, &perms, spec)
                     }
                     None => raw.fingerprint_with(&perms),
                 };
-                Item { shard: self.shard_of(fp), fp, perms, raw, proposal, val: Some(val) }
+                Item { shard: self.shard_of(fp), fp, perms, raw, proposal, sleep, val: Some(val) }
             })
             .collect();
         tagged.sort_by_key(|t| t.shard);
@@ -557,7 +574,7 @@ impl<V> ShardedFpMap<Masked<V>> {
                                 cfg: canon.clone(),
                                 val: Masked { val, explored: t.proposal },
                             });
-                            novel.push((canon, t.proposal));
+                            novel.push((canon, t.proposal, t.sleep));
                         }
                         std::collections::hash_map::Entry::Occupied(mut e) => {
                             let entry = if e.get().cfg == canon {
@@ -575,7 +592,7 @@ impl<V> ShardedFpMap<Masked<V>> {
                                     let missing = t.proposal & !oe.val.explored;
                                     if missing != 0 {
                                         oe.val.explored |= missing;
-                                        woken.push((canon, missing, t.proposal));
+                                        woken.push((canon, missing, t.sleep));
                                     }
                                 }
                                 None => {
@@ -588,7 +605,7 @@ impl<V> ShardedFpMap<Masked<V>> {
                                             val: Masked { val, explored: t.proposal },
                                         },
                                     ));
-                                    novel.push((canon, t.proposal));
+                                    novel.push((canon, t.proposal, t.sleep));
                                 }
                             }
                         }
@@ -610,20 +627,22 @@ impl<K: Hash + Eq + Clone, V> ShardedMap<K, Masked<V>> {
     /// path.
     pub(crate) fn insert_batch_por(
         &self,
-        items: Vec<(K, V, ThreadMask)>,
+        items: Vec<(K, V, ThreadMask, ThreadMask)>,
     ) -> (Vec<PorNovelK<K>>, Vec<PorWokenK<K>>) {
         struct Item<K, V> {
             shard: usize,
             /// `None` once dropped as an absorbed duplicate (or consumed).
             kv: Option<(K, V)>,
             proposal: ThreadMask,
+            sleep: ThreadMask,
         }
         let mut tagged: Vec<Item<K, V>> = items
             .into_iter()
-            .map(|(k, v, proposal)| Item {
+            .map(|(k, v, proposal, sleep)| Item {
                 shard: self.shard_of(&k),
                 kv: Some((k, v)),
                 proposal,
+                sleep,
             })
             .collect();
         tagged.sort_by_key(|t| t.shard);
@@ -657,11 +676,11 @@ impl<K: Hash + Eq + Clone, V> ShardedMap<K, Masked<V>> {
                                 let missing = t.proposal & !e.get().explored;
                                 if missing != 0 {
                                     e.get_mut().explored |= missing;
-                                    woken.push((e.key().clone(), missing, t.proposal));
+                                    woken.push((e.key().clone(), missing, t.sleep));
                                 }
                             }
                             std::collections::hash_map::Entry::Vacant(e) => {
-                                novel.push((e.key().clone(), t.proposal));
+                                novel.push((e.key().clone(), t.proposal, t.sleep));
                                 e.insert(Masked { val: v, explored: t.proposal });
                             }
                         }
@@ -744,16 +763,18 @@ impl<V: Clone> VisitedStore<V> {
             VisitedStore::Exact(m) => m.insert_batch_por(
                 items
                     .into_iter()
-                    .map(|(raw, v, p)| match symm {
+                    .map(|(raw, v, p, slp)| match symm {
                         Some(spec) => {
                             let perms = sym::sym_perms(spec, &raw);
-                            let p = match (&perms.threads, remap_masks) {
-                                (Some(sg), true) => sym::remap_mask(p, sg),
-                                _ => p,
+                            let (p, slp) = match (&perms.threads, remap_masks) {
+                                (Some(sg), true) => {
+                                    (sym::remap_mask(p, sg), sym::remap_mask(slp, sg))
+                                }
+                                _ => (p, slp),
                             };
-                            (raw.canonical_sym(&perms, spec.maps()), v, p)
+                            (raw.canonical_sym(&perms, spec.maps()), v, p, slp)
                         }
-                        None => (raw.canonical(), v, p),
+                        None => (raw.canonical(), v, p, slp),
                     })
                     .collect(),
             ),
@@ -885,7 +906,7 @@ where
     // bits; larger programs fall back to the unreduced search (which
     // iterates threads by index and supports any count `Tid` can name),
     // flagged on the stats.
-    let mut por = opts.por;
+    let mut por = opts.por || opts.dpor;
     let mut por_fallback = false;
     if por && n_threads > 64 {
         por = false;
@@ -895,16 +916,25 @@ where
     let spec = sym::active_spec(prog, opts.symmetry);
     let symm = spec.as_ref();
     let statics = por.then(|| rc11_analyze::conflict_matrix(prog));
+    // Persistent-set machinery (A7): `None` unless dpor is on *and* the
+    // program fits the 128-location future-footprint capacity — otherwise
+    // degrade to sleep-sets-only, which is sound.
+    let pers = (por && opts.dpor).then(|| rc11_analyze::future_footprints(prog)).flatten();
     let n_workers = n_workers.max(1);
 
     let init = Config::initial(prog).canonical();
     let mut init_buf = Vec::new();
     on_novel(&init, &mut init_buf);
     debug_assert!(init_buf.is_empty(), "on_novel must drain its buffer");
-    visited.insert_init(init.clone(), init_value, full);
+    // Retry re-submissions go through `insert_batch`, which needs a value
+    // for the (impossible) novel case; any placeholder does, the duplicate
+    // path discards it.
+    let retry_val = init_value.clone();
+    let init_prop = pers.as_ref().map_or(full, |p| p.persistent_mask(&init.pcs));
+    visited.insert_init(init.clone(), init_value, init_prop);
     n_states.store(1, Ordering::SeqCst);
     pending.store(1, Ordering::SeqCst);
-    injector.push(vec![WorkItem { cfg: init, mask: full, sleep: 0, first: true }]);
+    injector.push(vec![WorkItem { cfg: init, mask: init_prop, sleep: 0, first: true }]);
 
     crossbeam::scope(|scope| {
         for _ in 0..n_workers {
@@ -950,7 +980,22 @@ where
                                         // Every edge, visited or not, raw.
                                         on_edge(&cfg, tid, &succ);
                                         let v = edge_value(&cfg, tid);
-                                        items.push((succ, v, full & !child_sleep));
+                                        // The successor's persistent set
+                                        // (full without dpor): a pure
+                                        // function of the program counters,
+                                        // computed on the raw successor and
+                                        // transported through σ by the
+                                        // store (symmetric threads have
+                                        // equal future footprints).
+                                        let pmask = pers
+                                            .as_ref()
+                                            .map_or(full, |p| p.persistent_mask(&succ.pcs));
+                                        items.push((
+                                            succ,
+                                            v,
+                                            pmask & !child_sleep,
+                                            child_sleep,
+                                        ));
                                     }
                                 }
                                 if !any_succ {
@@ -974,6 +1019,47 @@ where
                                         } else {
                                             deadlocked.lock().push(cfg);
                                         }
+                                    } else if pers.is_some() {
+                                        // Retry rule (dpor): every expanded
+                                        // thread was blocked — a persistent
+                                        // member stuck on a lock acquire,
+                                        // say — but the state is not
+                                        // terminal. Persistence cannot
+                                        // promise an outside thread will
+                                        // unblock a member, so grow the
+                                        // expansion to every non-slept
+                                        // thread with a real successor.
+                                        // The re-submission goes through
+                                        // the store's wake-up rule, which
+                                        // computes the not-yet-explored
+                                        // remainder under the shard lock —
+                                        // racing retries of one state
+                                        // dedup to a single re-expansion.
+                                        let rest = full & !mask & !sleep;
+                                        if rest != 0
+                                            && por::has_any_successor(
+                                                prog, objs, &cfg, rest, opts.step,
+                                            )
+                                        {
+                                            let (_, woken) = visited.insert_batch(
+                                                vec![(
+                                                    cfg,
+                                                    retry_val.clone(),
+                                                    mask | rest,
+                                                    sleep,
+                                                )],
+                                                symm,
+                                                por,
+                                            );
+                                            for (canon, missing, slp) in woken {
+                                                local.push(WorkItem {
+                                                    cfg: canon,
+                                                    mask: missing,
+                                                    sleep: slp,
+                                                    first: false,
+                                                });
+                                            }
+                                        }
                                     }
                                     continue;
                                 }
@@ -993,7 +1079,7 @@ where
                                     continue;
                                 }
                                 let (novel, woken) = visited.insert_batch(items, symm, por);
-                                for (canon, explored) in novel {
+                                for (canon, explored, slp) in novel {
                                     n_states.fetch_add(1, Ordering::Relaxed);
                                     on_novel(&canon, &mut buf);
                                     debug_assert!(
@@ -1003,15 +1089,15 @@ where
                                     local.push(WorkItem {
                                         cfg: canon,
                                         mask: explored,
-                                        sleep: full & !explored,
+                                        sleep: slp,
                                         first: true,
                                     });
                                 }
-                                for (canon, missing, proposal) in woken {
+                                for (canon, missing, slp) in woken {
                                     local.push(WorkItem {
                                         cfg: canon,
                                         mask: missing,
-                                        sleep: full & !proposal,
+                                        sleep: slp,
                                         first: false,
                                     });
                                 }
@@ -1285,13 +1371,14 @@ mod tests {
         // Same state under two representations in one batch: one winner
         // (the full-mask proposal makes wake-ups impossible, mirroring a
         // non-POR engine run).
-        let (novel, woken) = m.insert_batch_por(vec![(raw.clone(), 1, !0), (canon.clone(), 2, !0)]);
-        assert_eq!(novel, vec![(canon.clone(), !0)]);
+        let (novel, woken) =
+            m.insert_batch_por(vec![(raw.clone(), 1, !0, 0), (canon.clone(), 2, !0, 0)]);
+        assert_eq!(novel, vec![(canon.clone(), !0, 0)]);
         assert!(woken.is_empty());
         assert_eq!(m.len(), 1);
         // Across batches: both representations are already known.
         let (novel, woken) =
-            m.insert_batch_por(vec![(canon.clone(), 3, !0), (raw.clone(), 4, !0)]);
+            m.insert_batch_por(vec![(canon.clone(), 3, !0, 0), (raw.clone(), 4, !0, 0)]);
         assert!(novel.is_empty() && woken.is_empty());
         assert!(m.contains_state(&raw));
         assert!(m.contains_state(&canon));
@@ -1316,18 +1403,19 @@ mod tests {
 
         let m: ShardedFpMap<Masked<u32>> = ShardedFpMap::new(3);
         // First arrival: threads {0} explored, thread 1 slept.
-        let (novel, woken) = m.insert_batch_por(vec![(raw.clone(), 1, 0b01)]);
-        assert_eq!(novel, vec![(canon.clone(), 0b01)]);
+        let (novel, woken) = m.insert_batch_por(vec![(raw.clone(), 1, 0b01, 0b10)]);
+        assert_eq!(novel, vec![(canon.clone(), 0b01, 0b10)]);
         assert!(woken.is_empty());
         // A smaller-or-equal proposal is absorbed silently.
-        let (novel, woken) = m.insert_batch_por(vec![(canon.clone(), 2, 0b01)]);
+        let (novel, woken) = m.insert_batch_por(vec![(canon.clone(), 2, 0b01, 0b10)]);
         assert!(novel.is_empty() && woken.is_empty());
-        // A larger proposal wakes exactly the missing thread…
-        let (novel, woken) = m.insert_batch_por(vec![(raw.clone(), 3, 0b11)]);
+        // A larger proposal wakes exactly the missing thread, handing the
+        // re-expansion the *arriving* sleep set…
+        let (novel, woken) = m.insert_batch_por(vec![(raw.clone(), 3, 0b11, 0)]);
         assert!(novel.is_empty());
-        assert_eq!(woken, vec![(canon.clone(), 0b10, 0b11)]);
+        assert_eq!(woken, vec![(canon.clone(), 0b10, 0)]);
         // …and only once: the stored mask has grown.
-        let (novel, woken) = m.insert_batch_por(vec![(canon, 4, 0b11)]);
+        let (novel, woken) = m.insert_batch_por(vec![(canon, 4, 0b11, 0)]);
         assert!(novel.is_empty() && woken.is_empty());
     }
 

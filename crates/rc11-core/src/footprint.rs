@@ -86,17 +86,24 @@ pub struct Access {
     pub loc: Loc,
     /// How the location is accessed.
     pub kind: AccessKind,
-    /// The operation this step covers, when that identity is known at
-    /// footprint-extraction time: the predecessor of an update, or the
-    /// insert an ADT removal (pop/deq) takes. Thread-level footprints —
-    /// extracted before the step's nondeterminism is resolved — leave this
-    /// `None`. The current [`StepFootprint::may_conflict`] does **not**
-    /// refine on it: every covering step also *inserts* an operation into
-    /// the same location's `mo`, so two removals on one object never
-    /// commute even when they cover different inserts. The field exists as
-    /// the hook for a finer, per-edge independence relation (dynamic POR),
-    /// where the covered identity distinguishes operations whose effects a
-    /// later refinement may prove disjoint.
+    /// The operation this step covers, filled at footprint-extraction
+    /// time whenever the identity is already determined by the current
+    /// state: the unique uncovered predecessor of a `CAS` that can only
+    /// succeed one way, the unique uncovered predecessor of an `FAI`, or
+    /// the insert an ADT removal takes (a `pop` covers the stack's
+    /// global top, a `deq` the queue's front — both functions of the
+    /// state alone). Footprints whose step still has several possible
+    /// predecessors, or none, leave this `None`.
+    ///
+    /// [`StepFootprint::may_conflict`] deliberately stays covers-blind:
+    /// two removals covering *different* inserts still both append their
+    /// own operation to the same location's `mo`, so refining the
+    /// conflict test on distinct covers would be unsound. The field's
+    /// consumer is the DPOR test battery (`tests/por_props.rs` at the
+    /// workspace root), which replays explored traces and uses the
+    /// covered identities to characterise which conflicts *actually*
+    /// materialised on each edge — the dynamic half of A7's
+    /// backtracking-superset obligation.
     pub covers: Option<OpId>,
 }
 
@@ -123,6 +130,20 @@ impl StepFootprint {
     #[inline]
     pub fn access(tid: Tid, comp: Comp, loc: Loc, kind: AccessKind) -> StepFootprint {
         StepFootprint { tid, access: Some(Access { comp, loc, kind, covers: None }) }
+    }
+
+    /// [`access`](StepFootprint::access) with a covered-operation identity,
+    /// for steps whose cover is already determined by the current state
+    /// (see [`Access::covers`]).
+    #[inline]
+    pub fn access_covering(
+        tid: Tid,
+        comp: Comp,
+        loc: Loc,
+        kind: AccessKind,
+        covers: Option<OpId>,
+    ) -> StepFootprint {
+        StepFootprint { tid, access: Some(Access { comp, loc, kind, covers }) }
     }
 
     /// Conservative interference test: `false` guarantees the two steps

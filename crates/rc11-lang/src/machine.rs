@@ -336,14 +336,27 @@ fn run_local_chain(prog: &CfgProgram, cfg: &mut Config, t: usize, mut budget: u3
 /// footprint, as does a halted thread. The shared access an instruction
 /// performs is static — its location and component are fixed in the
 /// instruction — so the footprint depends only on `cfg.pcs[t]` **except**
-/// for one state-dependent refinement: a `Cas` none of whose uncovered
-/// observable predecessors carries the expected value can only *fail*,
-/// i.e. only relaxed-read, and is footprinted as a read. That refinement
-/// is as persistent as the rest (the property sleep sets need): a step
-/// independent of a read of `x` touches neither `x`'s history nor the
-/// reader's views, so the success-impossible verdict survives it — while
-/// any step that could create a matching uncovered operation writes `x`
-/// and conflicts with the read footprint anyway.
+/// for two state-dependent refinements. First, a `Cas` none of whose
+/// uncovered observable predecessors carries the expected value can only
+/// *fail*, i.e. only relaxed-read, and is footprinted as a read. Second,
+/// a `pop`/`deq` on an object with no uncovered insert can only return
+/// `Empty`, which performs no operation at all (the object semantics
+/// return the memory unchanged), so it too is footprinted as a read —
+/// empty-spinning ADT retry loops commute the same way CAS spin loops
+/// do. Both refinements are as persistent as the rest (the property
+/// sleep sets need): a step independent of a read of `x` touches neither
+/// `x`'s history nor the reader's views, so the success-impossible /
+/// still-empty verdict survives it — while any step that could create a
+/// matching uncovered operation writes `x` and conflicts with the read
+/// footprint anyway.
+///
+/// When the state already determines *which* operation a step covers —
+/// a CAS with exactly one matching uncovered predecessor, an FAI with
+/// one uncovered predecessor, or an ADT removal (the stack's top / the
+/// queue's front are global properties of the state) — the footprint
+/// records that identity in [`rc11_core::Access::covers`]. The conflict
+/// oracle stays covers-blind (two removals covering different inserts
+/// still race on `mo`); the identities feed A7's DPOR trace battery.
 pub fn thread_footprint(prog: &CfgProgram, cfg: &Config, t: usize) -> StepFootprint {
     let tid = Tid(t as u8);
     match &prog.threads[t].instrs[cfg.pcs[t] as usize] {
@@ -358,10 +371,8 @@ pub fn thread_footprint(prog: &CfgProgram, cfg: &Config, t: usize) -> StepFootpr
         }
         Instr::Cas { var, expect, .. } => {
             let u = expect.eval(&cfg.locals[t]).expect("well-typed program");
-            let cstate = cfg.mem.comp(var.comp);
-            let success_possible =
-                cstate.obs_uncovered(tid, var.loc).any(|w| cstate.op(w).act.wrval() == u);
-            let kind = if success_possible {
+            let preds = cfg.mem.update_preds(var.comp, tid, var.loc, Some(u));
+            let kind = if !preds.is_empty() {
                 AccessKind::Update
             } else {
                 // A spinning CAS that can only fail is a relaxed read
@@ -370,20 +381,66 @@ pub fn thread_footprint(prog: &CfgProgram, cfg: &Config, t: usize) -> StepFootpr
                 // spin loops win their reduction.
                 AccessKind::Read { acq: false }
             };
-            StepFootprint::access(tid, var.comp, var.loc, kind)
+            // With exactly one matching uncovered predecessor, the success
+            // branch's cover is already determined by this state.
+            let covers = (preds.len() == 1).then(|| preds[0]);
+            StepFootprint::access_covering(tid, var.comp, var.loc, kind, covers)
         }
         Instr::Fai { var, .. } => {
-            StepFootprint::access(tid, var.comp, var.loc, AccessKind::Update)
+            let preds = cfg.mem.update_preds(var.comp, tid, var.loc, None);
+            let covers = (preds.len() == 1).then(|| preds[0]);
+            StepFootprint::access_covering(tid, var.comp, var.loc, AccessKind::Update, covers)
         }
         Instr::Method { obj, method, sync, .. } => {
-            let kind = match method {
+            // State-dependent refinements mirroring the CAS one above: an
+            // ADT removal (pop/deq) covers a *state-determined* insert —
+            // the stack's global top or the queue's front — and, on an
+            // empty object, performs no operation at all. An empty pop/deq
+            // is literally state-preserving (see rc11-objects:
+            // `pop_steps`/`deq_steps` return the memory unchanged), so it
+            // is footprinted as a relaxed read: it commutes with other
+            // read-only steps on the object, which is where empty-spinning
+            // ADT clients win their reduction. The verdict is as
+            // persistent as the CAS one: only a new uncovered Push/Enq can
+            // make the object non-empty, and inserting one is a Method
+            // write on this location — a conflict with the read footprint.
+            let removal_target = |is_match: fn(&rc11_core::MethodOp) -> bool,
+                                  newest_first: bool| {
+                let lib = cfg.mem.lib();
+                let mut uncovered = lib
+                    .mo(obj.loc)
+                    .iter()
+                    .copied()
+                    .filter(|&w| !lib.is_covered(w))
+                    .filter(|&w| lib.op(w).act.method().as_ref().is_some_and(is_match));
+                if newest_first {
+                    uncovered.next_back()
+                } else {
+                    uncovered.next()
+                }
+            };
+            let (kind, covers) = match method {
                 // The abstract register's read never modifies the object
                 // history — it is a Figure-5 read over method operations.
-                Method::RegRead => AccessKind::Read { acq: *sync },
-                _ => AccessKind::Method { sync: *sync },
+                Method::RegRead => (AccessKind::Read { acq: *sync }, None),
+                Method::Pop => match removal_target(
+                    |m| matches!(m, rc11_core::MethodOp::Push { .. }),
+                    true,
+                ) {
+                    Some(top) => (AccessKind::Method { sync: *sync }, Some(top)),
+                    None => (AccessKind::Read { acq: false }, None),
+                },
+                Method::Deq => match removal_target(
+                    |m| matches!(m, rc11_core::MethodOp::Enq { .. }),
+                    false,
+                ) {
+                    Some(front) => (AccessKind::Method { sync: *sync }, Some(front)),
+                    None => (AccessKind::Read { acq: false }, None),
+                },
+                _ => (AccessKind::Method { sync: *sync }, None),
             };
             // Objects always live in the library component (`ObjRef`).
-            StepFootprint::access(tid, rc11_core::Comp::Lib, obj.loc, kind)
+            StepFootprint::access_covering(tid, rc11_core::Comp::Lib, obj.loc, kind, covers)
         }
     }
 }

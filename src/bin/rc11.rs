@@ -70,6 +70,16 @@ RUN OPTIONS:
                              exactly while the state count never grows,
                              and the summary gains a SYM column
                              (unsymmetric / symmetric states)
+  --dpor                     explore with persistent-set dynamic
+                             partial-order reduction (ablation A7;
+                             implies sleep sets). Every test additionally
+                             runs once with sleep sets only: outcome sets
+                             must match exactly while neither states nor
+                             transitions grow, and the summary gains a
+                             DPOR column (sleep-set / persistent-set
+                             transitions). Programs beyond 128 locations
+                             degrade to sleep sets, beyond 64 threads to
+                             unreduced search (results stay exact)
   --max-states <N>           per-test state cap (default: 5000000)
   --show-outcomes            print each test's observed outcome set
   -q, --quiet                only print failures and the final summary
@@ -102,6 +112,13 @@ FUZZ OPTIONS:
                              sequential and parallel — and must preserve
                              terminals and outcome sets while never
                              growing the state count
+  --dpor                     add the persistent-set DPOR report-parity
+                             lane: every program re-explores with
+                             ExploreOptions::dpor on — both engines, both
+                             dedup modes, composed with symmetry — and
+                             must preserve terminal/deadlock counts and
+                             outcome sets while never growing states or
+                             transitions
 
 Exit status: 0 on full agreement, 1 on any mismatch/parse error, 2 on usage
 errors.
@@ -182,6 +199,7 @@ fn cmd_run(raw: &[String]) -> ExitCode {
     let fingerprint = !opts.flag(&["--no-fingerprint"]);
     let por = opts.flag(&["--por"]);
     let symmetry = opts.flag(&["--symmetry"]);
+    let dpor = opts.flag(&["--dpor"]);
     let show_outcomes = opts.flag(&["--show-outcomes"]);
     let quiet = opts.flag(&["--quiet", "-q"]);
     if let Some(bad) = opts.args.iter().find(|a| a.starts_with('-')) {
@@ -222,6 +240,7 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         fingerprint,
         por,
         symmetry,
+        dpor,
         ..Default::default()
     };
 
@@ -231,16 +250,21 @@ fn cmd_run(raw: &[String]) -> ExitCode {
     let mut por_transitions_total = 0usize;
     let mut nosym_states_total = 0usize;
     let mut sym_states_total = 0usize;
+    let mut dpor_base_transitions_total = 0usize;
+    let mut dpor_transitions_total = 0usize;
     if !quiet {
         let mut header = format!(
             "{:<16} {:>8} {:>10} {:>10}",
             "NAME", "STATES", "OBSERVED", "EXPECTED"
         );
-        if por {
+        if por && !dpor {
             header.push_str(&format!(" {:>10}", "REDUCTION"));
         }
         if symmetry {
             header.push_str(&format!(" {:>10}", "SYM"));
+        }
+        if dpor {
+            header.push_str(&format!(" {:>10}", "DPOR"));
         }
         println!("{header}  RESULT");
     }
@@ -258,6 +282,7 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         let mut ok = true;
         let mut states = 0usize;
         let mut transitions = 0usize;
+        let mut run_deadlocks = 0usize;
         let mut por_fell_back = false;
         let mut first_divergence: Option<String> = None;
         let mut observed: Option<std::collections::BTreeSet<Vec<rc11::core::Val>>> = None;
@@ -266,6 +291,7 @@ fn cmd_run(raw: &[String]) -> ExitCode {
             let (res, truncated, deadlocks) = litmus::run_with_opts(litmus, engine, explore_opts);
             states = res.states;
             transitions = res.transitions;
+            run_deadlocks = deadlocks;
             por_fell_back |= res.por_fallback;
             if !res.pass && first_divergence.is_none() {
                 first_divergence = Some(if truncated {
@@ -297,7 +323,7 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         // unreduced run doubles as a soundness differential — states and
         // outcome set must match the reduced runs exactly.
         let mut reduction: Option<f64> = None;
-        if por {
+        if por && !dpor {
             let full_opts = rc11::check::ExploreOptions { por: false, ..explore_opts };
             let (full, _, _) =
                 litmus::run_with_opts(litmus, &Engine::Sequential, full_opts);
@@ -349,12 +375,57 @@ fn cmd_run(raw: &[String]) -> ExitCode {
             }
             sym_factor = Some(nosym.states as f64 / states.max(1) as f64);
         }
+        // With --dpor, decide the same test once with sleep sets only
+        // (sequentially): the DPOR factor is sleep-set / persistent-set
+        // transitions, and the sleep-set run doubles as a soundness
+        // differential — persistent sets may shed states *and*
+        // transitions but must preserve the outcome set and the deadlock
+        // count exactly.
+        let mut dpor_factor: Option<f64> = None;
+        if dpor {
+            let base_opts =
+                rc11::check::ExploreOptions { por: true, dpor: false, ..explore_opts };
+            let (base, _, base_deadlocks) =
+                litmus::run_with_opts(litmus, &Engine::Sequential, base_opts);
+            dpor_base_transitions_total += base.transitions;
+            dpor_transitions_total += transitions;
+            if states > base.states {
+                ok = false;
+                first_divergence.get_or_insert(format!(
+                    "DPOR grew the state count: {} persistent-set vs {} sleep-set",
+                    states, base.states
+                ));
+            }
+            if transitions > base.transitions {
+                ok = false;
+                first_divergence.get_or_insert(format!(
+                    "DPOR generated more transitions: {} persistent-set vs {} sleep-set",
+                    transitions, base.transitions
+                ));
+            }
+            if Some(&base.observed) != observed.as_ref() {
+                ok = false;
+                first_divergence
+                    .get_or_insert("DPOR changed the observed outcome set".to_string());
+            }
+            if run_deadlocks != base_deadlocks {
+                ok = false;
+                first_divergence.get_or_insert(format!(
+                    "DPOR changed the deadlock count: {run_deadlocks} persistent-set \
+                     vs {base_deadlocks} sleep-set"
+                ));
+            }
+            dpor_factor = Some(base.transitions as f64 / transitions.max(1) as f64);
+        }
         // One separator space plus a 10-wide cell per enabled reduction,
         // matching the header's ` {:>10}` REDUCTION / SYM columns.
         let mut red =
             reduction.map(|r| format!(" {:>10}", format!("{r:.2}x"))).unwrap_or_default();
         if let Some(s) = sym_factor {
             red.push_str(&format!(" {:>10}", format!("{s:.2}x")));
+        }
+        if let Some(d) = dpor_factor {
+            red.push_str(&format!(" {:>10}", format!("{d:.2}x")));
         }
         let observed = observed.unwrap_or_default();
         if ok {
@@ -415,6 +486,14 @@ fn cmd_run(raw: &[String]) -> ExitCode {
             nosym_states_total as f64 / sym_states_total as f64,
             sym_states_total,
             nosym_states_total
+        );
+    }
+    if dpor && dpor_transitions_total > 0 {
+        print!(
+            "; DPOR reduction {:.2}x ({} transitions vs {} sleep-set)",
+            dpor_base_transitions_total as f64 / dpor_transitions_total as f64,
+            dpor_transitions_total,
+            dpor_base_transitions_total
         );
     }
     println!();
@@ -563,6 +642,7 @@ fn cmd_fuzz(raw: &[String]) -> ExitCode {
     };
     let por = opts.flag(&["--por"]);
     let symmetry = opts.flag(&["--symmetry"]);
+    let dpor = opts.flag(&["--dpor"]);
     if let Some(bad) = opts.args.first() {
         return fail_usage(&format!("fuzz takes no positional arguments (got `{bad}`)"));
     }
@@ -571,22 +651,24 @@ fn cmd_fuzz(raw: &[String]) -> ExitCode {
         min_threads: threads[0],
         max_threads: threads[1],
         max_stmts: stmts,
-        // The symmetry lane is only interesting on programs with orbits,
-        // so bias the generator towards cloned thread bodies.
-        clone_threads: symmetry,
+        // The symmetry lane is only interesting on programs with orbits
+        // (and the DPOR lane composes with it), so bias the generator
+        // towards cloned thread bodies.
+        clone_threads: symmetry || dpor,
         ..Default::default()
     };
     let diff_opts =
-        DiffOptions { workers, max_states, samples, por, symmetry, ..Default::default() };
+        DiffOptions { workers, max_states, samples, por, symmetry, dpor, ..Default::default() };
 
     println!(
         "fuzzing {iters} programs from seed {seed} \
-         ({}–{} threads, ≤{stmts} statements/thread, workers {:?}{}{})",
+         ({}–{} threads, ≤{stmts} statements/thread, workers {:?}{}{}{})",
         gen_opts.min_threads,
         gen_opts.max_threads,
         diff_opts.workers,
         if por { ", POR parity lane on" } else { "" },
-        if symmetry { ", symmetry parity lane on" } else { "" }
+        if symmetry { ", symmetry parity lane on" } else { "" },
+        if dpor { ", DPOR parity lane on" } else { "" }
     );
     let step = (iters / 10).max(1);
     let report = fuzz(seed, iters, &gen_opts, &diff_opts, |r| {

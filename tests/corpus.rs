@@ -249,6 +249,119 @@ fn whole_corpus_is_exact_with_symmetry_on() {
     }
 }
 
+/// Ablation A7: the whole corpus decided with persistent-set DPOR on, at
+/// 1/2/4/8 workers, in both dedup modes, alone and composed with
+/// symmetry reduction. DPOR may shed *states* as well as transitions
+/// (configurations reachable only by commuting a postponed thread first
+/// are never built), and state/transition counts may differ between
+/// engines (arrival order decides wake-up patterns) — so the binding
+/// contract is: states ≤ unreduced, transitions ≤ unreduced, terminal
+/// and deadlock **multisets bit-identical**, observed outcome set ==
+/// expected.
+#[test]
+fn whole_corpus_is_exact_with_dpor_on() {
+    let entries = litmus::load_dir(corpus_dir()).expect("corpus/ must exist");
+    for (path, loaded) in entries {
+        let l = loaded.unwrap_or_else(|e| panic!("{e}"));
+        let prog = compile(&l.prog);
+        let objs = litmus::objects_for(&l);
+        let full = Engine::Sequential.explore(
+            &prog,
+            objs,
+            ExploreOptions { record_traces: false, ..Default::default() },
+        );
+        let multiset = |cfgs: &[Config]| {
+            let mut m = std::collections::HashMap::<Config, usize>::new();
+            for c in cfgs {
+                *m.entry(c.clone()).or_insert(0) += 1;
+            }
+            m
+        };
+        let full_terminals = multiset(&full.terminated);
+        for workers in [1usize, 2, 4, 8] {
+            for fingerprint in [true, false] {
+                for symmetry in [false, true] {
+                    let opts = ExploreOptions {
+                        record_traces: false,
+                        fingerprint,
+                        dpor: true,
+                        symmetry,
+                        ..Default::default()
+                    };
+                    let engine = choose_engine(workers);
+                    let report = engine.explore(&prog, objs, opts);
+                    let tag = format!(
+                        "{} ({}) @ {workers} worker(s), fingerprint {fingerprint}, \
+                         symmetry {symmetry}",
+                        l.name,
+                        path.display()
+                    );
+                    assert!(!report.truncated && report.deadlocked.is_empty(), "{tag}");
+                    assert!(
+                        report.states <= full.states,
+                        "{tag}: DPOR grew the state count ({} > {})",
+                        report.states,
+                        full.states
+                    );
+                    assert!(
+                        report.transitions <= full.transitions,
+                        "{tag}: DPOR generated more transitions ({} > {})",
+                        report.transitions,
+                        full.transitions
+                    );
+                    assert_eq!(
+                        multiset(&report.terminated),
+                        full_terminals,
+                        "{tag}: DPOR changed the terminal multiset"
+                    );
+                    let observed: BTreeSet<Vec<Val>> = report
+                        .terminated
+                        .iter()
+                        .map(|c| l.observe.iter().map(|&(t, r)| c.reg(t, r)).collect())
+                        .collect();
+                    assert_eq!(observed, l.expected, "{tag}: DPOR verdict");
+                }
+            }
+        }
+    }
+}
+
+/// The acceptance bar for A7: the multi-component spin/lock corpus
+/// entries shed at least 5x transitions under persistent-set DPOR
+/// relative to the sleep-set-only search. These are the entries the bar
+/// is measured on because their conflict graphs split into independent
+/// components: sleep sets prune commuted sibling orders but never
+/// states, so they still walk the full component *product*; persistent
+/// sets run the components one after another, collapsing the product
+/// into a sum.
+#[test]
+fn dpor_corpus_entries_shed_at_least_5x_transitions() {
+    for file in ["ttas2x2.litmus", "mp_spin2x3.litmus", "deqspin2x2.litmus"] {
+        let l = litmus::load_file(corpus_dir().join(file)).unwrap_or_else(|e| panic!("{e}"));
+        let prog = compile(&l.prog);
+        let objs = litmus::objects_for(&l);
+        let sleep = Engine::Sequential.explore(
+            &prog,
+            objs,
+            ExploreOptions { record_traces: false, por: true, ..Default::default() },
+        );
+        let dpor = Engine::Sequential.explore(
+            &prog,
+            objs,
+            ExploreOptions { record_traces: false, dpor: true, ..Default::default() },
+        );
+        let factor = sleep.transitions as f64 / dpor.transitions.max(1) as f64;
+        assert!(
+            factor >= 5.0,
+            "{file}: DPOR reduction {factor:.2}x below the 5x bar \
+             ({} vs {} transitions)",
+            dpor.transitions,
+            sleep.transitions
+        );
+        assert!(dpor.states <= sleep.states, "{file}: DPOR grew the state count");
+    }
+}
+
 /// The acceptance bar for A6: the fully symmetric corpus entries shed at
 /// least 3x states under symmetry reduction.
 #[test]

@@ -484,6 +484,120 @@ fn symmetry_preserves_reports_and_sheds_states() {
     assert!(reduced_somewhere, "symmetry must shed states somewhere across the gallery");
 }
 
+/// Ablation A7: persistent-set DPOR postpones whole threads, so both the
+/// state and the transition count may shrink — while the terminal and
+/// deadlock multisets and the violation set must stay bit-identical to
+/// the unreduced search (every terminal and deadlock is still visited,
+/// and visited exactly once), under both engines, at every worker count,
+/// in both dedup modes, alone and composed with symmetry. Strict
+/// shedding is asserted corpus-side (`dpor_corpus_entries_shed_at_least_
+/// 5x_transitions`): the gallery's programs are mostly single-component,
+/// where persistent sets legitimately degenerate to the full thread set.
+#[test]
+fn dpor_preserves_reports_and_sheds_work() {
+    for l in litmus::all() {
+        let prog = compile(&l.prog);
+        let objs = litmus::objects_for(&l);
+        let check = |cfg: &Config, out: &mut Vec<String>| {
+            if cfg.terminated(&prog) {
+                out.push("terminal".to_string());
+            }
+        };
+        let base = ExploreOptions { record_traces: false, ..Default::default() };
+        let oracle = Engine::Sequential.explore_with(&prog, objs, base, check);
+
+        for (mode, fingerprint) in [("fp", true), ("exact", false)] {
+            for symmetry in [false, true] {
+                let opts = ExploreOptions { dpor: true, symmetry, fingerprint, ..base };
+                let tag = |workers: usize| {
+                    format!("{} [{mode}, sym {symmetry}] @ {workers} workers", l.name)
+                };
+                let assert_dpor = |name: &str, r: &EngineReport| {
+                    assert!(
+                        r.states <= oracle.states,
+                        "{name}: DPOR grew the state count ({} > {})",
+                        r.states,
+                        oracle.states
+                    );
+                    assert!(
+                        r.transitions <= oracle.transitions,
+                        "{name}: DPOR generated more transitions"
+                    );
+                    assert_eq!(
+                        config_multiset(&r.terminated),
+                        config_multiset(&oracle.terminated),
+                        "{name}: DPOR changed the terminal multiset"
+                    );
+                    assert_eq!(
+                        config_multiset(&r.deadlocked),
+                        config_multiset(&oracle.deadlocked),
+                        "{name}: DPOR changed the deadlock multiset"
+                    );
+                    assert_eq!(
+                        violation_set(r),
+                        violation_set(&oracle),
+                        "{name}: DPOR changed the violation set"
+                    );
+                    assert!(!r.truncated, "{name}: truncated");
+                };
+                let seq = Engine::Sequential.explore_with(&prog, objs, opts, check);
+                assert_dpor(&tag(1), &seq);
+                for workers in WORKERS {
+                    let par = Engine::Parallel { workers }.explore_with(&prog, objs, opts, check);
+                    assert_dpor(&tag(workers), &par);
+                }
+            }
+        }
+    }
+}
+
+/// DPOR violations still carry replayable traces: every step is a real
+/// transition and the trace ends at the violating configuration. Paths
+/// through a persistent-set-pruned graph may differ from the unreduced
+/// search's, but each edge must exist in the *unreduced* transition
+/// relation — the reduction prunes which successors are expanded, never
+/// invents steps.
+#[test]
+fn dpor_violation_traces_replay() {
+    let l = litmus::sb_ra();
+    let prog = compile(&l.prog);
+    let check = |cfg: &Config, out: &mut Vec<String>| {
+        if cfg.terminated(&prog)
+            && l.observe.iter().all(|&(t, r)| cfg.reg(t, r) == rc11::core::Val::Int(0))
+        {
+            out.push("both zero".to_string());
+        }
+    };
+    for symmetry in [false, true] {
+        let opts = ExploreOptions { dpor: true, symmetry, ..Default::default() };
+        for engine in [Engine::Sequential, Engine::Parallel { workers: 4 }] {
+            let report = engine.explore_with(&prog, &NoObjects, opts, check);
+            assert!(
+                !report.violations.is_empty(),
+                "{engine:?} (sym {symmetry}): SB weak outcome reachable"
+            );
+            for v in &report.violations {
+                let trace = v.trace.as_ref().expect("traces recorded");
+                let mut cur = Config::initial(&prog).canonical();
+                for (tid, next) in trace {
+                    let succs =
+                        rc11::lang::machine::successors(&prog, &NoObjects, &cur, opts.step);
+                    assert!(
+                        succs.iter().any(|(t, s)| t == tid && s.canonical() == *next),
+                        "{engine:?} (sym {symmetry}): DPOR trace step by {tid:?} \
+                         is not a real transition"
+                    );
+                    cur = next.clone();
+                }
+                assert_eq!(
+                    cur, v.config,
+                    "{engine:?} (sym {symmetry}): trace must end at the violation"
+                );
+            }
+        }
+    }
+}
+
 /// Under the sequential engine, symmetry-reduced violation traces are
 /// exactly replayable — for the orbit representative *and* for every
 /// expanded orbit member: the per-edge permutations compose into a
@@ -560,11 +674,15 @@ fn por_falls_back_beyond_64_threads() {
     let full = Engine::Sequential.explore(&prog, &NoObjects, base);
     assert!(!full.por_fallback, "fallback only reports when POR was requested");
     for engine in [Engine::Sequential, Engine::Parallel { workers: 4 }] {
-        let report = engine.explore(&prog, &NoObjects, ExploreOptions { por: true, ..base });
-        assert!(report.por_fallback, "{engine:?}: must report the fallback");
-        assert_eq!(report.states, full.states, "{engine:?}: fallback is unreduced");
-        assert_eq!(report.transitions, full.transitions, "{engine:?}: fallback is unreduced");
-        assert_eq!(report.terminated.len(), full.terminated.len(), "{engine:?}: terminals");
+        for opts in
+            [ExploreOptions { por: true, ..base }, ExploreOptions { dpor: true, ..base }]
+        {
+            let report = engine.explore(&prog, &NoObjects, opts);
+            assert!(report.por_fallback, "{engine:?}: must report the fallback");
+            assert_eq!(report.states, full.states, "{engine:?}: fallback is unreduced");
+            assert_eq!(report.transitions, full.transitions, "{engine:?}: fallback is unreduced");
+            assert_eq!(report.terminated.len(), full.terminated.len(), "{engine:?}: terminals");
+        }
     }
 }
 

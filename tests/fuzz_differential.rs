@@ -8,8 +8,10 @@
 //! sequential-vs-parallel report parity, fingerprint-on/off parity, the
 //! `.litmus` printer/parser round-trip, POR-on/off report parity (states,
 //! terminals and outcome sets preserved, transitions never grow — both
-//! engines), and sampler soundness (`random_walk` terminal outcomes ⊆ the
-//! exhaustive outcome set).
+//! engines), persistent-set DPOR parity (states and transitions bounded
+//! above, terminal/deadlock counts and outcome sets preserved exactly,
+//! both engines, composed with symmetry), and sampler soundness
+//! (`random_walk` terminal outcomes ⊆ the exhaustive outcome set).
 
 use rc11::check::fuzz::{diff_one, fuzz, DiffOptions, DiffVerdict};
 use rc11::check::gen::{generate, GenOptions};
@@ -32,6 +34,7 @@ fn fixed_seed_fuzz_differential_is_clean() {
         max_states: 1 << 16,
         samples: 12,
         por: true,
+        dpor: true,
         ..Default::default()
     };
     let report = fuzz(0xD1FF_2026, 32, &gen_opts, &diff_opts, |_| {});
@@ -55,6 +58,7 @@ fn fixed_seed_fuzz_differential_covers_more_workers() {
         max_states: 1 << 16,
         samples: 8,
         por: true,
+        dpor: true,
         ..Default::default()
     };
     let report = fuzz(0xBEEF, 12, &gen_opts, &diff_opts, |_| {});
@@ -91,6 +95,47 @@ fn long_fuzz_sweep_is_clean() {
     // them per program — skip the giants, sweep the many.
     let diff_opts = DiffOptions { max_states: 1 << 15, por: true, ..Default::default() };
     let report = fuzz(1, 500, &gen_opts, &diff_opts, |_| {});
+    assert!(report.ok(), "{}", fail_message(&report));
+    assert!(report.passed > 250, "passed only {} of 500", report.passed);
+}
+
+/// A third fixed seed dedicated to the DPOR lane, with thread cloning on
+/// so the symmetry composition inside the lane has real orbits to fold
+/// and worker counts spanning the CI matrix.
+#[test]
+fn fixed_seed_fuzz_differential_holds_dpor_to_the_oracle() {
+    let gen_opts = GenOptions { max_stmts: 3, clone_threads: true, ..Default::default() };
+    let diff_opts = DiffOptions {
+        workers: vec![2, 4],
+        max_states: 1 << 16,
+        samples: 0,
+        round_trip: false,
+        dpor: true,
+        symmetry: true,
+        ..Default::default()
+    };
+    let report = fuzz(0xD70_2026, 24, &gen_opts, &diff_opts, |_| {});
+    assert!(report.ok(), "{}", fail_message(&report));
+    assert!(report.passed > 0);
+}
+
+/// The long-run DPOR sweep (≈ 500 programs): every generated program's
+/// persistent-set search is held to the A7 contract against the unreduced
+/// oracle at every worker count, composed with symmetry. Run with
+/// `cargo test --release -- --ignored`, or at CI scale via
+/// `rc11 fuzz --dpor`.
+#[test]
+#[ignore = "long-running fuzz sweep; run with --ignored (ideally --release)"]
+fn long_dpor_fuzz_sweep_is_clean() {
+    let gen_opts = GenOptions { clone_threads: true, ..Default::default() };
+    let diff_opts = DiffOptions {
+        workers: vec![1, 2, 4, 8],
+        max_states: 1 << 15,
+        dpor: true,
+        symmetry: true,
+        ..Default::default()
+    };
+    let report = fuzz(7, 500, &gen_opts, &diff_opts, |_| {});
     assert!(report.ok(), "{}", fail_message(&report));
     assert!(report.passed > 250, "passed only {} of 500", report.passed);
 }
