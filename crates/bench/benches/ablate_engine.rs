@@ -109,7 +109,7 @@ fn bench_exploration(c: &mut Criterion) {
     let conc = instantiate(&client, l, &rc11_locks::ticket());
     let prog = compile(&conc);
     let opts = ExploreOptions { record_traces: false, ..Default::default() };
-    let seq = Engine::Sequential.explore(&prog, &NoObjects, opts);
+    let seq = Engine::Sequential.explore(&prog, &NoObjects, &opts);
     eprintln!(
         "[ablate_engine] exploration reference: {} states, {} transitions",
         seq.states, seq.transitions
@@ -119,7 +119,7 @@ fn bench_exploration(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("sequential", |b| {
         b.iter(|| {
-            let r = Engine::Sequential.explore(&prog, &NoObjects, opts);
+            let r = Engine::Sequential.explore(&prog, &NoObjects, &opts);
             assert_eq!(r.states, seq.states);
         })
     });
@@ -127,7 +127,7 @@ fn bench_exploration(c: &mut Criterion) {
         let engine = choose_engine(workers);
         g.bench_with_input(BenchmarkId::new("parallel", workers), &engine, |b, engine| {
             b.iter(|| {
-                let r = engine.explore(&prog, &NoObjects, opts);
+                let r = engine.explore(&prog, &NoObjects, &opts);
                 assert_eq!(r.states, seq.states);
             })
         });
@@ -238,7 +238,7 @@ fn bench_canon_vs_fingerprint(c: &mut Criterion) {
         let mut states = 0;
         for _ in 0..3 {
             let t0 = Instant::now();
-            let r = Engine::Sequential.explore(&prog, &NoObjects, opts);
+            let r = Engine::Sequential.explore(&prog, &NoObjects, &opts);
             best = best.min(t0.elapsed().as_secs_f64());
             states = r.states;
         }
@@ -308,14 +308,14 @@ fn bench_por(c: &mut Criterion) {
     progs.push(("ticket_counter3", false, compile(&conc), false));
 
     let base = ExploreOptions { record_traces: false, ..Default::default() };
-    let por_opts = ExploreOptions { por: true, ..base };
+    let por_opts = ExploreOptions { por: true, ..base.clone() };
     let mut json: Vec<(String, f64)> = Vec::new();
     let mut bench_progs = Vec::new();
     for (key, must_reduce, prog, uses_objects) in progs {
         let objs: &(dyn rc11_lang::machine::ObjectSemantics + Sync) =
             if uses_objects { &AbstractObjects } else { &NoObjects };
-        let full = Engine::Sequential.explore(&prog, objs, base);
-        let por = Engine::Sequential.explore(&prog, objs, por_opts);
+        let full = Engine::Sequential.explore(&prog, objs, &base);
+        let por = Engine::Sequential.explore(&prog, objs, &por_opts);
         assert_eq!(por.states, full.states, "{key}: POR must not change the state count");
         assert_eq!(
             por.terminated.len(),
@@ -353,9 +353,9 @@ fn bench_por(c: &mut Criterion) {
         }
         let objs: &(dyn rc11_lang::machine::ObjectSemantics + Sync) =
             if *uses_objects { &AbstractObjects } else { &NoObjects };
-        for (mode, opts) in [("full", base), ("por", por_opts)] {
+        for (mode, opts) in [("full", base.clone()), ("por", por_opts.clone())] {
             g.bench_function(format!("{key}/{mode}"), |b| {
-                b.iter(|| black_box(Engine::Sequential.explore(prog, objs, opts).states))
+                b.iter(|| black_box(Engine::Sequential.explore(prog, objs, &opts).states))
             });
         }
     }
@@ -396,11 +396,11 @@ fn bench_symmetry(c: &mut Criterion) {
         .collect();
 
     let base = ExploreOptions { record_traces: false, ..Default::default() };
-    let sym_opts = ExploreOptions { symmetry: true, ..base };
+    let sym_opts = ExploreOptions { symmetry: true, ..base.clone() };
     let mut json: Vec<(String, f64)> = Vec::new();
     for (key, must_reduce, prog) in &progs {
-        let full = Engine::Sequential.explore(prog, &NoObjects, base);
-        let sym = Engine::Sequential.explore(prog, &NoObjects, sym_opts);
+        let full = Engine::Sequential.explore(prog, &NoObjects, &base);
+        let sym = Engine::Sequential.explore(prog, &NoObjects, &sym_opts);
         assert!(sym.states <= full.states, "{key}: symmetry must not add states");
         assert_eq!(
             sym.terminated.len(),
@@ -437,9 +437,9 @@ fn bench_symmetry(c: &mut Criterion) {
         if *key != "sym_fai4" {
             continue;
         }
-        for (mode, opts) in [("full", base), ("sym", sym_opts)] {
+        for (mode, opts) in [("full", base.clone()), ("sym", sym_opts.clone())] {
             g.bench_function(format!("{key}/{mode}"), |b| {
-                b.iter(|| black_box(Engine::Sequential.explore(prog, &NoObjects, opts).states))
+                b.iter(|| black_box(Engine::Sequential.explore(prog, &NoObjects, &opts).states))
             });
         }
     }
@@ -488,14 +488,14 @@ fn bench_dpor(c: &mut Criterion) {
         .collect();
 
     let base = ExploreOptions { record_traces: false, ..Default::default() };
-    let sleep_opts = ExploreOptions { por: true, ..base };
-    let dpor_opts = ExploreOptions { dpor: true, ..base };
+    let sleep_opts = ExploreOptions { por: true, ..base.clone() };
+    let dpor_opts = ExploreOptions { dpor: true, ..base.clone() };
     let mut json: Vec<(String, f64)> = Vec::new();
     for (key, must_reduce, prog, uses_objects) in &progs {
         let objs: &(dyn rc11_lang::machine::ObjectSemantics + Sync) =
             if *uses_objects { &AbstractObjects } else { &NoObjects };
-        let sleep = Engine::Sequential.explore(prog, objs, sleep_opts);
-        let dpor = Engine::Sequential.explore(prog, objs, dpor_opts);
+        let sleep = Engine::Sequential.explore(prog, objs, &sleep_opts);
+        let dpor = Engine::Sequential.explore(prog, objs, &dpor_opts);
         assert!(dpor.states <= sleep.states, "{key}: DPOR must not add states");
         assert!(
             dpor.transitions <= sleep.transitions,
@@ -537,9 +537,9 @@ fn bench_dpor(c: &mut Criterion) {
         }
         let objs: &(dyn rc11_lang::machine::ObjectSemantics + Sync) =
             if *uses_objects { &AbstractObjects } else { &NoObjects };
-        for (mode, opts) in [("sleep", sleep_opts), ("dpor", dpor_opts)] {
+        for (mode, opts) in [("sleep", sleep_opts.clone()), ("dpor", dpor_opts.clone())] {
             g.bench_function(format!("{key}/{mode}"), |b| {
-                b.iter(|| black_box(Engine::Sequential.explore(prog, objs, opts).states))
+                b.iter(|| black_box(Engine::Sequential.explore(prog, objs, &opts).states))
             });
         }
     }

@@ -12,7 +12,7 @@ fn check_fig3() -> (usize, usize) {
     let f = figures::fig2();
     let outline = figures::fig3_outline(&f);
     let prog = compile(&f.prog);
-    let report = check_outline(&prog, &AbstractObjects, &outline, ExploreOptions::default());
+    let report = check_outline(&prog, &AbstractObjects, &outline, &ExploreOptions::default());
     assert!(report.valid(), "Figure 3 outline must be valid");
     (report.states, report.checks)
 }
@@ -25,14 +25,14 @@ fn bench(c: &mut Criterion) {
     let f1 = figures::fig1();
     let o1 = figures::fig3_outline(&f1);
     let p1 = compile(&f1.prog);
-    let bad = check_outline(&p1, &AbstractObjects, &o1, ExploreOptions::default());
+    let bad = check_outline(&p1, &AbstractObjects, &o1, &ExploreOptions::default());
     assert!(!bad.violations.is_empty());
     eprintln!("[fig3] negative control (Figure 1 program): {} violations", bad.violations.len());
 
     let mut g = c.benchmark_group("fig3");
     g.bench_function("check_outline_valid", |b| b.iter(check_fig3));
     g.bench_function("check_outline_invalid", |b| {
-        b.iter(|| check_outline(&p1, &AbstractObjects, &o1, ExploreOptions::default()))
+        b.iter(|| check_outline(&p1, &AbstractObjects, &o1, &ExploreOptions::default()))
     });
     g.finish();
 }

@@ -14,7 +14,7 @@ fn check_fig7() -> (usize, usize) {
     let f = figures::fig7();
     let outline = figures::fig7_outline(&f);
     let prog = compile(&f.prog);
-    let report = check_outline(&prog, &AbstractObjects, &outline, ExploreOptions::default());
+    let report = check_outline(&prog, &AbstractObjects, &outline, &ExploreOptions::default());
     assert!(report.valid(), "Lemma 4: the Figure-7 outline must be valid");
     (report.states, report.checks)
 }

@@ -49,7 +49,7 @@ fn bench(c: &mut Criterion) {
     let prog = build_prog(4);
     let opts = ExploreOptions { record_traces: false, ..Default::default() };
 
-    let seq = Engine::Sequential.explore(&prog, &NoObjects, opts);
+    let seq = Engine::Sequential.explore(&prog, &NoObjects, &opts);
     eprintln!(
         "[parallel] {}: {} states, {} transitions (sequential reference)",
         prog.source.name, seq.states, seq.transitions
@@ -60,7 +60,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("sequential", |b| {
         b.iter(|| {
-            let r = Engine::Sequential.explore(&prog, &NoObjects, opts);
+            let r = Engine::Sequential.explore(&prog, &NoObjects, &opts);
             assert_eq!(r.states, seq.states);
         })
     });
@@ -68,7 +68,7 @@ fn bench(c: &mut Criterion) {
         let engine = Engine::Parallel { workers };
         g.bench_with_input(BenchmarkId::new("workers", workers), &engine, |b, engine| {
             b.iter(|| {
-                let r = engine.explore(&prog, &NoObjects, opts);
+                let r = engine.explore(&prog, &NoObjects, &opts);
                 assert_eq!(r.states, seq.states, "worker count must not change the state count");
             })
         });
@@ -85,7 +85,7 @@ fn bench(c: &mut Criterion) {
             let mut best = f64::INFINITY;
             for _ in 0..3 {
                 let t0 = Instant::now();
-                let r = engine.explore(&prog, &NoObjects, opts);
+                let r = engine.explore(&prog, &NoObjects, &opts);
                 assert_eq!(r.states, seq.states);
                 best = best.min(t0.elapsed().as_secs_f64());
             }
@@ -108,12 +108,12 @@ fn bench(c: &mut Criterion) {
     // client, best-of-2 wall clock per engine configuration.
     // ------------------------------------------------------------------
     let deep = build_prog(5);
-    let deep_seq = Engine::Sequential.explore(&deep, &NoObjects, opts);
+    let deep_seq = Engine::Sequential.explore(&deep, &NoObjects, &opts);
     eprintln!(
         "[parallel] {}: {} states, {} transitions (deep frontier)",
         deep.source.name, deep_seq.states, deep_seq.transitions
     );
-    let states_per_sec = |engine: &Engine, opts: ExploreOptions| -> f64 {
+    let states_per_sec = |engine: &Engine, opts: &ExploreOptions| -> f64 {
         let mut best = f64::INFINITY;
         for _ in 0..2 {
             let t0 = Instant::now();
@@ -123,19 +123,19 @@ fn bench(c: &mut Criterion) {
         }
         deep_seq.states as f64 / best
     };
-    let seq_tput = states_per_sec(&Engine::Sequential, opts);
+    let seq_tput = states_per_sec(&Engine::Sequential, &opts);
     entries.push(("deep_sequential_states_per_sec".to_string(), seq_tput));
     let mut worker_tput = Vec::new();
     for workers in [1usize, 2, 4, 8] {
-        let tput = states_per_sec(&Engine::Parallel { workers }, opts);
+        let tput = states_per_sec(&Engine::Parallel { workers }, &opts);
         worker_tput.push((workers, tput));
         entries.push((format!("deep_parallel_{workers}w_states_per_sec"), tput));
     }
 
     // A5: the same deep exploration with sleep-set POR on. States must not
     // change; the transition reduction is the work POR saves end-to-end.
-    let por_opts = ExploreOptions { por: true, ..opts };
-    let deep_por = Engine::Sequential.explore(&deep, &NoObjects, por_opts);
+    let por_opts = ExploreOptions { por: true, ..opts.clone() };
+    let deep_por = Engine::Sequential.explore(&deep, &NoObjects, &por_opts);
     assert_eq!(deep_por.states, deep_seq.states, "POR must not change the state count");
     assert!(deep_por.transitions <= deep_seq.transitions);
     entries.push((
@@ -144,11 +144,11 @@ fn bench(c: &mut Criterion) {
     ));
     entries.push((
         "deep_por_sequential_states_per_sec".to_string(),
-        states_per_sec(&Engine::Sequential, por_opts),
+        states_per_sec(&Engine::Sequential, &por_opts),
     ));
     entries.push((
         "deep_por_parallel_4w_states_per_sec".to_string(),
-        states_per_sec(&Engine::Parallel { workers: 4 }, por_opts),
+        states_per_sec(&Engine::Parallel { workers: 4 }, &por_opts),
     ));
 
     for (name, v) in &entries {

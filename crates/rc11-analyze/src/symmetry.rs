@@ -35,6 +35,10 @@ pub struct SymmetrySpec {
     /// Per-thread register renaming maps into representative numbering.
     maps: SymMaps,
     n_threads: usize,
+    /// When detection found groups whose combined orbit exceeds
+    /// [`ORBIT_CAP`], the spec degrades to trivial and this records the
+    /// abandoned orbit size so callers can surface the downgrade.
+    capped: Option<usize>,
 }
 
 /// Collect the registers an instruction mentions, in a fixed left-to-right
@@ -190,7 +194,8 @@ pub fn thread_symmetry(prog: &CfgProgram) -> SymmetrySpec {
     }
 
     let orbit: usize = groups.iter().map(|g| factorial(g.len())).product();
-    if orbit > ORBIT_CAP {
+    let capped = (orbit > ORBIT_CAP).then_some(orbit);
+    if capped.is_some() {
         groups.clear();
     }
 
@@ -227,7 +232,7 @@ pub fn thread_symmetry(prog: &CfgProgram) -> SymmetrySpec {
         })
         .collect();
 
-    SymmetrySpec { groups, maps: SymMaps { to_rep, from_rep }, n_threads: n }
+    SymmetrySpec { groups, maps: SymMaps { to_rep, from_rep }, n_threads: n, capped }
 }
 
 fn factorial(n: usize) -> usize {
@@ -259,6 +264,13 @@ impl SymmetrySpec {
     /// The orbit size: product over groups of `|group|!`.
     pub fn orbit_size(&self) -> usize {
         self.groups.iter().map(|g| factorial(g.len())).product()
+    }
+
+    /// When detection hit [`ORBIT_CAP`] and degraded to the trivial spec,
+    /// the orbit size it gave up on; `None` for genuine (or genuinely
+    /// trivial) specs. Engines surface this as a structured report note.
+    pub fn capped_orbit(&self) -> Option<usize> {
+        self.capped
     }
 
     /// The canonical group permutation for `cfg`: sorts each group's

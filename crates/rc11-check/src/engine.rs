@@ -15,14 +15,196 @@
 //! explorer serving as the reference oracle. [`choose_engine`] picks the
 //! engine for a requested worker count.
 
+use crate::chaos::ChaosState;
+use crate::checkpoint::CheckpointOpts;
 use crate::explore::Explorer;
 use crate::parallel::par_explore;
 use rc11_core::Tid;
 use rc11_lang::cfg::CfgProgram;
 use rc11_lang::machine::{Config, ObjectSemantics, StepOptions};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Why an exploration stopped — the generalisation of the old `truncated`
+/// bool into an ordered lattice. Reasons are ordered by severity and
+/// combined by `max` ([`StopReason::bump`]): a run that hits the state cap
+/// *and* loses a worker reports the worker fault. Every non-[`Complete`]
+/// stop still yields a **sound lower bound**: all reported states,
+/// transitions, terminals, deadlocks and violations are real; only
+/// completeness is forfeit. Both engines agree on the verdict class —
+/// `ok()` is true only for violation-free `Complete` runs.
+///
+/// [`Complete`]: StopReason::Complete
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum StopReason {
+    /// Exploration exhausted the reachable space.
+    #[default]
+    Complete,
+    /// The `max_states` cap cut the walk short.
+    StateCap,
+    /// [`Budget::max_transitions`] was reached.
+    TransitionCap,
+    /// [`Budget::max_mem_bytes`] was reached (approximate arena bytes).
+    MemBudget,
+    /// [`Budget::deadline`] expired.
+    Deadline,
+    /// The shared [`CancelToken`] was cancelled. A cancelled run never
+    /// claims `Complete`, even when cancellation raced the final state:
+    /// both engines re-check the token after their loops.
+    Cancelled,
+    /// A parallel worker panicked; the run continued degraded on the
+    /// surviving workers (see `parallel`), so coverage may have gaps.
+    WorkerFault,
+}
+
+impl StopReason {
+    /// Combine in the lattice: keep the more severe reason.
+    pub fn bump(&mut self, other: StopReason) {
+        *self = (*self).max(other);
+    }
+
+    /// True iff exploration exhausted the space.
+    pub fn is_complete(&self) -> bool {
+        *self == StopReason::Complete
+    }
+
+    pub(crate) fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    pub(crate) fn from_u8(v: u8) -> StopReason {
+        match v {
+            0 => StopReason::Complete,
+            1 => StopReason::StateCap,
+            2 => StopReason::TransitionCap,
+            3 => StopReason::MemBudget,
+            4 => StopReason::Deadline,
+            5 => StopReason::Cancelled,
+            _ => StopReason::WorkerFault,
+        }
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StopReason::Complete => "complete",
+            StopReason::StateCap => "state-cap",
+            StopReason::TransitionCap => "transition-cap",
+            StopReason::MemBudget => "mem-budget",
+            StopReason::Deadline => "deadline",
+            StopReason::Cancelled => "cancelled",
+            StopReason::WorkerFault => "worker-fault",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Resource budgets for one exploration, all optional. Checked
+/// cooperatively in both engines' hot loops (between work items), so each
+/// bound may be overshot by at most one item's expansion; any trip stops
+/// the walk with the matching [`StopReason`] and a sound partial report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock deadline, measured from the start of `explore_with`.
+    pub deadline: Option<Duration>,
+    /// Cap on generated transitions.
+    pub max_transitions: Option<usize>,
+    /// Cap on the approximate interned-arena footprint in bytes
+    /// ([`rc11_lang::machine::Config::approx_bytes`] summed over interned
+    /// states).
+    pub max_mem_bytes: Option<usize>,
+}
+
+impl Budget {
+    /// True iff no bound is set (the default).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_transitions.is_none() && self.max_mem_bytes.is_none()
+    }
+}
+
+/// A shared cooperative-cancellation handle. Clone it, hand one clone to
+/// [`ExploreOptions::cancel`] and keep the other; `cancel()` from any
+/// thread makes both engines stop at the next work item with
+/// [`StopReason::Cancelled`]. The default token is never cancelled.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation (idempotent, any thread).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A structured warning on an [`EngineReport`]: something degraded or went
+/// wrong without invalidating the verdict. The old `por_fallback` bool is
+/// now [`Note::PorThreadCap`]; `rc11 run` prints notes as a column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Note {
+    /// POR was requested but the program exceeds the 64-thread mask
+    /// ceiling; the walk ran unreduced (results stay exact).
+    PorThreadCap {
+        /// The program's thread count.
+        threads: usize,
+    },
+    /// DPOR was requested but the program exceeds the 128-location
+    /// future-footprint capacity; the walk degraded to sleep-sets-only
+    /// (sound, fewer transitions pruned).
+    DporLocationCap,
+    /// Symmetry reduction was requested but the detected groups' orbit
+    /// exceeds `rc11_analyze::symmetry::ORBIT_CAP`; the walk ran without
+    /// reduction (results stay exact).
+    SymmetryOrbitCap {
+        /// The orbit size detection gave up on.
+        orbit: usize,
+    },
+    /// A parallel worker panicked and was contained; its in-flight state
+    /// was dropped and the run continued degraded.
+    WorkerFault {
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// A checkpoint write or load failed (or was chaos-injected to fail);
+    /// the run continued without that checkpoint.
+    CheckpointError {
+        /// What failed.
+        message: String,
+    },
+}
+
+impl fmt::Display for Note {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Note::PorThreadCap { threads } => {
+                write!(f, "por-fallback: {threads} threads exceed the 64-thread POR ceiling")
+            }
+            Note::DporLocationCap => {
+                f.write_str("dpor-fallback: >128 locations, sleep-sets only")
+            }
+            Note::SymmetryOrbitCap { orbit } => {
+                write!(f, "symmetry-fallback: orbit {orbit} exceeds cap, unreduced")
+            }
+            Note::WorkerFault { message } => write!(f, "worker-fault: {message}"),
+            Note::CheckpointError { message } => write!(f, "checkpoint: {message}"),
+        }
+    }
+}
 
 /// Exploration limits and knobs, shared by both engines.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExploreOptions {
     /// Step-generation options (local fusion).
     pub step: StepOptions,
@@ -99,6 +281,29 @@ pub struct ExploreOptions {
     /// it on. Ignored by the outline checker (Owicki–Gries classification
     /// is per-edge and per-thread).
     pub symmetry: bool,
+    /// Resource budgets (deadline, transition cap, approximate memory
+    /// cap). Checked cooperatively between work items in both engines'
+    /// hot loops; tripping one stops the walk with the matching
+    /// [`StopReason`] and a sound partial report. Unlimited by default.
+    pub budget: Budget,
+    /// Shared cooperative-cancellation token; `cancel()` on any clone
+    /// stops both engines at the next work item with
+    /// [`StopReason::Cancelled`]. The default token never cancels.
+    pub cancel: CancelToken,
+    /// Periodic checkpointing of the sequential explorer's frontier and
+    /// visited set ([`crate::checkpoint`]): with `Some`, the explorer
+    /// saves a replay-log checkpoint to the directory every
+    /// `every` expanded items (and on every non-`Complete` stop), resumes
+    /// from a matching checkpoint found there, and deletes it on
+    /// `Complete`. Resumed runs produce reports **bit-identical** to
+    /// uninterrupted ones. The parallel engine ignores this (callers —
+    /// `rc11 run --checkpoint` — force the sequential engine).
+    pub checkpoint: Option<CheckpointOpts>,
+    /// Seeded deterministic fault injection ([`crate::chaos`]) for the
+    /// resilience test harness: worker panics and stalls fire in the
+    /// parallel engine's expansion loop, checkpoint-write failures in the
+    /// sequential checkpointer. `None` (the default) injects nothing.
+    pub chaos: Option<Arc<ChaosState>>,
 }
 
 impl Default for ExploreOptions {
@@ -111,12 +316,16 @@ impl Default for ExploreOptions {
             por: false,
             dpor: false,
             symmetry: false,
+            budget: Budget::default(),
+            cancel: CancelToken::default(),
+            checkpoint: None,
+            chaos: None,
         }
     }
 }
 
 /// A violation discovered during exploration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// What was violated (human-readable).
     pub what: String,
@@ -141,21 +350,53 @@ pub struct EngineReport {
     pub deadlocked: Vec<Config>,
     /// Violations reported by the check callback.
     pub violations: Vec<Violation>,
-    /// True iff `max_states` was hit (results are a lower bound).
-    pub truncated: bool,
-    /// True iff partial-order reduction was requested but the program
-    /// exceeds POR's 64-thread mask ceiling, so the engine fell back to
-    /// the unreduced search (which supports any thread count `Tid` can
-    /// name). Results are exact either way; the flag exists so callers —
-    /// `rc11 run --por` prints a note — can surface the downgrade instead
-    /// of the hard assert this used to be.
-    pub por_fallback: bool,
+    /// Why exploration stopped. Anything but [`StopReason::Complete`]
+    /// means the results are a sound lower bound on the reachable space
+    /// (the old `truncated` bool generalised to a lattice).
+    pub stop: StopReason,
+    /// Structured warnings: silent degradations surfaced (POR/DPOR/
+    /// symmetry caps), contained worker faults, checkpoint errors. Notes
+    /// never change the verdict; `rc11 run` prints them as a column.
+    pub notes: Vec<Note>,
 }
 
 impl EngineReport {
     /// No violations and exploration completed.
     pub fn ok(&self) -> bool {
-        self.violations.is_empty() && !self.truncated
+        self.violations.is_empty() && self.stop.is_complete()
+    }
+
+    /// True iff exploration stopped early for any reason (results are a
+    /// lower bound) — the old `truncated` field as a method.
+    pub fn truncated(&self) -> bool {
+        !self.stop.is_complete()
+    }
+
+    /// True iff POR was requested but fell back to the unreduced search
+    /// (the old `por_fallback` field, now [`Note::PorThreadCap`]).
+    pub fn por_fallback(&self) -> bool {
+        self.notes.iter().any(|n| matches!(n, Note::PorThreadCap { .. }))
+    }
+
+    /// Push `note` unless an equal one is already present.
+    pub fn note(&mut self, note: Note) {
+        if !self.notes.contains(&note) {
+            self.notes.push(note);
+        }
+    }
+
+    /// Are two reports bit-identical in their *results* — states,
+    /// transitions, terminal/deadlock sets, violations (including traces)
+    /// and stop reason? Notes are excluded: they describe how the run
+    /// went, not what it found. This is the equality the chaos and
+    /// checkpoint/resume differentials enforce.
+    pub fn same_results(&self, other: &EngineReport) -> bool {
+        self.states == other.states
+            && self.transitions == other.transitions
+            && self.terminated == other.terminated
+            && self.deadlocked == other.deadlocked
+            && self.violations == other.violations
+            && self.stop == other.stop
     }
 }
 
@@ -204,13 +445,13 @@ impl Engine {
         &self,
         prog: &CfgProgram,
         objs: &(dyn ObjectSemantics + Sync),
-        opts: ExploreOptions,
+        opts: &ExploreOptions,
         check: impl Fn(&Config, &mut Vec<String>) + Sync,
     ) -> EngineReport {
         match self {
-            Engine::Sequential => {
-                Explorer::new(prog, objs).with_options(opts).explore_with(|c, out| check(c, out))
-            }
+            Engine::Sequential => Explorer::new(prog, objs)
+                .with_options(opts.clone())
+                .explore_with(|c, out| check(c, out)),
             Engine::Parallel { workers } => par_explore(prog, objs, opts, *workers, check),
         }
     }
@@ -220,17 +461,21 @@ impl Engine {
         &self,
         prog: &CfgProgram,
         objs: &(dyn ObjectSemantics + Sync),
-        opts: ExploreOptions,
+        opts: &ExploreOptions,
     ) -> EngineReport {
         self.explore_with(prog, objs, opts, |_, _| {})
     }
 
-    /// Check a predicate as a global invariant.
+    /// Check a predicate as a global invariant. Honours budgets,
+    /// cancellation and checkpointing exactly like [`Engine::explore`]:
+    /// it is the same walk with a predicate check layered on, so a budget
+    /// trip yields a sound partial report with the matching
+    /// [`StopReason`] on either engine.
     pub fn check_invariant(
         &self,
         prog: &CfgProgram,
         objs: &(dyn ObjectSemantics + Sync),
-        opts: ExploreOptions,
+        opts: &ExploreOptions,
         pred: &rc11_assert::Pred,
     ) -> EngineReport {
         self.explore_with(prog, objs, opts, |cfg, out| {

@@ -46,6 +46,8 @@
 //! (`tests/engine_agreement.rs`) holds the parallel engine to this
 //! explorer's answers, which makes this file the semantic ground truth.
 
+use crate::checkpoint::{self, CheckpointOpts, ViolationRec};
+use crate::engine::{Note, StopReason};
 use crate::fxhash::{CanonicalFingerprint, Fp128, FxHashMap, IdBucket};
 use crate::por::{self, ThreadMask};
 use crate::sym;
@@ -53,6 +55,7 @@ use rc11_analyze::SymmetrySpec;
 use rc11_core::Tid;
 use rc11_lang::cfg::CfgProgram;
 use rc11_lang::machine::{thread_successors, Config, ObjectSemantics};
+use std::time::Instant;
 
 pub use crate::engine::{EngineReport as Report, ExploreOptions, Violation};
 
@@ -69,6 +72,10 @@ struct Node {
     parent: Option<(u32, Tid)>,
     explored: ThreadMask,
     sigma: Option<Vec<u8>>,
+    /// Index of the committing successor within the parent edge's
+    /// `thread_successors` result — the checkpoint replay key (0 for the
+    /// root; see `crate::checkpoint`).
+    succ_idx: u32,
 }
 
 /// The visited index shared by the sequential explorer and the sequential
@@ -236,10 +243,13 @@ impl<'a> Explorer<'a> {
         let mut por = self.opts.por || self.opts.dpor;
         if por && n_threads > 64 {
             por = false;
-            report.por_fallback = true;
+            report.note(Note::PorThreadCap { threads: n_threads });
         }
         let full = if por { por::full_mask(n_threads) } else { !0 };
-        let spec = sym::active_spec(self.prog, self.opts.symmetry);
+        let (spec, capped_orbit) = sym::active_spec(self.prog, self.opts.symmetry);
+        if let Some(orbit) = capped_orbit {
+            report.note(Note::SymmetryOrbitCap { orbit });
+        }
         let symm = spec.as_ref();
         let statics = por.then(|| rc11_analyze::conflict_matrix(self.prog));
         // Persistent-set machinery (A7): `None` unless dpor is on *and*
@@ -248,20 +258,25 @@ impl<'a> Explorer<'a> {
         let pers = (por && self.opts.dpor)
             .then(|| rc11_analyze::future_footprints(self.prog))
             .flatten();
-
-        let init = Config::initial(self.prog).canonical();
-        let probe = index.probe(&init, symm, |id| &nodes[id as usize].cfg);
-        let (init, init_sigma) = index.commit(probe, &init, symm, 0);
-        let init_prop = pers.as_ref().map_or(full, |p| p.persistent_mask(&init.pcs));
-        nodes.push(Node { cfg: init.clone(), parent: None, explored: init_prop, sigma: init_sigma });
-        check(&init, &mut buf);
-        for what in buf.drain(..) {
-            report.violations.push(Violation {
-                what,
-                config: init.clone(),
-                trace: self.opts.record_traces.then(Vec::new),
-            });
+        if por && self.opts.dpor && pers.is_none() {
+            report.note(Note::DporLocationCap);
         }
+
+        // Resilience machinery: budgets are checked between work items (so
+        // every stop lands on a clean item boundary and the report is a
+        // sound prefix), checkpointing snapshots the discovery log at the
+        // same boundaries.
+        let budget = self.opts.budget;
+        let deadline = budget.deadline.map(|d| Instant::now() + d);
+        let mut mem_bytes: u64 = 0;
+        let ckpt = self.opts.checkpoint.clone();
+        let sig = ckpt.as_ref().map(|_| self.checkpoint_sig());
+        // Id-keyed mirrors of the report, maintained only when
+        // checkpointing (`crate::checkpoint` stores references, not
+        // configurations).
+        let mut term_ids: Vec<u32> = Vec::new();
+        let mut dead_ids: Vec<u32> = Vec::new();
+        let mut viol_recs: Vec<ViolationRec> = Vec::new();
 
         // Work items: `(node, threads to expand, arriving sleep set,
         // first visit?)`. Without POR every item is `(id, full, ∅, true)`
@@ -269,9 +284,137 @@ impl<'a> Explorer<'a> {
         // expansion order, same transition counts). See `crate::por` for
         // the sleep-set rules. Under dpor the expansion mask starts from
         // the state's persistent set instead of `full`.
-        let mut frontier: Vec<(u32, ThreadMask, ThreadMask, bool)> =
-            vec![(0, init_prop, 0, true)];
-        while let Some((id, mask, sleep, first)) = frontier.pop() {
+        let mut frontier: Vec<(u32, ThreadMask, ThreadMask, bool)> = Vec::new();
+
+        // Resume from a matching checkpoint, or seed afresh. A resumed run
+        // restores the exact mid-run state of the interrupted one (arena,
+        // index, frontier, counters, report entries), so continuing it
+        // produces a report bit-identical to an uninterrupted run's.
+        let mut resumed = false;
+        if let (Some(ck), Some(sig)) = (&ckpt, sig) {
+            if let Some(data) = checkpoint::load(&ck.dir, sig) {
+                match self.replay_log(&data, symm) {
+                    Ok((ix, ns)) => {
+                        index = ix;
+                        nodes = ns;
+                        report.transitions = data.transitions as usize;
+                        mem_bytes = data.mem_bytes;
+                        frontier = data.frontier.clone();
+                        for &tid_ in &data.terminated {
+                            report.terminated.push(nodes[tid_ as usize].cfg.clone());
+                        }
+                        for &did in &data.deadlocked {
+                            report.deadlocked.push(nodes[did as usize].cfg.clone());
+                        }
+                        term_ids = data.terminated.clone();
+                        dead_ids = data.deadlocked.clone();
+                        for vr in &data.violations {
+                            let node = &nodes[vr.node as usize];
+                            let config = match (&vr.pi, symm) {
+                                (Some(pi), Some(spec)) => {
+                                    node.cfg.permute_threads(pi, spec.maps()).canonical()
+                                }
+                                _ => node.cfg.clone(),
+                            };
+                            let trace = self.opts.record_traces.then(|| match node.parent {
+                                None => Vec::new(),
+                                Some((p, t)) => match symm {
+                                    Some(spec) => {
+                                        let pi = vr.pi.clone().unwrap_or_else(|| {
+                                            (0..n_threads as u8).collect()
+                                        });
+                                        reconstruct_trace_sym(
+                                            &nodes, p, t, &node.sigma, &node.cfg, pi, spec,
+                                        )
+                                    }
+                                    None => reconstruct_trace(&nodes, p, t, &node.cfg),
+                                },
+                            });
+                            report.violations.push(Violation {
+                                what: vr.what.clone(),
+                                config,
+                                trace,
+                            });
+                            viol_recs.push(ViolationRec {
+                                what: vr.what.clone(),
+                                node: vr.node,
+                                pi: vr.pi.clone(),
+                            });
+                        }
+                        resumed = true;
+                    }
+                    Err(message) => {
+                        report.note(Note::CheckpointError { message });
+                        index = VisitedIndex::new(self.opts.fingerprint);
+                        nodes = Vec::new();
+                    }
+                }
+            }
+        }
+
+        if !resumed {
+            let init = Config::initial(self.prog).canonical();
+            let probe = index.probe(&init, symm, |id| &nodes[id as usize].cfg);
+            let (init, init_sigma) = index.commit(probe, &init, symm, 0);
+            let init_prop = pers.as_ref().map_or(full, |p| p.persistent_mask(&init.pcs));
+            mem_bytes += init.approx_bytes() as u64;
+            nodes.push(Node {
+                cfg: init.clone(),
+                parent: None,
+                explored: init_prop,
+                sigma: init_sigma,
+                succ_idx: 0,
+            });
+            check(&init, &mut buf);
+            for what in buf.drain(..) {
+                if ckpt.is_some() {
+                    viol_recs.push(ViolationRec { what: what.clone(), node: 0, pi: None });
+                }
+                report.violations.push(Violation {
+                    what,
+                    config: init.clone(),
+                    trace: self.opts.record_traces.then(Vec::new),
+                });
+            }
+            frontier.push((0, init_prop, 0, true));
+        }
+
+        let mut pops: usize = 0;
+        loop {
+            // Budget and cancellation gates, between work items: any trip
+            // stops on a clean boundary with a sound prefix report.
+            if self.opts.cancel.is_cancelled() {
+                report.stop.bump(StopReason::Cancelled);
+                break;
+            }
+            if let Some(dl) = deadline {
+                if Instant::now() >= dl {
+                    report.stop.bump(StopReason::Deadline);
+                    break;
+                }
+            }
+            if let Some(cap) = budget.max_transitions {
+                if report.transitions >= cap {
+                    report.stop.bump(StopReason::TransitionCap);
+                    break;
+                }
+            }
+            if let Some(cap) = budget.max_mem_bytes {
+                if mem_bytes as usize >= cap {
+                    report.stop.bump(StopReason::MemBudget);
+                    break;
+                }
+            }
+            if let (Some(ck), Some(sig)) = (&ckpt, sig) {
+                if pops > 0 && pops.is_multiple_of(ck.every.max(1)) {
+                    self.save_checkpoint(
+                        ck, sig, &mut report, &nodes, &frontier, mem_bytes, &term_ids,
+                        &dead_ids, &viol_recs,
+                    );
+                }
+            }
+            let Some((id, mask, sleep, first)) = frontier.pop() else { break };
+            pops += 1;
             let cfg = nodes[id as usize].cfg.clone();
             let mut fps = por.then(|| por::LazyFootprints::new(n_threads));
             let mut any_succ = false;
@@ -299,7 +442,7 @@ impl<'a> Explorer<'a> {
                     _ => 0,
                 };
                 let tid = Tid(t as u8);
-                for succ in succs {
+                for (si, succ) in succs.into_iter().enumerate() {
                     // The successor's persistent set (full without dpor).
                     // A pure function of the program counters, computed on
                     // the raw successor and transported through σ with the
@@ -336,11 +479,12 @@ impl<'a> Explorer<'a> {
                         novel => novel,
                     };
                     if nodes.len() >= self.opts.max_states {
-                        report.truncated = true;
+                        report.stop.bump(StopReason::StateCap);
                         continue;
                     }
                     let new_id = nodes.len() as u32;
                     let (canon, sigma) = index.commit(probe, &succ, symm, new_id);
+                    mem_bytes += canon.approx_bytes() as u64;
                     // The explored/sleep masks live in the stored state's
                     // numbering: transport proposal and sleep through σ.
                     let (prop, slp) = match (&sigma, por) {
@@ -352,6 +496,13 @@ impl<'a> Explorer<'a> {
                     };
                     check(&canon, &mut buf);
                     for what in buf.drain(..) {
+                        if ckpt.is_some() {
+                            viol_recs.push(ViolationRec {
+                                what: what.clone(),
+                                node: new_id,
+                                pi: None,
+                            });
+                        }
                         report.violations.push(Violation {
                             what,
                             config: canon.clone(),
@@ -377,6 +528,13 @@ impl<'a> Explorer<'a> {
                         for (pi, member) in sym::orbit_members(spec, &canon) {
                             check(&member, &mut buf);
                             for what in buf.drain(..) {
+                                if ckpt.is_some() {
+                                    viol_recs.push(ViolationRec {
+                                        what: what.clone(),
+                                        node: new_id,
+                                        pi: Some(pi.clone()),
+                                    });
+                                }
                                 report.violations.push(Violation {
                                     what,
                                     config: member.clone(),
@@ -394,6 +552,7 @@ impl<'a> Explorer<'a> {
                         parent: Some((id, tid)),
                         explored: prop,
                         sigma,
+                        succ_idx: si as u32,
                     });
                     frontier.push((new_id, prop, slp, true));
                 }
@@ -416,8 +575,14 @@ impl<'a> Explorer<'a> {
                     )
                 {
                     if cfg.terminated(self.prog) {
+                        if ckpt.is_some() {
+                            term_ids.push(id);
+                        }
                         report.terminated.push(cfg);
                     } else {
+                        if ckpt.is_some() {
+                            dead_ids.push(id);
+                        }
                         report.deadlocked.push(cfg);
                     }
                 } else {
@@ -442,8 +607,25 @@ impl<'a> Explorer<'a> {
             }
             // Past the state cap every further expansion can only re-count
             // transitions of states we will drop anyway — stop the walk.
-            if report.truncated {
+            if !report.stop.is_complete() {
                 break;
+            }
+        }
+        // A cancellation that raced the final items must still be
+        // reported: a cancelled run never claims `Complete`.
+        if self.opts.cancel.is_cancelled() {
+            report.stop.bump(StopReason::Cancelled);
+        }
+        // Completed runs delete their checkpoint; interrupted ones write a
+        // final snapshot so a resume continues from this exact boundary.
+        if let (Some(ck), Some(sig)) = (&ckpt, sig) {
+            if report.stop.is_complete() {
+                checkpoint::remove(&ck.dir);
+            } else {
+                self.save_checkpoint(
+                    ck, sig, &mut report, &nodes, &frontier, mem_bytes, &term_ids, &dead_ids,
+                    &viol_recs,
+                );
             }
         }
         // Terminal/deadlock sets are reported in unreduced terms: expand
@@ -456,6 +638,143 @@ impl<'a> Explorer<'a> {
         }
         report.states = nodes.len();
         report
+    }
+
+    /// The signature binding a checkpoint to this program and the
+    /// semantic options. `max_states` is included (a mid-item state-cap
+    /// stop drops successors, so only a same-cap resume is sound);
+    /// budgets and cancellation are not (they stop on clean item
+    /// boundaries — resuming a deadline-stopped run *without* the
+    /// deadline is the point).
+    fn checkpoint_sig(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = crate::fxhash::Fx128Hasher::default();
+        format!("{:?}", self.prog).hash(&mut h);
+        (
+            self.opts.fingerprint,
+            self.opts.por,
+            self.opts.dpor,
+            self.opts.symmetry,
+            self.opts.record_traces,
+            self.opts.step.fuse_local,
+            self.opts.max_states,
+        )
+            .hash(&mut h);
+        h.finish()
+    }
+
+    /// Rebuild the interned arena and visited index from a checkpoint's
+    /// discovery log by replaying each node's `(parent, tid, succ_idx)`
+    /// edge through `thread_successors` and the unchanged probe/commit
+    /// path. The sequential explorer is deterministic, so a log written
+    /// by the same program + options replays to the bit-identical arena;
+    /// any divergence (stale file, changed semantics) is detected and
+    /// reported, and the caller starts afresh.
+    fn replay_log(
+        &self,
+        data: &checkpoint::CheckpointData,
+        symm: Option<&SymmetrySpec>,
+    ) -> Result<(VisitedIndex, Vec<Node>), String> {
+        let mut index = VisitedIndex::new(self.opts.fingerprint);
+        let mut nodes: Vec<Node> = Vec::with_capacity(data.nodes.len());
+        let root = match data.nodes.first() {
+            Some(r) if r.parent == u32::MAX => r,
+            _ => return Err("stale or corrupt checkpoint ignored (bad root)".into()),
+        };
+        let init = Config::initial(self.prog).canonical();
+        let probe = index.probe(&init, symm, |id| &nodes[id as usize].cfg);
+        let (init, init_sigma) = index.commit(probe, &init, symm, 0);
+        nodes.push(Node {
+            cfg: init,
+            parent: None,
+            explored: root.explored,
+            sigma: init_sigma,
+            succ_idx: 0,
+        });
+        for (k, rec) in data.nodes.iter().enumerate().skip(1) {
+            if rec.parent as usize >= k {
+                return Err("stale or corrupt checkpoint ignored (forward parent)".into());
+            }
+            let cfg = nodes[rec.parent as usize].cfg.clone();
+            let succs =
+                thread_successors(self.prog, self.objs, &cfg, rec.tid as usize, self.opts.step);
+            let Some(succ) = succs.into_iter().nth(rec.succ_idx as usize) else {
+                return Err("stale or corrupt checkpoint ignored (replay diverged)".into());
+            };
+            let probe = match index.probe(&succ, symm, |id| &nodes[id as usize].cfg) {
+                Probe::Dup(..) => {
+                    return Err("stale or corrupt checkpoint ignored (duplicate edge)".into())
+                }
+                novel => novel,
+            };
+            let (canon, sigma) = index.commit(probe, &succ, symm, k as u32);
+            nodes.push(Node {
+                cfg: canon,
+                parent: Some((rec.parent, Tid(rec.tid))),
+                explored: rec.explored,
+                sigma,
+                succ_idx: rec.succ_idx,
+            });
+        }
+        let n = nodes.len();
+        let in_range = data.frontier.iter().all(|&(id, ..)| (id as usize) < n)
+            && data.terminated.iter().all(|&id| (id as usize) < n)
+            && data.deadlocked.iter().all(|&id| (id as usize) < n)
+            && data.violations.iter().all(|v| (v.node as usize) < n);
+        if !in_range {
+            return Err("stale or corrupt checkpoint ignored (id out of range)".into());
+        }
+        Ok((index, nodes))
+    }
+
+    /// Snapshot the discovery log to the checkpoint directory. Failures —
+    /// real I/O errors or chaos-injected ones — never stop the run; they
+    /// surface as a [`Note::CheckpointError`] and the walk continues
+    /// without that save.
+    #[allow(clippy::too_many_arguments)]
+    fn save_checkpoint(
+        &self,
+        ck: &CheckpointOpts,
+        sig: u64,
+        report: &mut Report,
+        nodes: &[Node],
+        frontier: &[(u32, ThreadMask, ThreadMask, bool)],
+        mem_bytes: u64,
+        term_ids: &[u32],
+        dead_ids: &[u32],
+        viol_recs: &[ViolationRec],
+    ) {
+        if let Some(chaos) = &self.opts.chaos {
+            if chaos.should_fail_checkpoint() {
+                report.note(Note::CheckpointError {
+                    message: "injected checkpoint-write failure".into(),
+                });
+                return;
+            }
+        }
+        let data = checkpoint::CheckpointData {
+            transitions: report.transitions as u64,
+            mem_bytes,
+            nodes: nodes
+                .iter()
+                .map(|n| checkpoint::NodeRec {
+                    parent: n.parent.map_or(u32::MAX, |(p, _)| p),
+                    tid: n.parent.map_or(0, |(_, t)| t.0),
+                    succ_idx: n.succ_idx,
+                    explored: n.explored,
+                })
+                .collect(),
+            frontier: frontier.to_vec(),
+            terminated: term_ids.to_vec(),
+            deadlocked: dead_ids.to_vec(),
+            violations: viol_recs
+                .iter()
+                .map(|v| ViolationRec { what: v.what.clone(), node: v.node, pi: v.pi.clone() })
+                .collect(),
+        };
+        if let Err(e) = checkpoint::save(&ck.dir, sig, &data) {
+            report.note(Note::CheckpointError { message: format!("write failed: {e}") });
+        }
     }
 
     /// Plain reachability (no property).
@@ -477,7 +796,7 @@ impl<'a> Explorer<'a> {
     /// — the "possible final outcomes" question the litmus figures ask.
     pub fn terminal_reg_values(&self, t: usize, r: rc11_lang::Reg) -> Vec<rc11_core::Val> {
         let report = self.explore();
-        assert!(!report.truncated, "exploration truncated");
+        assert!(!report.truncated(), "exploration truncated");
         let mut vals: Vec<rc11_core::Val> =
             report.terminated.iter().map(|c| c.reg(t, r)).collect();
         vals.sort();
@@ -641,7 +960,8 @@ mod tests {
         let prog = mp_prog(false);
         let opts = ExploreOptions { max_states: 3, ..Default::default() };
         let report = Explorer::new(&prog, &NoObjects).with_options(opts).explore();
-        assert!(report.truncated);
+        assert!(report.truncated());
+        assert_eq!(report.stop, crate::engine::StopReason::StateCap);
         assert!(!report.ok());
     }
 

@@ -34,6 +34,8 @@
 //! program and reported with its `.litmus` source, so the repro drops
 //! straight into `corpus/` and `rc11 run`.
 
+use crate::chaos::{ChaosState, FaultPlan};
+use crate::checkpoint::CheckpointOpts;
 use crate::engine::{Engine, EngineReport, ExploreOptions};
 use crate::gen::{generate, shrink, GProg, GenOptions};
 use crate::random::sample_terminals;
@@ -90,6 +92,16 @@ pub struct DiffOptions {
     /// fixed-seed `cargo test` lane, the `#[ignore]`d sweep and
     /// `rc11 fuzz --dpor` turn it on.
     pub dpor: bool,
+    /// Add the chaos-resilience lane: re-run each program under seeded
+    /// fault schedules ([`crate::chaos::FaultPlan::from_seed`]) — worker
+    /// panics and stalls in the parallel engine, checkpoint-write failures
+    /// in the sequential checkpointer — and require every faulted report
+    /// to be either equal to the unfaulted oracle's (counts, terminal/
+    /// deadlock tallies and outcome set) or explicitly non-`Complete` with
+    /// results that stay a sound lower bound. Never silently wrong.
+    /// Default off; the fixed-seed `cargo test` lane and `rc11 fuzz
+    /// --chaos` turn it on.
+    pub chaos: bool,
 }
 
 impl Default for DiffOptions {
@@ -103,6 +115,7 @@ impl Default for DiffOptions {
             por: false,
             symmetry: false,
             dpor: false,
+            chaos: false,
         }
     }
 }
@@ -141,8 +154,8 @@ fn compare(
     oracle_outcomes: &BTreeSet<Vec<Val>>,
     got: &EngineReport,
 ) -> Result<(), String> {
-    if got.truncated != oracle.truncated {
-        return Err(format!("{what}: truncated {} vs oracle {}", got.truncated, oracle.truncated));
+    if got.stop != oracle.stop {
+        return Err(format!("{what}: stop {} vs oracle {}", got.stop, oracle.stop));
     }
     if got.states != oracle.states {
         return Err(format!("{what}: states {} vs oracle {}", got.states, oracle.states));
@@ -188,8 +201,8 @@ fn compare_por(
     oracle_outcomes: &BTreeSet<Vec<Val>>,
     got: &EngineReport,
 ) -> Result<(), String> {
-    if got.truncated != oracle.truncated {
-        return Err(format!("{what}: truncated {} vs oracle {}", got.truncated, oracle.truncated));
+    if got.stop != oracle.stop {
+        return Err(format!("{what}: stop {} vs oracle {}", got.stop, oracle.stop));
     }
     if got.states != oracle.states {
         return Err(format!("{what}: POR lost states ({} vs oracle {})", got.states, oracle.states));
@@ -237,8 +250,8 @@ fn compare_sym(
     oracle_outcomes: &BTreeSet<Vec<Val>>,
     got: &EngineReport,
 ) -> Result<(), String> {
-    if got.truncated != oracle.truncated {
-        return Err(format!("{what}: truncated {} vs oracle {}", got.truncated, oracle.truncated));
+    if got.stop != oracle.stop {
+        return Err(format!("{what}: stop {} vs oracle {}", got.stop, oracle.stop));
     }
     if got.states > oracle.states {
         return Err(format!(
@@ -289,8 +302,8 @@ fn compare_dpor(
     oracle_outcomes: &BTreeSet<Vec<Val>>,
     got: &EngineReport,
 ) -> Result<(), String> {
-    if got.truncated != oracle.truncated {
-        return Err(format!("{what}: truncated {} vs oracle {}", got.truncated, oracle.truncated));
+    if got.stop != oracle.stop {
+        return Err(format!("{what}: stop {} vs oracle {}", got.stop, oracle.stop));
     }
     if got.states > oracle.states {
         return Err(format!(
@@ -338,24 +351,24 @@ pub fn diff_one(g: &GProg, seed: u64, opts: &DiffOptions) -> DiffVerdict {
         max_states: opts.max_states,
         ..Default::default()
     };
-    let exact = ExploreOptions { fingerprint: false, ..base };
+    let exact = ExploreOptions { fingerprint: false, ..base.clone() };
     let fp = ExploreOptions { fingerprint: true, ..base };
 
     // The oracle: sequential, materialised-canonical dedup.
-    let oracle = Engine::Sequential.explore(&prog, &NoObjects, exact);
-    if oracle.truncated {
+    let oracle = Engine::Sequential.explore(&prog, &NoObjects, &exact);
+    if oracle.truncated() {
         return DiffVerdict::Skipped;
     }
     let oracle_outcomes = outcome_set(g, &oracle);
 
     match (|| -> Result<(), String> {
         // Fingerprint on/off parity, sequentially.
-        let seq_fp = Engine::Sequential.explore(&prog, &NoObjects, fp);
+        let seq_fp = Engine::Sequential.explore(&prog, &NoObjects, &fp);
         compare("sequential fingerprint", g, &oracle, &oracle_outcomes, &seq_fp)?;
 
         // Sequential vs parallel, in both dedup modes.
         for &w in &opts.workers {
-            for (mode, o) in [("fp", fp), ("exact", exact)] {
+            for (mode, o) in [("fp", &fp), ("exact", &exact)] {
                 let par = Engine::Parallel { workers: w }.explore(&prog, &NoObjects, o);
                 compare(
                     &format!("parallel[{w} workers, {mode}]"),
@@ -379,9 +392,9 @@ pub fn diff_one(g: &GProg, seed: u64, opts: &DiffOptions) -> DiffVerdict {
                 .map_err(|e| format!("round-trip: printed source fails to parse: {e}"))?;
             let rt_prog = compile(&parsed.prog);
             let rt_opts =
-                ExploreOptions { max_states: opts.max_states.saturating_mul(16), ..exact };
-            let rt = Engine::Sequential.explore(&rt_prog, &NoObjects, rt_opts);
-            if rt.truncated {
+                ExploreOptions { max_states: opts.max_states.saturating_mul(16), ..exact.clone() };
+            let rt = Engine::Sequential.explore(&rt_prog, &NoObjects, &rt_opts);
+            if rt.truncated() {
                 return Err("round-trip: reparsed program truncated".into());
             }
             let rt_outcomes: BTreeSet<Vec<Val>> = rt
@@ -402,9 +415,9 @@ pub fn diff_one(g: &GProg, seed: u64, opts: &DiffOptions) -> DiffVerdict {
         // shape except the transition count — sequentially in both dedup
         // modes and in parallel at every worker count.
         if opts.por {
-            for (mode, o) in [("fp", fp), ("exact", exact)] {
-                let por_opts = ExploreOptions { por: true, ..o };
-                let seq = Engine::Sequential.explore(&prog, &NoObjects, por_opts);
+            for (mode, o) in [("fp", &fp), ("exact", &exact)] {
+                let por_opts = ExploreOptions { por: true, ..o.clone() };
+                let seq = Engine::Sequential.explore(&prog, &NoObjects, &por_opts);
                 compare_por(
                     &format!("por[seq, {mode}]"),
                     g,
@@ -413,9 +426,9 @@ pub fn diff_one(g: &GProg, seed: u64, opts: &DiffOptions) -> DiffVerdict {
                     &seq,
                 )?;
             }
-            let por_fp = ExploreOptions { por: true, ..fp };
+            let por_fp = ExploreOptions { por: true, ..fp.clone() };
             for &w in &opts.workers {
-                let par = Engine::Parallel { workers: w }.explore(&prog, &NoObjects, por_fp);
+                let par = Engine::Parallel { workers: w }.explore(&prog, &NoObjects, &por_fp);
                 compare_por(
                     &format!("por[{w} workers, fp]"),
                     g,
@@ -431,19 +444,19 @@ pub fn diff_one(g: &GProg, seed: u64, opts: &DiffOptions) -> DiffVerdict {
         // deadlock and outcome picture — sequentially in both dedup modes,
         // in parallel at every worker count, and composed with POR.
         if opts.symmetry {
-            for (mode, o) in [("fp", fp), ("exact", exact)] {
-                let sym_opts = ExploreOptions { symmetry: true, ..o };
-                let seq = Engine::Sequential.explore(&prog, &NoObjects, sym_opts);
+            for (mode, o) in [("fp", &fp), ("exact", &exact)] {
+                let sym_opts = ExploreOptions { symmetry: true, ..o.clone() };
+                let seq = Engine::Sequential.explore(&prog, &NoObjects, &sym_opts);
                 compare_sym(&format!("sym[seq, {mode}]"), g, &oracle, &oracle_outcomes, &seq)?;
             }
-            let sym_por = ExploreOptions { symmetry: true, por: true, ..fp };
-            let seq = Engine::Sequential.explore(&prog, &NoObjects, sym_por);
+            let sym_por = ExploreOptions { symmetry: true, por: true, ..fp.clone() };
+            let seq = Engine::Sequential.explore(&prog, &NoObjects, &sym_por);
             compare_sym("sym+por[seq, fp]", g, &oracle, &oracle_outcomes, &seq)?;
-            let sym_fp = ExploreOptions { symmetry: true, ..fp };
+            let sym_fp = ExploreOptions { symmetry: true, ..fp.clone() };
             for &w in &opts.workers {
-                let par = Engine::Parallel { workers: w }.explore(&prog, &NoObjects, sym_fp);
+                let par = Engine::Parallel { workers: w }.explore(&prog, &NoObjects, &sym_fp);
                 compare_sym(&format!("sym[{w} workers, fp]"), g, &oracle, &oracle_outcomes, &par)?;
-                let par = Engine::Parallel { workers: w }.explore(&prog, &NoObjects, sym_por);
+                let par = Engine::Parallel { workers: w }.explore(&prog, &NoObjects, &sym_por);
                 compare_sym(
                     &format!("sym+por[{w} workers, fp]"),
                     g,
@@ -459,17 +472,17 @@ pub fn diff_one(g: &GProg, seed: u64, opts: &DiffOptions) -> DiffVerdict {
         // outcome picture — sequentially in both dedup modes, in parallel
         // at every worker count, and composed with symmetry.
         if opts.dpor {
-            for (mode, o) in [("fp", fp), ("exact", exact)] {
-                let dpor_opts = ExploreOptions { dpor: true, ..o };
-                let seq = Engine::Sequential.explore(&prog, &NoObjects, dpor_opts);
+            for (mode, o) in [("fp", &fp), ("exact", &exact)] {
+                let dpor_opts = ExploreOptions { dpor: true, ..o.clone() };
+                let seq = Engine::Sequential.explore(&prog, &NoObjects, &dpor_opts);
                 compare_dpor(&format!("dpor[seq, {mode}]"), g, &oracle, &oracle_outcomes, &seq)?;
             }
-            let dpor_sym = ExploreOptions { dpor: true, symmetry: true, ..fp };
-            let seq = Engine::Sequential.explore(&prog, &NoObjects, dpor_sym);
+            let dpor_sym = ExploreOptions { dpor: true, symmetry: true, ..fp.clone() };
+            let seq = Engine::Sequential.explore(&prog, &NoObjects, &dpor_sym);
             compare_dpor("dpor+sym[seq, fp]", g, &oracle, &oracle_outcomes, &seq)?;
-            let dpor_fp = ExploreOptions { dpor: true, ..fp };
+            let dpor_fp = ExploreOptions { dpor: true, ..fp.clone() };
             for &w in &opts.workers {
-                let par = Engine::Parallel { workers: w }.explore(&prog, &NoObjects, dpor_fp);
+                let par = Engine::Parallel { workers: w }.explore(&prog, &NoObjects, &dpor_fp);
                 compare_dpor(
                     &format!("dpor[{w} workers, fp]"),
                     g,
@@ -477,7 +490,7 @@ pub fn diff_one(g: &GProg, seed: u64, opts: &DiffOptions) -> DiffVerdict {
                     &oracle_outcomes,
                     &par,
                 )?;
-                let par = Engine::Parallel { workers: w }.explore(&prog, &NoObjects, dpor_sym);
+                let par = Engine::Parallel { workers: w }.explore(&prog, &NoObjects, &dpor_sym);
                 compare_dpor(
                     &format!("dpor+sym[{w} workers, fp]"),
                     g,
@@ -485,6 +498,88 @@ pub fn diff_one(g: &GProg, seed: u64, opts: &DiffOptions) -> DiffVerdict {
                     &oracle_outcomes,
                     &par,
                 )?;
+            }
+        }
+
+        // Chaos resilience: under any seeded fault schedule the report is
+        // either equal to the unfaulted oracle's or explicitly
+        // non-`Complete` with sound (lower-bound) results — never silently
+        // wrong. Fault plans derive from the per-program seed, so every
+        // failure replays.
+        if opts.chaos {
+            let w = opts.workers.first().copied().unwrap_or(2).max(2);
+            for salt in [0u64, 0xDEAD_BEEF] {
+                let fault_seed = seed ^ salt;
+                let plan = FaultPlan::from_seed(fault_seed);
+                // Parallel engine: worker panics and injector stalls.
+                let chaos_opts =
+                    ExploreOptions { chaos: Some(ChaosState::new(plan)), ..fp.clone() };
+                let got =
+                    Engine::Parallel { workers: w }.explore(&prog, &NoObjects, &chaos_opts);
+                let what = format!("chaos[par, seed {fault_seed:#x}, plan {plan:?}]");
+                if got.stop.is_complete() {
+                    // The faults never fired (or were harmless stalls):
+                    // the report must match the oracle like any other
+                    // parallel run (the oracle is `Complete` here — a
+                    // truncated oracle bailed out above).
+                    compare(&what, g, &oracle, &oracle_outcomes, &got)?;
+                } else {
+                    // Explicitly degraded: still a sound lower bound.
+                    if got.states > oracle.states
+                        || got.terminated.len() > oracle.terminated.len()
+                        || got.deadlocked.len() > oracle.deadlocked.len()
+                    {
+                        return Err(format!(
+                            "{what}: degraded run overcounts (states {} vs {}, terminals \
+                             {} vs {}, deadlocks {} vs {})",
+                            got.states,
+                            oracle.states,
+                            got.terminated.len(),
+                            oracle.terminated.len(),
+                            got.deadlocked.len(),
+                            oracle.deadlocked.len()
+                        ));
+                    }
+                    let got_outcomes = outcome_set(g, &got);
+                    if !got_outcomes.is_subset(&oracle_outcomes) {
+                        let extra: Vec<_> =
+                            got_outcomes.difference(&oracle_outcomes).collect();
+                        return Err(format!(
+                            "{what}: degraded run invented outcomes {extra:?}"
+                        ));
+                    }
+                }
+                // Sequential engine with checkpointing: an injected
+                // checkpoint-write failure must never corrupt the run —
+                // the report stays bit-identical to the oracle's, modulo
+                // the CheckpointError note.
+                let dir = std::env::temp_dir().join(format!(
+                    "rc11-chaos-{}-{fault_seed:x}",
+                    std::process::id()
+                ));
+                // Scale the cadence so each run writes a handful of
+                // checkpoints (every save rewrites the whole O(n) log —
+                // a fixed small cadence would be quadratic I/O on big
+                // programs) while still reaching the injected Kth-write
+                // failure.
+                let every = (oracle.states / 3).max(1);
+                let ck_opts = ExploreOptions {
+                    chaos: Some(ChaosState::new(FaultPlan {
+                        checkpoint_fail_at: Some(1 + fault_seed % 3),
+                        ..FaultPlan::none()
+                    })),
+                    checkpoint: Some(CheckpointOpts { dir: dir.clone(), every }),
+                    ..exact.clone()
+                };
+                let seq = Engine::Sequential.explore(&prog, &NoObjects, &ck_opts);
+                let _ = std::fs::remove_dir_all(&dir);
+                if !seq.same_results(&oracle) {
+                    return Err(format!(
+                        "chaos[seq-ckpt, seed {fault_seed:#x}]: a failed checkpoint write \
+                         changed the report (states {} vs {}, stop {} vs {})",
+                        seq.states, oracle.states, seq.stop, oracle.stop
+                    ));
+                }
             }
         }
 
@@ -589,7 +684,7 @@ pub fn fuzz(
                 let oracle = Engine::Sequential.explore(
                     &prog,
                     &NoObjects,
-                    ExploreOptions {
+                    &ExploreOptions {
                         record_traces: false,
                         max_states: diff_opts.max_states,
                         fingerprint: false,
@@ -626,6 +721,7 @@ mod tests {
             por: true,
             symmetry: true,
             dpor: true,
+            chaos: true,
             ..Default::default()
         };
         let report = fuzz(0xC0FFEE, 10, &gen_opts, &diff_opts, |_| {});

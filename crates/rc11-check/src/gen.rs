@@ -756,9 +756,9 @@ mod tests {
             let report = crate::Engine::Sequential.explore(
                 &prog,
                 &NoObjects,
-                crate::ExploreOptions { record_traces: false, ..Default::default() },
+                &crate::ExploreOptions { record_traces: false, ..Default::default() },
             );
-            assert!(!report.truncated, "seed {seed}: truncated");
+            assert!(!report.truncated(), "seed {seed}: truncated");
             assert!(report.deadlocked.is_empty(), "seed {seed}: deadlocked");
             assert!(!report.terminated.is_empty(), "seed {seed}: no terminal state");
         }

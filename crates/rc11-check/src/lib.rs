@@ -8,7 +8,13 @@
 //! * [`engine`] — the unified exploration surface: [`engine::Engine`],
 //!   [`engine::choose_engine`], and the shared
 //!   [`engine::EngineReport`]/[`engine::Violation`] types both engines
-//!   produce;
+//!   produce, plus the resilience layer ([`engine::Budget`],
+//!   [`engine::CancelToken`], [`engine::StopReason`], [`engine::Note`]);
+//! * [`chaos`] — seeded deterministic fault injection (worker panics,
+//!   stalls, checkpoint-write failures) for the resilience harness;
+//! * [`checkpoint`] — replay-log checkpoint/resume for the sequential
+//!   explorer (`rc11 run --checkpoint`): resumed runs report
+//!   bit-identically to uninterrupted ones;
 //! * [`explore::Explorer`] — sequential exhaustive search over canonical configurations
 //!   with invariant checking, terminal-outcome collection and counterexample
 //!   traces — the reference oracle for the differential suite;
@@ -39,6 +45,8 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod checkpoint;
 pub mod engine;
 pub mod fuzz;
 pub mod gen;
@@ -51,7 +59,12 @@ pub mod pretty;
 pub mod random;
 pub(crate) mod sym;
 
-pub use engine::{choose_engine, Engine, EngineReport, ExploreOptions, Violation};
+pub use chaos::{ChaosState, FaultPlan};
+pub use checkpoint::CheckpointOpts;
+pub use engine::{
+    choose_engine, Budget, CancelToken, Engine, EngineReport, ExploreOptions, Note, StopReason,
+    Violation,
+};
 pub use fuzz::{diff_one, fuzz, DiffOptions, DiffVerdict, FuzzFailure, FuzzReport};
 pub use gen::{generate, shrink, GProg, GRhs, GStmt, GenOptions};
 pub use explore::{Explorer, Report};

@@ -23,7 +23,7 @@
 //! the strongest classification observed across incoming edges
 //! (interference > local > inherited > initial).
 
-use crate::engine::{Engine, ExploreOptions};
+use crate::engine::{Engine, ExploreOptions, Note, StopReason};
 use crate::explore::{Probe, VisitedIndex};
 use crate::fxhash::FxHashMap;
 use crate::parallel::par_walk;
@@ -33,6 +33,7 @@ use rc11_core::Tid;
 use rc11_lang::cfg::CfgProgram;
 use rc11_lang::machine::{successors, Config, ObjectSemantics};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Owicki–Gries classification of a violated annotation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -88,14 +89,23 @@ pub struct OutlineReport {
     pub deadlocked: usize,
     /// All violations found (one per annotation × configuration).
     pub violations: Vec<OutlineViolation>,
-    /// True iff the state cap was hit.
-    pub truncated: bool,
+    /// Why the check stopped (`Complete` = the full reachable space was
+    /// classified; anything else = a sound prefix).
+    pub stop: StopReason,
+    /// Structured degradation/fault warnings (see
+    /// [`crate::engine::EngineReport::notes`]).
+    pub notes: Vec<Note>,
 }
 
 impl OutlineReport {
     /// Outline valid: explored everything, no violations.
     pub fn valid(&self) -> bool {
-        self.violations.is_empty() && !self.truncated
+        self.violations.is_empty() && self.stop.is_complete()
+    }
+
+    /// True iff any budget/cap/fault cut the check short.
+    pub fn truncated(&self) -> bool {
+        !self.stop.is_complete()
     }
 }
 
@@ -225,7 +235,7 @@ pub fn check_outline(
     prog: &CfgProgram,
     objs: &dyn ObjectSemantics,
     outline: &ProofOutline,
-    opts: ExploreOptions,
+    opts: &ExploreOptions,
 ) -> OutlineReport {
     seq_check_outline(prog, objs, outline, opts)
 }
@@ -247,13 +257,13 @@ pub fn check_outline_with(
     prog: &CfgProgram,
     objs: &(dyn ObjectSemantics + Sync),
     outline: &ProofOutline,
-    opts: ExploreOptions,
+    opts: &ExploreOptions,
     engine: &Engine,
 ) -> OutlineReport {
-    let opts = ExploreOptions { por: false, symmetry: false, ..opts };
+    let opts = ExploreOptions { por: false, symmetry: false, ..opts.clone() };
     match engine {
-        Engine::Sequential => seq_check_outline(prog, objs, outline, opts),
-        Engine::Parallel { workers } => par_check_outline(prog, objs, outline, opts, *workers),
+        Engine::Sequential => seq_check_outline(prog, objs, outline, &opts),
+        Engine::Parallel { workers } => par_check_outline(prog, objs, outline, &opts, *workers),
     }
 }
 
@@ -281,11 +291,13 @@ fn seq_check_outline(
     prog: &CfgProgram,
     objs: &dyn ObjectSemantics,
     outline: &ProofOutline,
-    opts: ExploreOptions,
+    opts: &ExploreOptions,
 ) -> OutlineReport {
     let annots = Annots::new(prog, outline);
     let mut recorder = Recorder::default();
     let mut report = OutlineReport::default();
+    let deadline = opts.budget.deadline.map(|d| Instant::now() + d);
+    let mut mem_bytes: usize = 0;
 
     // The interned canonical configurations; frontier entries index it.
     // Deduplication reuses the explorer's two-mode visited index
@@ -299,11 +311,31 @@ fn seq_check_outline(
     for (kind, _) in fails {
         recorder.record(kind, &init, OgClass::Initial, None);
     }
+    mem_bytes += init.approx_bytes();
     let probe = index.probe(&init, None, |id| &arena[id as usize]);
     arena.push(index.commit(probe, &init, None, 0).0);
     let mut frontier: Vec<u32> = vec![0];
 
     while let Some(id) = frontier.pop() {
+        // Budget and cancellation gates, between work items — identical to
+        // the explorer's (`crate::explore`): any trip stops on a clean
+        // boundary with a sound prefix report.
+        if opts.cancel.is_cancelled() {
+            report.stop.bump(StopReason::Cancelled);
+            break;
+        }
+        if deadline.is_some_and(|dl| Instant::now() >= dl) {
+            report.stop.bump(StopReason::Deadline);
+            break;
+        }
+        if opts.budget.max_transitions.is_some_and(|cap| report.transitions >= cap) {
+            report.stop.bump(StopReason::TransitionCap);
+            break;
+        }
+        if opts.budget.max_mem_bytes.is_some_and(|cap| mem_bytes >= cap) {
+            report.stop.bump(StopReason::MemBudget);
+            break;
+        }
         let cfg = arena[id as usize].clone();
         let succs = successors(prog, objs, &cfg, opts.step);
         report.transitions += succs.len();
@@ -338,7 +370,7 @@ fn seq_check_outline(
                 novel => novel,
             };
             if arena.len() >= opts.max_states {
-                report.truncated = true;
+                report.stop.bump(StopReason::StateCap);
                 if !fails.is_empty() {
                     let canon = succ.canonical();
                     debug_assert_failures_invariant(&annots, &fails, &canon);
@@ -351,6 +383,7 @@ fn seq_check_outline(
             }
             let new_id = arena.len() as u32;
             arena.push(index.commit(probe, &succ, None, new_id).0);
+            mem_bytes += arena[new_id as usize].approx_bytes();
             if !fails.is_empty() {
                 let canon = &arena[new_id as usize];
                 debug_assert_failures_invariant(&annots, &fails, canon);
@@ -361,6 +394,11 @@ fn seq_check_outline(
             }
             frontier.push(new_id);
         }
+    }
+    // A cancellation that raced the final items must still be reported: a
+    // cancelled check never claims `Complete`.
+    if opts.cancel.is_cancelled() {
+        report.stop.bump(StopReason::Cancelled);
     }
     report.states = arena.len();
     report.violations = recorder.violations;
@@ -375,7 +413,7 @@ fn par_check_outline(
     prog: &CfgProgram,
     objs: &(dyn ObjectSemantics + Sync),
     outline: &ProofOutline,
-    opts: ExploreOptions,
+    opts: &ExploreOptions,
     n_workers: usize,
 ) -> OutlineReport {
     let annots = Annots::new(prog, outline);
@@ -429,7 +467,8 @@ fn par_check_outline(
         terminated: stats.terminated.len(),
         deadlocked: stats.deadlocked.len(),
         violations: recorder.into_inner().violations,
-        truncated: stats.truncated,
+        stop: stats.stop,
+        notes: stats.notes,
     }
 }
 
@@ -439,7 +478,7 @@ pub fn check_global_invariant(
     prog: &CfgProgram,
     objs: &dyn ObjectSemantics,
     pred: Pred,
-    opts: ExploreOptions,
+    opts: &ExploreOptions,
 ) -> OutlineReport {
     let outline = ProofOutline::new("invariant", prog.n_threads()).invariant(pred);
     check_outline(prog, objs, &outline, opts)
@@ -466,7 +505,7 @@ mod tests {
             .pre(0, 1, dobs(0, d, 0))
             .pre(0, 2, dobs(0, d, 5))
             .post(dobs(0, d, 7));
-        let report = check_outline(&prog, &NoObjects, &outline, ExploreOptions::default());
+        let report = check_outline(&prog, &NoObjects, &outline, &ExploreOptions::default());
         assert!(report.valid(), "violations: {:?}", report.violations);
         assert_eq!(report.terminated, 1);
     }
@@ -480,7 +519,7 @@ mod tests {
         let prog = compile(&p.build());
         // Wrong: claims d = 9 before statement 2.
         let outline = ProofOutline::new("seq", 1).pre(0, 2, dobs(0, d, 9));
-        let report = check_outline(&prog, &NoObjects, &outline, ExploreOptions::default());
+        let report = check_outline(&prog, &NoObjects, &outline, &ExploreOptions::default());
         assert!(!report.valid());
         assert!(matches!(report.violations[0].kind, OutlineKind::Pre(0, 2)));
         assert_eq!(report.violations[0].class, OgClass::Local);
@@ -498,7 +537,7 @@ mod tests {
         // Thread 1's statement-2 precondition ignores thread 2's write: the
         // claim "9 is not observable" is interfered with.
         let outline = ProofOutline::new("interf", 2).pre(0, 2, pnot(pobs(0, d, 9)));
-        let report = check_outline(&prog, &NoObjects, &outline, ExploreOptions::default());
+        let report = check_outline(&prog, &NoObjects, &outline, &ExploreOptions::default());
         assert!(!report.valid());
         assert!(
             report.violations.iter().any(|v| v.class == OgClass::Interference),
@@ -515,7 +554,7 @@ mod tests {
         p.add_thread(tb, seq([lab(1, wr(d, 1))]));
         let prog = compile(&p.build());
         let outline = ProofOutline::new("init", 1).pre(0, 1, dobs(0, d, 42));
-        let report = check_outline(&prog, &NoObjects, &outline, ExploreOptions::default());
+        let report = check_outline(&prog, &NoObjects, &outline, &ExploreOptions::default());
         assert_eq!(report.violations[0].class, OgClass::Initial);
     }
 
@@ -530,14 +569,14 @@ mod tests {
             &prog,
             &NoObjects,
             &ProofOutline::new("p", 1).post(dobs(0, d, 5)),
-            ExploreOptions::default(),
+            &ExploreOptions::default(),
         );
         assert!(ok.valid());
         let bad = check_outline(
             &prog,
             &NoObjects,
             &ProofOutline::new("p", 1).post(dobs(0, d, 0)),
-            ExploreOptions::default(),
+            &ExploreOptions::default(),
         );
         assert!(matches!(bad.violations[0].kind, OutlineKind::Post));
     }
@@ -555,7 +594,7 @@ mod tests {
         let prog = compile(&p.build());
         let outline = ProofOutline::new("chain", 2)
             .invariant(pnot(pobs(1, d, 2)));
-        let report = check_outline(&prog, &NoObjects, &outline, ExploreOptions::default());
+        let report = check_outline(&prog, &NoObjects, &outline, &ExploreOptions::default());
         assert!(!report.valid());
         // The strongest classification anywhere should be Local (thread 1's
         // own second write), with downstream configs possibly Inherited.

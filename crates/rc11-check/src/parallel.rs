@@ -60,7 +60,7 @@
 //! This is ablation A3 of DESIGN.md: the benches sweep worker counts to
 //! show exploration scaling.
 
-use crate::engine::{EngineReport, ExploreOptions, Violation};
+use crate::engine::{EngineReport, ExploreOptions, Note, StopReason, Violation};
 use crate::fxhash::{CanonicalFingerprint, Fp128, FxBuildHasher, FxHashMap, FxHashSet};
 use crate::por::{self, ThreadMask};
 use crate::sym;
@@ -71,7 +71,9 @@ use rc11_core::{CanonPerms, Tid};
 use rc11_lang::cfg::CfgProgram;
 use rc11_lang::machine::{thread_successors, Config, ObjectSemantics};
 use std::hash::{BuildHasher, Hash};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Novel states a worker buffers locally before a chunk becomes eligible
 /// for sharing through the injector.
@@ -823,11 +825,13 @@ pub(crate) struct WalkStats {
     pub terminated: Vec<Config>,
     /// Terminal configurations with a blocked thread.
     pub deadlocked: Vec<Config>,
-    /// True iff the state cap cut the exploration short.
-    pub truncated: bool,
-    /// True iff POR was requested but the program exceeds the 64-thread
-    /// mask ceiling, so the walk ran unreduced (results stay exact).
-    pub por_fallback: bool,
+    /// Why the walk stopped (`Complete` = exhausted the space; anything
+    /// else = sound lower bound). Budget trips, cancellation, the state
+    /// cap and contained worker faults all land here, max-combined.
+    pub stop: StopReason,
+    /// Structured degradation/fault warnings (POR/DPOR/symmetry caps,
+    /// contained worker panics).
+    pub notes: Vec<Note>,
 }
 
 /// One unit of parallel work: a canonical configuration, the mask of
@@ -877,7 +881,7 @@ struct WorkItem {
 pub(crate) fn par_walk<V, FV, FE, FN>(
     prog: &CfgProgram,
     objs: &(dyn ObjectSemantics + Sync),
-    opts: ExploreOptions,
+    opts: &ExploreOptions,
     n_workers: usize,
     init_value: V,
     edge_value: FV,
@@ -899,27 +903,43 @@ where
     let n_states = AtomicUsize::new(0);
     let transitions = AtomicUsize::new(0);
     let truncated = AtomicBool::new(false);
+    // The shared stop reason, max-combined across workers (the lattice
+    // order is the numeric order of `StopReason::as_u8`). Non-zero also
+    // doubles as the workers' "wind down" flag: once any worker trips a
+    // budget or faults, everyone drains without expanding further.
+    let stop = AtomicU8::new(StopReason::Complete.as_u8());
+    // Approximate arena bytes, grown per novel interned state.
+    let mem_bytes = AtomicUsize::new(0);
+    // Stringified panic payloads of contained worker faults.
+    let faults: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let deadline = opts.budget.deadline.map(|d| Instant::now() + d);
     let terminated: Mutex<Vec<Config>> = Mutex::new(Vec::new());
     let deadlocked: Mutex<Vec<Config>> = Mutex::new(Vec::new());
     let n_threads = prog.n_threads();
+    let mut notes: Vec<Note> = Vec::new();
     // Thread masks only exist on the POR path, which caps programs at 64
     // bits; larger programs fall back to the unreduced search (which
     // iterates threads by index and supports any count `Tid` can name),
-    // flagged on the stats.
+    // surfaced as a structured note.
     let mut por = opts.por || opts.dpor;
-    let mut por_fallback = false;
     if por && n_threads > 64 {
         por = false;
-        por_fallback = true;
+        notes.push(Note::PorThreadCap { threads: n_threads });
     }
     let full = if por { por::full_mask(n_threads) } else { !0 };
-    let spec = sym::active_spec(prog, opts.symmetry);
+    let (spec, capped_orbit) = sym::active_spec(prog, opts.symmetry);
+    if let Some(orbit) = capped_orbit {
+        notes.push(Note::SymmetryOrbitCap { orbit });
+    }
     let symm = spec.as_ref();
     let statics = por.then(|| rc11_analyze::conflict_matrix(prog));
     // Persistent-set machinery (A7): `None` unless dpor is on *and* the
     // program fits the 128-location future-footprint capacity — otherwise
-    // degrade to sleep-sets-only, which is sound.
+    // degrade to sleep-sets-only, which is sound (and noted).
     let pers = (por && opts.dpor).then(|| rc11_analyze::future_footprints(prog)).flatten();
+    if por && opts.dpor && pers.is_none() {
+        notes.push(Note::DporLocationCap);
+    }
     let n_workers = n_workers.max(1);
 
     let init = Config::initial(prog).canonical();
@@ -931,6 +951,7 @@ where
     // path discards it.
     let retry_val = init_value.clone();
     let init_prop = pers.as_ref().map_or(full, |p| p.persistent_mask(&init.pcs));
+    mem_bytes.store(init.approx_bytes(), Ordering::SeqCst);
     visited.insert_init(init.clone(), init_value, init_prop);
     n_states.store(1, Ordering::SeqCst);
     pending.store(1, Ordering::SeqCst);
@@ -945,7 +966,58 @@ where
                     match injector.steal() {
                         Steal::Success(chunk) => {
                             local.extend(chunk);
+                            // The whole drain runs under `catch_unwind`:
+                            // a panicking worker (a bug in a callback, or
+                            // an injected chaos fault) is contained — its
+                            // surviving backlog goes back through the
+                            // injector for the other workers, the fault is
+                            // recorded, and the walk degrades instead of
+                            // tearing down the process. `local`/`buf` are
+                            // owned outside the closure so they survive
+                            // the unwind; the shared stores are lock-based
+                            // (parking_lot: no poisoning) and every
+                            // partial update they may have seen is a sound
+                            // prefix — `StopReason::WorkerFault` keeps the
+                            // run from claiming completeness.
+                            let drained = catch_unwind(AssertUnwindSafe(|| {
                             while let Some(item) = local.pop() {
+                                // Budget and cancellation gates, between
+                                // work items (mirroring the sequential
+                                // explorer's loop-head gates). All four
+                                // read *shared* state (the token, the
+                                // clock, the global counters), so every
+                                // worker trips on its own next item —
+                                // backlogs are dropped and the remaining
+                                // injector chunks are stolen and discarded,
+                                // draining the pending count to zero. A
+                                // recorded `WorkerFault` deliberately does
+                                // NOT trip this gate: survivors keep
+                                // exploring degraded.
+                                let tripped = if opts.cancel.is_cancelled() {
+                                    Some(StopReason::Cancelled)
+                                } else if deadline.is_some_and(|dl| Instant::now() >= dl) {
+                                    Some(StopReason::Deadline)
+                                } else if opts.budget.max_transitions.is_some_and(|cap| {
+                                    transitions.load(Ordering::Relaxed) >= cap
+                                }) {
+                                    Some(StopReason::TransitionCap)
+                                } else if opts.budget.max_mem_bytes.is_some_and(|cap| {
+                                    mem_bytes.load(Ordering::Relaxed) >= cap
+                                }) {
+                                    Some(StopReason::MemBudget)
+                                } else {
+                                    None
+                                };
+                                if let Some(reason) = tripped {
+                                    stop.fetch_max(reason.as_u8(), Ordering::Relaxed);
+                                    local.clear();
+                                    break;
+                                }
+                                // Deterministic chaos fault point: may
+                                // stall or panic (contained above).
+                                if let Some(chaos) = &opts.chaos {
+                                    chaos.on_expansion();
+                                }
                                 let WorkItem { cfg, mask, sleep, first } = item;
                                 let mut fps =
                                     por.then(|| por::LazyFootprints::new(n_threads));
@@ -1081,6 +1153,8 @@ where
                                 let (novel, woken) = visited.insert_batch(items, symm, por);
                                 for (canon, explored, slp) in novel {
                                     n_states.fetch_add(1, Ordering::Relaxed);
+                                    mem_bytes
+                                        .fetch_add(canon.approx_bytes(), Ordering::Relaxed);
                                     on_novel(&canon, &mut buf);
                                     debug_assert!(
                                         buf.is_empty(),
@@ -1118,7 +1192,40 @@ where
                                     injector.push(shared);
                                 }
                             }
-                            pending.fetch_sub(1, Ordering::SeqCst);
+                            }));
+                            match drained {
+                                Ok(()) => {
+                                    pending.fetch_sub(1, Ordering::SeqCst);
+                                }
+                                Err(payload) => {
+                                    // Contained fault: hand the surviving
+                                    // backlog to the other workers (the +1
+                                    // lands *before* our own -1 so the
+                                    // pending count never transiently hits
+                                    // zero and ends the walk early), record
+                                    // the fault, and retire this worker.
+                                    // The in-flight item itself is lost —
+                                    // sound, because `WorkerFault` keeps
+                                    // the report from claiming `Complete`.
+                                    buf.clear();
+                                    if !local.is_empty() {
+                                        pending.fetch_add(1, Ordering::SeqCst);
+                                        injector.push(std::mem::take(&mut local));
+                                    }
+                                    pending.fetch_sub(1, Ordering::SeqCst);
+                                    stop.fetch_max(
+                                        StopReason::WorkerFault.as_u8(),
+                                        Ordering::Relaxed,
+                                    );
+                                    let message = payload
+                                        .downcast_ref::<&str>()
+                                        .map(|s| s.to_string())
+                                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                                        .unwrap_or_else(|| "worker panicked".to_string());
+                                    faults.lock().push(message);
+                                    return;
+                                }
+                            }
                         }
                         Steal::Retry => {}
                         Steal::Empty => {
@@ -1132,16 +1239,28 @@ where
             });
         }
     })
-    .expect("worker panicked");
+    .expect("uncontained worker panic escaped catch_unwind");
 
     // Reconcile the racy cap: when workers overshot `max_states`, report
-    // the sequential oracle's verdict — truncated, with `states` clamped
+    // the sequential oracle's verdict — `StateCap`, with `states` clamped
     // to the cap (still a valid lower bound on the reachable space).
     let mut states = visited.len();
-    let mut was_truncated = truncated.into_inner();
-    if states > opts.max_states {
-        was_truncated = true;
-        states = opts.max_states;
+    let mut final_stop = StopReason::from_u8(stop.into_inner());
+    if truncated.into_inner() || states > opts.max_states {
+        final_stop.bump(StopReason::StateCap);
+        states = states.min(opts.max_states);
+    }
+    // A cancellation that raced the final items must still be reported: a
+    // cancelled run never claims `Complete`.
+    if opts.cancel.is_cancelled() {
+        final_stop.bump(StopReason::Cancelled);
+    }
+    for message in faults.into_inner() {
+        final_stop.bump(StopReason::WorkerFault);
+        let note = Note::WorkerFault { message };
+        if !notes.contains(&note) {
+            notes.push(note);
+        }
     }
 
     let stats = WalkStats {
@@ -1149,8 +1268,8 @@ where
         transitions: transitions.into_inner(),
         terminated: terminated.into_inner(),
         deadlocked: deadlocked.into_inner(),
-        truncated: was_truncated,
-        por_fallback,
+        stop: final_stop,
+        notes,
     };
     (visited, stats)
 }
@@ -1164,15 +1283,16 @@ where
 pub fn par_explore(
     prog: &CfgProgram,
     objs: &(dyn ObjectSemantics + Sync),
-    opts: ExploreOptions,
+    opts: &ExploreOptions,
     n_workers: usize,
     check: impl Fn(&Config, &mut Vec<String>) + Sync,
 ) -> EngineReport {
     // Same detection `par_walk` runs (it is deterministic and cheap):
     // under symmetry reduction the check callback must additionally see
     // every non-representative orbit member, and terminal sets must be
-    // orbit-expanded back to the unreduced search's.
-    let spec = sym::active_spec(prog, opts.symmetry);
+    // orbit-expanded back to the unreduced search's. The cap note is
+    // `par_walk`'s to report.
+    let (spec, _) = sym::active_spec(prog, opts.symmetry);
 
     // Violations as (what, config, orbit origin); traces are attached
     // after the join, once the parent-pointer store is quiescent. For an
@@ -1242,8 +1362,8 @@ pub fn par_explore(
         terminated: stats.terminated,
         deadlocked: stats.deadlocked,
         violations,
-        truncated: stats.truncated,
-        por_fallback: stats.por_fallback,
+        stop: stats.stop,
+        notes: stats.notes,
     }
 }
 
@@ -1276,7 +1396,7 @@ mod tests {
         for workers in [1, 2, 4] {
             for fingerprint in [true, false] {
                 let opts = ExploreOptions { fingerprint, ..Default::default() };
-                let par_report = par_explore(&prog, &NoObjects, opts, workers, |_, _| {});
+                let par_report = par_explore(&prog, &NoObjects, &opts, workers, |_, _| {});
                 assert_eq!(
                     par_report.states, seq_report.states,
                     "workers = {workers}, fingerprint = {fingerprint}"
@@ -1300,7 +1420,7 @@ mod tests {
         let prog = compile(&p.build());
         let seq_report = Explorer::new(&prog, &AbstractObjects).explore();
         let par_report =
-            par_explore(&prog, &AbstractObjects, ExploreOptions::default(), 4, |_, _| {});
+            par_explore(&prog, &AbstractObjects, &ExploreOptions::default(), 4, |_, _| {});
         assert_eq!(par_report.states, seq_report.states);
     }
 
@@ -1312,7 +1432,7 @@ mod tests {
         let report = par_explore(
             &prog,
             &NoObjects,
-            ExploreOptions::default(),
+            &ExploreOptions::default(),
             4,
             |cfg: &Config, out: &mut Vec<String>| {
                 if cfg.terminated(&prog)
@@ -1335,7 +1455,8 @@ mod tests {
     fn traces_disabled_when_not_recording() {
         let prog = sb_prog();
         let opts = ExploreOptions { record_traces: false, ..Default::default() };
-        let report = par_explore(&prog, &NoObjects, opts, 2, |cfg: &Config, out: &mut Vec<String>| {
+        let report =
+            par_explore(&prog, &NoObjects, &opts, 2, |cfg: &Config, out: &mut Vec<String>| {
             if cfg.terminated(&prog) {
                 out.push("terminal".into());
             }
@@ -1348,8 +1469,9 @@ mod tests {
     fn truncation_is_reported() {
         let prog = sb_prog();
         let opts = ExploreOptions { max_states: 3, ..Default::default() };
-        let report = par_explore(&prog, &NoObjects, opts, 2, |_, _| {});
-        assert!(report.truncated);
+        let report = par_explore(&prog, &NoObjects, &opts, 2, |_, _| {});
+        assert!(report.truncated());
+        assert_eq!(report.stop, crate::engine::StopReason::StateCap);
         assert!(!report.ok());
     }
 

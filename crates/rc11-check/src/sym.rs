@@ -30,13 +30,20 @@ use rc11_lang::machine::Config;
 
 /// The symmetry reduction to run with: a non-trivial spec when the option
 /// is on and the program actually has symmetric threads, else `None` (the
-/// engines then take their unchanged fast paths).
-pub(crate) fn active_spec(prog: &CfgProgram, symmetry: bool) -> Option<SymmetrySpec> {
+/// engines then take their unchanged fast paths). The second component is
+/// the orbit size detection gave up on when the `ORBIT_CAP` degraded the
+/// spec to trivial — the engines surface it as a
+/// [`Note::SymmetryOrbitCap`](crate::engine::Note::SymmetryOrbitCap).
+pub(crate) fn active_spec(
+    prog: &CfgProgram,
+    symmetry: bool,
+) -> (Option<SymmetrySpec>, Option<usize>) {
     if !symmetry {
-        return None;
+        return (None, None);
     }
     let spec = thread_symmetry(prog);
-    (!spec.is_trivial()).then_some(spec)
+    let capped = spec.capped_orbit();
+    ((!spec.is_trivial()).then_some(spec), capped)
 }
 
 /// The canonical permutations of `succ` with the symmetry choice

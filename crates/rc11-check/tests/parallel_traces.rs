@@ -71,11 +71,11 @@ fn parallel_deadlock_configuration_has_replayable_trace() {
             out.push("deadlock".to_string());
         }
     };
-    let seq: EngineReport = Engine::Sequential.explore_with(&prog, &AbstractObjects, opts, check);
+    let seq: EngineReport = Engine::Sequential.explore_with(&prog, &AbstractObjects, &opts, check);
     assert!(!seq.deadlocked.is_empty(), "the double acquire must deadlock");
     assert_eq!(seq.violations.len(), seq.deadlocked.len());
 
-    let par = par_explore(&prog, &AbstractObjects, opts, 4, check);
+    let par = par_explore(&prog, &AbstractObjects, &opts, 4, check);
     assert_eq!(par.deadlocked.len(), seq.deadlocked.len());
     assert_eq!(par.violations.len(), seq.violations.len());
     for v in &par.violations {
@@ -102,10 +102,10 @@ fn parallel_invariant_violation_has_replayable_trace() {
     let pred = rc11_assert::dsl::pnot(rc11_assert::dsl::pobs(0, x, 2));
     let opts = ExploreOptions::default();
 
-    let seq = Engine::Sequential.check_invariant(&prog, &NoObjects, opts, &pred);
+    let seq = Engine::Sequential.check_invariant(&prog, &NoObjects, &opts, &pred);
     assert!(!seq.violations.is_empty(), "the invariant is genuinely violated");
 
-    let par = choose_engine(4).check_invariant(&prog, &NoObjects, opts, &pred);
+    let par = choose_engine(4).check_invariant(&prog, &NoObjects, &opts, &pred);
     assert_eq!(par.violations.len(), seq.violations.len(), "same violating states");
     for v in &par.violations {
         let trace = v.trace.as_ref().expect("parallel engine records traces by default");
@@ -125,7 +125,7 @@ fn traces_are_omitted_when_disabled() {
         }
     };
     for engine in [Engine::Sequential, Engine::Parallel { workers: 2 }] {
-        let report = engine.explore_with(&prog, &AbstractObjects, opts, check);
+        let report = engine.explore_with(&prog, &AbstractObjects, &opts, check);
         assert!(!report.violations.is_empty(), "{engine:?}");
         assert!(report.violations.iter().all(|v| v.trace.is_none()), "{engine:?}");
     }
@@ -143,7 +143,7 @@ fn replayed_traces_carry_full_configurations() {
             out.push("t2 observed the published write".to_string());
         }
     };
-    let par = par_explore(&prog, &AbstractObjects, opts, 4, check);
+    let par = par_explore(&prog, &AbstractObjects, &opts, 4, check);
     assert!(!par.violations.is_empty(), "t2 can read x = 1 after the publish");
     for v in &par.violations {
         assert_trace_replays(&prog, &AbstractObjects, opts.step, v);

@@ -74,6 +74,12 @@ impl Combined {
         &self.states[1]
     }
 
+    /// Approximate heap footprint of both component states in bytes (see
+    /// [`CState::approx_bytes`]).
+    pub fn approx_bytes(&self) -> usize {
+        self.states.iter().map(CState::approx_bytes).sum()
+    }
+
     /// The state of component `c`.
     #[inline]
     pub fn comp(&self, c: Comp) -> &CState {

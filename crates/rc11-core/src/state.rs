@@ -136,6 +136,31 @@ impl CState {
         self.tview.len()
     }
 
+    /// Approximate heap footprint of this component state in bytes — the
+    /// per-state cost an interned arena pays to hold it. Used by the
+    /// exploration engines' memory budget (`StopReason::MemBudget` in
+    /// rc11-check); an estimate, not an allocator-exact measurement.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let views: usize = self
+            .tview
+            .iter()
+            .chain(self.mview_own.iter())
+            .chain(self.mview_other.iter())
+            .map(|v| size_of::<crate::View>() + v.len() * size_of::<OpId>())
+            .sum();
+        size_of::<CState>()
+            + self.ops.len() * size_of::<OpRecord>()
+            + self
+                .mo
+                .iter()
+                .map(|m| size_of::<Vec<OpId>>() + m.len() * size_of::<OpId>())
+                .sum::<usize>()
+            + self.rank.len() * size_of::<u32>()
+            + views
+            + self.cvd.len()
+    }
+
     /// The record of operation `w`.
     #[inline]
     pub fn op(&self, w: OpId) -> &OpRecord {

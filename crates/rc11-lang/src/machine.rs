@@ -100,6 +100,22 @@ impl Config {
         }
     }
 
+    /// Approximate heap footprint of this configuration in bytes — what an
+    /// interned state arena pays to hold it. Feeds the exploration
+    /// engines' approximate memory budget (`Budget::max_mem_bytes` /
+    /// `StopReason::MemBudget` in rc11-check).
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<Config>()
+            + self.pcs.len() * size_of::<u32>()
+            + self
+                .locals
+                .iter()
+                .map(|l| size_of::<Vec<rc11_core::Val>>() + l.len() * size_of::<rc11_core::Val>())
+                .sum::<usize>()
+            + self.mem.approx_bytes()
+    }
+
     /// Canonical form for visited-state deduplication: memory canonicalised,
     /// pcs/locals as-is (they are already canonical).
     #[must_use]

@@ -23,7 +23,7 @@
 
 #![warn(missing_docs)]
 
-use rc11_check::{Engine, ExploreOptions};
+use rc11_check::{Engine, ExploreOptions, Note, StopReason};
 use rc11_core::Val;
 use rc11_lang::builder::*;
 use rc11_lang::machine::{NoObjects, ObjectSemantics};
@@ -137,10 +137,11 @@ pub struct LitmusResult {
     pub transitions: usize,
     /// `observed == expected`.
     pub pass: bool,
-    /// POR was requested but the program has more than 64 threads, so the
-    /// engine fell back to unreduced search (the sleep masks are 64-bit).
-    /// The result is still exact; `rc11 run --por` prints a note.
-    pub por_fallback: bool,
+    /// Structured engine warnings ([`rc11_check::Note`]): reduction
+    /// fallbacks (POR thread cap, DPOR location cap, symmetry orbit cap),
+    /// contained worker faults, checkpoint errors. The result stays exact
+    /// for reduction fallbacks; `rc11 run` prints these as a column.
+    pub notes: Vec<Note>,
 }
 
 fn ints(rows: &[&[i64]]) -> BTreeSet<Vec<Val>> {
@@ -168,23 +169,24 @@ pub fn run(l: &Litmus) -> LitmusResult {
 /// [`run_with_opts`] for the non-panicking, options-taking variant.
 pub fn run_with(l: &Litmus, engine: &Engine) -> LitmusResult {
     let opts = ExploreOptions { record_traces: false, ..Default::default() };
-    let (res, truncated, deadlocked) = run_with_opts(l, engine, opts);
-    assert!(!truncated, "litmus {} truncated", l.name);
+    let (res, stop, deadlocked) = run_with_opts(l, engine, &opts);
+    assert!(stop.is_complete(), "litmus {} stopped early: {stop}", l.name);
     assert_eq!(deadlocked, 0, "litmus {} deadlocked", l.name);
     res
 }
 
 /// [`run_with`] with explicit exploration options and no panicking:
-/// returns the result plus whether the run truncated and how many
-/// deadlocked configurations it found. `pass` additionally requires a
-/// complete, deadlock-free run. This is the one place the observed
-/// outcome set and the pass predicate are computed — the CLI and the
-/// corpus tests both go through it.
+/// returns the result plus why the run stopped
+/// ([`StopReason::Complete`] = exhaustive) and how many deadlocked
+/// configurations it found. `pass` additionally requires a complete,
+/// deadlock-free run. This is the one place the observed outcome set and
+/// the pass predicate are computed — the CLI and the corpus tests both go
+/// through it.
 pub fn run_with_opts(
     l: &Litmus,
     engine: &Engine,
-    opts: ExploreOptions,
-) -> (LitmusResult, bool, usize) {
+    opts: &ExploreOptions,
+) -> (LitmusResult, StopReason, usize) {
     let prog = compile(&l.prog);
     let report = engine.explore(&prog, objects_for(l), opts);
     let observed: BTreeSet<Vec<Val>> = report
@@ -192,16 +194,16 @@ pub fn run_with_opts(
         .iter()
         .map(|c| l.observe.iter().map(|&(t, r)| c.reg(t, r)).collect())
         .collect();
-    let pass = observed == l.expected && !report.truncated && report.deadlocked.is_empty();
+    let pass = observed == l.expected && !report.truncated() && report.deadlocked.is_empty();
     let res = LitmusResult {
         observed,
         expected: l.expected.clone(),
         states: report.states,
         transitions: report.transitions,
         pass,
-        por_fallback: report.por_fallback,
+        notes: report.notes,
     };
-    (res, report.truncated, report.deadlocked.len())
+    (res, report.stop, report.deadlocked.len())
 }
 
 /// `MP+rlx` — message passing, all-relaxed: the stale read is visible.

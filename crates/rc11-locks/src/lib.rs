@@ -207,7 +207,7 @@ mod tests {
         let conc = instantiate(&abs, l, imp);
         let prog = compile(&conc);
         let opts = ExploreOptions { record_traces: false, ..Default::default() };
-        (engine.explore(&prog, &NoObjects, opts), regs)
+        (engine.explore(&prog, &NoObjects, &opts), regs)
     }
 
     fn check_lock_client(imp: ObjectImpl) {
@@ -294,7 +294,7 @@ mod tests {
         let prog = compile(&conc);
         let opts = ExploreOptions { record_traces: false, ..Default::default() };
         for engine in engines() {
-            let report = engine.explore(&prog, &NoObjects, opts);
+            let report = engine.explore(&prog, &NoObjects, &opts);
             assert!(report.ok());
             for term in &report.terminated {
                 let st = term.mem.client();

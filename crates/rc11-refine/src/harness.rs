@@ -90,7 +90,7 @@ pub fn rounds_client(rounds: usize) -> (Program, ObjRef) {
 /// (traces off — harness sweeps only need counts and terminals).
 pub fn explore_abstract(client: &Program, engine: &Engine) -> EngineReport {
     let opts = ExploreOptions { record_traces: false, ..Default::default() };
-    engine.explore(&compile(client), &AbstractObjects, opts)
+    engine.explore(&compile(client), &AbstractObjects, &opts)
 }
 
 /// Explore a harness client with `imp` inlined into `obj`'s method holes
@@ -104,7 +104,7 @@ pub fn explore_concrete(
 ) -> EngineReport {
     let conc = instantiate(client, obj, imp);
     let opts = ExploreOptions { record_traces: false, ..Default::default() };
-    engine.explore(&compile(&conc), &NoObjects, opts)
+    engine.explore(&compile(&conc), &NoObjects, &opts)
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ fn main() {
     let f = figures::fig7();
     let prog = compile(&f.prog);
     let outline = figures::fig7_outline(&f);
-    let report = check_outline(&prog, &AbstractObjects, &outline, ExploreOptions::default());
+    let report = check_outline(&prog, &AbstractObjects, &outline, &ExploreOptions::default());
     writeln!(
         out,
         "Figure 7 outline ({} annotations): {} checks over {} states — {}",

@@ -47,7 +47,7 @@ fn main() {
 
     // ---- Figure 3: the proof outline ----------------------------------
     let outline = figures::fig3_outline(&f2);
-    let report = check_outline(&prog2, &AbstractObjects, &outline, ExploreOptions::default());
+    let report = check_outline(&prog2, &AbstractObjects, &outline, &ExploreOptions::default());
     writeln!(
         out,
         "Figure 3 outline: {} assertion evaluations over {} states — {}",
@@ -60,7 +60,7 @@ fn main() {
 
     // Negative control: the same outline on Figure 1's program fails, and
     // the checker says where.
-    let bad = check_outline(&prog1, &AbstractObjects, &figures::fig3_outline(&f1), ExploreOptions::default());
+    let bad = check_outline(&prog1, &AbstractObjects, &figures::fig3_outline(&f1), &ExploreOptions::default());
     writeln!(
         out,
         "Figure 3 outline on Figure 1's program: {} violations (expected — the",

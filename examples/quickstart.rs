@@ -39,7 +39,7 @@ fn main() {
     // observes d = 5.
     let post = dobs(1, d, 5);
     let outline = ProofOutline::new("quickstart", 2).post(post);
-    let check = check_outline(&prog, &NoObjects, &outline, ExploreOptions::default());
+    let check = check_outline(&prog, &NoObjects, &outline, &ExploreOptions::default());
     assert!(check.valid());
     println!("postcondition [d = 5]₂ verified over all executions ✓");
 }

@@ -81,8 +81,27 @@ RUN OPTIONS:
                              degrade to sleep sets, beyond 64 threads to
                              unreduced search (results stay exact)
   --max-states <N>           per-test state cap (default: 5000000)
+  --deadline <SECS>          wall-clock budget per engine run; a run that
+                             hits it stops with a sound lower bound and
+                             the file is reported as stopped early
+                             (`deadline`), the batch continues
+  --max-transitions <N>      transition budget per engine run (same
+                             stopped-early contract)
+  --mem-budget <BYTES>       approximate interned-state memory budget per
+                             engine run (same stopped-early contract)
+  --checkpoint <DIR>         periodically checkpoint the exploration into
+                             DIR (forces the sequential engine); an
+                             interrupted run resumes from DIR and finishes
+                             with a report identical to an uninterrupted
+                             one; a `Complete` run removes the checkpoint
   --show-outcomes            print each test's observed outcome set
   -q, --quiet                only print failures and the final summary
+
+  Each file's run is contained: a panic inside an engine is caught,
+  reported as a FAIL row, and the batch continues. The summary NOTES
+  column surfaces engine degradations (por-cap, dpor-cap, sym-cap),
+  contained worker faults (fault), and checkpoint errors (ckpt); details
+  print under each affected row.
 
 LINT OPTIONS:
   --deny-warnings            exit nonzero on warnings, not just errors.
@@ -119,6 +138,13 @@ FUZZ OPTIONS:
                              must preserve terminal/deadlock counts and
                              outcome sets while never growing states or
                              transitions
+  --chaos                    add the chaos differential lane: every
+                             program re-runs under seeded fault schedules
+                             (worker panic / stall / checkpoint-write
+                             failure) and must report either bit-identical
+                             results to the unfaulted oracle or an
+                             explicitly non-complete stop reason — never a
+                             silently wrong answer
 
 Exit status: 0 on full agreement, 1 on any mismatch/parse error, 2 on usage
 errors.
@@ -196,6 +222,34 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         Ok(v) => v,
         Err(e) => return fail_usage(&e),
     };
+    let deadline = match opts.value_of("--deadline") {
+        Ok(None) => None,
+        Ok(Some(v)) => match v.parse::<f64>() {
+            Ok(secs) if secs > 0.0 => Some(std::time::Duration::from_secs_f64(secs)),
+            _ => return fail_usage(&format!("--deadline: invalid value `{v}`")),
+        },
+        Err(e) => return fail_usage(&e),
+    };
+    let max_transitions = match opts.value_of("--max-transitions") {
+        Ok(None) => None,
+        Ok(Some(v)) => match v.parse::<usize>() {
+            Ok(n) => Some(n),
+            Err(_) => return fail_usage(&format!("--max-transitions: invalid value `{v}`")),
+        },
+        Err(e) => return fail_usage(&e),
+    };
+    let mem_budget = match opts.value_of("--mem-budget") {
+        Ok(None) => None,
+        Ok(Some(v)) => match v.parse::<usize>() {
+            Ok(n) => Some(n),
+            Err(_) => return fail_usage(&format!("--mem-budget: invalid value `{v}`")),
+        },
+        Err(e) => return fail_usage(&e),
+    };
+    let checkpoint = match opts.value_of("--checkpoint") {
+        Ok(v) => v.map(rc11::check::CheckpointOpts::new),
+        Err(e) => return fail_usage(&e),
+    };
     let fingerprint = !opts.flag(&["--no-fingerprint"]);
     let por = opts.flag(&["--por"]);
     let symmetry = opts.flag(&["--symmetry"]);
@@ -208,6 +262,16 @@ fn cmd_run(raw: &[String]) -> ExitCode {
     if opts.args.is_empty() {
         return fail_usage("run: no .litmus files or directories given");
     }
+    // Checkpointing is a sequential-explorer feature (the replay log
+    // records the deterministic expansion order); force workers=[1].
+    let workers = if checkpoint.is_some() {
+        if workers != [1] {
+            eprintln!("rc11: --checkpoint forces the sequential engine; ignoring --workers");
+        }
+        vec![1]
+    } else {
+        workers
+    };
 
     // Collect and load the work list (directories via the library's
     // `load_dir`, so the CLI and the test suite share one enumeration).
@@ -241,6 +305,12 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         por,
         symmetry,
         dpor,
+        budget: rc11::check::Budget {
+            deadline,
+            max_transitions,
+            max_mem_bytes: mem_budget,
+        },
+        checkpoint,
         ..Default::default()
     };
 
@@ -266,10 +336,13 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         if dpor {
             header.push_str(&format!(" {:>10}", "DPOR"));
         }
+        header.push_str(&format!(" {:>10}", "NOTES"));
         println!("{header}  RESULT");
     }
     // `LoadError`'s Display already includes the path, so only the loaded
-    // result is consumed here.
+    // result is consumed here. Every file runs inside `catch_unwind`: a
+    // panicking engine is reported as that file's failure and the batch
+    // finishes — one poisoned input never hides the rest of the corpus.
     for (_path, loaded) in &files {
         let litmus = match loaded {
             Ok(l) => l,
@@ -279,163 +352,45 @@ fn cmd_run(raw: &[String]) -> ExitCode {
                 continue;
             }
         };
-        let mut ok = true;
-        let mut states = 0usize;
-        let mut transitions = 0usize;
-        let mut run_deadlocks = 0usize;
-        let mut por_fell_back = false;
-        let mut first_divergence: Option<String> = None;
-        let mut observed: Option<std::collections::BTreeSet<Vec<rc11::core::Val>>> = None;
-        let mut prev_workers = 0usize;
-        for (w, engine) in &engines {
-            let (res, truncated, deadlocks) = litmus::run_with_opts(litmus, engine, explore_opts);
-            states = res.states;
-            transitions = res.transitions;
-            run_deadlocks = deadlocks;
-            por_fell_back |= res.por_fallback;
-            if !res.pass && first_divergence.is_none() {
-                first_divergence = Some(if truncated {
-                    format!("@{w} worker(s): truncated at --max-states {max_states}")
-                } else if deadlocks > 0 {
-                    format!("@{w} worker(s): {deadlocks} deadlocked configuration(s)")
-                } else {
-                    let missing: Vec<_> = res.expected.difference(&res.observed).collect();
-                    let extra: Vec<_> = res.observed.difference(&res.expected).collect();
-                    format!("@{w} worker(s): missing {missing:?}, unexpected {extra:?}")
-                });
+        let run = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_one(litmus, &engines, &explore_opts, por, symmetry, dpor, max_states)
+        })) {
+            Ok(run) => run,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|m| m.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                failed += 1;
+                println!(
+                    "{:<16} {:>8} {:>10} {:>10} {:>10}  FAIL  panic contained: {msg}",
+                    litmus.name, "-", "-", "-", "-"
+                );
+                continue;
             }
-            ok &= res.pass;
-            // All requested engine configurations must also agree with
-            // each other, not just with the expectation.
-            if let Some(pobs) = &observed {
-                if pobs != &res.observed {
-                    ok = false;
-                    first_divergence.get_or_insert(format!(
-                        "engines disagree: {prev_workers} vs {w} worker(s) observe different sets"
-                    ));
-                }
-            }
-            observed = Some(res.observed);
-            prev_workers = *w;
-        }
-        // With --por, decide the same test once unreduced (sequentially):
-        // the reduction factor is unreduced/reduced transitions, and the
-        // unreduced run doubles as a soundness differential — states and
-        // outcome set must match the reduced runs exactly.
-        let mut reduction: Option<f64> = None;
-        if por && !dpor {
-            let full_opts = rc11::check::ExploreOptions { por: false, ..explore_opts };
-            let (full, _, _) =
-                litmus::run_with_opts(litmus, &Engine::Sequential, full_opts);
-            full_transitions_total += full.transitions;
-            por_transitions_total += transitions;
-            if full.states != states {
-                ok = false;
-                first_divergence.get_or_insert(format!(
-                    "POR changed the state count: {} reduced vs {} full",
-                    states, full.states
-                ));
-            }
-            if Some(&full.observed) != observed.as_ref() {
-                ok = false;
-                first_divergence
-                    .get_or_insert("POR changed the observed outcome set".to_string());
-            }
-            if transitions > full.transitions {
-                ok = false;
-                first_divergence.get_or_insert(format!(
-                    "POR generated more transitions: {} reduced vs {} full",
-                    transitions, full.transitions
-                ));
-            }
-            reduction = Some(full.transitions as f64 / transitions.max(1) as f64);
-        }
-        // With --symmetry, decide the same test once without it
-        // (sequentially): the SYM factor is unsymmetric/symmetric states,
-        // and the unsymmetric run doubles as a soundness differential —
-        // the outcome set must match exactly and reduction must never
-        // grow the state count.
-        let mut sym_factor: Option<f64> = None;
-        if symmetry {
-            let nosym_opts = rc11::check::ExploreOptions { symmetry: false, ..explore_opts };
-            let (nosym, _, _) = litmus::run_with_opts(litmus, &Engine::Sequential, nosym_opts);
-            nosym_states_total += nosym.states;
-            sym_states_total += states;
-            if states > nosym.states {
-                ok = false;
-                first_divergence.get_or_insert(format!(
-                    "symmetry grew the state count: {} symmetric vs {} full",
-                    states, nosym.states
-                ));
-            }
-            if Some(&nosym.observed) != observed.as_ref() {
-                ok = false;
-                first_divergence
-                    .get_or_insert("symmetry changed the observed outcome set".to_string());
-            }
-            sym_factor = Some(nosym.states as f64 / states.max(1) as f64);
-        }
-        // With --dpor, decide the same test once with sleep sets only
-        // (sequentially): the DPOR factor is sleep-set / persistent-set
-        // transitions, and the sleep-set run doubles as a soundness
-        // differential — persistent sets may shed states *and*
-        // transitions but must preserve the outcome set and the deadlock
-        // count exactly.
-        let mut dpor_factor: Option<f64> = None;
-        if dpor {
-            let base_opts =
-                rc11::check::ExploreOptions { por: true, dpor: false, ..explore_opts };
-            let (base, _, base_deadlocks) =
-                litmus::run_with_opts(litmus, &Engine::Sequential, base_opts);
-            dpor_base_transitions_total += base.transitions;
-            dpor_transitions_total += transitions;
-            if states > base.states {
-                ok = false;
-                first_divergence.get_or_insert(format!(
-                    "DPOR grew the state count: {} persistent-set vs {} sleep-set",
-                    states, base.states
-                ));
-            }
-            if transitions > base.transitions {
-                ok = false;
-                first_divergence.get_or_insert(format!(
-                    "DPOR generated more transitions: {} persistent-set vs {} sleep-set",
-                    transitions, base.transitions
-                ));
-            }
-            if Some(&base.observed) != observed.as_ref() {
-                ok = false;
-                first_divergence
-                    .get_or_insert("DPOR changed the observed outcome set".to_string());
-            }
-            if run_deadlocks != base_deadlocks {
-                ok = false;
-                first_divergence.get_or_insert(format!(
-                    "DPOR changed the deadlock count: {run_deadlocks} persistent-set \
-                     vs {base_deadlocks} sleep-set"
-                ));
-            }
-            dpor_factor = Some(base.transitions as f64 / transitions.max(1) as f64);
-        }
-        // One separator space plus a 10-wide cell per enabled reduction,
-        // matching the header's ` {:>10}` REDUCTION / SYM columns.
-        let mut red =
-            reduction.map(|r| format!(" {:>10}", format!("{r:.2}x"))).unwrap_or_default();
-        if let Some(s) = sym_factor {
-            red.push_str(&format!(" {:>10}", format!("{s:.2}x")));
-        }
-        if let Some(d) = dpor_factor {
-            red.push_str(&format!(" {:>10}", format!("{d:.2}x")));
-        }
-        let observed = observed.unwrap_or_default();
-        if ok {
+        };
+        full_transitions_total += run.full_transitions;
+        por_transitions_total += run.por_transitions;
+        nosym_states_total += run.nosym_states;
+        sym_states_total += run.sym_states;
+        dpor_base_transitions_total += run.dpor_base_transitions;
+        dpor_transitions_total += run.dpor_transitions;
+        let notes_cell = if run.notes.is_empty() {
+            "-".to_string()
+        } else {
+            let codes: Vec<&str> = run.notes.iter().map(note_code).collect();
+            codes.join(",")
+        };
+        let red = format!("{} {notes_cell:>10}", run.red);
+        if run.ok {
             passed += 1;
             if !quiet {
                 println!(
                     "{:<16} {:>8} {:>10} {:>10}{red}  pass",
                     litmus.name,
-                    states,
-                    observed.len(),
+                    run.states,
+                    run.observed.len(),
                     litmus.expected.len()
                 );
             }
@@ -444,21 +399,19 @@ fn cmd_run(raw: &[String]) -> ExitCode {
             println!(
                 "{:<16} {:>8} {:>10} {:>10}{red}  FAIL  {}",
                 litmus.name,
-                states,
-                observed.len(),
+                run.states,
+                run.observed.len(),
                 litmus.expected.len(),
-                first_divergence.unwrap_or_default()
+                run.first_divergence.unwrap_or_default()
             );
         }
-        if por_fell_back && !quiet {
-            println!(
-                "    note: {} threads exceed the 64-bit sleep masks; \
-                 POR fell back to unreduced search (results exact)",
-                litmus.prog.n_threads()
-            );
+        if !quiet {
+            for n in &run.notes {
+                println!("    note: {n}");
+            }
         }
         if show_outcomes {
-            for tuple in &observed {
+            for tuple in &run.observed {
                 let vals: Vec<String> = tuple.iter().map(rc11::lang::parse::val_literal).collect();
                 println!("    ({})", vals.join(", "));
             }
@@ -501,6 +454,239 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// Everything `cmd_run` needs to print and total one file's runs. Produced
+/// inside the per-file `catch_unwind` harness so a panicking engine loses
+/// only this file's row, never the batch.
+struct FileRun {
+    ok: bool,
+    states: usize,
+    observed: std::collections::BTreeSet<Vec<rc11::core::Val>>,
+    /// Pre-formatted REDUCTION / SYM / DPOR cells (possibly empty).
+    red: String,
+    notes: Vec<rc11::check::Note>,
+    first_divergence: Option<String>,
+    full_transitions: usize,
+    por_transitions: usize,
+    nosym_states: usize,
+    sym_states: usize,
+    dpor_base_transitions: usize,
+    dpor_transitions: usize,
+}
+
+/// Compact code for the summary's NOTES column; the full [`Note`] prints
+/// under the row.
+fn note_code(n: &rc11::check::Note) -> &'static str {
+    match n {
+        rc11::check::Note::PorThreadCap { .. } => "por-cap",
+        rc11::check::Note::DporLocationCap => "dpor-cap",
+        rc11::check::Note::SymmetryOrbitCap { .. } => "sym-cap",
+        rc11::check::Note::WorkerFault { .. } => "fault",
+        rc11::check::Note::CheckpointError { .. } => "ckpt",
+    }
+}
+
+/// Run one litmus file at every requested engine configuration plus the
+/// enabled reduction differentials, collecting verdicts, notes and totals.
+fn run_one(
+    litmus: &Litmus,
+    engines: &[(usize, Engine)],
+    explore_opts: &rc11::check::ExploreOptions,
+    por: bool,
+    symmetry: bool,
+    dpor: bool,
+    max_states: usize,
+) -> FileRun {
+    let mut ok = true;
+    let mut states = 0usize;
+    let mut transitions = 0usize;
+    let mut run_deadlocks = 0usize;
+    let mut notes: Vec<rc11::check::Note> = Vec::new();
+    let mut first_divergence: Option<String> = None;
+    let mut observed: Option<std::collections::BTreeSet<Vec<rc11::core::Val>>> = None;
+    let mut prev_workers = 0usize;
+    for (w, engine) in engines {
+        let (res, stop, deadlocks) = litmus::run_with_opts(litmus, engine, explore_opts);
+        states = res.states;
+        transitions = res.transitions;
+        run_deadlocks = deadlocks;
+        for n in &res.notes {
+            if !notes.contains(n) {
+                notes.push(n.clone());
+            }
+        }
+        if !res.pass && first_divergence.is_none() {
+            first_divergence = Some(if stop == rc11::check::StopReason::StateCap {
+                format!("@{w} worker(s): truncated at --max-states {max_states}")
+            } else if !stop.is_complete() {
+                format!(
+                    "@{w} worker(s): stopped early ({stop}); \
+                     {states} states explored is a sound lower bound"
+                )
+            } else if deadlocks > 0 {
+                format!("@{w} worker(s): {deadlocks} deadlocked configuration(s)")
+            } else {
+                let missing: Vec<_> = res.expected.difference(&res.observed).collect();
+                let extra: Vec<_> = res.observed.difference(&res.expected).collect();
+                format!("@{w} worker(s): missing {missing:?}, unexpected {extra:?}")
+            });
+        }
+        ok &= res.pass;
+        // All requested engine configurations must also agree with
+        // each other, not just with the expectation.
+        if let Some(pobs) = &observed {
+            if pobs != &res.observed {
+                ok = false;
+                first_divergence.get_or_insert(format!(
+                    "engines disagree: {prev_workers} vs {w} worker(s) observe different sets"
+                ));
+            }
+        }
+        observed = Some(res.observed);
+        prev_workers = *w;
+    }
+    // With --por, decide the same test once unreduced (sequentially):
+    // the reduction factor is unreduced/reduced transitions, and the
+    // unreduced run doubles as a soundness differential — states and
+    // outcome set must match the reduced runs exactly. Differential
+    // re-runs never share the checkpoint directory.
+    let mut full_transitions_total = 0usize;
+    let mut por_transitions_total = 0usize;
+    let mut reduction: Option<f64> = None;
+    if por && !dpor {
+        let full_opts = rc11::check::ExploreOptions {
+            por: false,
+            checkpoint: None,
+            ..explore_opts.clone()
+        };
+        let (full, _, _) = litmus::run_with_opts(litmus, &Engine::Sequential, &full_opts);
+        full_transitions_total = full.transitions;
+        por_transitions_total = transitions;
+        if full.states != states {
+            ok = false;
+            first_divergence.get_or_insert(format!(
+                "POR changed the state count: {} reduced vs {} full",
+                states, full.states
+            ));
+        }
+        if Some(&full.observed) != observed.as_ref() {
+            ok = false;
+            first_divergence
+                .get_or_insert("POR changed the observed outcome set".to_string());
+        }
+        if transitions > full.transitions {
+            ok = false;
+            first_divergence.get_or_insert(format!(
+                "POR generated more transitions: {} reduced vs {} full",
+                transitions, full.transitions
+            ));
+        }
+        reduction = Some(full.transitions as f64 / transitions.max(1) as f64);
+    }
+    // With --symmetry, decide the same test once without it
+    // (sequentially): the SYM factor is unsymmetric/symmetric states,
+    // and the unsymmetric run doubles as a soundness differential —
+    // the outcome set must match exactly and reduction must never
+    // grow the state count.
+    let mut nosym_states_total = 0usize;
+    let mut sym_states_total = 0usize;
+    let mut sym_factor: Option<f64> = None;
+    if symmetry {
+        let nosym_opts = rc11::check::ExploreOptions {
+            symmetry: false,
+            checkpoint: None,
+            ..explore_opts.clone()
+        };
+        let (nosym, _, _) = litmus::run_with_opts(litmus, &Engine::Sequential, &nosym_opts);
+        nosym_states_total = nosym.states;
+        sym_states_total = states;
+        if states > nosym.states {
+            ok = false;
+            first_divergence.get_or_insert(format!(
+                "symmetry grew the state count: {} symmetric vs {} full",
+                states, nosym.states
+            ));
+        }
+        if Some(&nosym.observed) != observed.as_ref() {
+            ok = false;
+            first_divergence
+                .get_or_insert("symmetry changed the observed outcome set".to_string());
+        }
+        sym_factor = Some(nosym.states as f64 / states.max(1) as f64);
+    }
+    // With --dpor, decide the same test once with sleep sets only
+    // (sequentially): the DPOR factor is sleep-set / persistent-set
+    // transitions, and the sleep-set run doubles as a soundness
+    // differential — persistent sets may shed states *and*
+    // transitions but must preserve the outcome set and the deadlock
+    // count exactly.
+    let mut dpor_base_transitions_total = 0usize;
+    let mut dpor_transitions_total = 0usize;
+    let mut dpor_factor: Option<f64> = None;
+    if dpor {
+        let base_opts = rc11::check::ExploreOptions {
+            por: true,
+            dpor: false,
+            checkpoint: None,
+            ..explore_opts.clone()
+        };
+        let (base, _, base_deadlocks) =
+            litmus::run_with_opts(litmus, &Engine::Sequential, &base_opts);
+        dpor_base_transitions_total = base.transitions;
+        dpor_transitions_total = transitions;
+        if states > base.states {
+            ok = false;
+            first_divergence.get_or_insert(format!(
+                "DPOR grew the state count: {} persistent-set vs {} sleep-set",
+                states, base.states
+            ));
+        }
+        if transitions > base.transitions {
+            ok = false;
+            first_divergence.get_or_insert(format!(
+                "DPOR generated more transitions: {} persistent-set vs {} sleep-set",
+                transitions, base.transitions
+            ));
+        }
+        if Some(&base.observed) != observed.as_ref() {
+            ok = false;
+            first_divergence
+                .get_or_insert("DPOR changed the observed outcome set".to_string());
+        }
+        if run_deadlocks != base_deadlocks {
+            ok = false;
+            first_divergence.get_or_insert(format!(
+                "DPOR changed the deadlock count: {run_deadlocks} persistent-set \
+                 vs {base_deadlocks} sleep-set"
+            ));
+        }
+        dpor_factor = Some(base.transitions as f64 / transitions.max(1) as f64);
+    }
+    // One separator space plus a 10-wide cell per enabled reduction,
+    // matching the header's ` {:>10}` REDUCTION / SYM / DPOR columns.
+    let mut red =
+        reduction.map(|r| format!(" {:>10}", format!("{r:.2}x"))).unwrap_or_default();
+    if let Some(f) = sym_factor {
+        red.push_str(&format!(" {:>10}", format!("{f:.2}x")));
+    }
+    if let Some(d) = dpor_factor {
+        red.push_str(&format!(" {:>10}", format!("{d:.2}x")));
+    }
+    FileRun {
+        ok,
+        states,
+        observed: observed.unwrap_or_default(),
+        red,
+        notes,
+        first_divergence,
+        full_transitions: full_transitions_total,
+        por_transitions: por_transitions_total,
+        nosym_states: nosym_states_total,
+        sym_states: sym_states_total,
+        dpor_base_transitions: dpor_base_transitions_total,
+        dpor_transitions: dpor_transitions_total,
     }
 }
 
@@ -643,8 +829,26 @@ fn cmd_fuzz(raw: &[String]) -> ExitCode {
     let por = opts.flag(&["--por"]);
     let symmetry = opts.flag(&["--symmetry"]);
     let dpor = opts.flag(&["--dpor"]);
+    let chaos = opts.flag(&["--chaos"]);
     if let Some(bad) = opts.args.first() {
         return fail_usage(&format!("fuzz takes no positional arguments (got `{bad}`)"));
+    }
+
+    // Injected worker panics are contained by the engines' catch_unwind
+    // harnesses, but the default panic hook would still print a backtrace
+    // per fault — hundreds of lines of noise over a chaos run. Filter
+    // exactly the injected ones; real panics keep the default report.
+    if chaos {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.starts_with("chaos: injected"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
     }
 
     let gen_opts = GenOptions {
@@ -657,18 +861,27 @@ fn cmd_fuzz(raw: &[String]) -> ExitCode {
         clone_threads: symmetry || dpor,
         ..Default::default()
     };
-    let diff_opts =
-        DiffOptions { workers, max_states, samples, por, symmetry, dpor, ..Default::default() };
+    let diff_opts = DiffOptions {
+        workers,
+        max_states,
+        samples,
+        por,
+        symmetry,
+        dpor,
+        chaos,
+        ..Default::default()
+    };
 
     println!(
         "fuzzing {iters} programs from seed {seed} \
-         ({}–{} threads, ≤{stmts} statements/thread, workers {:?}{}{}{})",
+         ({}–{} threads, ≤{stmts} statements/thread, workers {:?}{}{}{}{})",
         gen_opts.min_threads,
         gen_opts.max_threads,
         diff_opts.workers,
         if por { ", POR parity lane on" } else { "" },
         if symmetry { ", symmetry parity lane on" } else { "" },
-        if dpor { ", DPOR parity lane on" } else { "" }
+        if dpor { ", DPOR parity lane on" } else { "" },
+        if chaos { ", chaos lane on" } else { "" }
     );
     let step = (iters / 10).max(1);
     let report = fuzz(seed, iters, &gen_opts, &diff_opts, |r| {

@@ -37,7 +37,7 @@ impl RuleHarness {
             .explore_with(|cfg, _| {
                 configs.push(cfg.clone());
             });
-        assert!(!report.truncated, "harness exploration truncated");
+        assert!(!report.truncated(), "harness exploration truncated");
         RuleHarness { prog, configs, l, x }
     }
 }

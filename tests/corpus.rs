@@ -131,7 +131,7 @@ fn whole_corpus_is_exact_with_por_on() {
         let full = Engine::Sequential.explore(
             &prog,
             objs,
-            ExploreOptions { record_traces: false, ..Default::default() },
+            &ExploreOptions { record_traces: false, ..Default::default() },
         );
         for workers in [1usize, 2, 4, 8] {
             for fingerprint in [true, false] {
@@ -142,9 +142,9 @@ fn whole_corpus_is_exact_with_por_on() {
                     ..Default::default()
                 };
                 let engine = choose_engine(workers);
-                let report = engine.explore(&prog, objs, opts);
+                let report = engine.explore(&prog, objs, &opts);
                 assert!(
-                    !report.truncated && report.deadlocked.is_empty(),
+                    !report.truncated() && report.deadlocked.is_empty(),
                     "{} ({}) @ {workers} worker(s), fingerprint {fingerprint}",
                     l.name,
                     path.display()
@@ -193,7 +193,7 @@ fn whole_corpus_is_exact_with_symmetry_on() {
         let full = Engine::Sequential.explore(
             &prog,
             objs,
-            ExploreOptions { record_traces: false, ..Default::default() },
+            &ExploreOptions { record_traces: false, ..Default::default() },
         );
         let multiset = |cfgs: &[Config]| {
             let mut m = std::collections::HashMap::<Config, usize>::new();
@@ -214,13 +214,13 @@ fn whole_corpus_is_exact_with_symmetry_on() {
                         ..Default::default()
                     };
                     let engine = choose_engine(workers);
-                    let report = engine.explore(&prog, objs, opts);
+                    let report = engine.explore(&prog, objs, &opts);
                     let tag = format!(
                         "{} ({}) @ {workers} worker(s), fingerprint {fingerprint}, por {por}",
                         l.name,
                         path.display()
                     );
-                    assert!(!report.truncated && report.deadlocked.is_empty(), "{tag}");
+                    assert!(!report.truncated() && report.deadlocked.is_empty(), "{tag}");
                     assert!(
                         report.states <= full.states,
                         "{tag}: symmetry grew the state count ({} > {})",
@@ -268,7 +268,7 @@ fn whole_corpus_is_exact_with_dpor_on() {
         let full = Engine::Sequential.explore(
             &prog,
             objs,
-            ExploreOptions { record_traces: false, ..Default::default() },
+            &ExploreOptions { record_traces: false, ..Default::default() },
         );
         let multiset = |cfgs: &[Config]| {
             let mut m = std::collections::HashMap::<Config, usize>::new();
@@ -289,14 +289,14 @@ fn whole_corpus_is_exact_with_dpor_on() {
                         ..Default::default()
                     };
                     let engine = choose_engine(workers);
-                    let report = engine.explore(&prog, objs, opts);
+                    let report = engine.explore(&prog, objs, &opts);
                     let tag = format!(
                         "{} ({}) @ {workers} worker(s), fingerprint {fingerprint}, \
                          symmetry {symmetry}",
                         l.name,
                         path.display()
                     );
-                    assert!(!report.truncated && report.deadlocked.is_empty(), "{tag}");
+                    assert!(!report.truncated() && report.deadlocked.is_empty(), "{tag}");
                     assert!(
                         report.states <= full.states,
                         "{tag}: DPOR grew the state count ({} > {})",
@@ -343,12 +343,12 @@ fn dpor_corpus_entries_shed_at_least_5x_transitions() {
         let sleep = Engine::Sequential.explore(
             &prog,
             objs,
-            ExploreOptions { record_traces: false, por: true, ..Default::default() },
+            &ExploreOptions { record_traces: false, por: true, ..Default::default() },
         );
         let dpor = Engine::Sequential.explore(
             &prog,
             objs,
-            ExploreOptions { record_traces: false, dpor: true, ..Default::default() },
+            &ExploreOptions { record_traces: false, dpor: true, ..Default::default() },
         );
         let factor = sleep.transitions as f64 / dpor.transitions.max(1) as f64;
         assert!(
@@ -370,9 +370,9 @@ fn symmetric_corpus_entries_shed_at_least_3x_states() {
         let l = litmus::load_file(corpus_dir().join(file)).unwrap_or_else(|e| panic!("{e}"));
         let prog = compile(&l.prog);
         let base = ExploreOptions { record_traces: false, ..Default::default() };
-        let full = Engine::Sequential.explore(&prog, &NoObjects, base);
+        let full = Engine::Sequential.explore(&prog, &NoObjects, &base);
         let sym = Engine::Sequential
-            .explore(&prog, &NoObjects, ExploreOptions { symmetry: true, ..base });
+            .explore(&prog, &NoObjects, &ExploreOptions { symmetry: true, ..base.clone() });
         let factor = full.states as f64 / sym.states.max(1) as f64;
         assert!(
             factor >= 3.0,
@@ -420,8 +420,8 @@ fn whole_corpus_is_exact_with_fingerprints_off() {
         let l = loaded.unwrap_or_else(|e| panic!("{e}"));
         let prog = compile(&l.prog);
         for engine in [Engine::Sequential, Engine::Parallel { workers: 4 }] {
-            let report = engine.explore(&prog, litmus::objects_for(&l), opts);
-            assert!(!report.truncated && report.deadlocked.is_empty(), "{}", path.display());
+            let report = engine.explore(&prog, litmus::objects_for(&l), &opts);
+            assert!(!report.truncated() && report.deadlocked.is_empty(), "{}", path.display());
             let observed: BTreeSet<Vec<Val>> = report
                 .terminated
                 .iter()

@@ -48,7 +48,7 @@ fn assert_reports_agree(name: &str, workers: usize, seq: &EngineReport, par: &En
         seq.deadlocked.len(),
         "{name} @ {workers} workers: deadlocked"
     );
-    assert_eq!(par.truncated, seq.truncated, "{name} @ {workers} workers: truncated");
+    assert_eq!(par.truncated(), seq.truncated(), "{name} @ {workers} workers: truncated");
     assert_eq!(
         violation_set(par),
         violation_set(seq),
@@ -71,7 +71,7 @@ fn litmus_gallery_reports_agree_across_engines() {
                 out.push("terminal".to_string());
             }
         };
-        let seq = Engine::Sequential.explore_with(&prog, objs, opts, check);
+        let seq = Engine::Sequential.explore_with(&prog, objs, &opts, check);
         assert!(!seq.terminated.is_empty(), "{}: gallery programs terminate", l.name);
         assert_eq!(
             seq.violations.len(),
@@ -80,7 +80,7 @@ fn litmus_gallery_reports_agree_across_engines() {
             l.name
         );
         for workers in WORKERS {
-            let par = Engine::Parallel { workers }.explore_with(&prog, objs, opts, check);
+            let par = Engine::Parallel { workers }.explore_with(&prog, objs, &opts, check);
             assert_reports_agree(&l.name, workers, &seq, &par);
         }
     }
@@ -107,14 +107,14 @@ fn fingerprint_and_materialised_dedup_reports_agree() {
             fingerprint: false,
             ..Default::default()
         };
-        let fp_opts = ExploreOptions { fingerprint: true, ..exact_opts };
-        let oracle = Engine::Sequential.explore_with(&prog, objs, exact_opts, check);
+        let fp_opts = ExploreOptions { fingerprint: true, ..exact_opts.clone() };
+        let oracle = Engine::Sequential.explore_with(&prog, objs, &exact_opts, check);
 
-        let seq_fp = Engine::Sequential.explore_with(&prog, objs, fp_opts, check);
+        let seq_fp = Engine::Sequential.explore_with(&prog, objs, &fp_opts, check);
         assert_reports_agree(&l.name, 1, &oracle, &seq_fp);
 
         for workers in WORKERS {
-            for (mode, opts) in [("fp", fp_opts), ("exact", exact_opts)] {
+            for (mode, opts) in [("fp", &fp_opts), ("exact", &exact_opts)] {
                 let par = Engine::Parallel { workers }.explore_with(&prog, objs, opts, check);
                 assert_reports_agree(&format!("{} [{mode}]", l.name), workers, &oracle, &par);
             }
@@ -133,12 +133,12 @@ fn fingerprint_and_materialised_outline_reports_agree() {
         let exact_opts = ExploreOptions { fingerprint: false, ..Default::default() };
         let fp_opts = ExploreOptions::default();
         let oracle =
-            check_outline_with(&prog, &AbstractObjects, &outline, exact_opts, &Engine::Sequential);
+            check_outline_with(&prog, &AbstractObjects, &outline, &exact_opts, &Engine::Sequential);
         let seq_fp =
-            check_outline_with(&prog, &AbstractObjects, &outline, fp_opts, &Engine::Sequential);
+            check_outline_with(&prog, &AbstractObjects, &outline, &fp_opts, &Engine::Sequential);
         assert_outline_reports_agree(name, 1, &oracle, &seq_fp);
         for workers in WORKERS {
-            for opts in [fp_opts, exact_opts] {
+            for opts in [&fp_opts, &exact_opts] {
                 let par = check_outline_with(
                     &prog,
                     &AbstractObjects,
@@ -198,7 +198,7 @@ fn assert_outline_reports_agree(
     assert_eq!(par.checks, seq.checks, "{name} @ {workers} workers: assertion evaluations");
     assert_eq!(par.terminated, seq.terminated, "{name} @ {workers} workers: terminated");
     assert_eq!(par.deadlocked, seq.deadlocked, "{name} @ {workers} workers: deadlocked");
-    assert_eq!(par.truncated, seq.truncated, "{name} @ {workers} workers: truncated");
+    assert_eq!(par.truncated(), seq.truncated(), "{name} @ {workers} workers: truncated");
     assert_eq!(
         outline_violation_map(par),
         outline_violation_map(seq),
@@ -208,10 +208,10 @@ fn assert_outline_reports_agree(
 
 fn check_outline_agreement(name: &str, prog: &CfgProgram, outline: &rc11::assert::ProofOutline) {
     let opts = ExploreOptions::default();
-    let seq = check_outline_with(prog, &AbstractObjects, outline, opts, &Engine::Sequential);
+    let seq = check_outline_with(prog, &AbstractObjects, outline, &opts, &Engine::Sequential);
     for workers in WORKERS {
         let par =
-            check_outline_with(prog, &AbstractObjects, outline, opts, &Engine::Parallel { workers });
+            check_outline_with(prog, &AbstractObjects, outline, &opts, &Engine::Parallel { workers });
         assert_outline_reports_agree(name, workers, &seq, &par);
     }
 }
@@ -227,7 +227,7 @@ fn fig3_outline_on_fig2_agrees_across_engines() {
         &prog,
         &AbstractObjects,
         &outline,
-        ExploreOptions::default(),
+        &ExploreOptions::default(),
         &Engine::Sequential,
     );
     assert!(seq.valid(), "Figure-3 outline is valid sequentially");
@@ -245,7 +245,7 @@ fn fig3_outline_on_fig1_violations_agree_across_engines() {
         &prog,
         &AbstractObjects,
         &outline,
-        ExploreOptions::default(),
+        &ExploreOptions::default(),
         &Engine::Sequential,
     );
     assert!(!seq.violations.is_empty(), "relaxed MP must violate the Figure-3 outline");
@@ -263,7 +263,7 @@ fn fig7_outline_agrees_across_engines() {
         &prog,
         &AbstractObjects,
         &outline,
-        ExploreOptions::default(),
+        &ExploreOptions::default(),
         &Engine::Sequential,
     );
     assert!(seq.valid(), "Figure-7 outline is valid sequentially");
@@ -283,7 +283,7 @@ fn fig7_naive_annotation_violations_agree_across_engines() {
         &prog,
         &AbstractObjects,
         &outline,
-        ExploreOptions::default(),
+        &ExploreOptions::default(),
         &Engine::Sequential,
     );
     assert!(
@@ -322,12 +322,12 @@ fn por_prunes_transitions_but_preserves_reports() {
             }
         };
         let base = ExploreOptions { record_traces: false, ..Default::default() };
-        let oracle = Engine::Sequential.explore_with(&prog, objs, base, check);
+        let oracle = Engine::Sequential.explore_with(&prog, objs, &base, check);
         full_total += oracle.transitions;
 
         for (mode, fingerprint) in [("fp", true), ("exact", false)] {
-            let opts = ExploreOptions { por: true, fingerprint, ..base };
-            let seq = Engine::Sequential.explore_with(&prog, objs, opts, check);
+            let opts = ExploreOptions { por: true, fingerprint, ..base.clone() };
+            let seq = Engine::Sequential.explore_with(&prog, objs, &opts, check);
             assert_eq!(seq.states, oracle.states, "{} [{mode}]: POR lost states", l.name);
             assert_eq!(
                 config_multiset(&seq.terminated),
@@ -354,13 +354,13 @@ fn por_prunes_transitions_but_preserves_reports() {
                 seq.transitions,
                 oracle.transitions
             );
-            assert!(!seq.truncated, "{} [{mode}]", l.name);
+            assert!(!seq.truncated(), "{} [{mode}]", l.name);
             if fingerprint {
                 por_total += seq.transitions;
             }
 
             for workers in WORKERS {
-                let par = Engine::Parallel { workers }.explore_with(&prog, objs, opts, check);
+                let par = Engine::Parallel { workers }.explore_with(&prog, objs, &opts, check);
                 assert_eq!(
                     par.states, oracle.states,
                     "{} [{mode}] @ {workers} workers: POR lost states",
@@ -389,7 +389,7 @@ fn por_prunes_transitions_but_preserves_reports() {
                     "{} [{mode}] @ {workers} workers: more transitions under POR",
                     l.name
                 );
-                assert!(!par.truncated, "{} [{mode}] @ {workers} workers", l.name);
+                assert!(!par.truncated(), "{} [{mode}] @ {workers} workers", l.name);
             }
         }
     }
@@ -420,15 +420,15 @@ fn symmetry_preserves_reports_and_sheds_states() {
             }
         };
         let base = ExploreOptions { record_traces: false, ..Default::default() };
-        let oracle = Engine::Sequential.explore_with(&prog, objs, base, check);
+        let oracle = Engine::Sequential.explore_with(&prog, objs, &base, check);
 
         for (mode, fingerprint) in [("fp", true), ("exact", false)] {
             for por in [false, true] {
-                let opts = ExploreOptions { symmetry: true, por, fingerprint, ..base };
+                let opts = ExploreOptions { symmetry: true, por, fingerprint, ..base.clone() };
                 let tag = |workers: usize| {
                     format!("{} [{mode}, por {por}] @ {workers} workers", l.name)
                 };
-                let seq = Engine::Sequential.explore_with(&prog, objs, opts, check);
+                let seq = Engine::Sequential.explore_with(&prog, objs, &opts, check);
                 if seq.states < oracle.states {
                     reduced_somewhere = true;
                 }
@@ -458,11 +458,11 @@ fn symmetry_preserves_reports_and_sheds_states() {
                         violation_set(&oracle),
                         "{name}: symmetry changed the violation set"
                     );
-                    assert!(!r.truncated, "{name}: truncated");
+                    assert!(!r.truncated(), "{name}: truncated");
                 };
                 assert_sym(&tag(1), &seq);
                 for workers in WORKERS {
-                    let par = Engine::Parallel { workers }.explore_with(&prog, objs, opts, check);
+                    let par = Engine::Parallel { workers }.explore_with(&prog, objs, &opts, check);
                     assert_sym(&tag(workers), &par);
                 }
             }
@@ -471,7 +471,7 @@ fn symmetry_preserves_reports_and_sheds_states() {
             let sym = Engine::Sequential.explore(
                 &prog,
                 objs,
-                ExploreOptions { symmetry: true, ..base },
+                &ExploreOptions { symmetry: true, ..base.clone() },
             );
             assert!(
                 sym.states < oracle.states,
@@ -504,11 +504,11 @@ fn dpor_preserves_reports_and_sheds_work() {
             }
         };
         let base = ExploreOptions { record_traces: false, ..Default::default() };
-        let oracle = Engine::Sequential.explore_with(&prog, objs, base, check);
+        let oracle = Engine::Sequential.explore_with(&prog, objs, &base, check);
 
         for (mode, fingerprint) in [("fp", true), ("exact", false)] {
             for symmetry in [false, true] {
-                let opts = ExploreOptions { dpor: true, symmetry, fingerprint, ..base };
+                let opts = ExploreOptions { dpor: true, symmetry, fingerprint, ..base.clone() };
                 let tag = |workers: usize| {
                     format!("{} [{mode}, sym {symmetry}] @ {workers} workers", l.name)
                 };
@@ -538,12 +538,12 @@ fn dpor_preserves_reports_and_sheds_work() {
                         violation_set(&oracle),
                         "{name}: DPOR changed the violation set"
                     );
-                    assert!(!r.truncated, "{name}: truncated");
+                    assert!(!r.truncated(), "{name}: truncated");
                 };
-                let seq = Engine::Sequential.explore_with(&prog, objs, opts, check);
+                let seq = Engine::Sequential.explore_with(&prog, objs, &opts, check);
                 assert_dpor(&tag(1), &seq);
                 for workers in WORKERS {
-                    let par = Engine::Parallel { workers }.explore_with(&prog, objs, opts, check);
+                    let par = Engine::Parallel { workers }.explore_with(&prog, objs, &opts, check);
                     assert_dpor(&tag(workers), &par);
                 }
             }
@@ -571,7 +571,7 @@ fn dpor_violation_traces_replay() {
     for symmetry in [false, true] {
         let opts = ExploreOptions { dpor: true, symmetry, ..Default::default() };
         for engine in [Engine::Sequential, Engine::Parallel { workers: 4 }] {
-            let report = engine.explore_with(&prog, &NoObjects, opts, check);
+            let report = engine.explore_with(&prog, &NoObjects, &opts, check);
             assert!(
                 !report.violations.is_empty(),
                 "{engine:?} (sym {symmetry}): SB weak outcome reachable"
@@ -619,7 +619,7 @@ fn symmetry_violation_traces_replay_sequentially() {
                     out.push("terminal".to_string());
                 }
             };
-            let report = Engine::Sequential.explore_with(&prog, &NoObjects, opts, check);
+            let report = Engine::Sequential.explore_with(&prog, &NoObjects, &opts, check);
             assert!(!report.violations.is_empty(), "{}: terminals exist", l.name);
             assert_eq!(
                 report.violations.len(),
@@ -671,14 +671,14 @@ fn por_falls_back_beyond_64_threads() {
     assert!(prog.n_threads() > 64);
 
     let base = ExploreOptions { record_traces: false, ..Default::default() };
-    let full = Engine::Sequential.explore(&prog, &NoObjects, base);
-    assert!(!full.por_fallback, "fallback only reports when POR was requested");
+    let full = Engine::Sequential.explore(&prog, &NoObjects, &base);
+    assert!(!full.por_fallback(), "fallback only reports when POR was requested");
     for engine in [Engine::Sequential, Engine::Parallel { workers: 4 }] {
         for opts in
-            [ExploreOptions { por: true, ..base }, ExploreOptions { dpor: true, ..base }]
+            [ExploreOptions { por: true, ..base.clone() }, ExploreOptions { dpor: true, ..base.clone() }]
         {
-            let report = engine.explore(&prog, &NoObjects, opts);
-            assert!(report.por_fallback, "{engine:?}: must report the fallback");
+            let report = engine.explore(&prog, &NoObjects, &opts);
+            assert!(report.por_fallback(), "{engine:?}: must report the fallback");
             assert_eq!(report.states, full.states, "{engine:?}: fallback is unreduced");
             assert_eq!(report.transitions, full.transitions, "{engine:?}: fallback is unreduced");
             assert_eq!(report.terminated.len(), full.terminated.len(), "{engine:?}: terminals");
@@ -702,7 +702,7 @@ fn por_violation_traces_replay() {
         }
     };
     for engine in [Engine::Sequential, Engine::Parallel { workers: 4 }] {
-        let report = engine.explore_with(&prog, &NoObjects, opts, check);
+        let report = engine.explore_with(&prog, &NoObjects, &opts, check);
         assert!(!report.violations.is_empty(), "{engine:?}: SB weak outcome reachable");
         for v in &report.violations {
             let trace = v.trace.as_ref().expect("traces recorded");
@@ -734,7 +734,7 @@ fn truncated_runs_agree_on_the_verdict_across_engines() {
         let full = Engine::Sequential.explore(
             &prog,
             objs,
-            ExploreOptions { record_traces: false, ..Default::default() },
+            &ExploreOptions { record_traces: false, ..Default::default() },
         );
         // A cap strictly inside the reachable space forces truncation.
         for cap in [1usize, full.states / 2, full.states - 1] {
@@ -747,12 +747,12 @@ fn truncated_runs_agree_on_the_verdict_across_engines() {
                 max_states: cap,
                 ..Default::default()
             };
-            let seq = Engine::Sequential.explore(&prog, objs, opts);
-            assert!(seq.truncated, "{} cap {cap}: sequential must truncate", l.name);
+            let seq = Engine::Sequential.explore(&prog, objs, &opts);
+            assert!(seq.truncated(), "{} cap {cap}: sequential must truncate", l.name);
             assert_eq!(seq.states, cap, "{} cap {cap}: sequential states", l.name);
             for workers in WORKERS {
-                let par = Engine::Parallel { workers }.explore(&prog, objs, opts);
-                assert!(par.truncated, "{} cap {cap} @ {workers} workers: truncated", l.name);
+                let par = Engine::Parallel { workers }.explore(&prog, objs, &opts);
+                assert!(par.truncated(), "{} cap {cap} @ {workers} workers: truncated", l.name);
                 assert_eq!(par.states, cap, "{} cap {cap} @ {workers} workers: states", l.name);
             }
         }
@@ -777,7 +777,7 @@ fn violation_traces_replay_under_both_engines() {
         }
     };
     for engine in [Engine::Sequential, Engine::Parallel { workers: 4 }] {
-        let report = engine.explore_with(&prog, &NoObjects, opts, check);
+        let report = engine.explore_with(&prog, &NoObjects, &opts, check);
         assert!(!report.violations.is_empty(), "{engine:?}: SB weak outcome reachable");
         for v in &report.violations {
             let trace = v.trace.as_ref().expect("traces recorded");

@@ -147,7 +147,7 @@ fn parallel_explorer_agrees_on_object_programs() {
     let par_report = par_explore(
         &prog,
         &AbstractObjects,
-        ExploreOptions { record_traces: false, ..Default::default() },
+        &ExploreOptions { record_traces: false, ..Default::default() },
         4,
         |_, _| {},
     );

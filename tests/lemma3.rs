@@ -20,7 +20,7 @@ fn reachable(prog: &CfgProgram) -> Vec<Config> {
         .explore_with(|cfg, _| {
             configs.push(cfg.clone());
         });
-    assert!(!report.truncated);
+    assert!(!report.truncated());
     configs
 }
 

@@ -15,9 +15,9 @@ fn figure_3_outline_is_valid() {
     let f = figures::fig2();
     let outline = figures::fig3_outline(&f);
     let prog = compile(&f.prog);
-    let report = check_outline(&prog, &AbstractObjects, &outline, ExploreOptions::default());
+    let report = check_outline(&prog, &AbstractObjects, &outline, &ExploreOptions::default());
     assert!(
-        report.violations.is_empty() && !report.truncated,
+        report.violations.is_empty() && !report.truncated(),
         "Figure 3 outline violated: {:?}",
         report.violations.iter().map(|v| (&v.kind, v.class)).collect::<Vec<_>>()
     );
@@ -33,7 +33,7 @@ fn figure_3_outline_fails_on_figure_1() {
     let f = figures::fig1();
     let outline = figures::fig3_outline(&f);
     let prog = compile(&f.prog);
-    let report = check_outline(&prog, &AbstractObjects, &outline, ExploreOptions::default());
+    let report = check_outline(&prog, &AbstractObjects, &outline, &ExploreOptions::default());
     assert!(!report.violations.is_empty(), "relaxed MP must violate the Figure-3 outline");
 }
 
@@ -42,9 +42,9 @@ fn figure_7_outline_is_valid_lemma_4() {
     let f = figures::fig7();
     let outline = figures::fig7_outline(&f);
     let prog = compile(&f.prog);
-    let report = check_outline(&prog, &AbstractObjects, &outline, ExploreOptions::default());
+    let report = check_outline(&prog, &AbstractObjects, &outline, &ExploreOptions::default());
     assert!(
-        report.violations.is_empty() && !report.truncated,
+        report.violations.is_empty() && !report.truncated(),
         "Figure 7 outline violated: {:?}",
         report
             .violations
@@ -121,7 +121,7 @@ fn figure_7_outline_fails_without_mutual_exclusion_annotation_on_broken_data() {
     prog.threads[0].body = mutate(&prog.threads[0].body);
     let outline = figures::fig7_outline(&f);
     let compiled = compile(&prog);
-    let report = check_outline(&compiled, &AbstractObjects, &outline, ExploreOptions::default());
+    let report = check_outline(&compiled, &AbstractObjects, &outline, &ExploreOptions::default());
     assert!(!report.violations.is_empty(), "the mutated program must violate the outline");
 }
 
@@ -137,7 +137,7 @@ fn figure_7_interference_detected_for_naive_annotation() {
         // Thread 2 at its acquire point always sees d1 = 0 — false once
         // thread 1 has run: interference.
         .pre(1, 1, dobs(1, f.d1, 0));
-    let report = check_outline(&prog, &AbstractObjects, &outline, ExploreOptions::default());
+    let report = check_outline(&prog, &AbstractObjects, &outline, &ExploreOptions::default());
     assert!(!report.violations.is_empty());
     assert!(
         report

@@ -203,7 +203,7 @@ proptest! {
         }
         let compiled = compile(&build_program(&threads));
         let base = ExploreOptions { record_traces: false, ..Default::default() };
-        let oracle = Engine::Sequential.explore(&compiled, &NoObjects, base);
+        let oracle = Engine::Sequential.explore(&compiled, &NoObjects, &base);
         let multiset = |cfgs: &[Config]| {
             let mut m = std::collections::HashMap::<Config, usize>::new();
             for c in cfgs {
@@ -213,9 +213,9 @@ proptest! {
         };
         let terminals = multiset(&oracle.terminated);
         for por in [false, true] {
-            let opts = ExploreOptions { symmetry: true, por, ..base };
+            let opts = ExploreOptions { symmetry: true, por, ..base.clone() };
             for engine in [Engine::Sequential, Engine::Parallel { workers: 2 }] {
-                let r = engine.explore(&compiled, &NoObjects, opts);
+                let r = engine.explore(&compiled, &NoObjects, &opts);
                 prop_assert!(
                     r.states <= oracle.states,
                     "{engine:?} por {por}: symmetry grew the state count ({} > {})",
