@@ -1,0 +1,109 @@
+//! rc11d serving-layer ablation: what a verdict-cache hit saves.
+//!
+//! The daemon's value proposition (DESIGN.md §8) is that a resubmitted
+//! program — or any renaming/reordering of one — costs a canonicalise +
+//! fingerprint + probe instead of a full exploration. This bench pins
+//! that claim on the real corpus through the same `CheckService` request
+//! path `rc11 run`, `rc11 fuzz`, and `rc11 serve` share: a cold pass
+//! explores every file, a warm pass must be served entirely from the
+//! in-memory cache, and the per-file warm cost must beat the cold cost
+//! by a wide margin (asserted ≥10×; measured ~3 orders of magnitude).
+//! Headline numbers land in `BENCH_explore.json` under `serve_cache`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rc11_check::{CheckParams, CheckService, Served, VerdictCache};
+use rc11_litmus::{load_dir, Litmus};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn corpus() -> Vec<Litmus> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
+    load_dir(&dir)
+        .expect("corpus dir readable")
+        .into_iter()
+        .map(|(path, r)| r.unwrap_or_else(|e| panic!("{}: {e}", path.display())))
+        .collect()
+}
+
+fn check_all(service: &CheckService, files: &[Litmus], params: &CheckParams) -> Vec<Served> {
+    files
+        .iter()
+        .map(|l| {
+            black_box(
+                service
+                    .check_parts(&l.name, &l.prog, &l.observe, &l.expected, params)
+                    .served,
+            )
+        })
+        .collect()
+}
+
+fn bench_serve_cache(c: &mut Criterion) {
+    if !criterion::selected("serve_cache") {
+        return;
+    }
+    let files = corpus();
+    let params = CheckParams::default();
+    eprintln!("[serve_cache] corpus: {} files", files.len());
+
+    // Cold cost: a fresh service per pass, so every file explores.
+    // Best-of-3 (each pass is a full corpus exploration — seconds, not
+    // microseconds — so criterion's inner loop would be excessive here).
+    let mut cold_ns = f64::INFINITY;
+    for _ in 0..3 {
+        let service = CheckService::with_cache(VerdictCache::new(4096));
+        let t0 = Instant::now();
+        let served = check_all(&service, &files, &params);
+        cold_ns = cold_ns.min(t0.elapsed().as_nanos() as f64 / files.len() as f64);
+        assert!(
+            served.iter().all(|s| *s == Served::Explored),
+            "a fresh service must explore every file"
+        );
+    }
+
+    // Warm cost: one populated service; every resubmission must be a
+    // memory hit (exploring even once would invalidate the comparison).
+    let service = CheckService::with_cache(VerdictCache::new(4096));
+    check_all(&service, &files, &params);
+    let warm_served = check_all(&service, &files, &params);
+    assert!(
+        warm_served.iter().all(|s| *s == Served::MemCache),
+        "a warm resubmission must be served from memory"
+    );
+
+    let mut g = c.benchmark_group("serve_cache");
+    g.throughput(criterion::Throughput::Elements(files.len() as u64));
+    g.bench_function("warm_probe_full_corpus", |b| {
+        b.iter(|| check_all(&service, &files, &params))
+    });
+    g.finish();
+
+    let mut warm_ns = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        check_all(&service, &files, &params);
+        warm_ns = warm_ns.min(t0.elapsed().as_nanos() as f64 / files.len() as f64);
+    }
+
+    let speedup = cold_ns / warm_ns;
+    eprintln!(
+        "[serve_cache] cold explore {:.1} µs/file, warm probe {:.2} µs/file, {speedup:.0}x",
+        cold_ns / 1e3,
+        warm_ns / 1e3
+    );
+    assert!(
+        speedup >= 10.0,
+        "a cache hit must beat exploration by ≥10x (got {speedup:.1}x)"
+    );
+    bench::record_bench_json(
+        "serve_cache",
+        &[
+            ("cold_explore_us_per_file", cold_ns / 1e3),
+            ("warm_probe_us_per_file", warm_ns / 1e3),
+            ("hit_speedup", speedup),
+        ],
+    );
+}
+
+criterion_group!(benches, bench_serve_cache);
+criterion_main!(benches);

@@ -11,6 +11,11 @@
 //! * the **parallel** engine calls [`ChaosState::on_expansion`] once per
 //!   work item, so `worker_panic_at`/`stall_at` fire inside a worker (and
 //!   are contained by the worker's `catch_unwind` harness);
+//! * the **sequential** explorer calls the same hook once per popped
+//!   frontier node; it has no per-worker containment, so an injected panic
+//!   unwinds out of `explore` and is caught by the shared request path
+//!   ([`CheckService`](crate::request::CheckService)), which reports it as
+//!   a `WorkerFault` stop with the panic message in the note detail;
 //! * the **sequential** checkpointer calls
 //!   [`ChaosState::should_fail_checkpoint`] before each write, so
 //!   `checkpoint_fail_at` simulates a failed save without touching disk.
@@ -116,10 +121,11 @@ impl ChaosState {
         self.plan
     }
 
-    /// Called by the parallel engine once per expanded work item. Fires
+    /// Called by both engines once per expanded work item. Fires
     /// `stall_at` (a short sleep, surfacing termination-detection races)
-    /// and `worker_panic_at` (a real `panic!`, contained by the worker's
-    /// `catch_unwind` harness) when their counts come up.
+    /// and `worker_panic_at` (a real `panic!` — contained by the worker
+    /// harness in the parallel engine, and by the request path's
+    /// `catch_unwind` for the sequential one) when their counts come up.
     pub fn on_expansion(&self) {
         let n = self.expansions.fetch_add(1, Ordering::Relaxed) + 1;
         if self.plan.stall_at == Some(n) {

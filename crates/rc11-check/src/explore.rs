@@ -415,6 +415,13 @@ impl<'a> Explorer<'a> {
             }
             let Some((id, mask, sleep, first)) = frontier.pop() else { break };
             pops += 1;
+            // Fault injection: unlike the parallel engine, the sequential
+            // explorer has no per-worker containment, so an injected panic
+            // unwinds to the caller — the request path's `catch_unwind`
+            // converts it to a `WorkerFault` report.
+            if let Some(chaos) = &self.opts.chaos {
+                chaos.on_expansion();
+            }
             let cfg = nodes[id as usize].cfg.clone();
             let mut fps = por.then(|| por::LazyFootprints::new(n_threads));
             let mut any_succ = false;

@@ -25,6 +25,10 @@
 //!   and transition counts bounded above by the unreduced oracle,
 //!   terminal/deadlock counts and the outcome set preserved exactly —
 //!   under both engines, both dedup modes, and composed with symmetry;
+//! * the request-path/cache parity lane ([`DiffOptions::request`]): the
+//!   shared [`crate::request::CheckService`] pipeline must reproduce the
+//!   oracle's report field-for-field on a cold check, and a warm
+//!   re-check of the same program must be a cache hit with equal fields;
 //! * sampler soundness: every [`crate::random::random_walk`] terminal
 //!   outcome must lie inside the exhaustive outcome set (a sample outside
 //!   it would be a transition the exhaustive engines missed, or a walk
@@ -34,11 +38,13 @@
 //! program and reported with its `.litmus` source, so the repro drops
 //! straight into `corpus/` and `rc11 run`.
 
+use crate::cache::VerdictCache;
 use crate::chaos::{ChaosState, FaultPlan};
 use crate::checkpoint::CheckpointOpts;
 use crate::engine::{Engine, EngineReport, ExploreOptions};
 use crate::gen::{generate, shrink, GProg, GenOptions};
 use crate::random::sample_terminals;
+use crate::request::{CheckParams, CheckService, Served};
 use rc11_core::Val;
 use rc11_lang::compile;
 use rc11_lang::machine::NoObjects;
@@ -102,6 +108,15 @@ pub struct DiffOptions {
     /// Default off; the fixed-seed `cargo test` lane and `rc11 fuzz
     /// --chaos` turn it on.
     pub chaos: bool,
+    /// Add the request-path/cache parity lane: run the program once
+    /// through a fresh [`crate::request::CheckService`] (the shared
+    /// parse → canonicalise → fingerprint → cache-probe → explore
+    /// pipeline behind `rc11 run` and the daemon) and require the cold
+    /// response to match the oracle field-for-field, then re-check the
+    /// identical program and require a memory-cache hit whose fields are
+    /// equal to the cold run's. Default on — the lane costs one extra
+    /// sequential exploration.
+    pub request: bool,
 }
 
 impl Default for DiffOptions {
@@ -116,6 +131,7 @@ impl Default for DiffOptions {
             symmetry: false,
             dpor: false,
             chaos: false,
+            request: true,
         }
     }
 }
@@ -580,6 +596,66 @@ pub fn diff_one(g: &GProg, seed: u64, opts: &DiffOptions) -> DiffVerdict {
                         seq.states, oracle.states, seq.stop, oracle.stop
                     ));
                 }
+            }
+        }
+
+        // Request-path/cache parity: the shared CheckService pipeline
+        // (behind `rc11 run` and the daemon) must reproduce the oracle
+        // field-for-field on a cold check, and a warm re-check of the
+        // identical program must be a memory-cache hit with equal fields.
+        if opts.request {
+            let program = g.to_program("fuzz");
+            let observe = g.observe();
+            let service = CheckService::with_cache(VerdictCache::new(4));
+            let params = CheckParams {
+                max_states: opts.max_states,
+                fingerprint: false,
+                ..CheckParams::default()
+            };
+            let cold =
+                service.check_parts("fuzz", &program, &observe, &oracle_outcomes, &params);
+            if cold.served != Served::Explored {
+                return Err(format!("request: cold check served {:?}", cold.served));
+            }
+            if cold.stop != oracle.stop {
+                return Err(format!("request: stop {} vs oracle {}", cold.stop, oracle.stop));
+            }
+            if cold.states != oracle.states || cold.transitions != oracle.transitions {
+                return Err(format!(
+                    "request: counts {}/{} vs oracle {}/{}",
+                    cold.states, cold.transitions, oracle.states, oracle.transitions
+                ));
+            }
+            if cold.observed != oracle_outcomes {
+                return Err("request: observed set diverges from the oracle".into());
+            }
+            if cold.deadlocks != oracle.deadlocked.len() {
+                return Err(format!(
+                    "request: deadlocks {} vs oracle {}",
+                    cold.deadlocks,
+                    oracle.deadlocked.len()
+                ));
+            }
+            if cold.pass != oracle.deadlocked.is_empty() {
+                return Err(format!(
+                    "request: pass {} disagrees with expected-set construction",
+                    cold.pass
+                ));
+            }
+            let warm =
+                service.check_parts("fuzz", &program, &observe, &oracle_outcomes, &params);
+            if warm.served != Served::MemCache {
+                return Err(format!("request: warm check served {:?}, not the cache", warm.served));
+            }
+            if warm.fingerprint != cold.fingerprint
+                || warm.pass != cold.pass
+                || warm.observed != cold.observed
+                || warm.states != cold.states
+                || warm.transitions != cold.transitions
+                || warm.deadlocks != cold.deadlocks
+                || warm.stop != cold.stop
+            {
+                return Err("request: cached response diverges from the cold run".into());
             }
         }
 

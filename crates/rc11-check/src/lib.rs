@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod chaos;
 pub mod checkpoint;
 pub mod engine;
@@ -57,8 +58,11 @@ pub mod parallel;
 pub(crate) mod por;
 pub mod pretty;
 pub mod random;
+pub mod request;
 pub(crate) mod sym;
+pub mod wire;
 
+pub use cache::{CacheStats, CacheTier, CachedVerdict, VerdictCache};
 pub use chaos::{ChaosState, FaultPlan};
 pub use checkpoint::CheckpointOpts;
 pub use engine::{
@@ -74,3 +78,5 @@ pub use outline_check::{
 };
 pub use parallel::{par_explore, ShardedFpMap, ShardedMap, ShardedSet};
 pub use random::{random_walk, sample_terminals, SampleError};
+pub use request::{option_words, CheckParams, CheckResponse, CheckService, Served, StatsSnapshot};
+pub use wire::{obj, parse_json, Json, JsonError};

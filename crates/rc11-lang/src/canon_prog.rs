@@ -1,0 +1,504 @@
+//! Name-free canonical serialisation of whole programs.
+//!
+//! The verdict cache in rc11-check (and the `rc11 serve` daemon above it)
+//! keys cached check results on a 128-bit fingerprint of the *canonical*
+//! form of a submitted program, so syntactically different but semantically
+//! identical submissions share one cache entry. Canonicalisation here means:
+//!
+//! * **no names**: thread names, register names, variable names and the
+//!   program's `name`/`about` strings are never serialised — renaming any
+//!   of them leaves the words unchanged;
+//! * **location renumbering by first use**: shared locations are numbered
+//!   in the order the program text first references them (threads in
+//!   order, bodies in pre-order), so reordering `var` declarations leaves
+//!   the words unchanged; locations no thread references are appended
+//!   after the used ones, sorted by their (kind, initialisation) — two
+//!   such locations are observably interchangeable;
+//! * **everything semantic is included**: location kinds, object kinds,
+//!   initial values, per-thread register counts and initial register
+//!   values, and the full command trees (with annotations — a `rel`/`acq`
+//!   flip *changes* the words, as does a changed initial value).
+//!
+//! Register indices are *not* renumbered: the `.litmus` parser assigns
+//! them in first-use order per thread already, so renaming a register
+//! never changes its index. Thread order **is** significant — `T1 || T2`
+//! and `T2 || T1` explore different (if symmetric) state spaces and are
+//! deliberately kept distinct; thread-symmetry collapsing is the
+//! exploration engine's job, not the cache key's.
+//!
+//! The encoding is injective over the serialised content: every node is
+//! emitted as a tag word followed by a fixed, tag-determined shape of
+//! operand words (variable-length lists carry an explicit length), so two
+//! different canonical programs can never produce the same word stream.
+
+use crate::ast::{BinOp, Com, Exp, Method, UnOp, VarRef};
+use crate::program::{ObjKind, Program};
+use crate::Reg;
+use rc11_core::{Comp, InitLoc, Loc, LocKind, Val};
+use std::collections::BTreeSet;
+
+/// Serialisation format version — bump when the word layout changes, so
+/// stale disk-spilled cache entries can never be misread as current ones.
+const VERSION: u64 = 1;
+
+fn val_words(v: &Val, out: &mut Vec<u64>) {
+    match v {
+        Val::Int(n) => {
+            out.push(0);
+            out.push(*n as u64);
+        }
+        Val::Bool(b) => {
+            out.push(1);
+            out.push(*b as u64);
+        }
+        Val::Empty => out.push(2),
+        Val::Bot => out.push(3),
+    }
+}
+
+fn init_words(i: &InitLoc, out: &mut Vec<u64>) {
+    match i {
+        InitLoc::Var(v) => {
+            out.push(0);
+            val_words(v, out);
+        }
+        InitLoc::Obj => out.push(1),
+    }
+}
+
+fn un_op_code(op: UnOp) -> u64 {
+    match op {
+        UnOp::Not => 0,
+        UnOp::Neg => 1,
+        UnOp::Even => 2,
+    }
+}
+
+fn bin_op_code(op: BinOp) -> u64 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Mod => 3,
+        BinOp::Eq => 4,
+        BinOp::Ne => 5,
+        BinOp::Lt => 6,
+        BinOp::Le => 7,
+        BinOp::And => 8,
+        BinOp::Or => 9,
+    }
+}
+
+fn method_code(m: Method) -> u64 {
+    match m {
+        Method::Acquire => 0,
+        Method::AcquireV => 1,
+        Method::Release => 2,
+        Method::Push => 3,
+        Method::Pop => 4,
+        Method::RegRead => 5,
+        Method::RegWrite => 6,
+        Method::Inc => 7,
+        Method::Enq => 8,
+        Method::Deq => 9,
+    }
+}
+
+fn exp_words(e: &Exp, out: &mut Vec<u64>) {
+    match e {
+        Exp::Val(v) => {
+            out.push(0);
+            val_words(v, out);
+        }
+        Exp::Reg(r) => {
+            out.push(1);
+            out.push(r.0 as u64);
+        }
+        Exp::Un(op, a) => {
+            out.push(2);
+            out.push(un_op_code(*op));
+            exp_words(a, out);
+        }
+        Exp::Bin(op, a, b) => {
+            out.push(3);
+            out.push(bin_op_code(*op));
+            exp_words(a, out);
+            exp_words(b, out);
+        }
+    }
+}
+
+/// The per-component location renumbering: `map[old] = Some(new)` once a
+/// location has been assigned its canonical index.
+struct Renumber {
+    client: Vec<Option<u16>>,
+    lib: Vec<Option<u16>>,
+    next_client: u16,
+    next_lib: u16,
+}
+
+impl Renumber {
+    fn new(p: &Program) -> Renumber {
+        Renumber {
+            client: vec![None; p.client_locs.len()],
+            lib: vec![None; p.lib_locs.len()],
+            next_client: 0,
+            next_lib: 0,
+        }
+    }
+
+    fn touch(&mut self, comp: Comp, loc: Loc) {
+        let (map, next) = match comp {
+            Comp::Client => (&mut self.client, &mut self.next_client),
+            Comp::Lib => (&mut self.lib, &mut self.next_lib),
+        };
+        if map[loc.idx()].is_none() {
+            map[loc.idx()] = Some(*next);
+            *next += 1;
+        }
+    }
+
+    fn get(&self, comp: Comp, loc: Loc) -> u64 {
+        let map = match comp {
+            Comp::Client => &self.client,
+            Comp::Lib => &self.lib,
+        };
+        map[loc.idx()].expect("every location is numbered before serialisation") as u64
+    }
+}
+
+/// Pre-order walk over the shared-location references of a command tree,
+/// in the same order the serialisation walk visits them.
+fn touch_locs(c: &Com, ren: &mut Renumber) {
+    match c {
+        Com::Skip | Com::Assign(..) => {}
+        Com::Write { var, .. }
+        | Com::Read { var, .. }
+        | Com::Cas { var, .. }
+        | Com::Fai { var, .. } => ren.touch(var.comp, var.loc),
+        Com::MethodCall { obj, .. } => ren.touch(Comp::Lib, obj.loc),
+        Com::Seq(a, b) => {
+            touch_locs(a, ren);
+            touch_locs(b, ren);
+        }
+        Com::If { then_, else_, .. } => {
+            touch_locs(then_, ren);
+            touch_locs(else_, ren);
+        }
+        Com::While { body, .. } | Com::DoUntil { body, .. } => touch_locs(body, ren),
+        Com::Labeled(_, c) => touch_locs(c, ren),
+    }
+}
+
+fn var_words(v: &VarRef, ren: &Renumber, out: &mut Vec<u64>) {
+    out.push(match v.comp {
+        Comp::Client => 0,
+        Comp::Lib => 1,
+    });
+    out.push(ren.get(v.comp, v.loc));
+}
+
+fn com_words(c: &Com, ren: &Renumber, out: &mut Vec<u64>) {
+    match c {
+        Com::Skip => out.push(0),
+        Com::Assign(r, e) => {
+            out.push(1);
+            out.push(r.0 as u64);
+            exp_words(e, out);
+        }
+        Com::Write { var, exp, rel } => {
+            out.push(2);
+            var_words(var, ren, out);
+            out.push(*rel as u64);
+            exp_words(exp, out);
+        }
+        Com::Read { reg, var, acq } => {
+            out.push(3);
+            out.push(reg.0 as u64);
+            var_words(var, ren, out);
+            out.push(*acq as u64);
+        }
+        Com::Cas { reg, var, expect, new } => {
+            out.push(4);
+            out.push(reg.0 as u64);
+            var_words(var, ren, out);
+            exp_words(expect, out);
+            exp_words(new, out);
+        }
+        Com::Fai { reg, var } => {
+            out.push(5);
+            out.push(reg.0 as u64);
+            var_words(var, ren, out);
+        }
+        Com::MethodCall { reg, obj, method, arg, sync } => {
+            out.push(6);
+            out.push(reg.map_or(0, |r| r.0 as u64 + 1));
+            out.push(ren.get(Comp::Lib, obj.loc));
+            out.push(method_code(*method));
+            out.push(*sync as u64);
+            match arg {
+                None => out.push(0),
+                Some(a) => {
+                    out.push(1);
+                    exp_words(a, out);
+                }
+            }
+        }
+        Com::Seq(a, b) => {
+            out.push(7);
+            com_words(a, ren, out);
+            com_words(b, ren, out);
+        }
+        Com::If { cond, then_, else_ } => {
+            out.push(8);
+            exp_words(cond, out);
+            com_words(then_, ren, out);
+            com_words(else_, ren, out);
+        }
+        Com::While { cond, body } => {
+            out.push(9);
+            exp_words(cond, out);
+            com_words(body, ren, out);
+        }
+        Com::DoUntil { body, cond } => {
+            out.push(10);
+            com_words(body, ren, out);
+            exp_words(cond, out);
+        }
+        Com::Labeled(k, c) => {
+            out.push(11);
+            out.push(*k as u64);
+            com_words(c, ren, out);
+        }
+    }
+}
+
+fn kind_code(k: LocKind) -> u64 {
+    match k {
+        LocKind::Var => 0,
+        LocKind::Obj => 1,
+    }
+}
+
+fn obj_kind_code(k: ObjKind) -> u64 {
+    match k {
+        ObjKind::Lock => 0,
+        ObjKind::Stack => 1,
+        ObjKind::Register => 2,
+        ObjKind::Counter => 3,
+        ObjKind::Queue => 4,
+    }
+}
+
+/// One location's serialised description (kind, object kind, init) —
+/// emitted per location in canonical order, and also the sort key that
+/// orders the *unused* locations (which have no first use to number them).
+fn loc_desc(p: &Program, comp: Comp, loc: Loc) -> Vec<u64> {
+    let (table, inits) = match comp {
+        Comp::Client => (&p.client_locs, &p.client_inits),
+        Comp::Lib => (&p.lib_locs, &p.lib_inits),
+    };
+    let mut out = vec![kind_code(table.kind(loc))];
+    out.push(p.obj_kind(loc).filter(|_| comp == Comp::Lib).map_or(0, |k| obj_kind_code(k) + 1));
+    init_words(&inits[loc.idx()], &mut out);
+    out
+}
+
+/// Serialise `p` to its canonical word stream. Two programs produce the
+/// same words iff they differ only in names (program, thread, register,
+/// variable) and in the declaration order of shared locations.
+pub fn canonical_words(p: &Program) -> Vec<u64> {
+    // Pass 1: number every referenced location in first-use order.
+    let mut ren = Renumber::new(p);
+    for t in &p.threads {
+        touch_locs(&t.body, &mut ren);
+    }
+    // Unused locations follow, ordered by their observable description
+    // (declaration order must not matter, and names are out of bounds).
+    for comp in [Comp::Client, Comp::Lib] {
+        let len = match comp {
+            Comp::Client => p.client_locs.len(),
+            Comp::Lib => p.lib_locs.len(),
+        };
+        let mut unused: Vec<Loc> = (0..len)
+            .map(|i| Loc(i as u16))
+            .filter(|&l| match comp {
+                Comp::Client => ren.client[l.idx()].is_none(),
+                Comp::Lib => ren.lib[l.idx()].is_none(),
+            })
+            .collect();
+        unused.sort_by_key(|&l| loc_desc(p, comp, l));
+        for l in unused {
+            ren.touch(comp, l);
+        }
+    }
+
+    // Pass 2: emit. Locations appear in canonical order via the inverse
+    // permutation; bodies re-walk the same pre-order with locations
+    // remapped through `ren`.
+    let mut out = vec![VERSION];
+    for comp in [Comp::Client, Comp::Lib] {
+        let (map, len) = match comp {
+            Comp::Client => (&ren.client, p.client_locs.len()),
+            Comp::Lib => (&ren.lib, p.lib_locs.len()),
+        };
+        let mut inv: Vec<Loc> = vec![Loc(0); len];
+        for (old, new) in map.iter().enumerate() {
+            inv[new.expect("all locations numbered") as usize] = Loc(old as u16);
+        }
+        out.push(len as u64);
+        for &old in &inv {
+            out.extend(loc_desc(p, comp, old));
+        }
+    }
+    out.push(p.threads.len() as u64);
+    for t in &p.threads {
+        out.push(t.n_regs as u64);
+        out.push(t.reg_inits.len() as u64);
+        for v in &t.reg_inits {
+            val_words(v, &mut out);
+        }
+        com_words(&t.body, &ren, &mut out);
+    }
+    out
+}
+
+/// Serialise a whole litmus check request — program, observation tuple and
+/// expected outcome set — to canonical words. This is the cache key the
+/// checking service fingerprints: two requests with equal words are the
+/// same check and may share a verdict.
+pub fn canonical_litmus_words(
+    p: &Program,
+    observe: &[(usize, Reg)],
+    expected: &BTreeSet<Vec<Val>>,
+) -> Vec<u64> {
+    let mut out = canonical_words(p);
+    out.push(observe.len() as u64);
+    for &(t, r) in observe {
+        out.push(t as u64);
+        out.push(r.0 as u64);
+    }
+    out.push(expected.len() as u64);
+    for tuple in expected {
+        out.push(tuple.len() as u64);
+        for v in tuple {
+            val_words(v, &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_litmus;
+
+    fn words(src: &str) -> Vec<u64> {
+        let p = parse_litmus(src).expect("test source must parse");
+        canonical_litmus_words(&p.prog, &p.observe, &p.expected)
+    }
+
+    const BASE: &str = r#"
+litmus "mp"
+var x = 0
+var y = 0
+thread T1 { x = 1; y =rel 1; }
+thread T2 { r1 =acq y; r2 = x; }
+observe T2.r1 T2.r2
+expected { (0, 0) (0, 1) (1, 1) }
+"#;
+
+    #[test]
+    fn renaming_everything_preserves_the_words() {
+        let renamed = r#"
+litmus "a completely different name"
+about "and a description"
+var b = 0
+var a = 0
+thread Writer { b = 1; a =rel 1; }
+thread Reader { got_a =acq a; got_b = b; }
+observe Reader.got_a Reader.got_b
+expected { (0, 0) (0, 1) (1, 1) }
+"#;
+        assert_eq!(words(BASE), words(renamed));
+    }
+
+    #[test]
+    fn declaration_order_does_not_matter() {
+        let reordered = r#"
+litmus "mp"
+var y = 0
+var x = 0
+thread T1 { x = 1; y =rel 1; }
+thread T2 { r1 =acq y; r2 = x; }
+observe T2.r1 T2.r2
+expected { (0, 0) (0, 1) (1, 1) }
+"#;
+        assert_eq!(words(BASE), words(reordered));
+    }
+
+    #[test]
+    fn changed_init_changes_the_words() {
+        let perturbed = BASE.replace("var x = 0", "var x = 1");
+        assert_ne!(words(BASE), words(&perturbed));
+    }
+
+    #[test]
+    fn flipped_annotation_changes_the_words() {
+        let relaxed = BASE.replace("y =rel 1", "y = 1");
+        assert_ne!(words(BASE), words(&relaxed));
+        let relaxed_read = BASE.replace("r1 =acq y", "r1 = y");
+        assert_ne!(words(BASE), words(&relaxed_read));
+    }
+
+    #[test]
+    fn changed_expectation_changes_the_words() {
+        let narrowed = BASE.replace("(0, 1) ", "");
+        assert_ne!(words(BASE), words(&narrowed));
+    }
+
+    #[test]
+    fn thread_order_is_significant() {
+        let swapped = r#"
+litmus "mp"
+var x = 0
+var y = 0
+thread T2 { r1 =acq y; r2 = x; }
+thread T1 { x = 1; y =rel 1; }
+observe T2.r1 T2.r2
+expected { (0, 0) (0, 1) (1, 1) }
+"#;
+        assert_ne!(words(BASE), words(swapped));
+    }
+
+    #[test]
+    fn unused_locations_are_order_insensitive_but_not_free() {
+        let with_unused_ab = r#"
+litmus "mp"
+var x = 0
+var dead1 = 3
+var dead2 = 7
+thread T1 { r1 = 0; x = 1; }
+observe T1.r1
+expected { (0) }
+"#;
+        let with_unused_ba = r#"
+litmus "mp"
+var dead2 = 7
+var x = 0
+var dead1 = 3
+thread T1 { r1 = 0; x = 1; }
+observe T1.r1
+expected { (0) }
+"#;
+        assert_eq!(words(with_unused_ab), words(with_unused_ba));
+        let without = r#"
+litmus "mp"
+var x = 0
+thread T1 { r1 = 0; x = 1; }
+observe T1.r1
+expected { (0) }
+"#;
+        assert_ne!(words(with_unused_ab), words(without));
+    }
+}

@@ -22,6 +22,7 @@
 pub mod ast;
 pub mod ast_step;
 pub mod builder;
+pub mod canon_prog;
 pub mod cfg;
 pub mod inline;
 pub mod machine;
@@ -30,6 +31,7 @@ pub mod program;
 
 pub use ast::{BinOp, Com, EvalError, Exp, Method, ObjRef, Reg, UnOp, VarRef};
 pub use ast_step::{ast_successors, AstConfig};
+pub use canon_prog::{canonical_litmus_words, canonical_words};
 pub use cfg::{compile, CfgProgram, Instr, ThreadCfg};
 pub use inline::{instantiate, CallSite, ObjectImpl};
 pub use machine::{

@@ -1,0 +1,76 @@
+//! rc11d in-process: start the checking daemon on an ephemeral port,
+//! submit a litmus program over TCP, resubmit a *renamed* copy to show
+//! the canonical-fingerprint cache serving it without exploration, then
+//! read the counters and shut down cleanly.
+//!
+//! Run with `cargo run --example daemon_roundtrip`.
+
+use rc11::daemon::{start, Client, DaemonConfig};
+
+const MP: &str = r#"
+litmus "mp-ra"
+var x = 0
+var y = 0
+thread T1 { x = 1; y =rel 1; }
+thread T2 { r1 =acq y; r2 = x; }
+observe T2.r1 T2.r2
+expected { (0, 0) (0, 1) (1, 1) }
+"#;
+
+fn main() -> std::io::Result<()> {
+    // Ephemeral port, in-memory cache only; `cache_dir: Some(dir)` would
+    // add the checksummed disk spill that survives restarts.
+    let handle = start(&DaemonConfig::default())?;
+    println!("daemon listening on {}", handle.addr());
+
+    let mut client = Client::connect(handle.addr())?;
+
+    // Cold: the daemon parses, canonicalises, fingerprints, misses the
+    // cache, and explores the full RC11 RAR state space.
+    let cold = client.check(MP)?;
+    println!(
+        "cold: served={} pass={} states={}",
+        cold.get("served").and_then(|j| j.as_str()).unwrap_or("?"),
+        cold.get("pass").and_then(|j| j.as_bool()).unwrap_or(false),
+        cold.get("states").and_then(|j| j.as_i64()).unwrap_or(-1),
+    );
+
+    // Warm: a syntactically different but canonically identical program
+    // — every register, variable and thread renamed — hits the cache,
+    // because the key is the fingerprint of the *canonical* form.
+    // (Replacements are written token-wise — `x ` / `x;` rather than a
+    // bare `x` — so keywords like `expected` survive.)
+    let renamed = MP
+        .replace("r1", "a1")
+        .replace("r2", "b1")
+        .replace("x ", "data ")
+        .replace("x;", "data;")
+        .replace("y ", "flag ")
+        .replace("y;", "flag;")
+        .replace("T1", "Writer")
+        .replace("T2", "Reader");
+    let warm = client.check(&renamed)?;
+    println!(
+        "warm (renamed): served={} fingerprint={}",
+        warm.get("served").and_then(|j| j.as_str()).unwrap_or("?"),
+        warm.get("fingerprint").and_then(|j| j.as_str()).unwrap_or("?"),
+    );
+    assert_eq!(warm.get("served").and_then(|j| j.as_str()), Some("mem-cache"));
+    assert_eq!(
+        warm.get("fingerprint").and_then(|j| j.as_str()),
+        cold.get("fingerprint").and_then(|j| j.as_str()),
+    );
+
+    let stats = client.stats()?;
+    println!(
+        "stats: requests={} hits={} misses={}",
+        stats.get("requests").and_then(|j| j.as_i64()).unwrap_or(-1),
+        stats.get("mem_hits").and_then(|j| j.as_i64()).unwrap_or(-1),
+        stats.get("misses").and_then(|j| j.as_i64()).unwrap_or(-1),
+    );
+
+    client.shutdown()?;
+    handle.join();
+    println!("daemon stopped");
+    Ok(())
+}

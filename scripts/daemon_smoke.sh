@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# End-to-end smoke for rc11d, the cache-fronted checking daemon.
+#
+# Drives the same sequence the tier-2 tests prove in-process, but through
+# real processes and a real TCP socket:
+#
+#   1. `rc11 serve --cache DIR` in the background; parse the bound
+#      address from its `rc11d: listening on ADDR` line.
+#   2. Pass 1: submit the whole corpus — populates the cache.
+#   3. Pass 2: resubmit with --expect-all-hits — every file must be
+#      served from the in-memory cache, and --stats must report it.
+#   4. Clean shutdown over the wire; the daemon process must exit.
+#   5. Restart on the same cache directory; a third pass with
+#      --expect-all-hits must be served entirely from the disk spill.
+#
+# Usage: scripts/daemon_smoke.sh [path-to-rc11-binary]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+RC11=${1:-target/release/rc11}
+if [ ! -x "$RC11" ]; then
+    echo "daemon_smoke: building $RC11" >&2
+    cargo build --release --locked --bin rc11
+fi
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/rc11-daemon-smoke.XXXXXX")
+LOG="$WORK/serve.log"
+CACHE="$WORK/cache"
+SERVE_PID=""
+
+cleanup() {
+    if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+        kill "$SERVE_PID" 2>/dev/null || true
+        wait "$SERVE_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Start the daemon and wait for its listening line (ephemeral port).
+start_daemon() {
+    : > "$LOG"
+    "$RC11" serve --addr 127.0.0.1:0 --cache "$CACHE" >"$LOG" 2>&1 &
+    SERVE_PID=$!
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR=$(sed -n 's/^rc11d: listening on //p' "$LOG" | head -n1)
+        [ -n "$ADDR" ] && return 0
+        if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+            echo "daemon_smoke: daemon died on startup:" >&2
+            cat "$LOG" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "daemon_smoke: daemon never printed its address:" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+stop_daemon() {
+    "$RC11" submit --addr "$ADDR" --shutdown
+    for _ in $(seq 1 100); do
+        kill -0 "$SERVE_PID" 2>/dev/null || { SERVE_PID=""; return 0; }
+        sleep 0.1
+    done
+    echo "daemon_smoke: daemon did not exit after shutdown" >&2
+    exit 1
+}
+
+echo "== pass 1: cold corpus (populates the cache) =="
+start_daemon
+"$RC11" submit corpus/ --addr "$ADDR"
+
+echo "== pass 2: warm resubmission (must be 100% cache hits) =="
+"$RC11" submit corpus/ --addr "$ADDR" --expect-all-hits --stats
+
+echo "== clean shutdown over the wire =="
+stop_daemon
+
+echo "== restart on the same cache dir: disk spill must serve =="
+start_daemon
+"$RC11" submit corpus/ --addr "$ADDR" --expect-all-hits --stats
+stop_daemon
+
+echo "daemon_smoke: OK"

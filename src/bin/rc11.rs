@@ -6,21 +6,29 @@
 //! * `rc11 lint <path>…` — static diagnostics over `.litmus` files:
 //!   every file's findings are reported before the exit code is decided,
 //!   so a batch never hides errors behind the first one;
-//! * `rc11 fuzz` — drive the generative differential harness from a seed.
+//! * `rc11 fuzz` — drive the generative differential harness from a seed;
+//! * `rc11 serve` — run rc11d, the cache-fronted checking daemon
+//!   (JSON lines over TCP into the same request path `run` uses);
+//! * `rc11 submit` — send `.litmus` files to a running daemon.
 //!
 //! ```text
 //! rc11 run corpus/ --workers 1,2,4,8
 //! rc11 run corpus/mp_rlx.litmus --engine parallel --workers 4 --show-outcomes
 //! rc11 lint corpus/ --deny-warnings
 //! rc11 fuzz --seed 7 --iters 500 --workers 2,4
+//! rc11 serve --cache /tmp/rc11-cache &   # prints `rc11d: listening on ADDR`
+//! rc11 submit corpus/ --addr 127.0.0.1:PORT --stats
 //! ```
 
 use rc11::analyze::{lint as analyze_lint, render_diagnostic, Severity};
 use rc11::check::gen::GenOptions;
 use rc11::check::fuzz::{fuzz, DiffOptions};
-use rc11::check::{choose_engine, Engine};
+use rc11::check::wire::Json;
+use rc11::check::{CheckParams, CheckService, Engine, VerdictCache};
+use rc11::daemon::{self, DaemonConfig};
 use rc11::lang::parse::parse_litmus;
 use rc11::litmus::{self, Litmus};
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -30,6 +38,8 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -48,6 +58,8 @@ USAGE:
   rc11 run <path>... [OPTIONS]     batch-run .litmus files / directories
   rc11 lint <path>... [OPTIONS]    static diagnostics for .litmus files
   rc11 fuzz [OPTIONS]              generative differential fuzzing
+  rc11 serve [OPTIONS]             run rc11d, the checking daemon
+  rc11 submit <path>... [OPTIONS]  send .litmus files to a running daemon
 
 RUN OPTIONS:
   --engine <seq|parallel>    engine family (default: seq; `parallel` implies
@@ -94,6 +106,12 @@ RUN OPTIONS:
                              interrupted run resumes from DIR and finishes
                              with a report identical to an uninterrupted
                              one; a `Complete` run removes the checkpoint
+  --cache <DIR>              reuse complete verdicts across invocations from
+                             a canonical-fingerprint cache spilled to DIR
+                             (off by default: without it every engine run
+                             explores). Only `complete` runs are admitted;
+                             renamed-but-identical files hit without
+                             exploring
   --show-outcomes            print each test's observed outcome set
   -q, --quiet                only print failures and the final summary
 
@@ -145,6 +163,36 @@ FUZZ OPTIONS:
                              results to the unfaulted oracle or an
                              explicitly non-complete stop reason — never a
                              silently wrong answer
+
+SERVE OPTIONS:
+  --addr <HOST:PORT>         bind address (default: 127.0.0.1:0; the bound
+                             address is printed as `rc11d: listening on ADDR`)
+  --pool <N>                 worker threads draining the job queue
+                             (default: 2)
+  --queue <N>                bounded job-queue depth; checks arriving with
+                             the queue full are rejected with a busy error
+                             (default: 64)
+  --cache <DIR>              spill cached verdicts to DIR (checksummed,
+                             survives restart; default: memory only)
+  --cache-cap <N>            in-memory verdict-cache entries (default: 1024)
+
+  The daemon answers one JSON object per line over TCP (protocol in
+  DESIGN.md §8): check / stats / ping / shutdown. Every check goes
+  through the same request path as `rc11 run` — parse, canonicalise,
+  fingerprint, cache-probe, explore — so syntactically different but
+  canonically identical submissions are served from the cache. Shutdown
+  cancels in-flight work and drains the queue with explicit `cancelled`
+  responses; disk-spilled verdicts survive a kill at any point.
+
+SUBMIT OPTIONS:
+  --addr <HOST:PORT>         daemon address (required)
+  --workers <N>              engine for cache misses (default: 1)
+  --no-cache                 bypass the daemon's verdict cache
+  --expect-all-hits          exit nonzero unless every response was served
+                             from the cache (the CI warm-pass assertion)
+  --stats                    print the daemon's stats after submitting
+  --ping                     just ping the daemon and exit
+  --shutdown                 ask the daemon to stop after submitting
 
 Exit status: 0 on full agreement, 1 on any mismatch/parse error, 2 on usage
 errors.
@@ -250,6 +298,10 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         Ok(v) => v.map(rc11::check::CheckpointOpts::new),
         Err(e) => return fail_usage(&e),
     };
+    let cache_dir = match opts.value_of("--cache") {
+        Ok(v) => v,
+        Err(e) => return fail_usage(&e),
+    };
     let fingerprint = !opts.flag(&["--no-fingerprint"]);
     let por = opts.flag(&["--por"]);
     let symmetry = opts.flag(&["--symmetry"]);
@@ -296,8 +348,34 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         }
     }
 
-    let engines: Vec<(usize, Engine)> =
-        workers.iter().map(|&w| (w, choose_engine(w))).collect();
+    // Every engine run goes through the shared request path (the same
+    // one the daemon serves): parse → canonicalise → fingerprint →
+    // cache-probe → explore. Without --cache the service has no cache
+    // and every run explores, exactly as before.
+    let service = match &cache_dir {
+        Some(dir) => match VerdictCache::with_disk(4096, dir) {
+            Ok(c) => CheckService::with_cache(c),
+            Err(e) => {
+                eprintln!("rc11: --cache {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => CheckService::new(),
+    };
+    let budget = rc11::check::Budget { deadline, max_transitions, max_mem_bytes: mem_budget };
+    let base_params = CheckParams {
+        max_states,
+        fingerprint,
+        por,
+        symmetry,
+        dpor,
+        budget,
+        checkpoint: checkpoint.clone(),
+        use_cache: cache_dir.is_some(),
+        ..CheckParams::default()
+    };
+    // The reduction differentials re-run files directly (they compare
+    // reduced vs unreduced reports, which must both actually explore).
     let explore_opts = rc11::check::ExploreOptions {
         record_traces: false,
         max_states,
@@ -305,11 +383,7 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         por,
         symmetry,
         dpor,
-        budget: rc11::check::Budget {
-            deadline,
-            max_transitions,
-            max_mem_bytes: mem_budget,
-        },
+        budget,
         checkpoint,
         ..Default::default()
     };
@@ -353,7 +427,17 @@ fn cmd_run(raw: &[String]) -> ExitCode {
             }
         };
         let run = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_one(litmus, &engines, &explore_opts, por, symmetry, dpor, max_states)
+            run_one(
+                litmus,
+                &workers,
+                &service,
+                &base_params,
+                &explore_opts,
+                por,
+                symmetry,
+                dpor,
+                max_states,
+            )
         })) {
             Ok(run) => run,
             Err(payload) => {
@@ -449,6 +533,17 @@ fn cmd_run(raw: &[String]) -> ExitCode {
             dpor_base_transitions_total
         );
     }
+    if cache_dir.is_some() {
+        let s = service.stats();
+        print!(
+            "; cache: {} hit(s) ({} mem, {} disk), {} miss(es), {:.0}% hit rate",
+            s.cache.hits(),
+            s.cache.mem_hits,
+            s.cache.disk_hits,
+            s.cache.misses,
+            s.cache.hit_rate() * 100.0
+        );
+    }
     println!();
     if failed == 0 && broken == 0 && passed > 0 {
         ExitCode::SUCCESS
@@ -488,11 +583,15 @@ fn note_code(n: &rc11::check::Note) -> &'static str {
     }
 }
 
-/// Run one litmus file at every requested engine configuration plus the
-/// enabled reduction differentials, collecting verdicts, notes and totals.
+/// Run one litmus file at every requested engine configuration (through
+/// the shared [`CheckService`] request path) plus the enabled reduction
+/// differentials, collecting verdicts, notes and totals.
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     litmus: &Litmus,
-    engines: &[(usize, Engine)],
+    workers: &[usize],
+    service: &CheckService,
+    base_params: &CheckParams,
     explore_opts: &rc11::check::ExploreOptions,
     por: bool,
     symmetry: bool,
@@ -507,26 +606,47 @@ fn run_one(
     let mut first_divergence: Option<String> = None;
     let mut observed: Option<std::collections::BTreeSet<Vec<rc11::core::Val>>> = None;
     let mut prev_workers = 0usize;
-    for (w, engine) in engines {
-        let (res, stop, deadlocks) = litmus::run_with_opts(litmus, engine, explore_opts);
+    for &w in workers {
+        let mut params = base_params.clone();
+        params.workers = w;
+        let res = service.check_parts(
+            &litmus.name,
+            &litmus.prog,
+            &litmus.observe,
+            &litmus.expected,
+            &params,
+        );
         states = res.states;
         transitions = res.transitions;
-        run_deadlocks = deadlocks;
+        run_deadlocks = res.deadlocks;
         for n in &res.notes {
             if !notes.contains(n) {
                 notes.push(n.clone());
             }
         }
         if !res.pass && first_divergence.is_none() {
-            first_divergence = Some(if stop == rc11::check::StopReason::StateCap {
+            first_divergence = Some(if res.stop == rc11::check::StopReason::WorkerFault {
+                // The request path contained an engine panic; its message
+                // is in the WorkerFault note.
+                let msg = res
+                    .notes
+                    .iter()
+                    .find_map(|n| match n {
+                        rc11::check::Note::WorkerFault { message } => Some(message.clone()),
+                        _ => None,
+                    })
+                    .unwrap_or_default();
+                format!("@{w} worker(s): panic contained: {msg}")
+            } else if res.stop == rc11::check::StopReason::StateCap {
                 format!("@{w} worker(s): truncated at --max-states {max_states}")
-            } else if !stop.is_complete() {
+            } else if !res.stop.is_complete() {
                 format!(
-                    "@{w} worker(s): stopped early ({stop}); \
-                     {states} states explored is a sound lower bound"
+                    "@{w} worker(s): stopped early ({}); \
+                     {states} states explored is a sound lower bound",
+                    res.stop
                 )
-            } else if deadlocks > 0 {
-                format!("@{w} worker(s): {deadlocks} deadlocked configuration(s)")
+            } else if res.deadlocks > 0 {
+                format!("@{w} worker(s): {} deadlocked configuration(s)", res.deadlocks)
             } else {
                 let missing: Vec<_> = res.expected.difference(&res.observed).collect();
                 let extra: Vec<_> = res.observed.difference(&res.expected).collect();
@@ -545,7 +665,7 @@ fn run_one(
             }
         }
         observed = Some(res.observed);
-        prev_workers = *w;
+        prev_workers = w;
     }
     // With --por, decide the same test once unreduced (sequentially):
     // the reduction factor is unreduced/reduced transitions, and the
@@ -912,5 +1032,218 @@ fn cmd_fuzz(raw: &[String]) -> ExitCode {
             );
             ExitCode::FAILURE
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// rc11 serve
+// ---------------------------------------------------------------------
+
+fn cmd_serve(raw: &[String]) -> ExitCode {
+    let mut opts = Opts { args: raw.to_vec() };
+    let addr = match opts.value_of("--addr") {
+        Ok(v) => v.unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        Err(e) => return fail_usage(&e),
+    };
+    let pool = match opts.parsed("--pool", 2usize) {
+        Ok(v) if v >= 1 => v,
+        Ok(_) => return fail_usage("--pool: must be at least 1"),
+        Err(e) => return fail_usage(&e),
+    };
+    let queue_cap = match opts.parsed("--queue", 64usize) {
+        Ok(v) if v >= 1 => v,
+        Ok(_) => return fail_usage("--queue: must be at least 1"),
+        Err(e) => return fail_usage(&e),
+    };
+    let cache_cap = match opts.parsed("--cache-cap", 1024usize) {
+        Ok(v) if v >= 1 => v,
+        Ok(_) => return fail_usage("--cache-cap: must be at least 1"),
+        Err(e) => return fail_usage(&e),
+    };
+    let cache_dir = match opts.value_of("--cache") {
+        Ok(v) => v.map(PathBuf::from),
+        Err(e) => return fail_usage(&e),
+    };
+    if let Some(bad) = opts.args.first() {
+        return fail_usage(&format!("serve takes no positional arguments (got `{bad}`)"));
+    }
+
+    let config = DaemonConfig { addr, pool, queue_cap, cache_cap, cache_dir };
+    match daemon::start(&config) {
+        Ok(handle) => {
+            // Scripts (`scripts/daemon_smoke.sh`) parse this line for the
+            // resolved ephemeral port, so flush it through any pipe.
+            println!("rc11d: listening on {}", handle.addr());
+            let _ = std::io::stdout().flush();
+            handle.join();
+            println!("rc11d: stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("rc11: serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// rc11 submit
+// ---------------------------------------------------------------------
+
+fn cmd_submit(raw: &[String]) -> ExitCode {
+    let mut opts = Opts { args: raw.to_vec() };
+    let addr = match opts.value_of("--addr") {
+        Ok(Some(v)) => v,
+        Ok(None) => return fail_usage("submit: --addr is required"),
+        Err(e) => return fail_usage(&e),
+    };
+    let workers = match opts.parsed("--workers", 1usize) {
+        Ok(v) if v >= 1 => v,
+        Ok(_) => return fail_usage("--workers: must be at least 1"),
+        Err(e) => return fail_usage(&e),
+    };
+    let no_cache = opts.flag(&["--no-cache"]);
+    let expect_all_hits = opts.flag(&["--expect-all-hits"]);
+    let want_stats = opts.flag(&["--stats"]);
+    let ping_only = opts.flag(&["--ping"]);
+    let want_shutdown = opts.flag(&["--shutdown"]);
+    if let Some(bad) = opts.args.iter().find(|a| a.starts_with('-')) {
+        return fail_usage(&format!("unknown option `{bad}`"));
+    }
+
+    let mut client = match daemon::Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rc11: submit: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if ping_only {
+        return match client.ping() {
+            Ok(true) => {
+                println!("pong");
+                ExitCode::SUCCESS
+            }
+            Ok(false) => {
+                eprintln!("rc11: submit: unexpected ping response");
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("rc11: submit: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Enumerate .litmus files (directories sorted, like `rc11 run`).
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut broken = 0usize;
+    for arg in &opts.args {
+        let p = PathBuf::from(arg);
+        if p.is_dir() {
+            match std::fs::read_dir(&p) {
+                Ok(entries) => {
+                    let mut found: Vec<PathBuf> = entries
+                        .flatten()
+                        .map(|e| e.path())
+                        .filter(|f| f.extension().is_some_and(|x| x == "litmus"))
+                        .collect();
+                    if found.is_empty() {
+                        eprintln!("rc11: no .litmus files in {}", p.display());
+                        broken += 1;
+                    }
+                    found.sort();
+                    files.extend(found);
+                }
+                Err(e) => {
+                    eprintln!("rc11: {}: {e}", p.display());
+                    broken += 1;
+                }
+            }
+        } else {
+            files.push(p);
+        }
+    }
+    if files.is_empty() && !want_stats && !want_shutdown {
+        return fail_usage("submit: no .litmus files or directories given");
+    }
+
+    let mut failed = 0usize;
+    let mut missed = 0usize;
+    for path in &files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rc11: {}: {e}", path.display());
+                broken += 1;
+                continue;
+            }
+        };
+        let mut extra = vec![("workers", Json::Int(workers as i64))];
+        if no_cache {
+            extra.push(("no_cache", Json::Bool(true)));
+        }
+        let response = match client.check_with(&source, extra) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("rc11: {}: {e}", path.display());
+                failed += 1;
+                continue;
+            }
+        };
+        if response.get("ok").and_then(Json::as_bool) != Some(true) {
+            let err = response.get("error").and_then(Json::as_str).unwrap_or("unknown error");
+            println!("{:<24} FAIL  {err}", path.display());
+            failed += 1;
+            continue;
+        }
+        let name = response.get("name").and_then(Json::as_str).unwrap_or("?");
+        let served = response.get("served").and_then(Json::as_str).unwrap_or("?");
+        let states = response.get("states").and_then(Json::as_i64).unwrap_or(-1);
+        let stop = response.get("stop").and_then(Json::as_str).unwrap_or("?");
+        let pass = response.get("pass").and_then(Json::as_bool) == Some(true);
+        let hit = response.get("cache_hit").and_then(Json::as_bool) == Some(true);
+        if !hit {
+            missed += 1;
+        }
+        println!(
+            "{name:<16} {served:>10} {states:>8} {stop:>12}  {}",
+            if pass { "pass" } else { "FAIL" }
+        );
+        if !pass {
+            failed += 1;
+        }
+    }
+
+    if want_stats {
+        match client.stats() {
+            Ok(s) => println!("stats: {}", s.to_string_line()),
+            Err(e) => {
+                eprintln!("rc11: submit: stats: {e}");
+                failed += 1;
+            }
+        }
+    }
+    if expect_all_hits && missed > 0 {
+        eprintln!("rc11: submit: {missed} response(s) were not served from the cache");
+        failed += 1;
+    }
+    if want_shutdown {
+        match client.shutdown() {
+            Ok(r) if r.get("ok").and_then(Json::as_bool) == Some(true) => {
+                println!("daemon stopping");
+            }
+            Ok(_) | Err(_) => {
+                eprintln!("rc11: submit: shutdown request failed");
+                failed += 1;
+            }
+        }
+    }
+
+    if failed == 0 && broken == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

@@ -1,0 +1,525 @@
+//! # rc11d — the checking daemon behind `rc11 serve`
+//!
+//! A long-running check server on std only: JSON lines over TCP, a
+//! bounded job queue feeding a worker pool, and the shared
+//! [`CheckService`] request path (parse → canonicalise → fingerprint →
+//! cache-probe → explore) with its canonical-fingerprint verdict cache —
+//! so syntactically different but canonically identical submissions
+//! (renamed registers/threads, reordered declarations) are answered
+//! without exploring, from memory or from the checksummed disk spill
+//! that survives restart.
+//!
+//! ## Protocol
+//!
+//! One JSON object per line in each direction. Requests carry a `cmd`:
+//!
+//! * `{"cmd":"check","source":"litmus …", …}` — check a `.litmus`
+//!   source. Optional fields: `workers` (default 1), `max_states`,
+//!   `deadline_ms`, `max_transitions`, `max_mem_bytes`, `fingerprint`
+//!   (default true), `por`, `symmetry`, `dpor` (default false),
+//!   `no_cache` (default false: probe and populate the verdict cache).
+//! * `{"cmd":"stats"}` — service counters: uptime, request and cache
+//!   hit/miss counts, states explored, states/s, queue depth.
+//! * `{"cmd":"ping"}` — liveness probe.
+//! * `{"cmd":"shutdown"}` — stop accepting, cancel in-flight work, and
+//!   drain: queued jobs resolve with `"stop":"cancelled"`, never hang.
+//!
+//! Every response carries `"ok"`; failures (parse errors, malformed
+//! requests, a full queue) are `{"ok":false,"error":"…"}` — the
+//! connection survives them. Check responses mirror
+//! [`CheckResponse`] field-for-field with stable encodings: values in
+//! the corpus literal syntax (`0`, `true`, `empty`, `bot`), stop
+//! reasons and notes via their `Display` strings, the fingerprint as 32
+//! hex digits.
+//!
+//! ## Shutdown discipline
+//!
+//! `shutdown` (the request, [`DaemonHandle::shutdown`], or process
+//! kill) never loses a cached verdict: the cache writes through to disk
+//! at insert time, so there is nothing to flush. In-flight explorations
+//! share a daemon-wide [`CancelToken`] and stop at their next work item
+//! with an explicit non-`Complete` report; queued jobs are drained
+//! through the same (already cancelled) token so every waiting client
+//! gets an answer.
+
+use rc11_check::wire::{obj, parse_json, Json};
+use rc11_check::{
+    CancelToken, CheckParams, CheckResponse, CheckService, StatsSnapshot, VerdictCache,
+};
+use rc11_core::Val;
+use rc11_lang::parse::val_literal;
+use std::collections::{BTreeSet, VecDeque};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration. The default binds an ephemeral loopback port
+/// with a small pool and a memory-only cache.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Bind address; `127.0.0.1:0` picks an ephemeral port (read it back
+    /// from [`DaemonHandle::addr`]).
+    pub addr: String,
+    /// Worker threads draining the job queue.
+    pub pool: usize,
+    /// Bounded queue depth; a `check` that arrives with the queue full
+    /// is rejected with a `busy` error rather than accepted unboundedly.
+    pub queue_cap: usize,
+    /// In-memory verdict-cache capacity (entries).
+    pub cache_cap: usize,
+    /// Disk-spill directory for the verdict cache; `None` = memory only.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            addr: "127.0.0.1:0".to_string(),
+            pool: 2,
+            queue_cap: 64,
+            cache_cap: 1024,
+            cache_dir: None,
+        }
+    }
+}
+
+/// One queued check job: the raw source, the decoded per-request
+/// parameters, and the channel its connection is blocked on.
+struct Job {
+    source: String,
+    params: CheckParams,
+    reply: mpsc::Sender<Json>,
+}
+
+struct Shared {
+    service: CheckService,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    queue_cap: usize,
+    shutdown: AtomicBool,
+    /// Cloned into every job's `CheckParams::cancel`; cancelled once at
+    /// shutdown so in-flight and still-queued jobs all resolve with an
+    /// explicit non-`Complete` stop.
+    kill: CancelToken,
+    started: Instant,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.kill.cancel();
+        self.available.notify_all();
+    }
+}
+
+/// A running daemon: its bound address plus the handles needed to stop
+/// it and reclaim every thread.
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The address the listener actually bound (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current service counters (same numbers the `stats` request
+    /// reports).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.service.stats()
+    }
+
+    /// Signal shutdown: stop accepting, cancel in-flight explorations,
+    /// drain the queue through the cancelled token. Idempotent; does not
+    /// block — follow with [`DaemonHandle::join`].
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Wait for the accept loop, the worker pool and every connection
+    /// thread to exit. Call after [`DaemonHandle::shutdown`] (or after a
+    /// client sent the `shutdown` request).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        let conns: Vec<_> = {
+            let mut guard = self.shared.conns.lock().expect("conns lock");
+            guard.drain(..).collect()
+        };
+        for h in conns {
+            let _ = h.join();
+        }
+    }
+
+    /// [`DaemonHandle::shutdown`] then [`DaemonHandle::join`].
+    pub fn stop(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// Start a daemon. Returns once the listener is bound; the accept loop,
+/// worker pool and all connection handling run on background threads.
+pub fn start(config: &DaemonConfig) -> io::Result<DaemonHandle> {
+    let cache = match &config.cache_dir {
+        Some(dir) => VerdictCache::with_disk(config.cache_cap.max(1), dir)?,
+        None => VerdictCache::new(config.cache_cap.max(1)),
+    };
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shared = Arc::new(Shared {
+        service: CheckService::with_cache(cache),
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        queue_cap: config.queue_cap.max(1),
+        shutdown: AtomicBool::new(false),
+        kill: CancelToken::new(),
+        started: Instant::now(),
+        conns: Mutex::new(Vec::new()),
+    });
+
+    let workers = (0..config.pool.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("rc11d-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("rc11d-accept".to_string())
+            .spawn(move || accept_loop(&listener, &shared))
+            .expect("spawn accept loop")
+    };
+
+    Ok(DaemonHandle { addr, shared, accept: Some(accept), workers })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared2 = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("rc11d-conn".to_string())
+                    .spawn(move || serve_conn(&shared2, stream))
+                    .expect("spawn connection thread");
+                shared.conns.lock().expect("conns lock").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("queue lock");
+                queue = guard;
+            }
+        };
+        let Some(job) = job else { break };
+        // After shutdown the shared token is already cancelled, so a
+        // drained job's exploration trips `Cancelled` at its first gate:
+        // the waiting client gets an explicit answer, never a hang.
+        let response = match shared.service.check_source(&job.source, &job.params) {
+            Ok(r) => check_json(&r),
+            Err(e) => error_json(&format!("parse: {e}")),
+        };
+        let _ = job.reply.send(response);
+    }
+}
+
+fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // A finite read timeout lets the thread notice daemon shutdown while
+    // parked on an idle connection.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(150)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if !line.trim().is_empty() {
+                    let (response, stop) = handle_line(shared, &line);
+                    if writer
+                        .write_all((response.to_string_line() + "\n").as_bytes())
+                        .and_then(|()| writer.flush())
+                        .is_err()
+                    {
+                        break;
+                    }
+                    if stop {
+                        shared.begin_shutdown();
+                    }
+                }
+                line.clear();
+            }
+            // Timeout with a partial line buffered: keep accumulating.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Dispatch one request line. Returns the response and whether the
+/// daemon should begin shutdown after it is written.
+fn handle_line(shared: &Arc<Shared>, line: &str) -> (Json, bool) {
+    let request = match parse_json(line) {
+        Ok(j) => j,
+        Err(e) => return (error_json(&format!("bad request: {e}")), false),
+    };
+    match request.get("cmd").and_then(Json::as_str) {
+        Some("ping") => (obj(vec![("ok", Json::Bool(true)), ("pong", Json::Bool(true))]), false),
+        Some("stats") => (stats_json(shared), false),
+        Some("shutdown") => {
+            (obj(vec![("ok", Json::Bool(true)), ("stopping", Json::Bool(true))]), true)
+        }
+        Some("check") => (handle_check(shared, &request), false),
+        Some(other) => (error_json(&format!("unknown cmd {other:?}")), false),
+        None => (error_json("missing cmd"), false),
+    }
+}
+
+fn handle_check(shared: &Arc<Shared>, request: &Json) -> Json {
+    let Some(source) = request.get("source").and_then(Json::as_str) else {
+        return error_json("check: missing source");
+    };
+    let params = match decode_params(request, &shared.kill) {
+        Ok(p) => p,
+        Err(e) => return error_json(&e),
+    };
+    let (reply, result) = mpsc::channel();
+    {
+        let mut queue = shared.queue.lock().expect("queue lock");
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return error_json("shutting down");
+        }
+        if queue.len() >= shared.queue_cap {
+            return error_json(&format!("busy: queue full ({} jobs)", queue.len()));
+        }
+        queue.push_back(Job { source: source.to_string(), params, reply });
+        shared.available.notify_one();
+    }
+    match result.recv() {
+        Ok(response) => response,
+        Err(_) => error_json("worker dropped the job"),
+    }
+}
+
+fn decode_params(request: &Json, kill: &CancelToken) -> Result<CheckParams, String> {
+    let mut params = CheckParams { cancel: kill.clone(), ..CheckParams::default() };
+    let usize_field = |key: &str| -> Result<Option<usize>, String> {
+        match request.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(j) => match j.as_i64() {
+                Some(n) if n >= 0 => Ok(Some(n as usize)),
+                _ => Err(format!("check: {key} must be a non-negative integer")),
+            },
+        }
+    };
+    let bool_field = |key: &str| -> Result<Option<bool>, String> {
+        match request.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(Json::Bool(b)) => Ok(Some(*b)),
+            Some(_) => Err(format!("check: {key} must be a boolean")),
+        }
+    };
+    if let Some(w) = usize_field("workers")? {
+        params.workers = w.max(1);
+    }
+    if let Some(n) = usize_field("max_states")? {
+        params.max_states = n;
+    }
+    if let Some(ms) = usize_field("deadline_ms")? {
+        params.budget.deadline = Some(Duration::from_millis(ms as u64));
+    }
+    if let Some(n) = usize_field("max_transitions")? {
+        params.budget.max_transitions = Some(n);
+    }
+    if let Some(n) = usize_field("max_mem_bytes")? {
+        params.budget.max_mem_bytes = Some(n);
+    }
+    if let Some(b) = bool_field("fingerprint")? {
+        params.fingerprint = b;
+    }
+    if let Some(b) = bool_field("por")? {
+        params.por = b;
+    }
+    if let Some(b) = bool_field("symmetry")? {
+        params.symmetry = b;
+    }
+    if let Some(b) = bool_field("dpor")? {
+        params.dpor = b;
+    }
+    if let Some(b) = bool_field("no_cache")? {
+        params.use_cache = !b;
+    }
+    Ok(params)
+}
+
+fn tuples_json(set: &BTreeSet<Vec<Val>>) -> Json {
+    Json::Arr(
+        set.iter()
+            .map(|tuple| {
+                Json::Arr(tuple.iter().map(|v| Json::Str(val_literal(v))).collect())
+            })
+            .collect(),
+    )
+}
+
+/// The stable wire encoding of a check response.
+pub fn check_json(r: &CheckResponse) -> Json {
+    obj(vec![
+        ("ok", Json::Bool(true)),
+        ("name", Json::Str(r.name.clone())),
+        (
+            "fingerprint",
+            Json::Str(format!("{:016x}{:016x}", r.fingerprint.hi, r.fingerprint.lo)),
+        ),
+        ("served", Json::Str(r.served.as_str().to_string())),
+        ("cache_hit", Json::Bool(r.served.is_hit())),
+        ("pass", Json::Bool(r.pass)),
+        ("observed", tuples_json(&r.observed)),
+        ("expected", tuples_json(&r.expected)),
+        ("states", Json::Int(r.states as i64)),
+        ("transitions", Json::Int(r.transitions as i64)),
+        ("deadlocks", Json::Int(r.deadlocks as i64)),
+        ("stop", Json::Str(r.stop.to_string())),
+        ("notes", Json::Arr(r.notes.iter().map(|n| Json::Str(n.to_string())).collect())),
+    ])
+}
+
+fn error_json(message: &str) -> Json {
+    obj(vec![("ok", Json::Bool(false)), ("error", Json::Str(message.to_string()))])
+}
+
+fn stats_json(shared: &Arc<Shared>) -> Json {
+    let s = shared.service.stats();
+    let queue_depth = shared.queue.lock().expect("queue lock").len();
+    obj(vec![
+        ("ok", Json::Bool(true)),
+        ("uptime_secs", Json::Float(shared.started.elapsed().as_secs_f64())),
+        ("requests", Json::Int(s.requests as i64)),
+        ("mem_hits", Json::Int(s.cache.mem_hits as i64)),
+        ("disk_hits", Json::Int(s.cache.disk_hits as i64)),
+        ("misses", Json::Int(s.cache.misses as i64)),
+        ("hit_rate", Json::Float(s.cache.hit_rate())),
+        ("inserts", Json::Int(s.cache.inserts as i64)),
+        ("evictions", Json::Int(s.cache.evictions as i64)),
+        ("explored_runs", Json::Int(s.explored_runs as i64)),
+        ("states_explored", Json::Int(s.states_explored as i64)),
+        ("transitions_explored", Json::Int(s.transitions_explored as i64)),
+        ("states_per_sec", Json::Float(s.states_per_sec())),
+        ("queue_depth", Json::Int(queue_depth as i64)),
+    ])
+}
+
+/// A blocking line-protocol client for the daemon — used by
+/// `rc11 submit`, the test battery and the CI smoke script.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Send one request object, read one response object.
+    pub fn request(&mut self, request: &Json) -> io::Result<Json> {
+        self.writer.write_all((request.to_string_line() + "\n").as_bytes())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed connection"));
+        }
+        parse_json(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+
+    /// `check` a `.litmus` source with extra request fields (`workers`,
+    /// `deadline_ms`, `no_cache`, …) merged in.
+    pub fn check_with(&mut self, source: &str, extra: Vec<(&str, Json)>) -> io::Result<Json> {
+        let mut fields = vec![("cmd", Json::Str("check".to_string())),
+            ("source", Json::Str(source.to_string()))];
+        fields.extend(extra);
+        let request = obj(fields);
+        self.request(&request)
+    }
+
+    /// `check` a `.litmus` source with daemon defaults.
+    pub fn check(&mut self, source: &str) -> io::Result<Json> {
+        self.check_with(source, Vec::new())
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        let r = self.request(&obj(vec![("cmd", Json::Str("ping".to_string()))]))?;
+        Ok(r.get("pong").and_then(Json::as_bool) == Some(true))
+    }
+
+    /// Fetch the service counters.
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.request(&obj(vec![("cmd", Json::Str("stats".to_string()))]))
+    }
+
+    /// Ask the daemon to stop (it acknowledges, then drains and exits).
+    pub fn shutdown(&mut self) -> io::Result<Json> {
+        self.request(&obj(vec![("cmd", Json::Str("shutdown".to_string()))]))
+    }
+}

@@ -28,11 +28,18 @@
 //!   RAR verdicts, plus loaders for the `.litmus` text corpus at
 //!   `corpus/` (grammar in `corpus/README.md`).
 //!
+//! The umbrella crate adds [`daemon`] — rc11d, the cache-fronted
+//! checking daemon behind `rc11 serve`: JSON lines over TCP into the
+//! shared [`check::CheckService`] request path, with a canonical-
+//! fingerprint verdict cache (memory LRU over a checksummed disk spill).
+//!
 //! The `rc11` binary (`src/bin/rc11.rs`) batch-runs `.litmus` corpora
-//! under any engine configuration (`rc11 run corpus/ --workers 1,2,4,8`)
-//! and drives the generative differential-fuzz harness
-//! (`rc11 fuzz --seed S --iters N`).
+//! under any engine configuration (`rc11 run corpus/ --workers 1,2,4,8`),
+//! drives the generative differential-fuzz harness
+//! (`rc11 fuzz --seed S --iters N`), and hosts/queries the daemon
+//! (`rc11 serve`, `rc11 submit`).
 
+pub mod daemon;
 pub mod figures;
 pub mod lemma3;
 
