@@ -304,6 +304,17 @@ pub struct ExploreOptions {
     /// parallel engine's expansion loop, checkpoint-write failures in the
     /// sequential checkpointer. `None` (the default) injects nothing.
     pub chaos: Option<Arc<ChaosState>>,
+    /// Telemetry sink (DESIGN.md §9). With `Some`, both engines tally
+    /// structured counters — states, transitions, dup hits, confirmed
+    /// fingerprint collisions, reduction prunes/sheds/folds, cap
+    /// degradations, scheduler traffic, per-worker expansions — into the
+    /// shared sink via sharded relaxed atomics, and attach the run's
+    /// contribution to [`EngineReport::telemetry`] as a snapshot delta.
+    /// `None` (the default) makes every instrumentation site a single
+    /// untaken branch; verdicts are bit-identical either way (enforced
+    /// corpus-wide by `tests/telemetry.rs`). Deliberately **not** part of
+    /// the verdict-cache key ([`crate::request::option_words`]).
+    pub telemetry: Option<Arc<rc11_telemetry::Telemetry>>,
 }
 
 impl Default for ExploreOptions {
@@ -320,6 +331,7 @@ impl Default for ExploreOptions {
             cancel: CancelToken::default(),
             checkpoint: None,
             chaos: None,
+            telemetry: None,
         }
     }
 }
@@ -358,6 +370,16 @@ pub struct EngineReport {
     /// symmetry caps), contained worker faults, checkpoint errors. Notes
     /// never change the verdict; `rc11 run` prints them as a column.
     pub notes: Vec<Note>,
+    /// Monotonic wall-clock duration of the exploration, measured inside
+    /// the engine (from entry to report construction). Populated by both
+    /// engines on every run; callers derive states/s from it instead of
+    /// timing around the call. Excluded from [`EngineReport::same_results`].
+    pub wall: Duration,
+    /// This run's telemetry contribution (a snapshot delta against the
+    /// sink at run start), present iff [`ExploreOptions::telemetry`] was
+    /// set. Excluded from [`EngineReport::same_results`] and from the
+    /// verdict cache.
+    pub telemetry: Option<rc11_telemetry::TelemetrySnapshot>,
 }
 
 impl EngineReport {
@@ -387,9 +409,9 @@ impl EngineReport {
 
     /// Are two reports bit-identical in their *results* — states,
     /// transitions, terminal/deadlock sets, violations (including traces)
-    /// and stop reason? Notes are excluded: they describe how the run
-    /// went, not what it found. This is the equality the chaos and
-    /// checkpoint/resume differentials enforce.
+    /// and stop reason? Notes, wall time and telemetry are excluded: they
+    /// describe how the run went, not what it found. This is the equality
+    /// the chaos, checkpoint/resume and telemetry differentials enforce.
     pub fn same_results(&self, other: &EngineReport) -> bool {
         self.states == other.states
             && self.transitions == other.transitions

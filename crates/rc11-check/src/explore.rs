@@ -55,6 +55,8 @@ use rc11_analyze::SymmetrySpec;
 use rc11_core::Tid;
 use rc11_lang::cfg::CfgProgram;
 use rc11_lang::machine::{thread_successors, Config, ObjectSemantics};
+use rc11_telemetry::{Counter, Telemetry};
+use std::sync::Arc;
 use std::time::Instant;
 
 pub use crate::engine::{EngineReport as Report, ExploreOptions, Violation};
@@ -84,7 +86,17 @@ struct Node {
 /// interned configurations — callers keep them in an arena and hand
 /// lookups an `interned(id)` accessor — so each canonical configuration
 /// is stored exactly once, whatever the arena's element type.
-pub(crate) enum VisitedIndex {
+///
+/// The optional telemetry sink is injected at construction so dedup
+/// events — dup hits, symmetry-orbit folds, confirmed fingerprint
+/// collisions, interned states — are tallied where they happen, without
+/// threading a sink through every probe/commit signature.
+pub(crate) struct VisitedIndex {
+    mode: IndexMode,
+    tel: Option<Arc<Telemetry>>,
+}
+
+enum IndexMode {
     Fp(FxHashMap<Fp128, IdBucket>),
     Exact(FxHashMap<Config, u32>),
 }
@@ -104,11 +116,24 @@ pub(crate) enum Probe {
 }
 
 impl VisitedIndex {
-    pub(crate) fn new(fingerprint: bool) -> VisitedIndex {
-        if fingerprint {
-            VisitedIndex::Fp(FxHashMap::default())
+    pub(crate) fn new(fingerprint: bool, tel: Option<Arc<Telemetry>>) -> VisitedIndex {
+        let mode = if fingerprint {
+            IndexMode::Fp(FxHashMap::default())
         } else {
-            VisitedIndex::Exact(FxHashMap::default())
+            IndexMode::Exact(FxHashMap::default())
+        };
+        VisitedIndex { mode, tel }
+    }
+
+    /// Tally a duplicate probe hit (and, when the match went through a
+    /// non-identity group permutation, a symmetry-orbit fold).
+    #[inline]
+    fn count_dup(&self, sigma: &Option<Vec<u8>>) {
+        if let Some(t) = &self.tel {
+            t.incr(Counter::DupHits);
+            if sigma.as_deref().is_some_and(|s| !sym::is_identity(s)) {
+                t.incr(Counter::SymmetryFolds);
+            }
         }
     }
 
@@ -126,8 +151,8 @@ impl VisitedIndex {
         symm: Option<&SymmetrySpec>,
         interned: impl Fn(u32) -> &'a Config,
     ) -> Probe {
-        match self {
-            VisitedIndex::Fp(map) => {
+        match &self.mode {
+            IndexMode::Fp(map) => {
                 let mut perms = succ.canonical_perms();
                 if let Some(spec) = symm {
                     perms.threads = spec.choose(succ, &perms);
@@ -145,13 +170,14 @@ impl VisitedIndex {
                             None => succ.canonical_eq_with(&perms, interned(id)),
                         };
                         if eq {
+                            self.count_dup(&perms.threads);
                             return Probe::Dup(id, perms.threads);
                         }
                     }
                 }
                 Probe::NovelFp(fp, perms)
             }
-            VisitedIndex::Exact(map) => {
+            IndexMode::Exact(map) => {
                 let (canon, sigma) = match symm {
                     Some(spec) => {
                         let perms = sym::sym_perms(spec, succ);
@@ -160,6 +186,7 @@ impl VisitedIndex {
                     None => (succ.canonical(), None),
                 };
                 if let Some(&id) = map.get(&canon) {
+                    self.count_dup(&sigma);
                     Probe::Dup(id, sigma)
                 } else {
                     Probe::NovelExact(Box::new(canon), sigma)
@@ -180,21 +207,32 @@ impl VisitedIndex {
         symm: Option<&SymmetrySpec>,
         new_id: u32,
     ) -> (Config, Option<Vec<u8>>) {
-        match (self, probe) {
-            (VisitedIndex::Fp(map), Probe::NovelFp(fp, perms)) => {
+        let VisitedIndex { mode, tel } = self;
+        if let Some(t) = tel {
+            t.incr(Counter::States);
+        }
+        match (mode, probe) {
+            (IndexMode::Fp(map), Probe::NovelFp(fp, perms)) => {
                 let canon = match symm {
                     Some(spec) => succ.canonical_sym(&perms, spec.maps()),
                     None => succ.canonical_with(&perms),
                 };
                 match map.entry(fp) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(new_id),
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        // Two distinct canonical states share this Fp128:
+                        // a real, confirmed fingerprint collision.
+                        if let Some(t) = tel {
+                            t.incr(Counter::FpCollisions);
+                        }
+                        e.get_mut().push(new_id);
+                    }
                     std::collections::hash_map::Entry::Vacant(e) => {
                         e.insert(IdBucket::One(new_id));
                     }
                 }
                 (canon, perms.threads)
             }
-            (VisitedIndex::Exact(map), Probe::NovelExact(canon, sigma)) => {
+            (IndexMode::Exact(map), Probe::NovelExact(canon, sigma)) => {
                 map.insert((*canon).clone(), new_id);
                 (*canon, sigma)
             }
@@ -230,8 +268,14 @@ impl<'a> Explorer<'a> {
         &self,
         mut check: impl FnMut(&Config, &mut Vec<String>),
     ) -> Report {
+        let run_start = Instant::now();
+        // Telemetry rides as a delta: snapshot the (possibly shared,
+        // cumulative) sink at entry and attach only this run's
+        // contribution to the report.
+        let tel = self.opts.telemetry.clone();
+        let tel0 = tel.as_ref().map(|t| t.snapshot());
         let mut report = Report::default();
-        let mut index = VisitedIndex::new(self.opts.fingerprint);
+        let mut index = VisitedIndex::new(self.opts.fingerprint, tel.clone());
         // The interned state arena: every canonical configuration stored
         // exactly once, with its first-discovery parent edge.
         let mut nodes: Vec<Node> = Vec::new();
@@ -244,11 +288,17 @@ impl<'a> Explorer<'a> {
         if por && n_threads > 64 {
             por = false;
             report.note(Note::PorThreadCap { threads: n_threads });
+            if let Some(t) = &tel {
+                t.incr(Counter::CapDegradations);
+            }
         }
         let full = if por { por::full_mask(n_threads) } else { !0 };
         let (spec, capped_orbit) = sym::active_spec(self.prog, self.opts.symmetry);
         if let Some(orbit) = capped_orbit {
             report.note(Note::SymmetryOrbitCap { orbit });
+            if let Some(t) = &tel {
+                t.incr(Counter::CapDegradations);
+            }
         }
         let symm = spec.as_ref();
         let statics = por.then(|| rc11_analyze::conflict_matrix(self.prog));
@@ -260,6 +310,9 @@ impl<'a> Explorer<'a> {
             .flatten();
         if por && self.opts.dpor && pers.is_none() {
             report.note(Note::DporLocationCap);
+            if let Some(t) = &tel {
+                t.incr(Counter::CapDegradations);
+            }
         }
 
         // Resilience machinery: budgets are checked between work items (so
@@ -345,7 +398,7 @@ impl<'a> Explorer<'a> {
                     }
                     Err(message) => {
                         report.note(Note::CheckpointError { message });
-                        index = VisitedIndex::new(self.opts.fingerprint);
+                        index = VisitedIndex::new(self.opts.fingerprint, tel.clone());
                         nodes = Vec::new();
                     }
                 }
@@ -413,8 +466,19 @@ impl<'a> Explorer<'a> {
                     );
                 }
             }
+            // Gauge the pre-pop depth so the peak registers even a 1-state
+            // frontier, then the post-pop depth for the live gauge.
+            if let Some(t) = &tel {
+                t.frontier_set(frontier.len() as u64);
+            }
             let Some((id, mask, sleep, first)) = frontier.pop() else { break };
             pops += 1;
+            if let Some(t) = &tel {
+                // The sequential engine is worker 0, so the per-worker
+                // expansion slots sum to the total on either engine.
+                t.add_expansions(0, 1);
+                t.frontier_set(frontier.len() as u64);
+            }
             // Fault injection: unlike the parallel engine, the sequential
             // explorer has no per-worker containment, so an injected panic
             // unwinds to the caller — the request path's `catch_unwind`
@@ -432,6 +496,9 @@ impl<'a> Explorer<'a> {
                 }
                 let succs = thread_successors(self.prog, self.objs, &cfg, t, self.opts.step);
                 report.transitions += succs.len();
+                if let Some(tl) = &tel {
+                    tl.add(Counter::Transitions, succs.len() as u64);
+                }
                 any_succ |= !succs.is_empty();
                 let child_sleep = match (&mut fps, &statics) {
                     (Some(fps), Some(cm)) => {
@@ -457,6 +524,22 @@ impl<'a> Explorer<'a> {
                     // footprints, so the remapped mask is exactly the
                     // stored representative's persistent set.
                     let pmask = pers.as_ref().map_or(full, |p| p.persistent_mask(&succ.pcs));
+                    if por {
+                        if let Some(tl) = &tel {
+                            // Reduction attribution, per successor: threads
+                            // slept out of the persistent proposal (A5) and
+                            // threads the persistent mask sheds whole (A7).
+                            // Both are zero when the reduction is off.
+                            tl.add(
+                                Counter::SleepSetPrunes,
+                                (pmask & child_sleep).count_ones() as u64,
+                            );
+                            tl.add(
+                                Counter::PersistentSheds,
+                                (full & !pmask).count_ones() as u64,
+                            );
+                        }
+                    }
                     let probe = match index.probe(&succ, symm, |id| &nodes[id as usize].cfg) {
                         Probe::Dup(dup_id, dsigma) => {
                             if por {
@@ -644,6 +727,10 @@ impl<'a> Explorer<'a> {
             sym::expand_terminals(spec, &mut report.deadlocked);
         }
         report.states = nodes.len();
+        report.wall = run_start.elapsed();
+        if let (Some(t), Some(t0)) = (&tel, &tel0) {
+            report.telemetry = Some(t.snapshot().delta(t0));
+        }
         report
     }
 
@@ -682,7 +769,7 @@ impl<'a> Explorer<'a> {
         data: &checkpoint::CheckpointData,
         symm: Option<&SymmetrySpec>,
     ) -> Result<(VisitedIndex, Vec<Node>), String> {
-        let mut index = VisitedIndex::new(self.opts.fingerprint);
+        let mut index = VisitedIndex::new(self.opts.fingerprint, self.opts.telemetry.clone());
         let mut nodes: Vec<Node> = Vec::with_capacity(data.nodes.len());
         let root = match data.nodes.first() {
             Some(r) if r.parent == u32::MAX => r,

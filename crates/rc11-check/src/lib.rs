@@ -38,6 +38,9 @@
 //!   engines, fingerprint on/off, the `.litmus` printer/parser round-trip,
 //!   and sampler-soundness (`random_walk` ⊆ exhaustive outcomes);
 //! * [`random`] — reproducible random-walk sampling for outcome frequency;
+//! * [`telemetry`] — wire encoding for [`rc11_telemetry`] snapshots, the
+//!   `--trace` JSONL stream ([`telemetry::TraceWriter`]) and its
+//!   validating aggregator ([`telemetry::read_trace`]);
 //! * [`fxhash`] — the integer-friendly hasher behind all the maps, its
 //!   128-bit extension [`fxhash::Fx128Hasher`] and the zero-rebuild
 //!   canonical fingerprint surface
@@ -60,6 +63,7 @@ pub mod pretty;
 pub mod random;
 pub mod request;
 pub(crate) mod sym;
+pub mod telemetry;
 pub mod wire;
 
 pub use cache::{CacheStats, CacheTier, CachedVerdict, VerdictCache};
@@ -79,4 +83,5 @@ pub use outline_check::{
 pub use parallel::{par_explore, ShardedFpMap, ShardedMap, ShardedSet};
 pub use random::{random_walk, sample_terminals, SampleError};
 pub use request::{option_words, CheckParams, CheckResponse, CheckService, Served, StatsSnapshot};
+pub use telemetry::{read_trace, snapshot_from_json, snapshot_json, TraceStats, TraceWriter};
 pub use wire::{obj, parse_json, Json, JsonError};

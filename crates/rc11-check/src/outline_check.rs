@@ -303,7 +303,7 @@ fn seq_check_outline(
     // Deduplication reuses the explorer's two-mode visited index
     // (`crate::explore::VisitedIndex`) over this arena.
     let mut arena: Vec<Config> = Vec::new();
-    let mut index = VisitedIndex::new(opts.fingerprint);
+    let mut index = VisitedIndex::new(opts.fingerprint, opts.telemetry.clone());
 
     let init = Config::initial(prog).canonical();
     let (fails, checks) = annots.failures(&init);

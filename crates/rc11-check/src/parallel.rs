@@ -70,9 +70,11 @@ use rc11_analyze::SymmetrySpec;
 use rc11_core::{CanonPerms, Tid};
 use rc11_lang::cfg::CfgProgram;
 use rc11_lang::machine::{thread_successors, Config, ObjectSemantics};
+use rc11_telemetry::{Counter, Telemetry};
 use std::hash::{BuildHasher, Hash};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Novel states a worker buffers locally before a chunk becomes eligible
@@ -419,6 +421,19 @@ impl<V> ShardedFpMap<V> {
             s.map.is_empty() && s.overflow.is_empty()
         })
     }
+
+    /// Per-shard interned-state counts (map + overflow; racy snapshot),
+    /// for occupancy diagnostics — exact at quiescence, like
+    /// [`ShardedFpMap::len`].
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let s = s.read();
+                s.map.len() + s.overflow.len()
+            })
+            .collect()
+    }
 }
 
 /// A store value together with the state's `explored` thread mask — the
@@ -477,7 +492,7 @@ impl<V> ShardedFpMap<Masked<V>> {
         &self,
         items: Vec<PorItem<V>>,
     ) -> (Vec<PorNovel>, Vec<PorWoken>) {
-        self.insert_batch_por_sym(items, None, false)
+        self.insert_batch_por_sym(items, None, false, None)
     }
 
     /// [`insert_batch_por`](ShardedFpMap::insert_batch_por) with an
@@ -494,7 +509,18 @@ impl<V> ShardedFpMap<Masked<V>> {
         items: Vec<PorItem<V>>,
         symm: Option<&SymmetrySpec>,
         remap_masks: bool,
+        tel: Option<&Telemetry>,
     ) -> (Vec<PorNovel>, Vec<PorWoken>) {
+        // Tally a duplicate hit (and a symmetry-orbit fold when the match
+        // went through a non-identity group permutation).
+        let count_dup = |sigma: &Option<Vec<u8>>| {
+            if let Some(t) = tel {
+                t.incr(Counter::DupHits);
+                if sigma.as_deref().is_some_and(|s| !sym::is_identity(s)) {
+                    t.incr(Counter::SymmetryFolds);
+                }
+            }
+        };
         struct Item<V> {
             shard: usize,
             fp: Fp128,
@@ -544,6 +570,7 @@ impl<V> ShardedFpMap<Masked<V>> {
                         None => t.raw.canonical_eq_with(&t.perms, cfg),
                     }) {
                         if t.proposal & !e.val.explored == 0 {
+                            count_dup(&t.perms.threads);
                             t.val = None; // known state, nothing to wake
                         }
                     }
@@ -591,6 +618,7 @@ impl<V> ShardedFpMap<Masked<V>> {
                                 Some(oe) => {
                                     // Lost the insert race (or a same-batch
                                     // twin won): apply the wake-up rule.
+                                    count_dup(&t.perms.threads);
                                     let missing = t.proposal & !oe.val.explored;
                                     if missing != 0 {
                                         oe.val.explored |= missing;
@@ -600,6 +628,9 @@ impl<V> ShardedFpMap<Masked<V>> {
                                 None => {
                                     // A true 128-bit collision: intern
                                     // alongside.
+                                    if let Some(tl) = tel {
+                                        tl.incr(Counter::FpCollisions);
+                                    }
                                     overflow.push((
                                         t.fp,
                                         FpEntry {
@@ -630,6 +661,7 @@ impl<K: Hash + Eq + Clone, V> ShardedMap<K, Masked<V>> {
     pub(crate) fn insert_batch_por(
         &self,
         items: Vec<(K, V, ThreadMask, ThreadMask)>,
+        tel: Option<&Telemetry>,
     ) -> (Vec<PorNovelK<K>>, Vec<PorWokenK<K>>) {
         struct Item<K, V> {
             shard: usize,
@@ -664,6 +696,9 @@ impl<K: Hash + Eq + Clone, V> ShardedMap<K, Masked<V>> {
                     let k = &t.kv.as_ref().expect("unconsumed item").0;
                     if let Some(e) = rd.get(k) {
                         if t.proposal & !e.explored == 0 {
+                            if let Some(tl) = tel {
+                                tl.incr(Counter::DupHits);
+                            }
                             t.kv = None; // absorbed: masks only grow
                         }
                     }
@@ -675,6 +710,9 @@ impl<K: Hash + Eq + Clone, V> ShardedMap<K, Masked<V>> {
                     if let Some((k, v)) = t.kv.take() {
                         match wr.entry(k) {
                             std::collections::hash_map::Entry::Occupied(mut e) => {
+                                if let Some(tl) = tel {
+                                    tl.incr(Counter::DupHits);
+                                }
                                 let missing = t.proposal & !e.get().explored;
                                 if missing != 0 {
                                     e.get_mut().explored |= missing;
@@ -704,25 +742,34 @@ type Parent = Option<(Config, Tid)>;
 /// configurations (ablation A4's baseline). Both intern each canonical
 /// configuration exactly once — with its `explored` thread mask for the
 /// POR wake-up rule — and agree on every membership decision.
-pub(crate) enum VisitedStore<V> {
+pub(crate) struct VisitedStore<V> {
+    mode: StoreMode<V>,
+    /// Telemetry sink injected at construction, so dedup events (dup
+    /// hits, symmetry folds, confirmed collisions) are tallied inside the
+    /// batched insert paths without widening every signature.
+    tel: Option<Arc<Telemetry>>,
+}
+
+enum StoreMode<V> {
     Fp(ShardedFpMap<Masked<V>>),
     Exact(ShardedMap<Config, Masked<V>>),
 }
 
 impl<V: Clone> VisitedStore<V> {
-    fn new(fingerprint: bool, shard_bits: u32) -> VisitedStore<V> {
-        if fingerprint {
-            VisitedStore::Fp(ShardedFpMap::new(shard_bits))
+    fn new(fingerprint: bool, shard_bits: u32, tel: Option<Arc<Telemetry>>) -> VisitedStore<V> {
+        let mode = if fingerprint {
+            StoreMode::Fp(ShardedFpMap::new(shard_bits))
         } else {
-            VisitedStore::Exact(ShardedMap::new(shard_bits))
-        }
+            StoreMode::Exact(ShardedMap::new(shard_bits))
+        };
+        VisitedStore { mode, tel }
     }
 
     fn insert_init(&self, canon: Config, val: V, explored: ThreadMask) {
         let val = Masked { val, explored };
-        match self {
-            VisitedStore::Fp(m) => m.insert_init(canon.canonical_fingerprint(), canon, val),
-            VisitedStore::Exact(m) => {
+        match &self.mode {
+            StoreMode::Fp(m) => m.insert_init(canon.canonical_fingerprint(), canon, val),
+            StoreMode::Exact(m) => {
                 m.insert(canon, val);
             }
         }
@@ -731,9 +778,9 @@ impl<V: Clone> VisitedStore<V> {
     /// Membership of a raw successor (used only on the rare cap-hit path),
     /// decided up to the symmetry group when a spec is active.
     fn contains_state(&self, succ: &Config, symm: Option<&SymmetrySpec>) -> bool {
-        match self {
-            VisitedStore::Fp(m) => m.contains_state_sym(succ, symm),
-            VisitedStore::Exact(m) => {
+        match &self.mode {
+            StoreMode::Fp(m) => m.contains_state_sym(succ, symm),
+            StoreMode::Exact(m) => {
                 let canon = match symm {
                     Some(spec) => {
                         let perms = sym::sym_perms(spec, succ);
@@ -760,9 +807,10 @@ impl<V: Clone> VisitedStore<V> {
         symm: Option<&SymmetrySpec>,
         remap_masks: bool,
     ) -> (Vec<PorNovel>, Vec<PorWoken>) {
-        match self {
-            VisitedStore::Fp(m) => m.insert_batch_por_sym(items, symm, remap_masks),
-            VisitedStore::Exact(m) => m.insert_batch_por(
+        let tel = self.tel.as_deref();
+        match &self.mode {
+            StoreMode::Fp(m) => m.insert_batch_por_sym(items, symm, remap_masks, tel),
+            StoreMode::Exact(m) => m.insert_batch_por(
                 items
                     .into_iter()
                     .map(|(raw, v, p, slp)| match symm {
@@ -779,21 +827,30 @@ impl<V: Clone> VisitedStore<V> {
                         None => (raw.canonical(), v, p, slp),
                     })
                     .collect(),
+                tel,
             ),
         }
     }
 
     fn get_cloned(&self, canon: &Config) -> Option<V> {
-        match self {
-            VisitedStore::Fp(m) => m.get_cloned(canon).map(|m| m.val),
-            VisitedStore::Exact(m) => m.get_cloned(canon).map(|m| m.val),
+        match &self.mode {
+            StoreMode::Fp(m) => m.get_cloned(canon).map(|m| m.val),
+            StoreMode::Exact(m) => m.get_cloned(canon).map(|m| m.val),
         }
     }
 
     fn len(&self) -> usize {
-        match self {
-            VisitedStore::Fp(m) => m.len(),
-            VisitedStore::Exact(m) => m.len(),
+        match &self.mode {
+            StoreMode::Fp(m) => m.len(),
+            StoreMode::Exact(m) => m.len(),
+        }
+    }
+
+    /// Per-shard interned-state counts (exact at quiescence).
+    fn shard_occupancy(&self) -> Vec<usize> {
+        match &self.mode {
+            StoreMode::Fp(m) => m.shard_occupancy(),
+            StoreMode::Exact(m) => m.shard_occupancy(),
         }
     }
 }
@@ -894,8 +951,13 @@ where
     FE: Fn(&Config, Tid, &Config) + Sync,
     FN: Fn(&Config, &mut Vec<String>) + Sync,
 {
-    let visited: VisitedStore<V> = VisitedStore::new(opts.fingerprint, 6);
+    let tel = opts.telemetry.clone();
+    let visited: VisitedStore<V> = VisitedStore::new(opts.fingerprint, 6, tel.clone());
     let injector: Injector<Vec<WorkItem>> = Injector::new();
+    // Worker indices for the per-worker expansion slots: handed out
+    // first-come by the spawned threads themselves, so the spawn loop
+    // needs no per-iteration captures.
+    let worker_ids = AtomicUsize::new(0);
     // Chunks pushed to the injector but not yet fully processed (a stolen
     // chunk stays counted until its worker has drained the whole backlog
     // it spawned); all-workers-idle is `pending == 0` + empty injector.
@@ -925,11 +987,17 @@ where
     if por && n_threads > 64 {
         por = false;
         notes.push(Note::PorThreadCap { threads: n_threads });
+        if let Some(t) = &tel {
+            t.incr(Counter::CapDegradations);
+        }
     }
     let full = if por { por::full_mask(n_threads) } else { !0 };
     let (spec, capped_orbit) = sym::active_spec(prog, opts.symmetry);
     if let Some(orbit) = capped_orbit {
         notes.push(Note::SymmetryOrbitCap { orbit });
+        if let Some(t) = &tel {
+            t.incr(Counter::CapDegradations);
+        }
     }
     let symm = spec.as_ref();
     let statics = por.then(|| rc11_analyze::conflict_matrix(prog));
@@ -939,6 +1007,9 @@ where
     let pers = (por && opts.dpor).then(|| rc11_analyze::future_footprints(prog)).flatten();
     if por && opts.dpor && pers.is_none() {
         notes.push(Note::DporLocationCap);
+        if let Some(t) = &tel {
+            t.incr(Counter::CapDegradations);
+        }
     }
     let n_workers = n_workers.max(1);
 
@@ -955,11 +1026,16 @@ where
     visited.insert_init(init.clone(), init_value, init_prop);
     n_states.store(1, Ordering::SeqCst);
     pending.store(1, Ordering::SeqCst);
+    if let Some(t) = &tel {
+        t.incr(Counter::States);
+        t.frontier_add(1);
+    }
     injector.push(vec![WorkItem { cfg: init, mask: init_prop, sleep: 0, first: true }]);
 
     crossbeam::scope(|scope| {
         for _ in 0..n_workers {
             scope.spawn(|_| {
+                let w = worker_ids.fetch_add(1, Ordering::Relaxed);
                 let mut local: Vec<WorkItem> = Vec::new();
                 let mut buf: Vec<String> = Vec::new();
                 loop {
@@ -1010,6 +1086,9 @@ where
                                 };
                                 if let Some(reason) = tripped {
                                     stop.fetch_max(reason.as_u8(), Ordering::Relaxed);
+                                    if let Some(t) = &tel {
+                                        t.frontier_sub(1 + local.len() as u64);
+                                    }
                                     local.clear();
                                     break;
                                 }
@@ -1017,6 +1096,10 @@ where
                                 // stall or panic (contained above).
                                 if let Some(chaos) = &opts.chaos {
                                     chaos.on_expansion();
+                                }
+                                if let Some(t) = &tel {
+                                    t.add_expansions(w, 1);
+                                    t.frontier_sub(1);
                                 }
                                 let WorkItem { cfg, mask, sleep, first } = item;
                                 let mut fps =
@@ -1031,6 +1114,9 @@ where
                                     let succs =
                                         thread_successors(prog, objs, &cfg, t, opts.step);
                                     transitions.fetch_add(succs.len(), Ordering::Relaxed);
+                                    if let Some(tl) = &tel {
+                                        tl.add(Counter::Transitions, succs.len() as u64);
+                                    }
                                     any_succ |= !succs.is_empty();
                                     let child_sleep = match (&mut fps, &statics) {
                                         (Some(fps), Some(cm)) => {
@@ -1062,6 +1148,24 @@ where
                                         let pmask = pers
                                             .as_ref()
                                             .map_or(full, |p| p.persistent_mask(&succ.pcs));
+                                        if por {
+                                            if let Some(tl) = &tel {
+                                                // Reduction attribution per
+                                                // successor (zero when the
+                                                // reduction is off) — same
+                                                // sites as the sequential
+                                                // engine's.
+                                                tl.add(
+                                                    Counter::SleepSetPrunes,
+                                                    (pmask & child_sleep).count_ones()
+                                                        as u64,
+                                                );
+                                                tl.add(
+                                                    Counter::PersistentSheds,
+                                                    (full & !pmask).count_ones() as u64,
+                                                );
+                                            }
+                                        }
                                         items.push((
                                             succ,
                                             v,
@@ -1124,6 +1228,9 @@ where
                                                 por,
                                             );
                                             for (canon, missing, slp) in woken {
+                                                if let Some(t) = &tel {
+                                                    t.frontier_add(1);
+                                                }
                                                 local.push(WorkItem {
                                                     cfg: canon,
                                                     mask: missing,
@@ -1151,10 +1258,14 @@ where
                                     continue;
                                 }
                                 let (novel, woken) = visited.insert_batch(items, symm, por);
+                                let n_queued = novel.len() + woken.len();
                                 for (canon, explored, slp) in novel {
                                     n_states.fetch_add(1, Ordering::Relaxed);
                                     mem_bytes
                                         .fetch_add(canon.approx_bytes(), Ordering::Relaxed);
+                                    if let Some(t) = &tel {
+                                        t.incr(Counter::States);
+                                    }
                                     on_novel(&canon, &mut buf);
                                     debug_assert!(
                                         buf.is_empty(),
@@ -1175,6 +1286,9 @@ where
                                         first: false,
                                     });
                                 }
+                                if let Some(t) = &tel {
+                                    t.frontier_add(n_queued as u64);
+                                }
                                 // Share the oldest chunk when the backlog
                                 // outgrows the keep-local bound, or as soon
                                 // as the injector runs dry while other
@@ -1189,7 +1303,21 @@ where
                                     let shared: Vec<WorkItem> =
                                         local.drain(..FLUSH_BATCH).collect();
                                     pending.fetch_add(1, Ordering::SeqCst);
+                                    if let Some(t) = &tel {
+                                        t.incr(Counter::InjectorFlushes);
+                                    }
                                     injector.push(shared);
+                                } else if n_queued > 0 {
+                                    // This expansion's new work stayed on
+                                    // the private backlog — the keep-local
+                                    // scheduling win the telemetry
+                                    // attributes.
+                                    if let Some(t) = &tel {
+                                        t.add(
+                                            Counter::KeepLocalRetained,
+                                            n_queued as u64,
+                                        );
+                                    }
                                 }
                             }
                             }));
@@ -1263,6 +1391,15 @@ where
         }
     }
 
+    if let Some(t) = &tel {
+        // The store is quiescent after the join: record the exact
+        // per-shard occupancy histogram and zero the (now empty) frontier
+        // gauge — the drain paths above keep it balanced, but clamping
+        // here makes end-of-run snapshots exact regardless of races.
+        t.record_shard_occupancy(&visited.shard_occupancy());
+        t.frontier_set(0);
+    }
+
     let stats = WalkStats {
         states,
         transitions: transitions.into_inner(),
@@ -1301,6 +1438,10 @@ pub fn par_explore(
     // group permutation `π` mapping the representative chain onto the
     // member's.
     type Origin = Option<(Config, Vec<u8>)>;
+    let run_start = Instant::now();
+    // Telemetry rides as a delta: snapshot the (possibly shared,
+    // cumulative) sink at entry and attach only this run's contribution.
+    let tel0 = opts.telemetry.as_ref().map(|t| t.snapshot());
     let found: Mutex<Vec<(String, Config, Origin)>> = Mutex::new(Vec::new());
 
     let (visited, mut stats) = par_walk(
@@ -1364,6 +1505,11 @@ pub fn par_explore(
         violations,
         stop: stats.stop,
         notes: stats.notes,
+        wall: run_start.elapsed(),
+        telemetry: match (&opts.telemetry, &tel0) {
+            (Some(t), Some(t0)) => Some(t.snapshot().delta(t0)),
+            _ => None,
+        },
     }
 }
 

@@ -34,12 +34,13 @@ use rc11_lang::machine::{NoObjects, ObjectSemantics};
 use rc11_lang::parse::parse_litmus;
 use rc11_lang::{canonical_litmus_words, compile, Program, Reg};
 use rc11_objects::AbstractObjects;
+use rc11_telemetry::{Counter, Phase, Telemetry, TelemetrySnapshot};
 use std::collections::BTreeSet;
 use std::hash::Hasher;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Per-request parameters. Everything that changes *what* is checked is
 /// part of the cache key; everything that only changes *how hard we are
@@ -70,6 +71,11 @@ pub struct CheckParams {
     pub chaos: Option<std::sync::Arc<ChaosState>>,
     /// Probe/populate the service's verdict cache for this request.
     pub use_cache: bool,
+    /// Optional telemetry sink. Observability only: phase timers and
+    /// structured counters accumulate here, and the response carries a
+    /// per-run delta snapshot. Deliberately **not** part of the cache
+    /// key — see [`option_words`].
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Default for CheckParams {
@@ -87,13 +93,17 @@ impl Default for CheckParams {
             checkpoint: None,
             chaos: None,
             use_cache: true,
+            telemetry: None,
         }
     }
 }
 
 /// The semantic option words appended to a request's canonical words
 /// before fingerprinting. Two requests whose programs *and* option words
-/// agree are the same check.
+/// agree are the same check. Telemetry is observability, not semantics:
+/// attaching a sink must never change which cache entry a request maps
+/// to, so it is excluded here (a telemetry-on request can be served by a
+/// verdict computed with telemetry off, and vice versa).
 pub fn option_words(params: &CheckParams) -> Vec<u64> {
     vec![
         params.max_states as u64,
@@ -157,6 +167,14 @@ pub struct CheckResponse {
     pub stop: StopReason,
     /// Structured engine notes.
     pub notes: Vec<Note>,
+    /// Wall-clock time spent answering *this* request: the engine run
+    /// for explorations, the probe for cache hits.
+    pub wall: Duration,
+    /// Per-run telemetry delta (only when the request carried a sink).
+    /// Cache hits get a synthetic snapshot with `served_from_cache`
+    /// set — the cached verdict was not re-explored, so there are no
+    /// fresh engine counters to report.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 /// A point-in-time view of the service counters (the daemon's `stats`
@@ -242,7 +260,11 @@ impl CheckService {
     /// parser's span-carrying message; everything after the parse —
     /// including engine panics — comes back as a [`CheckResponse`].
     pub fn check_source(&self, src: &str, params: &CheckParams) -> Result<CheckResponse, String> {
-        let parsed = parse_litmus(src).map_err(|e| e.to_string())?;
+        let parsed = match &params.telemetry {
+            Some(t) => t.time_phase(Phase::Parse, || parse_litmus(src)),
+            None => parse_litmus(src),
+        }
+        .map_err(|e| e.to_string())?;
         Ok(self.check_parts(&parsed.name, &parsed.prog, &parsed.observe, &parsed.expected, params))
     }
 
@@ -257,22 +279,56 @@ impl CheckService {
         params: &CheckParams,
     ) -> CheckResponse {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let mut words = canonical_litmus_words(prog, observe, expected);
+        let tel = params.telemetry.as_deref();
+        // Baseline for the per-request delta: taken before any phase
+        // timing so the response snapshot attributes canon, fingerprint,
+        // cache-probe *and* exploration to this request.
+        let tel0 = tel.map(|t| t.snapshot());
+        let req_start = Instant::now();
+        let mut words = match tel {
+            Some(t) => t.time_phase(Phase::Canon, || canonical_litmus_words(prog, observe, expected)),
+            None => canonical_litmus_words(prog, observe, expected),
+        };
         words.extend(option_words(params));
-        let mut hasher = Fx128Hasher::default();
-        for &w in &words {
-            hasher.write_u64(w);
-        }
-        let fp = hasher.finish128();
+        let fp = {
+            let hash = || {
+                let mut hasher = Fx128Hasher::default();
+                for &w in &words {
+                    hasher.write_u64(w);
+                }
+                hasher.finish128()
+            };
+            match tel {
+                Some(t) => t.time_phase(Phase::Fingerprint, hash),
+                None => hash(),
+            }
+        };
 
         if params.use_cache {
             if let Some(cache) = &self.cache {
-                let hit = cache.lock().expect("cache lock").probe(fp, &words);
+                if let Some(t) = tel {
+                    t.incr(Counter::CacheProbes);
+                }
+                let probe = || cache.lock().expect("cache lock").probe(fp, &words);
+                let hit = match tel {
+                    Some(t) => t.time_phase(Phase::CacheProbe, probe),
+                    None => probe(),
+                };
                 if let Some((v, tier)) = hit {
                     let served = match tier {
                         CacheTier::Mem => Served::MemCache,
                         CacheTier::Disk => Served::DiskCache,
                     };
+                    // A hit never re-explores, so there are no fresh
+                    // engine counters: the snapshot is the request-path
+                    // delta (probe timing, cache counters) flagged as
+                    // served-from-cache.
+                    let telemetry = tel.map(|t| {
+                        t.incr(Counter::CacheHits);
+                        let mut snap = t.snapshot().delta(tel0.as_ref().expect("tel0 set with tel"));
+                        snap.served_from_cache = true;
+                        snap
+                    });
                     return CheckResponse {
                         name: name.to_string(),
                         fingerprint: fp,
@@ -285,6 +341,8 @@ impl CheckService {
                         deadlocks: v.deadlocks,
                         stop: v.stop,
                         notes: v.notes,
+                        wall: req_start.elapsed(),
+                        telemetry,
                     };
                 }
             }
@@ -304,13 +362,12 @@ impl CheckService {
             cancel: params.cancel.clone(),
             checkpoint: params.checkpoint.clone(),
             chaos: params.chaos.clone(),
+            telemetry: params.telemetry.clone(),
             ..Default::default()
         };
         let engine = choose_engine(params.workers);
         let started = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| engine.explore(&cfg, objs, &opts)));
-        let elapsed = started.elapsed();
-        self.explore_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
 
         let report: EngineReport = match outcome {
             Ok(r) => r,
@@ -318,12 +375,21 @@ impl CheckService {
                 // A panic that escaped the engine (the sequential engine
                 // has no internal containment): synthesise an explicit
                 // worker-fault report so the caller sees the message in
-                // both the stop reason and the note detail.
+                // both the stop reason and the note detail. The engine
+                // never reported a wall clock, so fall back to our own
+                // measurement around the unwind.
+                let wall = started.elapsed();
+                self.explore_nanos.fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+                if let Some(t) = tel {
+                    t.add_phase_nanos(Phase::Explore, wall.as_nanos() as u64);
+                }
                 let message = payload
                     .downcast_ref::<&str>()
                     .map(|m| m.to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".to_string());
+                let telemetry =
+                    tel.map(|t| t.snapshot().delta(tel0.as_ref().expect("tel0 set with tel")));
                 return CheckResponse {
                     name: name.to_string(),
                     fingerprint: fp,
@@ -336,9 +402,18 @@ impl CheckService {
                     deadlocks: 0,
                     stop: StopReason::WorkerFault,
                     notes: vec![Note::WorkerFault { message }],
+                    wall,
+                    telemetry,
                 };
             }
         };
+        // Both engines measure their own wall clock; the service's
+        // aggregate explore-seconds counter is derived from the report
+        // so daemon `stats` throughput matches the per-run rows.
+        self.explore_nanos.fetch_add(report.wall.as_nanos() as u64, Ordering::Relaxed);
+        if let Some(t) = tel {
+            t.add_phase_nanos(Phase::Explore, report.wall.as_nanos() as u64);
+        }
         self.explored_runs.fetch_add(1, Ordering::Relaxed);
         self.states_explored.fetch_add(report.states as u64, Ordering::Relaxed);
         self.transitions_explored.fetch_add(report.transitions as u64, Ordering::Relaxed);
@@ -372,6 +447,11 @@ impl CheckService {
             }
         }
 
+        // The response snapshot is the *request-level* delta (canon +
+        // fingerprint + probe + engine run), not the engine's own
+        // `report.telemetry` delta, so per-phase attribution in trace
+        // files covers the whole pipeline.
+        let telemetry = tel.map(|t| t.snapshot().delta(tel0.as_ref().expect("tel0 set with tel")));
         CheckResponse {
             name: name.to_string(),
             fingerprint: fp,
@@ -384,6 +464,8 @@ impl CheckService {
             deadlocks,
             stop: report.stop,
             notes: report.notes,
+            wall: report.wall,
+            telemetry,
         }
     }
 }

@@ -13,6 +13,13 @@
 #   5. Restart on the same cache directory; a third pass with
 #      --expect-all-hits must be served entirely from the disk spill.
 #
+# The daemon runs with --metrics throughout, so the smoke also covers the
+# extended observability surface (DESIGN.md §9): the stats payload must
+# carry the queue gauge/peak, the config echo, and the latency/worker/
+# fingerprint-class sections; `rc11 top ADDR --once` must render them
+# live; and a restart must reset the counters while echoing the same
+# config.
+#
 # Usage: scripts/daemon_smoke.sh [path-to-rc11-binary]
 set -euo pipefail
 
@@ -41,7 +48,7 @@ trap cleanup EXIT
 # Start the daemon and wait for its listening line (ephemeral port).
 start_daemon() {
     : > "$LOG"
-    "$RC11" serve --addr 127.0.0.1:0 --cache "$CACHE" >"$LOG" 2>&1 &
+    "$RC11" serve --addr 127.0.0.1:0 --cache "$CACHE" --metrics >"$LOG" 2>&1 &
     SERVE_PID=$!
     ADDR=""
     for _ in $(seq 1 100); do
@@ -69,19 +76,56 @@ stop_daemon() {
     exit 1
 }
 
+# Grep the raw stats JSON (the `stats: {...}` line of `submit --stats`)
+# for a required substring.
+stats_must_have() {
+    local stats_out=$1 needle=$2 why=$3
+    echo "$stats_out" | grep -qF "$needle" \
+        || { echo "daemon_smoke: stats missing $needle ($why)" >&2; exit 1; }
+}
+
+N_FILES=$(ls corpus/*.litmus | wc -l | tr -d ' ')
+
 echo "== pass 1: cold corpus (populates the cache) =="
 start_daemon
 "$RC11" submit corpus/ --addr "$ADDR"
 
 echo "== pass 2: warm resubmission (must be 100% cache hits) =="
-"$RC11" submit corpus/ --addr "$ADDR" --expect-all-hits --stats
+STATS=$("$RC11" submit corpus/ --addr "$ADDR" --expect-all-hits --stats)
+echo "$STATS"
+stats_must_have "$STATS" '"queue_peak"' "queue gauge must survive sampling"
+stats_must_have "$STATS" '"config"' "the daemon must echo its config"
+stats_must_have "$STATS" '"metrics":true' "--metrics must be echoed in the config"
+stats_must_have "$STATS" '"probe_latency"' "extended metrics: latency percentiles"
+stats_must_have "$STATS" '"explore_latency"' "extended metrics: latency split"
+stats_must_have "$STATS" '"queue_wait"' "extended metrics: queue-wait samples"
+stats_must_have "$STATS" '"workers"' "extended metrics: per-worker utilization"
+stats_must_have "$STATS" '"fp_classes"' "extended metrics: cache efficiency by class"
+
+echo "== rc11 top must render the live metrics =="
+TOP=$("$RC11" top "$ADDR" --once)
+echo "$TOP"
+echo "$TOP" | grep -q "^rc11d " || { echo "daemon_smoke: top: no header" >&2; exit 1; }
+echo "$TOP" | grep -q "metrics on" || { echo "daemon_smoke: top: config echo missing" >&2; exit 1; }
+echo "$TOP" | grep -q "latency (ms):" || { echo "daemon_smoke: top: no latency table" >&2; exit 1; }
+echo "$TOP" | grep -q "^workers:" || { echo "daemon_smoke: top: no worker row" >&2; exit 1; }
 
 echo "== clean shutdown over the wire =="
 stop_daemon
 
 echo "== restart on the same cache dir: disk spill must serve =="
 start_daemon
-"$RC11" submit corpus/ --addr "$ADDR" --expect-all-hits --stats
+STATS=$("$RC11" submit corpus/ --addr "$ADDR" --expect-all-hits --stats)
+echo "$STATS"
+# Counters reset across restart: the request counter must reflect only
+# this pass's corpus submission (+1 for the stats request itself arriving
+# after the snapshot would not count; check requests == N_FILES), with
+# zero states explored (pure disk hits) — while the config echo persists.
+stats_must_have "$STATS" "\"requests\":$N_FILES" "counters must reset on restart"
+stats_must_have "$STATS" '"states_explored":0' "disk hits must not explore"
+stats_must_have "$STATS" '"metrics":true' "config echo must survive restart"
+"$RC11" top "$ADDR" --once | grep -q "metrics on" \
+    || { echo "daemon_smoke: top after restart failed" >&2; exit 1; }
 stop_daemon
 
 echo "daemon_smoke: OK"

@@ -40,6 +40,8 @@ fn main() -> ExitCode {
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
+        Some("trace-report") => cmd_trace_report(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -60,6 +62,8 @@ USAGE:
   rc11 fuzz [OPTIONS]              generative differential fuzzing
   rc11 serve [OPTIONS]             run rc11d, the checking daemon
   rc11 submit <path>... [OPTIONS]  send .litmus files to a running daemon
+  rc11 top <addr> [OPTIONS]        render a daemon's live metrics
+  rc11 trace-report <file.jsonl>   validate + aggregate a --trace file
 
 RUN OPTIONS:
   --engine <seq|parallel>    engine family (default: seq; `parallel` implies
@@ -113,6 +117,16 @@ RUN OPTIONS:
                              renamed-but-identical files hit without
                              exploring
   --show-outcomes            print each test's observed outcome set
+  --progress[=SECS]          print a live heartbeat to stderr every SECS
+                             seconds (default 5): files done, cumulative
+                             states and states/s, frontier depth, prune /
+                             dedup counters, ETA. Purely observational —
+                             reports are bit-identical with it on or off
+  --trace <FILE.jsonl>       stream timestamped events (run-start,
+                             heartbeats, one `file` row per engine run
+                             with its telemetry snapshot, notes, stop) as
+                             JSON lines to FILE; `rc11 trace-report FILE`
+                             validates and aggregates it
   -q, --quiet                only print failures and the final summary
 
   Each file's run is contained: a panic inside an engine is caught,
@@ -175,6 +189,11 @@ SERVE OPTIONS:
   --cache <DIR>              spill cached verdicts to DIR (checksummed,
                              survives restart; default: memory only)
   --cache-cap <N>            in-memory verdict-cache entries (default: 1024)
+  --metrics                  collect extended per-job metrics and report
+                             them in `stats`: latency percentiles split
+                             probe/explore, queue-wait, per-worker
+                             utilization, cache efficiency by fingerprint
+                             class. In-memory only: a restart resets them
 
   The daemon answers one JSON object per line over TCP (protocol in
   DESIGN.md §8): check / stats / ping / shutdown. Every check goes
@@ -193,6 +212,21 @@ SUBMIT OPTIONS:
   --stats                    print the daemon's stats after submitting
   --ping                     just ping the daemon and exit
   --shutdown                 ask the daemon to stop after submitting
+
+TOP OPTIONS:
+  --interval <SECS>          refresh period (default: 2)
+  --once                     render one snapshot and exit (scriptable)
+
+  `rc11 top ADDR` polls a daemon's `stats` and renders the counters —
+  and, when the daemon runs with --metrics, the latency percentiles,
+  queue-wait, per-worker utilization and fingerprint-class cache
+  efficiency — as a live text dashboard.
+
+TRACE-REPORT:
+  `rc11 trace-report FILE.jsonl` strictly validates a `rc11 run --trace`
+  file (every line parses, required keys present, timestamps monotone)
+  and prints per-phase and per-reduction attribution. Exit 1 on any
+  schema violation.
 
 Exit status: 0 on full agreement, 1 on any mismatch/parse error, 2 on usage
 errors.
@@ -308,6 +342,25 @@ fn cmd_run(raw: &[String]) -> ExitCode {
     let dpor = opts.flag(&["--dpor"]);
     let show_outcomes = opts.flag(&["--show-outcomes"]);
     let quiet = opts.flag(&["--quiet", "-q"]);
+    // `--progress[=SECS]` is the CLI's one `=`-style option: bare
+    // `--progress` must not swallow the following positional path.
+    let mut progress: Option<f64> = None;
+    if let Some(i) =
+        opts.args.iter().position(|a| a == "--progress" || a.starts_with("--progress="))
+    {
+        let a = opts.args.remove(i);
+        progress = Some(match a.strip_prefix("--progress=") {
+            None => 5.0,
+            Some(v) => match v.parse::<f64>() {
+                Ok(secs) if secs > 0.0 => secs,
+                _ => return fail_usage(&format!("--progress: invalid interval `{v}`")),
+            },
+        });
+    }
+    let trace_path = match opts.value_of("--trace") {
+        Ok(v) => v,
+        Err(e) => return fail_usage(&e),
+    };
     if let Some(bad) = opts.args.iter().find(|a| a.starts_with('-')) {
         return fail_usage(&format!("unknown option `{bad}`"));
     }
@@ -362,6 +415,11 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         },
         None => CheckService::new(),
     };
+    // One cumulative sink backs the whole batch when --progress or
+    // --trace is on: the heartbeat thread reads it live while every
+    // engine run attaches only its own delta to its response.
+    let telemetry: Option<std::sync::Arc<rc11::telemetry::Telemetry>> =
+        (progress.is_some() || trace_path.is_some()).then(rc11::telemetry::Telemetry::shared);
     let budget = rc11::check::Budget { deadline, max_transitions, max_mem_bytes: mem_budget };
     let base_params = CheckParams {
         max_states,
@@ -372,6 +430,7 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         budget,
         checkpoint: checkpoint.clone(),
         use_cache: cache_dir.is_some(),
+        telemetry: telemetry.clone(),
         ..CheckParams::default()
     };
     // The reduction differentials re-run files directly (they compare
@@ -385,7 +444,97 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         dpor,
         budget,
         checkpoint,
+        telemetry: telemetry.clone(),
         ..Default::default()
+    };
+
+    let trace = match &trace_path {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => {
+                let mut w = rc11::check::TraceWriter::new(f);
+                let options = rc11::check::obj(vec![
+                    ("fingerprint", Json::Bool(fingerprint)),
+                    ("por", Json::Bool(por)),
+                    ("symmetry", Json::Bool(symmetry)),
+                    ("dpor", Json::Bool(dpor)),
+                    ("max_states", Json::Int(max_states as i64)),
+                ]);
+                if let Err(e) =
+                    w.run_start(files.len(), workers.iter().copied().max().unwrap_or(1), options)
+                {
+                    eprintln!("rc11: --trace {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                Some(std::sync::Arc::new(std::sync::Mutex::new(w)))
+            }
+            Err(e) => {
+                eprintln!("rc11: --trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let files_done = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let hb_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let heartbeat = match (progress, &telemetry) {
+        (Some(secs), Some(tel)) => {
+            let tel = std::sync::Arc::clone(tel);
+            let stop = std::sync::Arc::clone(&hb_stop);
+            let done = std::sync::Arc::clone(&files_done);
+            let trace_hb = trace.clone();
+            let total = files.len();
+            let interval = std::time::Duration::from_secs_f64(secs);
+            Some(std::thread::spawn(move || {
+                use rc11::telemetry::Counter;
+                use std::sync::atomic::Ordering;
+                let start = std::time::Instant::now();
+                let mut last_states = 0u64;
+                let mut last_tick = std::time::Instant::now();
+                loop {
+                    // Sleep in small steps so the batch never waits a
+                    // full interval for the heartbeat to notice the end.
+                    let mut waited = std::time::Duration::ZERO;
+                    while waited < interval {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let step = std::time::Duration::from_millis(50).min(interval - waited);
+                        std::thread::sleep(step);
+                        waited += step;
+                    }
+                    let snap = tel.snapshot();
+                    let states = snap.get(Counter::States);
+                    let rate = states.saturating_sub(last_states) as f64
+                        / last_tick.elapsed().as_secs_f64().max(1e-9);
+                    let d = done.load(Ordering::Relaxed);
+                    let eta = if d > 0 && d < total {
+                        let per_file = start.elapsed().as_secs_f64() / d as f64;
+                        format!(", eta {:.0}s", per_file * (total - d) as f64)
+                    } else {
+                        String::new()
+                    };
+                    let prunes =
+                        snap.get(Counter::SleepSetPrunes) + snap.get(Counter::PersistentSheds);
+                    eprintln!(
+                        "progress: {d}/{total} files, {states} states ({rate:.0}/s), \
+                         frontier {} (peak {}), dup {}, prunes {prunes}, folds {}{eta}",
+                        snap.frontier_depth,
+                        snap.frontier_peak,
+                        snap.get(Counter::DupHits),
+                        snap.get(Counter::SymmetryFolds),
+                    );
+                    if let Some(tr) = &trace_hb {
+                        if let Ok(mut w) = tr.lock() {
+                            let _ = w.heartbeat(&snap, rate, d, total);
+                        }
+                    }
+                    last_states = states;
+                    last_tick = std::time::Instant::now();
+                }
+            }))
+        }
+        _ => None,
     };
 
     let mut passed = 0usize;
@@ -398,8 +547,8 @@ fn cmd_run(raw: &[String]) -> ExitCode {
     let mut dpor_transitions_total = 0usize;
     if !quiet {
         let mut header = format!(
-            "{:<16} {:>8} {:>10} {:>10}",
-            "NAME", "STATES", "OBSERVED", "EXPECTED"
+            "{:<16} {:>8} {:>10} {:>10} {:>10}",
+            "NAME", "STATES", "RATE", "OBSERVED", "EXPECTED"
         );
         if por && !dpor {
             header.push_str(&format!(" {:>10}", "REDUCTION"));
@@ -437,6 +586,7 @@ fn cmd_run(raw: &[String]) -> ExitCode {
                 symmetry,
                 dpor,
                 max_states,
+                trace.as_deref(),
             )
         })) {
             Ok(run) => run,
@@ -447,13 +597,20 @@ fn cmd_run(raw: &[String]) -> ExitCode {
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".to_string());
                 failed += 1;
+                files_done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if let Some(tr) = &trace {
+                    if let Ok(mut w) = tr.lock() {
+                        let _ = w.note(&format!("{}: panic contained: {msg}", litmus.name));
+                    }
+                }
                 println!(
-                    "{:<16} {:>8} {:>10} {:>10} {:>10}  FAIL  panic contained: {msg}",
-                    litmus.name, "-", "-", "-", "-"
+                    "{:<16} {:>8} {:>10} {:>10} {:>10} {:>10}  FAIL  panic contained: {msg}",
+                    litmus.name, "-", "-", "-", "-", "-"
                 );
                 continue;
             }
         };
+        files_done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         full_transitions_total += run.full_transitions;
         por_transitions_total += run.por_transitions;
         nosym_states_total += run.nosym_states;
@@ -467,11 +624,21 @@ fn cmd_run(raw: &[String]) -> ExitCode {
             codes.join(",")
         };
         let red = format!("{} {notes_cell:>10}", run.red);
+        // The row's throughput comes from the engine-reported wall
+        // clock (`EngineReport::wall`), not a CLI-side stopwatch.
+        let rate_cell = {
+            let secs = run.wall.as_secs_f64();
+            if secs > 0.0 && run.states > 0 {
+                format!("{:.0}/s", run.states as f64 / secs)
+            } else {
+                "-".to_string()
+            }
+        };
         if run.ok {
             passed += 1;
             if !quiet {
                 println!(
-                    "{:<16} {:>8} {:>10} {:>10}{red}  pass",
+                    "{:<16} {:>8} {rate_cell:>10} {:>10} {:>10}{red}  pass",
                     litmus.name,
                     run.states,
                     run.observed.len(),
@@ -481,7 +648,7 @@ fn cmd_run(raw: &[String]) -> ExitCode {
         } else {
             failed += 1;
             println!(
-                "{:<16} {:>8} {:>10} {:>10}{red}  FAIL  {}",
+                "{:<16} {:>8} {rate_cell:>10} {:>10} {:>10}{red}  FAIL  {}",
                 litmus.name,
                 run.states,
                 run.observed.len(),
@@ -499,6 +666,16 @@ fn cmd_run(raw: &[String]) -> ExitCode {
                 let vals: Vec<String> = tuple.iter().map(rc11::lang::parse::val_literal).collect();
                 println!("    ({})", vals.join(", "));
             }
+        }
+    }
+
+    hb_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(h) = heartbeat {
+        let _ = h.join();
+    }
+    if let Some(tr) = &trace {
+        if let Ok(mut w) = tr.lock() {
+            let _ = w.stop(files.len(), passed, failed);
         }
     }
 
@@ -558,6 +735,9 @@ fn cmd_run(raw: &[String]) -> ExitCode {
 struct FileRun {
     ok: bool,
     states: usize,
+    /// Engine-reported wall clock of the last request-path run (the one
+    /// whose states the row shows); drives the RATE column.
+    wall: std::time::Duration,
     observed: std::collections::BTreeSet<Vec<rc11::core::Val>>,
     /// Pre-formatted REDUCTION / SYM / DPOR cells (possibly empty).
     red: String,
@@ -597,9 +777,11 @@ fn run_one(
     symmetry: bool,
     dpor: bool,
     max_states: usize,
+    trace: Option<&std::sync::Mutex<rc11::check::TraceWriter<std::fs::File>>>,
 ) -> FileRun {
     let mut ok = true;
     let mut states = 0usize;
+    let mut wall = std::time::Duration::ZERO;
     let mut transitions = 0usize;
     let mut run_deadlocks = 0usize;
     let mut notes: Vec<rc11::check::Note> = Vec::new();
@@ -619,6 +801,12 @@ fn run_one(
         states = res.states;
         transitions = res.transitions;
         run_deadlocks = res.deadlocks;
+        wall = res.wall;
+        if let Some(tr) = trace {
+            if let Ok(mut w) = tr.lock() {
+                let _ = w.file_verdict(&res);
+            }
+        }
         for n in &res.notes {
             if !notes.contains(n) {
                 notes.push(n.clone());
@@ -797,6 +985,7 @@ fn run_one(
     FileRun {
         ok,
         states,
+        wall,
         observed: observed.unwrap_or_default(),
         red,
         notes,
@@ -1064,11 +1253,12 @@ fn cmd_serve(raw: &[String]) -> ExitCode {
         Ok(v) => v.map(PathBuf::from),
         Err(e) => return fail_usage(&e),
     };
+    let metrics = opts.flag(&["--metrics"]);
     if let Some(bad) = opts.args.first() {
         return fail_usage(&format!("serve takes no positional arguments (got `{bad}`)"));
     }
 
-    let config = DaemonConfig { addr, pool, queue_cap, cache_cap, cache_dir };
+    let config = DaemonConfig { addr, pool, queue_cap, cache_cap, cache_dir, metrics };
     match daemon::start(&config) {
         Ok(handle) => {
             // Scripts (`scripts/daemon_smoke.sh`) parse this line for the
@@ -1246,4 +1436,209 @@ fn cmd_submit(raw: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+// ---------------------------------------------------------------------
+// rc11 top
+// ---------------------------------------------------------------------
+
+fn cmd_top(raw: &[String]) -> ExitCode {
+    let mut opts = Opts { args: raw.to_vec() };
+    let interval = match opts.parsed("--interval", 2.0f64) {
+        Ok(v) if v > 0.0 => v,
+        Ok(_) => return fail_usage("--interval: must be positive"),
+        Err(e) => return fail_usage(&e),
+    };
+    let once = opts.flag(&["--once"]);
+    if let Some(bad) = opts.args.iter().find(|a| a.starts_with('-')) {
+        return fail_usage(&format!("unknown option `{bad}`"));
+    }
+    let addr = match opts.args.as_slice() {
+        [a] => a.clone(),
+        [] => return fail_usage("top: daemon address required"),
+        _ => return fail_usage("top: exactly one daemon address"),
+    };
+
+    loop {
+        // Reconnect each tick: a restarted daemon keeps the dashboard
+        // alive instead of wedging a dead connection.
+        let stats = daemon::Client::connect(&addr).and_then(|mut c| c.stats());
+        match stats {
+            Ok(s) => render_top(&addr, &s),
+            Err(e) => {
+                eprintln!("rc11: top: {addr}: {e}");
+                if once {
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if once {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+    }
+}
+
+fn render_top(addr: &str, s: &Json) {
+    let int = |key: &str| s.get(key).and_then(Json::as_i64).unwrap_or(0);
+    let float = |key: &str| s.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    println!("rc11d {addr} — up {:.1}s", float("uptime_secs"));
+    println!(
+        "requests {} | explored {} | cache {} mem + {} disk hits, {} misses ({:.0}% hit rate)",
+        int("requests"),
+        int("explored_runs"),
+        int("mem_hits"),
+        int("disk_hits"),
+        int("misses"),
+        float("hit_rate") * 100.0
+    );
+    println!(
+        "states {} ({:.0}/s) | transitions {} | queue {} (peak {})",
+        int("states_explored"),
+        float("states_per_sec"),
+        int("transitions_explored"),
+        int("queue_depth"),
+        int("queue_peak")
+    );
+    if let Some(cfg) = s.get("config") {
+        let cint = |key: &str| cfg.get(key).and_then(Json::as_i64).unwrap_or(0);
+        println!(
+            "config: pool {}, queue cap {}, cache cap {}, metrics {}",
+            cint("pool"),
+            cint("queue_cap"),
+            cint("cache_cap"),
+            if cfg.get("metrics").and_then(Json::as_bool) == Some(true) { "on" } else { "off" }
+        );
+    }
+    let Some(m) = s.get("metrics") else {
+        println!("(extended metrics off — start the daemon with --metrics)");
+        return;
+    };
+    println!("latency (ms):     count      p50      p90      p99      max");
+    for (label, key) in
+        [("probe", "probe_latency"), ("explore", "explore_latency"), ("queue-wait", "queue_wait")]
+    {
+        if let Some(lat) = m.get(key) {
+            let f = |k: &str| lat.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            println!(
+                "  {label:<12} {:>7} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+                lat.get("count").and_then(Json::as_i64).unwrap_or(0),
+                f("p50_ms"),
+                f("p90_ms"),
+                f("p99_ms"),
+                f("max_ms")
+            );
+        }
+    }
+    if let Some(workers) = m.get("workers").and_then(Json::as_arr) {
+        let cells: Vec<String> = workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                format!(
+                    "w{i} {:.0}% ({} jobs, {:.2}s busy)",
+                    w.get("utilization").and_then(Json::as_f64).unwrap_or(0.0) * 100.0,
+                    w.get("jobs").and_then(Json::as_i64).unwrap_or(0),
+                    w.get("busy_secs").and_then(Json::as_f64).unwrap_or(0.0)
+                )
+            })
+            .collect();
+        println!("workers: {}", cells.join(" | "));
+    }
+    if let Some(classes) = m.get("fp_classes") {
+        let cells: Vec<String> = ["singleton", "warm", "hot"]
+            .iter()
+            .filter_map(|class| {
+                classes.get(class).map(|c| {
+                    format!(
+                        "{class} {} fps, {} probes, {} hits ({:.0}%)",
+                        c.get("fingerprints").and_then(Json::as_i64).unwrap_or(0),
+                        c.get("probes").and_then(Json::as_i64).unwrap_or(0),
+                        c.get("hits").and_then(Json::as_i64).unwrap_or(0),
+                        c.get("hit_rate").and_then(Json::as_f64).unwrap_or(0.0) * 100.0
+                    )
+                })
+            })
+            .collect();
+        println!("fp classes: {}", cells.join(" | "));
+    }
+}
+
+// ---------------------------------------------------------------------
+// rc11 trace-report
+// ---------------------------------------------------------------------
+
+fn cmd_trace_report(raw: &[String]) -> ExitCode {
+    let opts = Opts { args: raw.to_vec() };
+    if let Some(bad) = opts.args.iter().find(|a| a.starts_with('-')) {
+        return fail_usage(&format!("unknown option `{bad}`"));
+    }
+    let file = match opts.args.as_slice() {
+        [f] => f.clone(),
+        [] => return fail_usage("trace-report: no trace file given"),
+        _ => return fail_usage("trace-report: exactly one trace file"),
+    };
+    let src = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rc11: trace-report: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = match rc11::check::read_trace(&src) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rc11: trace-report: {file}: invalid trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    use rc11::telemetry::{Counter, Phase};
+    println!("trace: {} line(s) over {}ms", stats.lines, stats.last_ms);
+    let events: Vec<String> =
+        stats.events_by_kind.iter().map(|(k, n)| format!("{k} {n}")).collect();
+    println!("events: {}", events.join(", "));
+    println!(
+        "files: {} ({} passed, {} failed), {} cache hit(s), {} with telemetry",
+        stats.files,
+        stats.passed,
+        stats.files - stats.passed,
+        stats.cache_hits,
+        stats.files_with_telemetry
+    );
+    println!(
+        "states {}, transitions {}, wall {:.1}ms",
+        stats.states, stats.transitions, stats.wall_ms
+    );
+    let total_phase: u64 = Phase::ALL.iter().map(|&p| stats.phase(p)).sum();
+    if total_phase > 0 {
+        println!("phase attribution (files with telemetry):");
+        for p in Phase::ALL {
+            let ns = stats.phase(p);
+            println!(
+                "  {:<12} {:>10.3}ms {:>6.1}%",
+                p.name(),
+                ns as f64 / 1e6,
+                ns as f64 * 100.0 / total_phase as f64
+            );
+        }
+    }
+    println!("reduction attribution:");
+    for c in [
+        Counter::DupHits,
+        Counter::FpCollisions,
+        Counter::SleepSetPrunes,
+        Counter::PersistentSheds,
+        Counter::SymmetryFolds,
+        Counter::CapDegradations,
+    ] {
+        println!("  {:<20} {}", c.name(), stats.counter(c));
+    }
+    println!(
+        "engine counters: expansions {}, injector flushes {}, keep-local retained {}",
+        stats.counter(Counter::Expansions),
+        stats.counter(Counter::InjectorFlushes),
+        stats.counter(Counter::KeepLocalRetained)
+    );
+    ExitCode::SUCCESS
 }

@@ -17,9 +17,15 @@
 //!   source. Optional fields: `workers` (default 1), `max_states`,
 //!   `deadline_ms`, `max_transitions`, `max_mem_bytes`, `fingerprint`
 //!   (default true), `por`, `symmetry`, `dpor` (default false),
-//!   `no_cache` (default false: probe and populate the verdict cache).
+//!   `no_cache` (default false: probe and populate the verdict cache),
+//!   `telemetry` (default false: attach a per-job sink; the response's
+//!   `telemetry` field carries its snapshot).
 //! * `{"cmd":"stats"}` — service counters: uptime, request and cache
-//!   hit/miss counts, states explored, states/s, queue depth.
+//!   hit/miss counts, states explored, states/s, the queue-depth gauge
+//!   and its peak since startup, the echoed config, and — when started
+//!   with `--metrics` — latency percentiles (probe/explore split),
+//!   queue-wait, per-worker utilization and cache efficiency by
+//!   fingerprint class (`rc11 top` renders these live).
 //! * `{"cmd":"ping"}` — liveness probe.
 //! * `{"cmd":"shutdown"}` — stop accepting, cancel in-flight work, and
 //!   drain: queued jobs resolve with `"stop":"cancelled"`, never hang.
@@ -42,17 +48,19 @@
 //! through the same (already cancelled) token so every waiting client
 //! gets an answer.
 
+use rc11_check::telemetry::snapshot_json;
 use rc11_check::wire::{obj, parse_json, Json};
 use rc11_check::{
-    CancelToken, CheckParams, CheckResponse, CheckService, StatsSnapshot, VerdictCache,
+    CancelToken, CheckParams, CheckResponse, CheckService, Served, StatsSnapshot, VerdictCache,
 };
 use rc11_core::Val;
 use rc11_lang::parse::val_literal;
-use std::collections::{BTreeSet, VecDeque};
+use rc11_telemetry::Telemetry;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -74,6 +82,12 @@ pub struct DaemonConfig {
     pub cache_cap: usize,
     /// Disk-spill directory for the verdict cache; `None` = memory only.
     pub cache_dir: Option<PathBuf>,
+    /// Collect and report extended per-job metrics (`rc11 serve
+    /// --metrics`): latency percentiles split by probe/explore,
+    /// queue-wait, per-worker utilization, and cache efficiency by
+    /// fingerprint class. Counters live in memory only — a restart
+    /// resets them (asserted by the daemon smoke script).
+    pub metrics: bool,
 }
 
 impl Default for DaemonConfig {
@@ -84,6 +98,141 @@ impl Default for DaemonConfig {
             queue_cap: 64,
             cache_cap: 1024,
             cache_dir: None,
+            metrics: false,
+        }
+    }
+}
+
+/// A bounded latency sample ring: keeps the most recent
+/// [`Samples::CAP`] values for percentile estimates plus a lifetime
+/// count, so `stats` stays O(CAP) however long the daemon runs.
+#[derive(Default)]
+struct Samples {
+    vals: Vec<f64>,
+    next: usize,
+    total: u64,
+}
+
+impl Samples {
+    const CAP: usize = 4096;
+
+    fn push(&mut self, v: f64) {
+        if self.vals.len() < Samples::CAP {
+            self.vals.push(v);
+        } else {
+            self.vals[self.next] = v;
+            self.next = (self.next + 1) % Samples::CAP;
+        }
+        self.total += 1;
+    }
+
+    /// `{count, p50, p90, p99, max}` over the retained window.
+    fn summary_json(&self) -> Json {
+        let mut sorted = self.vals.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let pct = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            sorted[idx]
+        };
+        obj(vec![
+            ("count", Json::Int(self.total as i64)),
+            ("p50_ms", Json::Float(pct(0.50))),
+            ("p90_ms", Json::Float(pct(0.90))),
+            ("p99_ms", Json::Float(pct(0.99))),
+            ("max_ms", Json::Float(sorted.last().copied().unwrap_or(0.0))),
+        ])
+    }
+}
+
+/// Per-fingerprint probe/hit tallies, capped; fingerprints past the cap
+/// pool into an overflow bucket so hot keys stay exact.
+#[derive(Default)]
+struct FpClasses {
+    by_fp: HashMap<(u64, u64), (u64, u64)>,
+    overflow_probes: u64,
+    overflow_hits: u64,
+}
+
+impl FpClasses {
+    const CAP: usize = 8192;
+
+    fn record(&mut self, fp: (u64, u64), hit: bool) {
+        let slot = if self.by_fp.len() < FpClasses::CAP || self.by_fp.contains_key(&fp) {
+            self.by_fp.entry(fp).or_insert((0, 0))
+        } else {
+            self.overflow_probes += 1;
+            self.overflow_hits += hit as u64;
+            return;
+        };
+        slot.0 += 1;
+        slot.1 += hit as u64;
+    }
+
+    /// Aggregate by how often each fingerprint was requested: a
+    /// `singleton` was seen once (a hit is only possible via the disk
+    /// spill of an earlier daemon), `warm` 2–4 times, `hot` ≥5 — the
+    /// split shows where the verdict cache is earning its keep.
+    fn classes_json(&self) -> Json {
+        let mut agg = [(0u64, 0u64, 0u64); 3]; // (fingerprints, probes, hits)
+        for &(probes, hits) in self.by_fp.values() {
+            let class = match probes {
+                0 | 1 => 0,
+                2..=4 => 1,
+                _ => 2,
+            };
+            agg[class].0 += 1;
+            agg[class].1 += probes;
+            agg[class].2 += hits;
+        }
+        let class_obj = |(fps, probes, hits): (u64, u64, u64)| {
+            obj(vec![
+                ("fingerprints", Json::Int(fps as i64)),
+                ("probes", Json::Int(probes as i64)),
+                ("hits", Json::Int(hits as i64)),
+                (
+                    "hit_rate",
+                    Json::Float(if probes > 0 { hits as f64 / probes as f64 } else { 0.0 }),
+                ),
+            ])
+        };
+        obj(vec![
+            ("singleton", class_obj(agg[0])),
+            ("warm", class_obj(agg[1])),
+            ("hot", class_obj(agg[2])),
+            ("overflow_probes", Json::Int(self.overflow_probes as i64)),
+            ("overflow_hits", Json::Int(self.overflow_hits as i64)),
+        ])
+    }
+}
+
+/// Extended metrics collected when [`DaemonConfig::metrics`] is on.
+struct Metrics {
+    /// Enqueue → dequeue wait, milliseconds.
+    queue_wait: Mutex<Samples>,
+    /// End-to-end latency of cache-served jobs, milliseconds.
+    probe_latency: Mutex<Samples>,
+    /// End-to-end latency of explored jobs, milliseconds.
+    explore_latency: Mutex<Samples>,
+    /// Busy nanoseconds per pool worker (index = worker).
+    worker_busy_nanos: Vec<AtomicU64>,
+    /// Jobs completed per pool worker.
+    worker_jobs: Vec<AtomicU64>,
+    /// Cache efficiency by fingerprint request class.
+    fp_classes: Mutex<FpClasses>,
+}
+
+impl Metrics {
+    fn new(pool: usize) -> Metrics {
+        Metrics {
+            queue_wait: Mutex::new(Samples::default()),
+            probe_latency: Mutex::new(Samples::default()),
+            explore_latency: Mutex::new(Samples::default()),
+            worker_busy_nanos: (0..pool).map(|_| AtomicU64::new(0)).collect(),
+            worker_jobs: (0..pool).map(|_| AtomicU64::new(0)).collect(),
+            fp_classes: Mutex::new(FpClasses::default()),
         }
     }
 }
@@ -94,6 +243,7 @@ struct Job {
     source: String,
     params: CheckParams,
     reply: mpsc::Sender<Json>,
+    enqueued: Instant,
 }
 
 struct Shared {
@@ -101,6 +251,12 @@ struct Shared {
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     queue_cap: usize,
+    /// Live queue depth, maintained on enqueue/dequeue so `stats` reads
+    /// a coherent gauge instead of racing the queue lock for a
+    /// point-in-time sample.
+    queue_depth: AtomicUsize,
+    /// Deepest the queue has been since startup.
+    queue_peak: AtomicUsize,
     shutdown: AtomicBool,
     /// Cloned into every job's `CheckParams::cancel`; cancelled once at
     /// shutdown so in-flight and still-queued jobs all resolve with an
@@ -108,6 +264,10 @@ struct Shared {
     kill: CancelToken,
     started: Instant,
     conns: Mutex<Vec<JoinHandle<()>>>,
+    /// Extended metrics, present iff [`DaemonConfig::metrics`].
+    metrics: Option<Metrics>,
+    /// The configuration this daemon started with, echoed by `stats`.
+    config: DaemonConfig,
 }
 
 impl Shared {
@@ -183,23 +343,28 @@ pub fn start(config: &DaemonConfig) -> io::Result<DaemonHandle> {
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
+    let pool = config.pool.max(1);
     let shared = Arc::new(Shared {
         service: CheckService::with_cache(cache),
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
         queue_cap: config.queue_cap.max(1),
+        queue_depth: AtomicUsize::new(0),
+        queue_peak: AtomicUsize::new(0),
         shutdown: AtomicBool::new(false),
         kill: CancelToken::new(),
         started: Instant::now(),
         conns: Mutex::new(Vec::new()),
+        metrics: config.metrics.then(|| Metrics::new(pool)),
+        config: config.clone(),
     });
 
-    let workers = (0..config.pool.max(1))
+    let workers = (0..pool)
         .map(|i| {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("rc11d-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
+                .spawn(move || worker_loop(&shared, i))
                 .expect("spawn worker")
         })
         .collect();
@@ -237,7 +402,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
+fn worker_loop(shared: &Arc<Shared>, worker: usize) {
     loop {
         let job = {
             let mut queue = shared.queue.lock().expect("queue lock");
@@ -256,10 +421,32 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
         let Some(job) = job else { break };
+        shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let waited = job.enqueued.elapsed();
         // After shutdown the shared token is already cancelled, so a
         // drained job's exploration trips `Cancelled` at its first gate:
         // the waiting client gets an explicit answer, never a hang.
-        let response = match shared.service.check_source(&job.source, &job.params) {
+        let busy = Instant::now();
+        let outcome = shared.service.check_source(&job.source, &job.params);
+        let busy_elapsed = busy.elapsed();
+        if let Some(m) = &shared.metrics {
+            m.queue_wait.lock().expect("metrics lock").push(waited.as_secs_f64() * 1e3);
+            m.worker_busy_nanos[worker].fetch_add(busy_elapsed.as_nanos() as u64, Ordering::Relaxed);
+            m.worker_jobs[worker].fetch_add(1, Ordering::Relaxed);
+            if let Ok(r) = &outcome {
+                let lat_ms = busy_elapsed.as_secs_f64() * 1e3;
+                let bucket = match r.served {
+                    Served::Explored => &m.explore_latency,
+                    _ => &m.probe_latency,
+                };
+                bucket.lock().expect("metrics lock").push(lat_ms);
+                m.fp_classes
+                    .lock()
+                    .expect("metrics lock")
+                    .record((r.fingerprint.hi, r.fingerprint.lo), r.served.is_hit());
+            }
+        }
+        let response = match outcome {
             Ok(r) => check_json(&r),
             Err(e) => error_json(&format!("parse: {e}")),
         };
@@ -347,7 +534,14 @@ fn handle_check(shared: &Arc<Shared>, request: &Json) -> Json {
         if queue.len() >= shared.queue_cap {
             return error_json(&format!("busy: queue full ({} jobs)", queue.len()));
         }
-        queue.push_back(Job { source: source.to_string(), params, reply });
+        queue.push_back(Job {
+            source: source.to_string(),
+            params,
+            reply,
+            enqueued: Instant::now(),
+        });
+        let depth = shared.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        shared.queue_peak.fetch_max(depth, Ordering::Relaxed);
         shared.available.notify_one();
     }
     match result.recv() {
@@ -404,6 +598,12 @@ fn decode_params(request: &Json, kill: &CancelToken) -> Result<CheckParams, Stri
     if let Some(b) = bool_field("no_cache")? {
         params.use_cache = !b;
     }
+    // A client that wants per-run counters sets `"telemetry": true`;
+    // the job gets a private sink and the response carries its snapshot
+    // (cache hits answer with a `served_from_cache` snapshot instead).
+    if let Some(true) = bool_field("telemetry")? {
+        params.telemetry = Some(Arc::new(Telemetry::new()));
+    }
     Ok(params)
 }
 
@@ -436,6 +636,14 @@ pub fn check_json(r: &CheckResponse) -> Json {
         ("deadlocks", Json::Int(r.deadlocks as i64)),
         ("stop", Json::Str(r.stop.to_string())),
         ("notes", Json::Arr(r.notes.iter().map(|n| Json::Str(n.to_string())).collect())),
+        ("wall_ms", Json::Float(r.wall.as_secs_f64() * 1e3)),
+        (
+            "telemetry",
+            match &r.telemetry {
+                Some(snap) => snapshot_json(snap),
+                None => Json::Null,
+            },
+        ),
     ])
 }
 
@@ -445,10 +653,14 @@ fn error_json(message: &str) -> Json {
 
 fn stats_json(shared: &Arc<Shared>) -> Json {
     let s = shared.service.stats();
-    let queue_depth = shared.queue.lock().expect("queue lock").len();
-    obj(vec![
+    let uptime = shared.started.elapsed().as_secs_f64();
+    // The gauge, not a racy `queue.lock().len()` sample: maintained on
+    // enqueue/dequeue, with the peak since startup alongside.
+    let queue_depth = shared.queue_depth.load(Ordering::Relaxed);
+    let queue_peak = shared.queue_peak.load(Ordering::Relaxed);
+    let mut fields = vec![
         ("ok", Json::Bool(true)),
-        ("uptime_secs", Json::Float(shared.started.elapsed().as_secs_f64())),
+        ("uptime_secs", Json::Float(uptime)),
         ("requests", Json::Int(s.requests as i64)),
         ("mem_hits", Json::Int(s.cache.mem_hits as i64)),
         ("disk_hits", Json::Int(s.cache.disk_hits as i64)),
@@ -461,7 +673,66 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
         ("transitions_explored", Json::Int(s.transitions_explored as i64)),
         ("states_per_sec", Json::Float(s.states_per_sec())),
         ("queue_depth", Json::Int(queue_depth as i64)),
-    ])
+        ("queue_peak", Json::Int(queue_peak as i64)),
+        (
+            "config",
+            obj(vec![
+                ("pool", Json::Int(shared.config.pool.max(1) as i64)),
+                ("queue_cap", Json::Int(shared.queue_cap as i64)),
+                ("cache_cap", Json::Int(shared.config.cache_cap as i64)),
+                (
+                    "cache_dir",
+                    match &shared.config.cache_dir {
+                        Some(d) => Json::Str(d.display().to_string()),
+                        None => Json::Null,
+                    },
+                ),
+                ("metrics", Json::Bool(shared.config.metrics)),
+            ]),
+        ),
+    ];
+    if let Some(m) = &shared.metrics {
+        let workers = Json::Arr(
+            m.worker_busy_nanos
+                .iter()
+                .zip(&m.worker_jobs)
+                .map(|(busy, jobs)| {
+                    let busy_secs = busy.load(Ordering::Relaxed) as f64 / 1e9;
+                    obj(vec![
+                        ("jobs", Json::Int(jobs.load(Ordering::Relaxed) as i64)),
+                        ("busy_secs", Json::Float(busy_secs)),
+                        (
+                            "utilization",
+                            Json::Float(if uptime > 0.0 { busy_secs / uptime } else { 0.0 }),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        fields.push((
+            "metrics",
+            obj(vec![
+                (
+                    "queue_wait",
+                    m.queue_wait.lock().expect("metrics lock").summary_json(),
+                ),
+                (
+                    "probe_latency",
+                    m.probe_latency.lock().expect("metrics lock").summary_json(),
+                ),
+                (
+                    "explore_latency",
+                    m.explore_latency.lock().expect("metrics lock").summary_json(),
+                ),
+                ("workers", workers),
+                (
+                    "fp_classes",
+                    m.fp_classes.lock().expect("metrics lock").classes_json(),
+                ),
+            ]),
+        ));
+    }
+    obj(fields)
 }
 
 /// A blocking line-protocol client for the daemon — used by

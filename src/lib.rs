@@ -18,6 +18,9 @@
 //!   Figure-6 lock, the message-passing stack, extensions;
 //! * [`assert`] (rc11-assert) — the Section-5.1 observability assertion
 //!   language and proof outlines;
+//! * [`telemetry`] (rc11-telemetry) — the exploration telemetry spine:
+//!   sharded relaxed counters, phase timers, and serializable snapshots
+//!   behind `ExploreOptions::telemetry` (DESIGN.md §9);
 //! * [`check`] (rc11-check) — exhaustive (sequential & parallel) state-space
 //!   exploration, proof-outline checking with Owicki–Gries classification;
 //! * [`refine`] (rc11-refine) — contextual refinement (Section 6): trace
@@ -52,6 +55,7 @@ pub use rc11_litmus as litmus;
 pub use rc11_locks as locks;
 pub use rc11_objects as objects;
 pub use rc11_refine as refine;
+pub use rc11_telemetry as telemetry;
 
 /// Everything the examples and integration tests need, in one import.
 pub mod prelude {
